@@ -1,0 +1,97 @@
+"""Benchmark reproducing Figure 6: runtime per record versus attribute count.
+
+Figure 6 plots the Hid runtimes of the (η=0.3, τ=0.3) setting normalised by
+the number of records against the number of attributes of each dataset, and
+argues that the growth is roughly linear in the attribute count (with noise
+for the small datasets, where per-dataset difficulty dominates).
+
+The benchmark runs the same sweep over surrogate datasets spanning 6 to 182
+attributes at a fixed laptop-sized record count, so the attribute dimension is
+isolated, and asserts that seconds-per-record does not explode
+super-linearly with the attribute count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.datasets import get_dataset_entry
+from repro.evaluation import format_attribute_scalability, linear_fit, run_attribute_scalability
+from repro.evaluation.protocol import ScalabilityPoint, run_table2_cell
+
+from conftest import scaled
+
+#: Datasets spanning the attribute range of Table 2, at a fixed record count.
+SWEEP_DATASETS = (
+    "iris",            # 6 attributes
+    "nursery",         # 10
+    "adult",           # 15
+    "hepatitis",       # 19
+    "horse-colic",     # 28
+    "fd-reduced-30",   # 31
+    "plista",          # 43
+    "flight-1k",       # 75
+    "uniprot",         # 182
+)
+
+N_RECORDS = scaled(250)
+
+_points = []
+
+
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS, ids=SWEEP_DATASETS)
+def test_attribute_scalability(benchmark, dataset, report_sink):
+    entry = get_dataset_entry(dataset)
+
+    def run():
+        return run_table2_cell(
+            dataset,
+            eta=0.3,
+            tau=0.3,
+            configuration="Hid",
+            n_instances=1,
+            n_records=min(N_RECORDS, entry.paper_records),
+            seed=19,
+        )
+
+    cell = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_records = min(N_RECORDS, entry.paper_records)
+    point = ScalabilityPoint(
+        label=dataset,
+        n_records=n_records,
+        n_attributes=entry.paper_attributes,
+        runtime_seconds=cell.aggregate.runtime_seconds,
+        delta_core=cell.aggregate.delta_core,
+        accuracy=cell.aggregate.accuracy,
+    )
+    _points.append(point)
+    benchmark.extra_info.update(
+        {
+            "attributes": point.n_attributes,
+            "seconds_per_record": round(point.seconds_per_record, 5),
+            "accuracy": round(point.accuracy, 3),
+        }
+    )
+
+    if len(_points) == len(SWEEP_DATASETS):
+        ordered = sorted(_points, key=lambda p: p.n_attributes)
+        slope, intercept, r_squared = linear_fit(
+            [(p.n_attributes, p.seconds_per_record) for p in ordered]
+        )
+        lines = [
+            "FIGURE 6 (attribute scalability, Hid, eta=0.3, tau=0.3, "
+            f"{N_RECORDS} records per dataset)",
+            format_attribute_scalability(ordered),
+            f"linear fit: {slope * 1000:.3f} ms/record per attribute, "
+            f"intercept {intercept * 1000:.3f} ms/record (r² = {r_squared:.3f})",
+        ]
+        report_sink.append("\n".join(lines))
+
+        # Reproduction claim: the per-record cost of the widest table stays
+        # within a small factor of what a linear extrapolation from the
+        # narrowest tables predicts (i.e. no super-linear blow-up).
+        widest = ordered[-1]
+        narrow = [p for p in ordered if p.n_attributes <= 20]
+        if narrow:
+            per_attribute = max(p.seconds_per_record / p.n_attributes for p in narrow)
+            assert widest.seconds_per_record <= per_attribute * widest.n_attributes * 4

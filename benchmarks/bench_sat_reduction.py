@@ -1,0 +1,59 @@
+"""Benchmark of the NP-hardness reduction (Theorem 3.12 / Figure 2).
+
+Not an evaluation table of the paper, but the reduction is part of its formal
+contribution: this benchmark measures (a) the cost of *building* the reduced
+instance, which is polynomial, and (b) the cost of solving it exactly by
+enumerating interpretations, which grows exponentially with the number of
+variables — the empirical face of the hardness argument.  It also verifies on
+every run that the reduction's satisfiability verdict agrees with DPLL.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.complexity import (
+    example_formula,
+    is_satisfiable,
+    random_formula,
+    reduce_formula,
+    solve_reduction_exact,
+)
+
+VARIABLE_COUNTS = (4, 6, 8, 10)
+
+
+def test_build_reduction_figure2_instance(benchmark):
+    """Building the Figure-2 instance: 3 source and 11 target records."""
+    instance = benchmark(lambda: reduce_formula(example_formula()))
+    assert instance.n_source_records == 3
+    assert instance.n_target_records == 11
+
+
+def test_build_reduction_large_formula(benchmark):
+    """Reduction construction is polynomial: 60 clauses over 20 variables."""
+    formula = random_formula(20, 60, rng=random.Random(1))
+    instance = benchmark(lambda: reduce_formula(formula))
+    assert instance.n_source_records == 60
+    assert instance.n_target_records == 60 * 7
+
+
+@pytest.mark.parametrize("n_variables", VARIABLE_COUNTS)
+def test_exact_solution_scales_exponentially(benchmark, n_variables, report_sink):
+    """Exact solving enumerates 2^d interpretations — the hardness in action."""
+    formula = random_formula(n_variables, 2 * n_variables, rng=random.Random(n_variables))
+
+    solution = benchmark.pedantic(
+        lambda: solve_reduction_exact(formula), rounds=1, iterations=1
+    )
+    assert solution.is_satisfying == is_satisfiable(formula)
+    benchmark.extra_info.update(
+        {
+            "variables": n_variables,
+            "clauses": formula.n_clauses,
+            "satisfiable": solution.is_satisfying,
+            "optimal_cost": solution.cost,
+        }
+    )

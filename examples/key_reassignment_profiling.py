@@ -1,0 +1,87 @@
+"""Scenario: why primary-key diff tools break when keys are reassigned.
+
+Classic comparison tools (ApexSQL Data Diff, Redgate SQL Data Compare, ...)
+align records via the primary key and report cell changes per record.  When
+the key itself is rewritten — the situation that motivates the paper — that
+alignment is silently wrong.  This example quantifies the failure on a
+generated problem instance and contrasts it with Affidavit and with a
+similarity-based record linker.
+
+Run with::
+
+    python examples/key_reassignment_profiling.py
+"""
+
+from __future__ import annotations
+
+from repro import Affidavit, identity_configuration
+from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
+from repro.datagen import ARTIFICIAL_KEY_ATTRIBUTE, generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.evaluation import alignment_precision_recall
+
+N_RECORDS = 400
+
+
+def correct_pairs(alignment, reference_pairs) -> int:
+    return sum(1 for pair in alignment.items() if pair in reference_pairs)
+
+
+def main() -> None:
+    table = load_dataset("ncvoter-1k", N_RECORDS, seed=11)
+    generated = generate_problem_instance(
+        table, eta=0.3, tau=0.3, seed=3, name="voter-roll"
+    )
+    instance = generated.instance
+    reference_pairs = set(generated.reference.alignment.items())
+
+    print("=== Problem instance ===")
+    print(instance.describe())
+    print(f"ground-truth aligned pairs: {len(reference_pairs)}")
+    print()
+
+    # 1. What a key-based diff tool would do.
+    keyed = KeyedDiff([ARTIFICIAL_KEY_ATTRIBUTE]).diff(instance.source, instance.target)
+    keyed_correct = correct_pairs(keyed.alignment, reference_pairs)
+    print("--- keyed diff (classic comparison tools) ---")
+    print(f"  {keyed.summary()}")
+    print(
+        f"  correctly aligned pairs        : {keyed_correct} / {len(reference_pairs)}"
+        "   <- key reassignment breaks the alignment"
+    )
+    print(
+        f"  explicit change-script length  : "
+        f"{keyed.description_length(instance.n_attributes)} data values"
+    )
+    print()
+
+    # 2. Unsupervised similarity linking without transformation learning.
+    similarity = SimilarityLinker().link(instance.source, instance.target)
+    similarity_correct = correct_pairs(similarity.alignment, reference_pairs)
+    print("--- similarity linker (no function learning) ---")
+    print(f"  aligned pairs                  : {similarity.n_aligned}")
+    print(f"  correctly aligned pairs        : {similarity_correct} / {len(reference_pairs)}")
+    print()
+
+    # 3. Affidavit.
+    result = Affidavit(identity_configuration()).explain(instance)
+    scores = alignment_precision_recall(generated, result.explanation)
+    trivial = run_trivial_baseline(instance)
+    print("--- Affidavit ---")
+    print(f"  aligned pairs                  : {result.explanation.core_size}")
+    print(
+        f"  alignment precision / recall   : "
+        f"{scores['precision']:.2f} / {scores['recall']:.2f} (F1 {scores['f1']:.2f})"
+    )
+    print(f"  explanation cost (MDL)         : {result.cost:.0f}")
+    print(f"  trivial explanation cost       : {trivial.cost:.0f}")
+    print(f"  runtime                        : {result.runtime_seconds:.2f}s")
+    print()
+    print("learned non-identity functions:")
+    for attribute, function in result.explanation.functions.items():
+        if not function.is_identity:
+            print(f"  {attribute:<22s} {function!r}")
+
+
+if __name__ == "__main__":
+    main()

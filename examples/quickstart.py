@@ -1,0 +1,70 @@
+"""Quickstart: explain the paper's running example (Figure 1).
+
+Two ERP snapshots whose composite primary key was reassigned during a software
+update: ``Val`` was rescaled to thousands, ``Unit`` rewritten to ``'k $'``,
+sentinel dates replaced, and a handful of records deleted/inserted.  Affidavit
+recovers the transformation functions and the record alignment without being
+told which attributes form the key.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Affidavit, identity_configuration
+from repro.core import trivial_explanation_cost
+from repro.datagen.running_example import running_example_instance
+
+
+def main() -> None:
+    instance = running_example_instance()
+
+    print("=== Source snapshot S1 ===")
+    print(instance.source.pretty())
+    print()
+    print("=== Target snapshot T1 ===")
+    print(instance.target.pretty())
+    print()
+
+    engine = Affidavit(identity_configuration())
+    result = engine.explain(instance)
+
+    print("=== Explanation found by Affidavit ===")
+    print(result.summary())
+    print()
+
+    trivial = trivial_explanation_cost(instance)
+    print(
+        f"The explanation costs {result.cost:.0f} versus {trivial:.0f} for the "
+        f"trivial 'delete everything, insert everything' explanation "
+        f"(compression ratio {result.cost / trivial:.2f})."
+    )
+    print()
+
+    print("=== Aligned record pairs (source ID1 -> target ID1) ===")
+    for source_id, target_id in sorted(result.explanation.alignment.items()):
+        print(
+            f"  {instance.source.cell(source_id, 'ID1')} -> "
+            f"{instance.target.cell(target_id, 'ID1')}"
+        )
+    deleted = [instance.source.cell(i, "ID1") for i in result.explanation.deleted_source_ids]
+    inserted = [instance.target.cell(i, "ID1") for i in result.explanation.inserted_target_ids]
+    print(f"deleted source records : {deleted}")
+    print(f"inserted target records: {inserted}")
+    print()
+
+    print("=== Generalising to an unseen record ===")
+    unseen = ("S99", "0099", "99991231", "E", "123000", "USD", "IBM")
+    transformed = result.explanation.transform_record(instance.schema.attributes, unseen)
+    print(f"  unseen source record : {unseen}")
+    print(f"  transformed          : {transformed}")
+    print(
+        "  (the systematic attributes translate; the reassigned key columns "
+        "cannot generalise and stay undefined)"
+    )
+
+
+if __name__ == "__main__":
+    main()

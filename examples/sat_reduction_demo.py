@@ -1,0 +1,62 @@
+"""Demonstration of the NP-hardness reduction (Theorem 3.12 / Figure 2).
+
+Explain-Table-Delta is NP-hard: any 3-SAT formula can be turned into a pair of
+table snapshots whose *optimal* explanation reveals whether the formula is
+satisfiable (and, if so, a model).  This example builds the reduction for the
+paper's example formula, solves the resulting instance exactly, and
+cross-checks the verdict with a DPLL solver.
+
+Run with::
+
+    python examples/sat_reduction_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.complexity import (
+    clause,
+    example_formula,
+    formula,
+    is_satisfiable,
+    random_formula,
+    reduce_formula,
+    solve_reduction_exact,
+)
+
+
+def show(formula_, label: str) -> None:
+    print(f"=== {label}: {formula_} ===")
+    instance = reduce_formula(formula_)
+    print(f"reduced instance: {instance.n_source_records} source records, "
+          f"{instance.n_target_records} target records, schema {list(instance.schema)}")
+    print("source records (clause polarity encoding):")
+    print(instance.source.pretty())
+    solution = solve_reduction_exact(formula_)
+    print(f"optimal explanation deletes {solution.explanation.n_deleted} source record(s), "
+          f"cost {solution.cost:.0f}")
+    print(f"  -> formula satisfiable? {solution.is_satisfying}")
+    if solution.is_satisfying:
+        model = {variable: value for variable, value in sorted(solution.interpretation.items())}
+        print(f"  -> model extracted from the attribute functions: {model}")
+    verdict = is_satisfiable(formula_)
+    print(f"  -> DPLL agrees: {verdict}")
+    assert verdict == solution.is_satisfying
+    print()
+
+
+def main() -> None:
+    # The formula of Figure 2: (v1 ∨ v2 ∨ v3) ∧ (¬v1 ∨ v4) ∧ ¬v3.
+    show(example_formula(), "Figure 2 example")
+
+    # An unsatisfiable formula: the optimal explanation must delete a record.
+    unsat = formula(
+        clause("x", "y"), clause("x", "!y"), clause("!x", "y"), clause("!x", "!y")
+    )
+    show(unsat, "Unsatisfiable formula")
+
+    # A slightly larger random instance.
+    show(random_formula(5, 9), "Random 3-SAT instance")
+
+
+if __name__ == "__main__":
+    main()

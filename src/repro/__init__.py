@@ -1,0 +1,63 @@
+"""Affidavit — explaining differences between unaligned table snapshots.
+
+A from-scratch Python reproduction of
+
+    Fink, Meilicke, Stuckenschmidt:
+    "Explaining Differences Between Unaligned Table Snapshots", EDBT 2020.
+
+Public API overview
+-------------------
+* :class:`~repro.core.affidavit.Affidavit` /
+  :func:`~repro.core.affidavit.explain_snapshots` — run the search on two
+  snapshots and obtain an :class:`~repro.core.explanation.Explanation`.
+* :class:`~repro.core.instance.ProblemInstance` — two snapshots plus the
+  meta-function pool.
+* :mod:`repro.functions` — the transformation-function language (Table 1).
+* :mod:`repro.dataio` — schemas, tables and CSV I/O.
+* :mod:`repro.datagen` — the evaluation protocol's problem-instance generator.
+* :mod:`repro.baselines` — keyed diff / similarity-linking comparators.
+* :mod:`repro.complexity` — the 3-SAT reduction behind the NP-hardness proof.
+* :mod:`repro.evaluation` — quality metrics and the experiment harness.
+"""
+
+from .dataio import Schema, Table, read_csv, read_snapshot_pair, write_csv
+from .functions import FunctionRegistry, default_registry
+from .core import (
+    Affidavit,
+    AffidavitConfig,
+    AffidavitResult,
+    Explanation,
+    ProblemInstance,
+    explain_snapshots,
+    explanation_cost,
+    explanation_from_functions,
+    identity_configuration,
+    overlap_configuration,
+    trivial_explanation,
+    trivial_explanation_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Schema",
+    "Table",
+    "read_csv",
+    "read_snapshot_pair",
+    "write_csv",
+    "FunctionRegistry",
+    "default_registry",
+    "Affidavit",
+    "AffidavitConfig",
+    "AffidavitResult",
+    "Explanation",
+    "ProblemInstance",
+    "explain_snapshots",
+    "explanation_cost",
+    "explanation_from_functions",
+    "identity_configuration",
+    "overlap_configuration",
+    "trivial_explanation",
+    "trivial_explanation_cost",
+    "__version__",
+]

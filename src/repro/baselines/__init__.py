@@ -1,0 +1,16 @@
+"""Baselines: keyed diff (classic tools), similarity linking, trivial explanation."""
+
+from .keyed_diff import CellChange, KeyedDiff, KeyedDiffReport
+from .similarity_linker import SimilarityLink, SimilarityLinker, SimilarityLinkingResult
+from .trivial import TrivialBaselineResult, run_trivial_baseline
+
+__all__ = [
+    "KeyedDiff",
+    "KeyedDiffReport",
+    "CellChange",
+    "SimilarityLinker",
+    "SimilarityLinkingResult",
+    "SimilarityLink",
+    "TrivialBaselineResult",
+    "run_trivial_baseline",
+]

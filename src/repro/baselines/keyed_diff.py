@@ -1,0 +1,121 @@
+"""Primary-key based snapshot diff — the behaviour of classic comparison tools.
+
+The commercial tools surveyed in the paper's related-work section (ApexSQL
+Data Diff, Redgate SQL Data Compare, SQL Delta, ...) all align records via a
+user-specified primary key and then report cell-level changes record by
+record.  This baseline reproduces that behaviour so the evaluation can show
+where it breaks down: when key values are reassigned between snapshots the
+alignment silently degrades into spurious deletions/insertions, and the
+generated change script never generalises to unseen records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..dataio import Table
+from ..linking.alignment import AlignmentPairs, greedy_alignment_from_values
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One reported cell modification of an aligned record pair."""
+
+    source_id: int
+    target_id: int
+    attribute: str
+    old_value: str
+    new_value: str
+
+
+@dataclass(frozen=True)
+class KeyedDiffReport:
+    """The output of a primary-key diff."""
+
+    key_attributes: Tuple[str, ...]
+    alignment: Dict[int, int]
+    deleted_source_ids: Tuple[int, ...]
+    inserted_target_ids: Tuple[int, ...]
+    cell_changes: Tuple[CellChange, ...]
+
+    @property
+    def n_aligned(self) -> int:
+        return len(self.alignment)
+
+    @property
+    def n_changed_cells(self) -> int:
+        return len(self.cell_changes)
+
+    def description_length(self, n_attributes: int) -> int:
+        """Length of the explicit change script the tool would emit.
+
+        Inserted records are listed cell by cell; every changed cell of an
+        aligned pair is listed with its old and new value.  This is the
+        quantity the MDL cost of Affidavit's explanations is compared against
+        in the baseline benchmark.
+        """
+        return n_attributes * len(self.inserted_target_ids) + 2 * len(self.cell_changes)
+
+    def summary(self) -> str:
+        return (
+            f"keyed diff on {list(self.key_attributes)}: "
+            f"{self.n_aligned} aligned, {len(self.deleted_source_ids)} deleted, "
+            f"{len(self.inserted_target_ids)} inserted, {self.n_changed_cells} cell changes"
+        )
+
+
+class KeyedDiff:
+    """Align records by equality on *key_attributes* and report cell changes."""
+
+    def __init__(self, key_attributes: Sequence[str]):
+        if not key_attributes:
+            raise ValueError("at least one key attribute is required")
+        self._key_attributes = tuple(key_attributes)
+
+    @property
+    def key_attributes(self) -> Tuple[str, ...]:
+        return self._key_attributes
+
+    def diff(self, source: Table, target: Table) -> KeyedDiffReport:
+        """Compute the keyed diff of two snapshots sharing a schema."""
+        for attribute in self._key_attributes:
+            source.schema.index_of(attribute)
+            target.schema.index_of(attribute)
+
+        pairs: AlignmentPairs = greedy_alignment_from_values(
+            source, target, self._key_attributes
+        )
+        alignment = dict(pairs)
+        aligned_targets = set(alignment.values())
+
+        deleted = tuple(
+            source_id for source_id in range(source.n_rows) if source_id not in alignment
+        )
+        inserted = tuple(
+            target_id for target_id in range(target.n_rows) if target_id not in aligned_targets
+        )
+
+        changes: List[CellChange] = []
+        attributes = source.schema.attributes
+        for source_id, target_id in alignment.items():
+            source_row = source.row(source_id)
+            target_row = target.row(target_id)
+            for position, attribute in enumerate(attributes):
+                if source_row[position] != target_row[position]:
+                    changes.append(
+                        CellChange(
+                            source_id=source_id,
+                            target_id=target_id,
+                            attribute=attribute,
+                            old_value=source_row[position],
+                            new_value=target_row[position],
+                        )
+                    )
+        return KeyedDiffReport(
+            key_attributes=self._key_attributes,
+            alignment=alignment,
+            deleted_source_ids=deleted,
+            inserted_target_ids=inserted,
+            cell_changes=tuple(changes),
+        )

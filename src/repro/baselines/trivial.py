@@ -1,0 +1,38 @@
+"""The trivial baseline: everything deleted, everything inserted.
+
+``E∅ = (S, T, {id}^d)`` is a valid explanation for every problem instance
+(Section 3.1); its cost ``|A| · |T|`` (at α = 0.5) is the yardstick against
+which the relative-cost metric Δcosts and the benchmark reports are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cost import trivial_explanation_cost
+from ..core.explanation import Explanation, trivial_explanation
+from ..core.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class TrivialBaselineResult:
+    """Explanation and cost of the trivial baseline on one instance."""
+
+    explanation: Explanation
+    cost: float
+
+    @property
+    def n_deleted(self) -> int:
+        return self.explanation.n_deleted
+
+    @property
+    def n_inserted(self) -> int:
+        return self.explanation.n_inserted
+
+
+def run_trivial_baseline(instance: ProblemInstance, *, alpha: float = 0.5) -> TrivialBaselineResult:
+    """Produce ``E∅`` and its cost for *instance*."""
+    return TrivialBaselineResult(
+        explanation=trivial_explanation(instance),
+        cost=trivial_explanation_cost(instance, alpha=alpha),
+    )

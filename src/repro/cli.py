@@ -1,0 +1,147 @@
+"""Command-line interface of the Affidavit reproduction.
+
+Three subcommands cover the profiling workflow the paper targets (comparing
+hundreds of tables with minimal user effort):
+
+``explain``
+    Compare two CSV snapshots and print the learned explanation; optionally
+    write it as JSON, as a generalised SQL migration script, or as a
+    plain-text report.
+
+``generate``
+    Create a synthetic problem instance from one of the surrogate evaluation
+    datasets (Section 5.1 protocol) and write the two snapshots as CSV files —
+    handy for trying the tool without real data.
+
+``datasets``
+    List the available surrogate datasets and their dimensions.
+
+Run ``python -m repro.cli --help`` for the full usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import Affidavit, ProblemInstance, identity_configuration, overlap_configuration
+from .dataio import read_snapshot_pair, write_csv
+from .datagen import generate_problem_instance
+from .datagen.datasets import DATASETS, get_dataset_entry
+from .export import explanation_to_json, explanation_to_sql, render_report
+
+
+def _configuration(name: str, seed: int):
+    if name == "hid":
+        return identity_configuration(seed=seed)
+    if name == "hs":
+        return overlap_configuration(seed=seed)
+    raise argparse.ArgumentTypeError(f"unknown configuration: {name!r} (use 'hid' or 'hs')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-affidavit",
+        description="Explain differences between unaligned table snapshots (EDBT 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    explain = subparsers.add_parser(
+        "explain", help="explain the differences between two CSV snapshots"
+    )
+    explain.add_argument("source", type=Path, help="CSV file of the source snapshot")
+    explain.add_argument("target", type=Path, help="CSV file of the target snapshot")
+    explain.add_argument(
+        "--config", choices=("hid", "hs"), default="hid",
+        help="search configuration: hid (robust, default) or hs (fast overlap start)",
+    )
+    explain.add_argument("--delimiter", default=",", help="CSV field delimiter")
+    explain.add_argument("--seed", type=int, default=0, help="random seed of the search")
+    explain.add_argument("--json", type=Path, default=None,
+                         help="write the explanation as JSON to this path")
+    explain.add_argument("--sql", type=Path, default=None,
+                         help="write a generalised SQL migration script to this path")
+    explain.add_argument("--table-name", default="snapshot",
+                         help="table name used in the SQL script")
+    explain.add_argument("--report", type=Path, default=None,
+                         help="write the plain-text report to this path")
+    explain.add_argument("--quiet", action="store_true", help="suppress the stdout report")
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic problem instance from a surrogate dataset"
+    )
+    generate.add_argument("dataset", help="surrogate dataset name (see the 'datasets' command)")
+    generate.add_argument("--records", type=int, default=None,
+                          help="number of records (default: the dataset's size)")
+    generate.add_argument("--eta", type=float, default=0.3, help="noise fraction η")
+    generate.add_argument("--tau", type=float, default=0.3, help="transformation rate τ")
+    generate.add_argument("--seed", type=int, default=0, help="generation seed")
+    generate.add_argument("--output-dir", type=Path, default=Path("."),
+                          help="directory for <dataset>_source.csv / <dataset>_target.csv")
+
+    subparsers.add_parser("datasets", help="list the available surrogate datasets")
+
+    return parser
+
+
+def run_explain(args: argparse.Namespace) -> int:
+    source, target = read_snapshot_pair(args.source, args.target, delimiter=args.delimiter)
+    instance = ProblemInstance(source=source, target=target, name=args.source.stem)
+    config = _configuration(args.config, args.seed)
+    result = Affidavit(config).explain(instance)
+
+    report = render_report(instance, result.explanation, title=instance.name)
+    if not args.quiet:
+        print(report)
+        print(f"(search: {result.runtime_seconds:.2f}s, {result.expansions} expansions)")
+    if args.report is not None:
+        args.report.write_text(report + "\n", encoding="utf-8")
+    if args.json is not None:
+        args.json.write_text(explanation_to_json(result.explanation) + "\n", encoding="utf-8")
+    if args.sql is not None:
+        script = explanation_to_sql(instance, result.explanation, table_name=args.table_name)
+        args.sql.write_text(script, encoding="utf-8")
+    return 0
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    entry = get_dataset_entry(args.dataset)
+    table = entry.build(args.records, seed=args.seed)
+    generated = generate_problem_instance(
+        table, eta=args.eta, tau=args.tau, seed=args.seed, name=args.dataset
+    )
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    source_path = args.output_dir / f"{args.dataset}_source.csv"
+    target_path = args.output_dir / f"{args.dataset}_target.csv"
+    write_csv(generated.instance.source, source_path)
+    write_csv(generated.instance.target, target_path)
+    print(generated.describe())
+    print(f"wrote {source_path} ({generated.instance.n_source_records} records)")
+    print(f"wrote {target_path} ({generated.instance.n_target_records} records)")
+    return 0
+
+
+def run_datasets(_: argparse.Namespace) -> int:
+    print(f"{'name':<18s} {'records':>10s} {'attributes':>11s}")
+    for name, entry in DATASETS.items():
+        print(f"{name:<18s} {entry.paper_records:>10d} {entry.paper_attributes:>11d}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "explain":
+        return run_explain(args)
+    if args.command == "generate":
+        return run_generate(args)
+    if args.command == "datasets":
+        return run_datasets(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

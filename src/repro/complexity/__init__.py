@@ -1,0 +1,33 @@
+"""NP-hardness machinery: 3-SAT formulas, a DPLL solver and the reduction."""
+
+from .sat import Clause, Formula, Literal, clause, example_formula, formula, random_formula
+from .dpll import is_satisfiable, max_satisfiable_clauses, solve
+from .reduction import (
+    ABSENT,
+    CLAUSE_ATTRIBUTE,
+    ReductionSolution,
+    extract_interpretation,
+    interpretation_to_functions,
+    reduce_formula,
+    solve_reduction_exact,
+)
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "Formula",
+    "clause",
+    "formula",
+    "example_formula",
+    "random_formula",
+    "solve",
+    "is_satisfiable",
+    "max_satisfiable_clauses",
+    "reduce_formula",
+    "interpretation_to_functions",
+    "extract_interpretation",
+    "solve_reduction_exact",
+    "ReductionSolution",
+    "ABSENT",
+    "CLAUSE_ATTRIBUTE",
+]

@@ -1,0 +1,104 @@
+"""A small DPLL satisfiability solver.
+
+Used by the NP-hardness experiments to check, independently of the reduction,
+whether a formula is satisfiable and to count the maximum number of
+satisfiable clauses (for the MAX-SAT flavoured assertions in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .sat import Clause, Formula, Literal
+
+
+def _unit_literal(clause: Clause, assignment: Dict[str, bool]) -> Optional[Literal]:
+    """The single unassigned literal of a not-yet-satisfied clause, if any."""
+    unassigned: List[Literal] = []
+    for literal in clause.literals:
+        value = literal.satisfied_by(assignment)
+        if value is True:
+            return None
+        if value is None:
+            unassigned.append(literal)
+            if len(unassigned) > 1:
+                return None
+    return unassigned[0] if len(unassigned) == 1 else None
+
+
+def _propagate(formula: Formula, assignment: Dict[str, bool]) -> bool:
+    """Unit propagation; returns ``False`` when a conflict is found."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in formula.clauses:
+            value = clause.satisfied_by(assignment)
+            if value is False:
+                return False
+            if value is True:
+                continue
+            unit = _unit_literal(clause, assignment)
+            if unit is not None:
+                assignment[unit.variable] = unit.positive
+                changed = True
+    return True
+
+
+def _choose_variable(formula: Formula, assignment: Dict[str, bool]) -> Optional[str]:
+    for variable in formula.variables:
+        if variable not in assignment:
+            return variable
+    return None
+
+
+def solve(formula: Formula,
+          assignment: Optional[Dict[str, bool]] = None) -> Optional[Dict[str, bool]]:
+    """A satisfying assignment of *formula*, or ``None`` when unsatisfiable.
+
+    The returned assignment is complete over ``formula.variables`` (variables
+    that never constrain the result are set to ``False``).
+    """
+    working: Dict[str, bool] = dict(assignment or {})
+    if not _propagate(formula, working):
+        return None
+    status = formula.satisfied_by(working)
+    if status is True:
+        return {variable: working.get(variable, False) for variable in formula.variables}
+    if status is False:
+        return None
+    variable = _choose_variable(formula, working)
+    if variable is None:  # pragma: no cover - implies status is not None
+        return None
+    for choice in (True, False):
+        branch = dict(working)
+        branch[variable] = choice
+        result = solve(formula, branch)
+        if result is not None:
+            return result
+    return None
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """``True`` when *formula* has a model."""
+    return solve(formula) is not None
+
+
+def max_satisfiable_clauses(formula: Formula) -> Tuple[int, Dict[str, bool]]:
+    """Exhaustive MAX-SAT: the best clause count and one optimal assignment.
+
+    Exponential in the number of variables — intended for the small formulas
+    of the reduction tests only.
+    """
+    variables = formula.variables
+    best_count = -1
+    best_assignment: Dict[str, bool] = {}
+    for mask in range(2 ** len(variables)):
+        assignment = {
+            variable: bool((mask >> index) & 1)
+            for index, variable in enumerate(variables)
+        }
+        count = formula.n_satisfied_clauses(assignment)
+        if count > best_count:
+            best_count = count
+            best_assignment = assignment
+    return best_count, best_assignment

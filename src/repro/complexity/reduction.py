@@ -1,0 +1,162 @@
+"""The polynomial reduction 3-SAT → Explain-Table-Delta (Theorem 3.12).
+
+For a CNF formula over variables ``v1..vd`` the reduction builds a problem
+instance with schema ``(#, v1, ..., vd)`` whose only candidate functions are
+the identity and boolean negation (both with description length 0):
+
+* **Source records** — one per clause ``ci``; the ``#`` cell is ``c<i>``, the
+  cell of a variable is ``'1'`` when the variable occurs positively in the
+  clause, ``'0'`` when it occurs negatively, and ``'-'`` when it does not
+  occur.
+* **Target records** — for every clause, one record per model of the clause
+  restricted to the clause's variables (``2^k − 1`` records for ``k``
+  literals); the cell of a clause variable is ``'1'`` when the corresponding
+  literal is satisfied by the model and ``'0'`` otherwise.
+
+Choosing ``id`` for a variable's attribute corresponds to assigning it
+``true``, choosing negation to ``false``; the transformed source record of a
+clause is a target record exactly when the chosen interpretation satisfies the
+clause.  Hence an optimal explanation deletes no source record iff the formula
+is satisfiable, and the per-attribute function choice of such an explanation
+is a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cost import explanation_cost
+from ..core.explanation import Explanation, explanation_from_functions
+from ..core.instance import ProblemInstance
+from ..dataio import Schema, Table
+from ..functions import BOOLEAN_NEGATION, IDENTITY, AttributeFunction, sat_registry
+from .sat import Clause, Formula
+
+#: Cell marker for "variable does not occur in this clause".
+ABSENT = "-"
+#: Name of the clause-tag attribute.
+CLAUSE_ATTRIBUTE = "#"
+
+
+def _clause_tag(index: int) -> str:
+    return f"c{index + 1}"
+
+
+def _source_row(clause: Clause, index: int, variables: List[str]) -> Tuple[str, ...]:
+    cells = [_clause_tag(index)]
+    polarity = {literal.variable: literal.positive for literal in clause.literals}
+    for variable in variables:
+        if variable not in polarity:
+            cells.append(ABSENT)
+        elif polarity[variable]:
+            cells.append("1")
+        else:
+            cells.append("0")
+    return tuple(cells)
+
+
+def _target_rows(clause: Clause, index: int, variables: List[str]) -> List[Tuple[str, ...]]:
+    rows = []
+    clause_variables = list(clause.variables)
+    polarity = {literal.variable: literal.positive for literal in clause.literals}
+    for values in product((False, True), repeat=len(clause_variables)):
+        model = dict(zip(clause_variables, values))
+        if clause.satisfied_by(model) is not True:
+            continue
+        cells = [_clause_tag(index)]
+        for variable in variables:
+            if variable not in polarity:
+                cells.append(ABSENT)
+            else:
+                literal_satisfied = model[variable] if polarity[variable] else not model[variable]
+                cells.append("1" if literal_satisfied else "0")
+        rows.append(tuple(cells))
+    return rows
+
+
+def reduce_formula(formula: Formula, *, name: Optional[str] = None) -> ProblemInstance:
+    """Build the Explain-Table-Delta instance of *formula*."""
+    variables = formula.variables
+    schema = Schema([CLAUSE_ATTRIBUTE] + variables)
+    source = Table(schema)
+    target = Table(schema)
+    for index, clause in enumerate(formula.clauses):
+        source.append(_source_row(clause, index, variables))
+        for row in _target_rows(clause, index, variables):
+            target.append(row)
+    return ProblemInstance(
+        source=source,
+        target=target,
+        registry=sat_registry(),
+        name=name or f"3sat-reduction-{formula.n_clauses}clauses",
+    )
+
+
+def interpretation_to_functions(formula: Formula,
+                                interpretation: Dict[str, bool]) -> Dict[str, AttributeFunction]:
+    """Attribute functions encoding a truth assignment (id = true, negation = false)."""
+    functions: Dict[str, AttributeFunction] = {CLAUSE_ATTRIBUTE: IDENTITY}
+    for variable in formula.variables:
+        functions[variable] = IDENTITY if interpretation.get(variable, False) else BOOLEAN_NEGATION
+    return functions
+
+
+def extract_interpretation(formula: Formula,
+                           explanation: Explanation) -> Dict[str, bool]:
+    """Read the truth assignment off an explanation's attribute functions."""
+    interpretation: Dict[str, bool] = {}
+    for variable in formula.variables:
+        function = explanation.functions.get(variable, IDENTITY)
+        interpretation[variable] = function.is_identity
+    return interpretation
+
+
+@dataclass(frozen=True)
+class ReductionSolution:
+    """Result of exactly solving a reduced instance by enumerating interpretations."""
+
+    instance: ProblemInstance
+    explanation: Explanation
+    interpretation: Dict[str, bool]
+    cost: float
+    satisfied_clauses: int
+    n_clauses: int
+
+    @property
+    def is_satisfying(self) -> bool:
+        """``True`` when the optimal explanation deletes no source record."""
+        return self.explanation.n_deleted == 0
+
+
+def solve_reduction_exact(formula: Formula, *, alpha: float = 0.5) -> ReductionSolution:
+    """Solve the reduced instance optimally by brute force over interpretations.
+
+    Enumerates all ``2^d`` interpretations (attribute function tuples over
+    ``{id, negation}``), exactly as the constraint-satisfaction view of
+    Section 4 suggests — exponential, therefore only used on small formulas in
+    tests, examples and benchmarks.
+    """
+    instance = reduce_formula(formula)
+    variables = formula.variables
+    best: Optional[Tuple[float, int, Explanation, Dict[str, bool]]] = None
+    for values in product((True, False), repeat=len(variables)):
+        interpretation = dict(zip(variables, values))
+        functions = interpretation_to_functions(formula, interpretation)
+        explanation = explanation_from_functions(instance, functions)
+        cost = explanation_cost(instance, explanation, alpha=alpha)
+        satisfied = formula.n_satisfied_clauses(interpretation)
+        key = (cost, -satisfied)
+        if best is None or key < (best[0], -best[1]):
+            best = (cost, satisfied, explanation, interpretation)
+    assert best is not None
+    cost, satisfied, explanation, interpretation = best
+    return ReductionSolution(
+        instance=instance,
+        explanation=explanation,
+        interpretation=interpretation,
+        cost=cost,
+        satisfied_clauses=satisfied,
+        n_clauses=formula.n_clauses,
+    )

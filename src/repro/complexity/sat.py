@@ -1,0 +1,150 @@
+"""Propositional 3-SAT machinery used by the NP-hardness reduction.
+
+The reduction of Theorem 3.12 maps a 3-SAT formula to an Explain-Table-Delta
+instance; to test it end-to-end the reproduction also needs a representation
+of CNF formulas, truth assignments, satisfiability checking and a small
+generator of random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated propositional variable."""
+
+    variable: str
+    positive: bool = True
+
+    def negated(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> Optional[bool]:
+        """Truth value under *assignment*, or ``None`` if the variable is unset."""
+        value = assignment.get(self.variable)
+        if value is None:
+            return None
+        return value if self.positive else not value
+
+    def __repr__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals over distinct variables."""
+
+    literals: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise ValueError("a clause needs at least one literal")
+        variables = [literal.variable for literal in self.literals]
+        if len(set(variables)) != len(variables):
+            raise ValueError(f"clause mentions a variable twice: {variables}")
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(literal.variable for literal in self.literals)
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> Optional[bool]:
+        """``True``/``False`` when decided under *assignment*, else ``None``."""
+        undecided = False
+        for literal in self.literals:
+            value = literal.satisfied_by(assignment)
+            if value is True:
+                return True
+            if value is None:
+                undecided = True
+        return None if undecided else False
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(literal) for literal in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A conjunction of clauses (CNF)."""
+
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("a formula needs at least one clause")
+
+    @property
+    def variables(self) -> List[str]:
+        """All variables, ordered by first occurrence."""
+        seen: Dict[str, None] = {}
+        for clause in self.clauses:
+            for variable in clause.variables:
+                seen.setdefault(variable, None)
+        return list(seen)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> Optional[bool]:
+        decided_true = 0
+        for clause in self.clauses:
+            value = clause.satisfied_by(assignment)
+            if value is False:
+                return False
+            if value is True:
+                decided_true += 1
+        return True if decided_true == len(self.clauses) else None
+
+    def n_satisfied_clauses(self, assignment: Dict[str, bool]) -> int:
+        """Number of clauses satisfied by a (complete) assignment."""
+        return sum(1 for clause in self.clauses if clause.satisfied_by(assignment) is True)
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(repr(clause) for clause in self.clauses)
+
+
+def clause(*specs: str) -> Clause:
+    """Build a clause from compact literal strings (``"v1"`` / ``"!v1"``)."""
+    literals = []
+    for spec in specs:
+        if spec.startswith("!") or spec.startswith("¬"):
+            literals.append(Literal(spec[1:], positive=False))
+        else:
+            literals.append(Literal(spec, positive=True))
+    return Clause(tuple(literals))
+
+
+def formula(*clauses_: Clause) -> Formula:
+    """Build a formula from clauses."""
+    return Formula(tuple(clauses_))
+
+
+def example_formula() -> Formula:
+    """The formula of Figure 2: ``(v1 ∨ v2 ∨ v3) ∧ (¬v1 ∨ v4) ∧ ¬v3``."""
+    return formula(
+        clause("v1", "v2", "v3"),
+        clause("!v1", "v4"),
+        clause("!v3"),
+    )
+
+
+def random_formula(n_variables: int, n_clauses: int, *, rng: Optional[random.Random] = None,
+                   clause_size: int = 3) -> Formula:
+    """A random k-SAT formula (clauses drawn uniformly without repeated variables)."""
+    if n_variables < clause_size:
+        raise ValueError("need at least as many variables as the clause size")
+    rng = rng if rng is not None else random.Random(0)
+    variables = [f"v{i + 1}" for i in range(n_variables)]
+    clauses = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(variables, clause_size)
+        literals = tuple(Literal(variable, rng.random() < 0.5) for variable in chosen)
+        clauses.append(Clause(literals))
+    return Formula(tuple(clauses))

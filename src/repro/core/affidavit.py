@@ -1,0 +1,182 @@
+"""The Affidavit search engine (Algorithm 1).
+
+``Affidavit.explain`` runs the best-first search over per-attribute function
+assignments and converts the first end state it polls into a valid
+explanation (Proposition 3.6).  The search is deterministic for a fixed
+configuration seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..dataio import Table
+from ..functions import FunctionRegistry
+from .config import AffidavitConfig, identity_configuration
+from .cost import explanation_cost, trivial_explanation_cost
+from .evaluator import StateEvaluator
+from .explanation import Explanation, explanation_from_functions, trivial_explanation
+from .extension import StateExpander
+from .initialization import start_states
+from .instance import ProblemInstance
+from .queue import BoundedLevelQueue
+from .search_state import MAP_MARKER, SearchState
+
+
+@dataclass(frozen=True)
+class AffidavitResult:
+    """Outcome of one search run."""
+
+    explanation: Explanation
+    cost: float
+    trivial_cost: float
+    end_state: SearchState
+    expansions: int
+    generated_states: int
+    runtime_seconds: float
+    config: AffidavitConfig
+
+    @property
+    def compression_ratio(self) -> float:
+        """Cost relative to the trivial explanation (< 1 means compression)."""
+        if self.trivial_cost == 0:
+            return 1.0
+        return self.cost / self.trivial_cost
+
+    def summary(self) -> str:
+        lines = [
+            f"cost                : {self.cost:.1f} (trivial {self.trivial_cost:.1f}, "
+            f"ratio {self.compression_ratio:.2f})",
+            f"expansions          : {self.expansions} "
+            f"(generated {self.generated_states} states)",
+            f"runtime             : {self.runtime_seconds:.3f}s",
+            self.explanation.summary(),
+        ]
+        return "\n".join(lines)
+
+
+class Affidavit:
+    """Facade of the search algorithm.
+
+    Examples
+    --------
+    >>> from repro import Affidavit, ProblemInstance
+    >>> engine = Affidavit()
+    >>> result = engine.explain(instance)          # doctest: +SKIP
+    >>> result.explanation.functions["Val"]        # doctest: +SKIP
+    Division(1000)
+    """
+
+    def __init__(self, config: Optional[AffidavitConfig] = None):
+        self._config = config if config is not None else identity_configuration()
+
+    @property
+    def config(self) -> AffidavitConfig:
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def explain(self, instance: ProblemInstance) -> AffidavitResult:
+        """Run the search on *instance* and return the best explanation found."""
+        config = self._config
+        started = time.perf_counter()
+
+        evaluator = StateEvaluator(instance, alpha=config.alpha)
+        rng = random.Random(config.seed)
+        expander = StateExpander(instance, config, evaluator, rng)
+        queue = BoundedLevelQueue(config.queue_width)
+
+        generated = 0
+        initial_states = start_states(instance, config)
+        if all(state.is_end_state for state in initial_states):
+            # Degenerate case (e.g. a single-attribute schema under Hid, or an
+            # overlap start state that pre-assigns every attribute): the start
+            # states leave nothing to search, so add the empty state to give
+            # the engine a chance to consider non-identity functions.
+            initial_states = initial_states + [SearchState.empty(instance.schema)]
+        for state in initial_states:
+            cost = evaluator.cost(state)
+            if queue.push(state, cost):
+                generated += 1
+
+        expanded: Set[SearchState] = set()
+        expansions = 0
+        best_entry = None
+        best_seen_partial = None
+
+        while queue:
+            entry = queue.poll()
+            if entry.state.is_end_state:
+                best_entry = entry
+                break
+            if entry.state in expanded:
+                continue
+            if best_seen_partial is None or entry.cost < best_seen_partial.cost:
+                best_seen_partial = entry
+            if config.max_expansions is not None and expansions >= config.max_expansions:
+                break
+            expanded.add(entry.state)
+            expansions += 1
+            blocking = evaluator.blocking(entry.state)
+            for extension in expander.expand(entry.state, blocking):
+                if extension.state in expanded:
+                    continue
+                if queue.push(extension.state, extension.cost):
+                    generated += 1
+
+        if best_entry is None:
+            # The expansion budget ran out or the queue drained without an
+            # end state: force-finalise the best partial state seen so far.
+            fallback_state = (
+                best_seen_partial.state if best_seen_partial is not None
+                else start_states(instance, config)[0]
+            )
+            marked = fallback_state
+            for attribute in marked.undecided_attributes:
+                marked = marked.extend(attribute, MAP_MARKER)
+            finalized = expander.expand(marked)[0] if not marked.is_end_state else None
+            if finalized is not None:
+                end_state, end_cost = finalized.state, finalized.cost
+            else:
+                end_state, end_cost = marked, evaluator.cost(marked)
+        else:
+            end_state, end_cost = best_entry.state, best_entry.cost
+
+        explanation = explanation_from_functions(instance, end_state.decided_functions)
+        final_cost = explanation_cost(instance, explanation, alpha=config.alpha)
+        trivial_cost = trivial_explanation_cost(instance, alpha=config.alpha)
+        if final_cost > trivial_cost:
+            # The trivial explanation is always available; never return worse.
+            explanation = trivial_explanation(instance)
+            final_cost = trivial_cost
+            end_state = SearchState.from_functions(
+                instance.schema, explanation.functions
+            )
+
+        runtime = time.perf_counter() - started
+        return AffidavitResult(
+            explanation=explanation,
+            cost=final_cost,
+            trivial_cost=trivial_cost,
+            end_state=end_state,
+            expansions=expansions,
+            generated_states=generated,
+            runtime_seconds=runtime,
+            config=config,
+        )
+
+
+def explain_snapshots(source: Table, target: Table, *,
+                      config: Optional[AffidavitConfig] = None,
+                      registry: Optional[FunctionRegistry] = None,
+                      name: str = "instance") -> AffidavitResult:
+    """Convenience one-call API: build the instance and run the search."""
+    if registry is not None:
+        instance = ProblemInstance(source=source, target=target, registry=registry, name=name)
+    else:
+        instance = ProblemInstance(source=source, target=target, name=name)
+    return Affidavit(config).explain(instance)

@@ -1,0 +1,196 @@
+"""Blocking of source and target records under a search state (Defs. 4.3/4.4).
+
+The blocking index of a record is its projection to the attributes whose
+functions are already decided; source cells are transformed with those
+functions first.  Records sharing an index form a *block* — only records in
+the same block can end up aligned in any end state reachable from the current
+state, which is what makes the lower bounds :math:`c_t` and :math:`c_s`
+(Section 4.5) sound.
+
+Source cells on which an assigned function is not applicable receive a
+sentinel component that never matches a target value, so such records are
+guaranteed to stay unaligned under this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..dataio import Table
+from ..functions import AttributeFunction
+from .instance import ProblemInstance
+from .search_state import SearchState
+
+#: Key component marking a source cell on which the assigned function failed.
+NOT_APPLICABLE = "\x00<not-applicable>"
+
+BlockKey = Tuple[str, ...]
+
+
+@dataclass
+class Block:
+    """Source and target row ids sharing one blocking index."""
+
+    source_ids: List[int] = field(default_factory=list)
+    target_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_mixed(self) -> bool:
+        """True when the block holds both source and target records."""
+        return bool(self.source_ids) and bool(self.target_ids)
+
+    @property
+    def surplus_targets(self) -> int:
+        """Target records that can impossibly be aligned within this block."""
+        return max(0, len(self.target_ids) - len(self.source_ids))
+
+    @property
+    def surplus_sources(self) -> int:
+        """Source records that can impossibly be aligned within this block."""
+        return max(0, len(self.source_ids) - len(self.target_ids))
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.source_ids)} source, {len(self.target_ids)} target)"
+
+
+class BlockingResult:
+    """The set of blocks :math:`\\Phi_H` of one search state."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self, blocks: Dict[BlockKey, Block]):
+        self._blocks = blocks
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def blocks(self) -> Dict[BlockKey, Block]:
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def mixed_blocks(self) -> List[Block]:
+        """Blocks containing both source and target records."""
+        return [block for block in self._blocks.values() if block.is_mixed]
+
+    # ------------------------------------------------------------------ #
+    # lower bounds of Section 4.5
+    # ------------------------------------------------------------------ #
+    def unaligned_target_bound(self) -> int:
+        """``c_t(H)`` — target records that cannot be aligned under this state."""
+        return sum(block.surplus_targets for block in self._blocks.values())
+
+    def unaligned_source_bound(self) -> int:
+        """``c_s(H)`` — source records that cannot be aligned under this state."""
+        return sum(block.surplus_sources for block in self._blocks.values())
+
+    # ------------------------------------------------------------------ #
+    # statistics used by the extension step
+    # ------------------------------------------------------------------ #
+    def max_distinct_source_values(self, table: Table, attribute: str) -> int:
+        """Indeterminacy estimate of *attribute* (Section 4.3).
+
+        The maximum number of distinct source values of the attribute over all
+        mixed blocks: an upper bound on how many source values could be the
+        origin of a target value of that attribute.
+        """
+        column = table.column_view(attribute)
+        maximum = 0
+        for block in self._blocks.values():
+            if not block.is_mixed:
+                continue
+            distinct = len({column[source_id] for source_id in block.source_ids})
+            if distinct > maximum:
+                maximum = distinct
+        return maximum
+
+    def refine(self, source_components: Sequence[str],
+               target_components: Sequence[str]) -> "BlockingResult":
+        """Split every block by one additional key component per record.
+
+        *source_components* / *target_components* give the new component for
+        each source / target row id (indexed by row id).  Refining is how the
+        search cheaply evaluates candidate extensions of an already-blocked
+        state instead of re-blocking from scratch.
+        """
+        refined: Dict[BlockKey, Block] = {}
+        for key, block in self._blocks.items():
+            for source_id in block.source_ids:
+                new_key = key + (source_components[source_id],)
+                bucket = refined.get(new_key)
+                if bucket is None:
+                    bucket = Block()
+                    refined[new_key] = bucket
+                bucket.source_ids.append(source_id)
+            for target_id in block.target_ids:
+                new_key = key + (target_components[target_id],)
+                bucket = refined.get(new_key)
+                if bucket is None:
+                    bucket = Block()
+                    refined[new_key] = bucket
+                bucket.target_ids.append(target_id)
+        return BlockingResult(refined)
+
+    def __repr__(self) -> str:
+        mixed = len(self.mixed_blocks())
+        return f"BlockingResult({len(self._blocks)} blocks, {mixed} mixed)"
+
+
+def transformed_column(table: Table, attribute: str,
+                       function: AttributeFunction) -> List[str]:
+    """Apply *function* to one column; inapplicable cells become the sentinel."""
+    column = table.column_view(attribute)
+    result = []
+    for cell in column:
+        transformed = function.apply(cell)
+        result.append(NOT_APPLICABLE if transformed is None else transformed)
+    return result
+
+
+def build_blocking(instance: ProblemInstance, state: SearchState) -> BlockingResult:
+    """Compute :math:`\\Phi_H` from scratch for *state*."""
+    decided = state.decided_functions
+    if not decided:
+        block = Block(
+            source_ids=list(range(instance.n_source_records)),
+            target_ids=list(range(instance.n_target_records)),
+        )
+        return BlockingResult({(): block})
+
+    attributes = [a for a in instance.schema if a in decided]
+    source_columns = [
+        transformed_column(instance.source, attribute, decided[attribute])
+        for attribute in attributes
+    ]
+    target_columns = [instance.target.column_view(attribute) for attribute in attributes]
+
+    blocks: Dict[BlockKey, Block] = {}
+    for source_id in range(instance.n_source_records):
+        key = tuple(column[source_id] for column in source_columns)
+        bucket = blocks.get(key)
+        if bucket is None:
+            bucket = Block()
+            blocks[key] = bucket
+        bucket.source_ids.append(source_id)
+    for target_id in range(instance.n_target_records):
+        key = tuple(column[target_id] for column in target_columns)
+        bucket = blocks.get(key)
+        if bucket is None:
+            bucket = Block()
+            blocks[key] = bucket
+        bucket.target_ids.append(target_id)
+    return BlockingResult(blocks)
+
+
+def refine_blocking(instance: ProblemInstance, blocking: BlockingResult,
+                    attribute: str, function: AttributeFunction) -> BlockingResult:
+    """Refine an existing blocking by additionally deciding one attribute."""
+    source_components = transformed_column(instance.source, attribute, function)
+    target_components = instance.target.column_view(attribute)
+    return blocking.refine(source_components, target_components)

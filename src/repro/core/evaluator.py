@@ -1,0 +1,91 @@
+"""Cost evaluation of search states (Section 4.5).
+
+The evaluator ties together blocking and the partial-cost lower bounds: for a
+search state ``H`` it computes
+
+* ``c_f(H)`` — description length of the functions assigned so far,
+* ``c_t(H)`` — target records that can no longer be aligned (blocks with more
+  targets than sources),
+* ``c_s(H)`` — source records that can no longer be aligned,
+
+and combines them into the state cost of Definition 4.6.  For end states the
+result coincides with the explanation cost of Definition 3.10, which is what
+allows the best-first search to stop as soon as it polls an end state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .blocking import BlockingResult, build_blocking
+from .cost import partial_state_cost
+from .instance import ProblemInstance
+from .search_state import SearchState
+
+
+class StateEvaluator:
+    """Computes blockings and costs of search states for one problem instance."""
+
+    def __init__(self, instance: ProblemInstance, *, alpha: float = 0.5,
+                 cache_size: int = 16):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self._instance = instance
+        self._alpha = alpha
+        self._cache_size = max(1, cache_size)
+        self._blocking_cache: "OrderedDict[SearchState, BlockingResult]" = OrderedDict()
+
+    @property
+    def instance(self) -> ProblemInstance:
+        return self._instance
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    # ------------------------------------------------------------------ #
+    # blocking with a small LRU cache
+    # ------------------------------------------------------------------ #
+    def blocking(self, state: SearchState) -> BlockingResult:
+        """The blocking result of *state*, cached across repeated lookups."""
+        cached = self._blocking_cache.get(state)
+        if cached is not None:
+            self._blocking_cache.move_to_end(state)
+            return cached
+        blocking = build_blocking(self._instance, state)
+        self.remember_blocking(state, blocking)
+        return blocking
+
+    def remember_blocking(self, state: SearchState, blocking: BlockingResult) -> None:
+        """Store an externally computed blocking (e.g. produced by refinement)."""
+        self._blocking_cache[state] = blocking
+        self._blocking_cache.move_to_end(state)
+        while len(self._blocking_cache) > self._cache_size:
+            self._blocking_cache.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def cost(self, state: SearchState,
+             blocking: Optional[BlockingResult] = None) -> float:
+        """The state cost ``c(H)`` (Definition 4.6)."""
+        if blocking is None:
+            blocking = self.blocking(state)
+        return self.cost_from_bounds(
+            state,
+            unaligned_target_bound=blocking.unaligned_target_bound(),
+            unaligned_source_bound=blocking.unaligned_source_bound(),
+        )
+
+    def cost_from_bounds(self, state: SearchState, *, unaligned_target_bound: int,
+                         unaligned_source_bound: int) -> float:
+        """The state cost given precomputed blocking bounds."""
+        return partial_state_cost(
+            n_attributes=self._instance.n_attributes,
+            function_lengths=state.function_description_length,
+            unaligned_target_bound=unaligned_target_bound,
+            unaligned_source_bound=unaligned_source_bound,
+            delta=self._instance.delta,
+            alpha=self._alpha,
+        )

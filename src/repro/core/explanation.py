@@ -1,0 +1,218 @@
+"""Explanations (Definitions 3.2–3.5) and their construction from functions.
+
+An explanation labels some source records as *deleted*, some target records as
+*inserted*, and supplies one attribute function per attribute.  Validity
+requires the attribute functions to be a bijection between the remaining
+*core* source records and the remaining target records (the *core image*).
+
+Because real snapshots may contain duplicate rows, the reproduction uses
+multiset semantics: within a group of identical transformed source rows and an
+equal group of identical target rows, ``min`` of the two counts many pairs are
+aligned.  On duplicate-free tables this coincides with the paper's set-based
+definitions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..dataio import Row, Table
+from ..functions import IDENTITY, AttributeFunction
+from .instance import ProblemInstance
+
+FunctionAssignment = Mapping[str, AttributeFunction]
+
+
+class InvalidExplanationError(ValueError):
+    """Raised when an explanation violates the validity conditions."""
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A valid explanation ``E = (S⁻, T⁺, Fᴱ)`` plus the induced alignment.
+
+    Attributes
+    ----------
+    functions:
+        Attribute name → attribute function (``Fᴱ``).
+    alignment:
+        Core alignment: source row id → target row id.  This is derivable from
+        the functions (Proposition 3.6) but kept explicit because the paper's
+        quality metrics and the examples need it constantly.
+    deleted_source_ids:
+        Row ids of ``S⁻`` (sorted).
+    inserted_target_ids:
+        Row ids of ``T⁺`` (sorted).
+    """
+
+    functions: Dict[str, AttributeFunction]
+    alignment: Dict[int, int]
+    deleted_source_ids: Tuple[int, ...]
+    inserted_target_ids: Tuple[int, ...]
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def core_source_ids(self) -> Tuple[int, ...]:
+        """Row ids of the core ``Sᴱ`` (sorted)."""
+        return tuple(sorted(self.alignment))
+
+    @property
+    def core_size(self) -> int:
+        return len(self.alignment)
+
+    @property
+    def n_deleted(self) -> int:
+        return len(self.deleted_source_ids)
+
+    @property
+    def n_inserted(self) -> int:
+        return len(self.inserted_target_ids)
+
+    def function_for(self, attribute: str) -> AttributeFunction:
+        return self.functions[attribute]
+
+    # ------------------------------------------------------------------ #
+    # behaviour
+    # ------------------------------------------------------------------ #
+    def transform_record(self, schema_attributes: Sequence[str], row: Row) -> Tuple[Optional[str], ...]:
+        """Apply ``Fᴱ`` to one source row (also works for unseen records).
+
+        Cells whose attribute function is not applicable become ``None``.
+        """
+        return tuple(
+            self.functions[attribute].apply(cell)
+            for attribute, cell in zip(schema_attributes, row)
+        )
+
+    def transform_table(self, table: Table) -> List[Tuple[Optional[str], ...]]:
+        """Apply ``Fᴱ`` to every row of *table* (the generalisation use case)."""
+        attributes = table.schema.attributes
+        return [self.transform_record(attributes, row) for row in table]
+
+    def is_valid(self, instance: ProblemInstance) -> bool:
+        """Check the validity conditions of Definition 3.5 against *instance*."""
+        try:
+            self.validate(instance)
+        except InvalidExplanationError:
+            return False
+        return True
+
+    def validate(self, instance: ProblemInstance) -> None:
+        """Raise :class:`InvalidExplanationError` when any condition fails."""
+        n_source = instance.n_source_records
+        n_target = instance.n_target_records
+        attributes = instance.schema.attributes
+
+        core_ids = set(self.alignment)
+        deleted = set(self.deleted_source_ids)
+        inserted = set(self.inserted_target_ids)
+        aligned_targets = list(self.alignment.values())
+        aligned_target_set = set(aligned_targets)
+
+        if core_ids & deleted:
+            raise InvalidExplanationError("core and deleted source records overlap")
+        if len(core_ids) + len(deleted) != n_source or (core_ids | deleted) != set(range(n_source)):
+            raise InvalidExplanationError("core and deleted records do not partition S")
+        if len(aligned_target_set) != len(aligned_targets):
+            raise InvalidExplanationError("alignment is not injective on target records")
+        if aligned_target_set & inserted:
+            raise InvalidExplanationError("aligned and inserted target records overlap")
+        if (aligned_target_set | inserted) != set(range(n_target)):
+            raise InvalidExplanationError("aligned and inserted records do not partition T")
+        missing_functions = [a for a in attributes if a not in self.functions]
+        if missing_functions:
+            raise InvalidExplanationError(f"missing attribute functions: {missing_functions}")
+
+        for source_id, target_id in self.alignment.items():
+            image = self.transform_record(attributes, instance.source.row(source_id))
+            if tuple(image) != instance.target.row(target_id):
+                raise InvalidExplanationError(
+                    f"functions do not map source record {source_id} "
+                    f"to its aligned target record {target_id}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the explanation."""
+        lines = [
+            f"core records aligned : {self.core_size}",
+            f"deleted (S-)         : {self.n_deleted}",
+            f"inserted (T+)        : {self.n_inserted}",
+            "attribute functions  :",
+        ]
+        for attribute, function in self.functions.items():
+            lines.append(f"  {attribute:<20s} {function!r}  (psi={function.description_length})")
+        return "\n".join(lines)
+
+
+def trivial_explanation(instance: ProblemInstance) -> Explanation:
+    """The always-valid explanation ``E∅``: everything deleted and inserted."""
+    return Explanation(
+        functions={attribute: IDENTITY for attribute in instance.schema},
+        alignment={},
+        deleted_source_ids=tuple(range(instance.n_source_records)),
+        inserted_target_ids=tuple(range(instance.n_target_records)),
+    )
+
+
+def explanation_from_functions(instance: ProblemInstance,
+                               functions: FunctionAssignment) -> Explanation:
+    """Construct a valid explanation from attribute functions (Proposition 3.6).
+
+    Every source record is transformed with ``Fᴱ``; transformed rows are
+    greedily matched (in ascending row-id order) against unmatched target rows
+    with identical content.  Unmatched source records become deletions,
+    unmatched target records insertions.
+    """
+    attributes = instance.schema.attributes
+    missing = [a for a in attributes if a not in functions]
+    if missing:
+        raise InvalidExplanationError(f"missing attribute functions: {missing}")
+
+    # Group target row ids by row content (multiset semantics for duplicates).
+    target_groups: Dict[Row, List[int]] = defaultdict(list)
+    for target_id, row in enumerate(instance.target):
+        target_groups[row].append(target_id)
+    # Reverse each group so that .pop() hands out the smallest id first.
+    for group in target_groups.values():
+        group.reverse()
+
+    alignment: Dict[int, int] = {}
+    deleted: List[int] = []
+    ordered_functions = [functions[a] for a in attributes]
+    for source_id, row in enumerate(instance.source):
+        image: List[Optional[str]] = []
+        applicable = True
+        for function, cell in zip(ordered_functions, row):
+            transformed = function.apply(cell)
+            if transformed is None:
+                applicable = False
+                break
+            image.append(transformed)
+        if not applicable:
+            deleted.append(source_id)
+            continue
+        group = target_groups.get(tuple(image))
+        if group:
+            alignment[source_id] = group.pop()
+        else:
+            deleted.append(source_id)
+
+    aligned_targets = set(alignment.values())
+    inserted = tuple(
+        target_id
+        for target_id in range(instance.n_target_records)
+        if target_id not in aligned_targets
+    )
+    return Explanation(
+        functions=dict(functions),
+        alignment=alignment,
+        deleted_source_ids=tuple(deleted),
+        inserted_target_ids=inserted,
+    )

@@ -1,0 +1,285 @@
+"""Extending search states: candidate induction, ranking and the map fallback.
+
+This module implements the ``Extensions`` procedure of Algorithm 1 together
+with its two sub-routines (Sections 4.3 and 4.4):
+
+1. **Attribute selection** — undecided attributes are ordered by their
+   *indeterminacy* (the maximum number of distinct source values over all
+   mixed blocks); the ``β`` most determined ones are tried first.
+2. **Candidate induction** — up to ``k`` target records are sampled from mixed
+   blocks; every meta-function instantiation consistent with producing the
+   sampled target value from *some* source value of the same block becomes a
+   candidate; candidates generated fewer times than the binomial significance
+   threshold are discarded.
+3. **Candidate ranking** — candidates are scored by their value-histogram
+   overlap on the blocks of ``k'`` sampled source records (Cochran's formula)
+   minus their description length; the best ``β`` survive.
+4. **Greedy-map benchmark** — every surviving candidate must lead to a cheaper
+   state than extending the attribute with a greedy value mapping built from a
+   block-respecting random alignment; attributes where nothing beats the map
+   are earmarked for a value mapping (``MAP_MARKER``).
+5. **Finalisation** — when every undecided attribute is earmarked, the state
+   is finalised by resolving the markers one after another with greedy maps,
+   re-sampling the alignment after each resolution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..functions import AttributeFunction, ValueMapping
+from ..functions.induction import CandidatePool
+from ..linking.alignment import AlignmentPairs, induce_greedy_mapping, sample_random_alignment
+from ..linking.histogram import block_overlap
+from .blocking import Block, BlockingResult, build_blocking, refine_blocking
+from .config import AffidavitConfig
+from .evaluator import StateEvaluator
+from .instance import ProblemInstance
+from .sampling import cochran_sample_size, example_sample_size, generation_threshold
+from .search_state import MAP_MARKER, SearchState
+
+
+@dataclass(frozen=True)
+class Extension:
+    """One candidate successor state produced by the expander."""
+
+    state: SearchState
+    cost: float
+    #: The blocking of the successor (``None`` for finalised end states whose
+    #: blocking was not materialised).
+    blocking: Optional[BlockingResult]
+    #: The attribute that was assigned in this step (``None`` for finalised
+    #: states where several markers were resolved at once).
+    attribute: Optional[str]
+
+
+class StateExpander:
+    """Produces the successor states of a search state (Algorithm 1)."""
+
+    def __init__(self, instance: ProblemInstance, config: AffidavitConfig,
+                 evaluator: StateEvaluator, rng: Optional[random.Random] = None):
+        self._instance = instance
+        self._config = config
+        self._evaluator = evaluator
+        self._rng = rng if rng is not None else random.Random(config.seed)
+        self._example_budget = example_sample_size(
+            config.theta, config.confidence,
+            min_successes=config.min_generation_successes,
+        )
+        self._ranking_budget = cochran_sample_size(config.theta)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def example_budget(self) -> int:
+        """Number of target records sampled per attribute for induction (k)."""
+        return self._example_budget
+
+    @property
+    def ranking_budget(self) -> int:
+        """Number of source records sampled per attribute for ranking (k')."""
+        return self._ranking_budget
+
+    def expand(self, state: SearchState,
+               blocking: Optional[BlockingResult] = None) -> List[Extension]:
+        """All successor states of *state* (the ``Extensions`` procedure)."""
+        if blocking is None:
+            blocking = self._evaluator.blocking(state)
+        undecided = state.undecided_attributes
+        if not undecided:
+            if state.map_marked_attributes:
+                return [self._finalize(state)]
+            return []
+
+        ordered = self._order_by_indeterminacy(undecided, blocking)
+        alignment = sample_random_alignment(blocking, self._rng)
+
+        extensions: List[Extension] = []
+        map_candidates: List[str] = []
+        cursor = 0
+        batch = ordered[: self._config.beta]
+        cursor = len(batch)
+        while not extensions and batch:
+            for attribute in batch:
+                found = self._extensions_for_attribute(state, blocking, alignment, attribute)
+                if found:
+                    extensions.extend(found)
+                else:
+                    map_candidates.append(attribute)
+            if extensions or cursor >= len(ordered):
+                batch = []
+            else:
+                batch = [ordered[cursor]]
+                cursor += 1
+
+        if extensions:
+            return extensions
+
+        # Every undecided attribute is best served by a value mapping: mark
+        # them all and finalise the state into an end state.
+        marked = state
+        for attribute in undecided:
+            marked = marked.extend(attribute, MAP_MARKER)
+        return [self._finalize(marked)]
+
+    # ------------------------------------------------------------------ #
+    # attribute ordering
+    # ------------------------------------------------------------------ #
+    def _order_by_indeterminacy(self, attributes: Sequence[str],
+                                blocking: BlockingResult) -> List[str]:
+        """Most determined attribute first (Section 4.3)."""
+        scored = [
+            (blocking.max_distinct_source_values(self._instance.source, attribute),
+             self._instance.schema.index_of(attribute),
+             attribute)
+            for attribute in attributes
+        ]
+        scored.sort()
+        return [attribute for _, _, attribute in scored]
+
+    # ------------------------------------------------------------------ #
+    # per-attribute extension
+    # ------------------------------------------------------------------ #
+    def _extensions_for_attribute(self, state: SearchState, blocking: BlockingResult,
+                                  alignment: AlignmentPairs,
+                                  attribute: str) -> List[Extension]:
+        """Extensions of *state* on *attribute* that beat the greedy map."""
+        greedy_map = induce_greedy_mapping(
+            alignment, self._instance.source, self._instance.target, attribute
+        )
+        greedy_cost = self._extension_cost(state, blocking, attribute, greedy_map)[0]
+
+        extensions: List[Extension] = []
+        for function in self._induce_ranked_candidates(blocking, attribute):
+            cost, refined = self._extension_cost(state, blocking, attribute, function)
+            if cost < greedy_cost:
+                successor = state.extend(attribute, function)
+                self._evaluator.remember_blocking(successor, refined)
+                extensions.append(
+                    Extension(state=successor, cost=cost, blocking=refined, attribute=attribute)
+                )
+        return extensions
+
+    def _extension_cost(self, state: SearchState, blocking: BlockingResult,
+                        attribute: str, function: AttributeFunction
+                        ) -> Tuple[float, BlockingResult]:
+        """Cost of extending *state* with *function* on *attribute*."""
+        refined = refine_blocking(self._instance, blocking, attribute, function)
+        successor = state.extend(attribute, function)
+        cost = self._evaluator.cost_from_bounds(
+            successor,
+            unaligned_target_bound=refined.unaligned_target_bound(),
+            unaligned_source_bound=refined.unaligned_source_bound(),
+        )
+        return cost, refined
+
+    # ------------------------------------------------------------------ #
+    # candidate induction and ranking (Section 4.4)
+    # ------------------------------------------------------------------ #
+    def _induce_ranked_candidates(self, blocking: BlockingResult,
+                                  attribute: str) -> List[AttributeFunction]:
+        """The top-β candidate functions for *attribute* under *blocking*."""
+        mixed_blocks = blocking.mixed_blocks()
+        if not mixed_blocks:
+            return []
+        candidates = self._induce_candidates(mixed_blocks, attribute)
+        if not candidates:
+            return []
+        ranked = self._rank_candidates(candidates, mixed_blocks, attribute)
+        return ranked[: self._config.beta]
+
+    def _induce_candidates(self, mixed_blocks: Sequence[Block],
+                           attribute: str) -> List[AttributeFunction]:
+        """Sample target records and induce significant candidate functions."""
+        source_column = self._instance.source.column_view(attribute)
+        target_column = self._instance.target.column_view(attribute)
+
+        population: List[Tuple[int, Block]] = []
+        for block in mixed_blocks:
+            for target_id in block.target_ids:
+                population.append((target_id, block))
+
+        budget = min(self._example_budget, len(population))
+        if budget == 0:
+            return []
+        if budget == len(population):
+            sampled = population
+        else:
+            sampled = self._rng.sample(population, budget)
+
+        pool = CandidatePool()
+        block_values: Dict[int, List[str]] = {}
+        for target_id, block in sampled:
+            key = id(block)
+            values = block_values.get(key)
+            if values is None:
+                values = sorted({source_column[source_id] for source_id in block.source_ids})
+                block_values[key] = values
+            pool.add_example(self._instance.registry, values, target_column[target_id])
+
+        threshold = generation_threshold(
+            self._example_budget, pool.examples_seen,
+            min_successes=self._config.min_generation_successes,
+        )
+        return pool.filtered(threshold)
+
+    def _rank_candidates(self, candidates: Sequence[AttributeFunction],
+                         mixed_blocks: Sequence[Block],
+                         attribute: str) -> List[AttributeFunction]:
+        """Rank candidates by sampled histogram overlap minus description length."""
+        source_column = self._instance.source.column_view(attribute)
+        target_column = self._instance.target.column_view(attribute)
+
+        population: List[Tuple[int, Block]] = []
+        for block in mixed_blocks:
+            for source_id in block.source_ids:
+                population.append((source_id, block))
+        budget = min(self._ranking_budget, len(population))
+        if budget == len(population):
+            sampled = population
+        else:
+            sampled = self._rng.sample(population, budget)
+
+        evaluated_blocks: Dict[int, Tuple[List[str], List[str]]] = {}
+        for _, block in sampled:
+            key = id(block)
+            if key not in evaluated_blocks:
+                evaluated_blocks[key] = (
+                    [source_column[source_id] for source_id in block.source_ids],
+                    [target_column[target_id] for target_id in block.target_ids],
+                )
+
+        scored: List[Tuple[float, int, AttributeFunction]] = []
+        for order, candidate in enumerate(candidates):
+            overlap = sum(
+                block_overlap(candidate, source_values, target_values)
+                for source_values, target_values in evaluated_blocks.values()
+            )
+            scored.append((overlap - candidate.description_length, -order, candidate))
+        scored.sort(key=lambda item: (-item[0], -item[1]))
+        return [candidate for _, _, candidate in scored]
+
+    # ------------------------------------------------------------------ #
+    # finalisation of map-marked attributes
+    # ------------------------------------------------------------------ #
+    def _finalize(self, state: SearchState) -> Extension:
+        """Resolve every ``MAP_MARKER`` with a greedy map, one at a time."""
+        current = state
+        while True:
+            marked = current.map_marked_attributes
+            if not marked:
+                break
+            blocking = build_blocking(self._instance, current)
+            alignment = sample_random_alignment(blocking, self._rng)
+            attribute = marked[0]
+            mapping = induce_greedy_mapping(
+                alignment, self._instance.source, self._instance.target, attribute
+            )
+            current = current.replace(attribute, mapping)
+        final_blocking = build_blocking(self._instance, current)
+        self._evaluator.remember_blocking(current, final_blocking)
+        cost = self._evaluator.cost(current, final_blocking)
+        return Extension(state=current, cost=cost, blocking=final_blocking, attribute=None)

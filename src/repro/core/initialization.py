@@ -1,0 +1,70 @@
+"""Start-state strategies of the search (Section 4.2).
+
+Three strategies are supported:
+
+* ``H∅`` — a single state with every attribute undecided,
+* ``Hid`` — one state per attribute, each assuming that exactly that attribute
+  has not been changed (the robust configuration of the evaluation),
+* ``Hs`` — a single state derived from overlap-score matching: the attributes
+  that overlap most often on the per-source best-scoring record pairs are
+  assumed unchanged (the fast configuration of the evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..functions import IDENTITY
+from ..linking.overlap import OverlapAnalysis, analyse_overlap
+from .config import START_EMPTY, START_IDENTITY, START_OVERLAP, AffidavitConfig
+from .instance import ProblemInstance
+from .search_state import SearchState, UNDECIDED
+
+
+def empty_start_states(instance: ProblemInstance) -> List[SearchState]:
+    """``H∅ = {(*, ..., *)}``."""
+    return [SearchState.empty(instance.schema)]
+
+
+def identity_start_states(instance: ProblemInstance) -> List[SearchState]:
+    """``Hid`` — one start state per attribute, that attribute set to identity."""
+    states = []
+    for attribute in instance.schema:
+        state = SearchState.empty(instance.schema).extend(attribute, IDENTITY)
+        states.append(state)
+    return states
+
+
+def overlap_start_states(instance: ProblemInstance, *,
+                         max_block_size: int = 100_000) -> List[SearchState]:
+    """``Hs`` — a single state with identity on the overlap-selected attributes.
+
+    Falls back to ``H∅`` when the overlap analysis finds no informative
+    attribute (e.g. when every shared value exceeds the block-size cap).
+    """
+    analysis = analyse_overlap(
+        instance.source, instance.target, max_block_size=max_block_size
+    )
+    return overlap_states_from_analysis(instance, analysis)
+
+
+def overlap_states_from_analysis(instance: ProblemInstance,
+                                 analysis: OverlapAnalysis) -> List[SearchState]:
+    """Build the ``Hs`` start state from a precomputed overlap analysis."""
+    if not analysis.identity_attributes:
+        return empty_start_states(instance)
+    state = SearchState.empty(instance.schema)
+    for attribute in analysis.identity_attributes:
+        state = state.extend(attribute, IDENTITY)
+    return [state]
+
+
+def start_states(instance: ProblemInstance, config: AffidavitConfig) -> List[SearchState]:
+    """Dispatch on ``config.start_strategy``."""
+    if config.start_strategy == START_EMPTY:
+        return empty_start_states(instance)
+    if config.start_strategy == START_IDENTITY:
+        return identity_start_states(instance)
+    if config.start_strategy == START_OVERLAP:
+        return overlap_start_states(instance, max_block_size=config.max_block_size)
+    raise ValueError(f"unknown start strategy: {config.start_strategy!r}")

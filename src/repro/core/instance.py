@@ -1,0 +1,91 @@
+"""Problem instances (Definition 3.1): two snapshots plus a function pool."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..dataio import Schema, Table, TableError
+from ..functions import FunctionRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """A fixed problem instance ``I = (S, T, A, F)``.
+
+    Parameters
+    ----------
+    source:
+        Snapshot ``S`` — the older state of the table.
+    target:
+        Snapshot ``T`` — the newer state of the table.
+    registry:
+        The meta functions whose instantiations form the candidate pool
+        :math:`\\mathcal{F}`.  Defaults to :func:`repro.functions.default_registry`.
+    name:
+        Optional human-readable label used in reports and benchmarks.
+    """
+
+    source: Table
+    target: Table
+    registry: FunctionRegistry = field(default_factory=default_registry)
+    name: str = "instance"
+
+    def __post_init__(self) -> None:
+        if self.source.schema != self.target.schema:
+            raise TableError(
+                "source and target snapshots must share a schema: "
+                f"{list(self.source.schema)} vs {list(self.target.schema)}"
+            )
+
+    @property
+    def schema(self) -> Schema:
+        """The shared attribute tuple ``A``."""
+        return self.source.schema
+
+    @property
+    def attributes(self) -> Sequence[str]:
+        return self.schema.attributes
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.schema)
+
+    @property
+    def n_source_records(self) -> int:
+        return self.source.n_rows
+
+    @property
+    def n_target_records(self) -> int:
+        return self.target.n_rows
+
+    @property
+    def delta(self) -> int:
+        """Δ = |S| − |T| (Corollary 4.5)."""
+        return self.source.n_rows - self.target.n_rows
+
+    def describe(self) -> str:
+        """One-line summary used in logs and example scripts."""
+        return (
+            f"{self.name}: |S|={self.n_source_records}, |T|={self.n_target_records}, "
+            f"|A|={self.n_attributes}, functions={self.registry.names}"
+        )
+
+    def restricted_to(self, attributes: Sequence[str],
+                      name: Optional[str] = None) -> "ProblemInstance":
+        """A new instance projected to a subset of attributes."""
+        return ProblemInstance(
+            source=self.source.project(attributes),
+            target=self.target.project(attributes),
+            registry=self.registry,
+            name=name or f"{self.name}[{','.join(attributes)}]",
+        )
+
+    def with_registry(self, registry: FunctionRegistry) -> "ProblemInstance":
+        """A new instance using a different meta-function pool."""
+        return ProblemInstance(
+            source=self.source,
+            target=self.target,
+            registry=registry,
+            name=self.name,
+        )

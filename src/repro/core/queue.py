@@ -1,0 +1,120 @@
+"""The level-width-bounded best-first priority queue (Section 4.6).
+
+A plain best-first queue spends most of its time on states with few
+assignments because costs grow monotonically with every assignment, and there
+are exponentially many sparse states.  The paper therefore bounds the number
+of states the queue may hold *per lattice level* (level = number of assigned
+attributes) to ``max(1, ϱ − i + 1)`` for level ``i``:
+
+* inserting into a full level succeeds only if the new state is not worse than
+  every state already stored on that level, in which case the worst stored
+  state is evicted;
+* polling always returns the globally cheapest state, breaking ties in favour
+  of states with more assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .search_state import SearchState
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """A search state together with its (estimated) cost."""
+
+    state: SearchState
+    cost: float
+
+    @property
+    def level(self) -> int:
+        return self.state.n_assigned
+
+
+class BoundedLevelQueue:
+    """Priority queue with per-level capacity ``max(1, width − level + 1)``."""
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError(f"queue width must be >= 1, got {width}")
+        self._width = width
+        self._levels: Dict[int, List[QueueEntry]] = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # capacity rules
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def level_capacity(self, level: int) -> int:
+        """``max(1, ϱ − i + 1)`` states may live on level ``i``."""
+        return max(1, self._width - level + 1)
+
+    # ------------------------------------------------------------------ #
+    # queue protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def states_on_level(self, level: int) -> List[QueueEntry]:
+        return list(self._levels.get(level, []))
+
+    def push(self, state: SearchState, cost: float) -> bool:
+        """Insert a state; returns ``True`` if it was accepted.
+
+        Duplicates (same state already stored on its level) are rejected.
+        """
+        entry = QueueEntry(state, cost)
+        level = entry.level
+        bucket = self._levels.setdefault(level, [])
+        if any(existing.state == state for existing in bucket):
+            return False
+        capacity = self.level_capacity(level)
+        if len(bucket) < capacity:
+            bucket.append(entry)
+            self._size += 1
+            return True
+        worst_index = max(range(len(bucket)), key=lambda i: bucket[i].cost)
+        if cost > bucket[worst_index].cost:
+            return False
+        bucket[worst_index] = entry
+        return True
+
+    def peek(self) -> Optional[QueueEntry]:
+        """The entry :meth:`poll` would return, without removing it."""
+        best: Optional[QueueEntry] = None
+        for bucket in self._levels.values():
+            for entry in bucket:
+                if best is None or self._better(entry, best):
+                    best = entry
+        return best
+
+    def poll(self) -> QueueEntry:
+        """Remove and return the globally best entry."""
+        best = self.peek()
+        if best is None:
+            raise IndexError("poll from an empty queue")
+        bucket = self._levels[best.level]
+        bucket.remove(best)
+        if not bucket:
+            del self._levels[best.level]
+        self._size -= 1
+        return best
+
+    @staticmethod
+    def _better(candidate: QueueEntry, incumbent: QueueEntry) -> bool:
+        """Lower cost wins; on ties, the state with more assignments wins."""
+        if candidate.cost != incumbent.cost:
+            return candidate.cost < incumbent.cost
+        return candidate.level > incumbent.level
+
+    def __repr__(self) -> str:
+        per_level = {level: len(bucket) for level, bucket in sorted(self._levels.items())}
+        return f"BoundedLevelQueue(width={self._width}, levels={per_level})"

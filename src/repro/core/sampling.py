@@ -1,0 +1,114 @@
+"""Sample-size computations used by the candidate induction and ranking steps.
+
+Two statistical tools from Section 4.4 of the paper:
+
+* **Binomial example budget** (Section 4.4.2): the number ``k`` of target
+  records to sample so that, if the sought function is visible in a fraction
+  ``θ`` of the target records, it is generated at least ``m`` times (the paper
+  uses m = 5) with probability at least ``ρ``.
+* **Cochran's formula** (Section 4.4.3): the number ``k'`` of source records
+  to sample so that the estimated histogram overlap of a candidate function is
+  within ``±e`` of its true value with confidence derived from the normal
+  quantile ``z``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+
+def binomial_pmf(successes: int, trials: int, probability: float) -> float:
+    """P(X = successes) for X ~ Binomial(trials, probability)."""
+    if not 0 <= successes <= trials:
+        return 0.0
+    return (
+        math.comb(trials, successes)
+        * probability ** successes
+        * (1.0 - probability) ** (trials - successes)
+    )
+
+
+def binomial_tail(min_successes: int, trials: int, probability: float) -> float:
+    """P(X >= min_successes) for X ~ Binomial(trials, probability)."""
+    if min_successes <= 0:
+        return 1.0
+    if min_successes > trials:
+        return 0.0
+    # Sum the smaller side for numerical stability.
+    if min_successes > trials * probability:
+        return sum(
+            binomial_pmf(successes, trials, probability)
+            for successes in range(min_successes, trials + 1)
+        )
+    return 1.0 - sum(
+        binomial_pmf(successes, trials, probability)
+        for successes in range(0, min_successes)
+    )
+
+
+@lru_cache(maxsize=1024)
+def example_sample_size(theta: float, confidence: float, *, min_successes: int = 5,
+                        max_size: int = 100_000) -> int:
+    """Smallest ``k`` with ``P(X >= min_successes) >= confidence``, X ~ Bin(k, θ).
+
+    For the paper's defaults (θ = 0.1, ρ = 0.95, 5 successes) this yields
+    k = 91.  The result is capped at *max_size* as a guard against extreme
+    parameter choices (θ close to zero).
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if min_successes < 1:
+        raise ValueError(f"min_successes must be >= 1, got {min_successes}")
+    k = min_successes
+    while k < max_size:
+        if binomial_tail(min_successes, k, theta) >= confidence:
+            return k
+        # Grow multiplicatively first to find an upper bracket quickly, then
+        # binary-search the exact threshold.
+        upper = min(k * 2, max_size)
+        if binomial_tail(min_successes, upper, theta) < confidence:
+            k = upper
+            continue
+        low, high = k, upper
+        while low < high:
+            middle = (low + high) // 2
+            if binomial_tail(min_successes, middle, theta) >= confidence:
+                high = middle
+            else:
+                low = middle + 1
+        return min(low, max_size)
+    return max_size
+
+
+def generation_threshold(sample_budget: int, examples_available: int, *,
+                         min_successes: int = 5) -> int:
+    """Minimum generation count a candidate needs to survive filtering.
+
+    When fewer examples than the budget ``k`` are available (small tables or
+    few mixed blocks), the threshold is scaled down proportionally so that the
+    filter does not reject every candidate outright.
+    """
+    if sample_budget <= 0:
+        return 1
+    if examples_available >= sample_budget:
+        return min_successes
+    scaled = math.ceil(min_successes * examples_available / sample_budget)
+    return max(1, scaled)
+
+
+def cochran_sample_size(probability: float, *, z: float = 1.96, error: float = 0.05,
+                        max_size: int = 1_000_000) -> int:
+    """Cochran's sample size ``k' = z² p (1-p) / e²`` (rounded up).
+
+    For the paper's defaults (p = θ = 0.1, z = 1.96, e = 0.05) this yields
+    139 sampled source records for ranking candidate functions.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    if error <= 0.0:
+        raise ValueError(f"error must be positive, got {error}")
+    size = math.ceil(z * z * probability * (1.0 - probability) / (error * error))
+    return max(1, min(size, max_size))

@@ -1,0 +1,196 @@
+"""Search states (Definition 4.1): per-attribute function assignments.
+
+A state assigns to every attribute either
+
+* ``UNDECIDED`` (the paper's ``*``) — no decision yet,
+* ``MAP_MARKER`` (the paper's ``▦``) — the attribute has been recognised as
+  one that needs a value mapping, to be resolved during finalisation, or
+* a concrete :class:`~repro.functions.base.AttributeFunction`.
+
+States are immutable and hashable so that the search can deduplicate them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..dataio import Schema
+from ..functions import AttributeFunction
+
+
+class _Sentinel:
+    """A named singleton used for the two non-function assignments."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+    def __deepcopy__(self, memo):  # keep singleton identity under copying
+        return self
+
+
+#: The attribute's function is still undecided (``*`` in the paper).
+UNDECIDED = _Sentinel("*")
+#: The attribute has been marked for a value mapping (``▦`` in the paper).
+MAP_MARKER = _Sentinel("#MAP#")
+
+Assignment = Union[_Sentinel, AttributeFunction]
+
+
+class SearchState:
+    """An immutable tuple of per-attribute assignments."""
+
+    __slots__ = ("_schema", "_assignments", "_hash")
+
+    def __init__(self, schema: Schema, assignments: Sequence[Assignment]):
+        if len(assignments) != len(schema):
+            raise ValueError(
+                f"state has {len(assignments)} assignments but schema has "
+                f"{len(schema)} attributes"
+            )
+        self._schema = schema
+        self._assignments: Tuple[Assignment, ...] = tuple(assignments)
+        self._hash = hash((schema, self._assignments))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, schema: Schema) -> "SearchState":
+        """The all-undecided state H∅."""
+        return cls(schema, [UNDECIDED] * len(schema))
+
+    @classmethod
+    def from_functions(cls, schema: Schema,
+                       functions: Dict[str, AttributeFunction]) -> "SearchState":
+        """A state assigning the given functions, ``UNDECIDED`` elsewhere."""
+        assignments: List[Assignment] = []
+        for attribute in schema:
+            assignments.append(functions.get(attribute, UNDECIDED))
+        return cls(schema, assignments)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def assignments(self) -> Tuple[Assignment, ...]:
+        return self._assignments
+
+    def assignment_for(self, attribute: str) -> Assignment:
+        return self._assignments[self._schema.index_of(attribute)]
+
+    def function_for(self, attribute: str) -> Optional[AttributeFunction]:
+        """The assigned function, or ``None`` for ``UNDECIDED`` / ``MAP_MARKER``."""
+        assignment = self.assignment_for(attribute)
+        if isinstance(assignment, AttributeFunction):
+            return assignment
+        return None
+
+    @property
+    def decided_attributes(self) -> List[str]:
+        """Attributes with a concrete function assigned (blocking criteria)."""
+        return [
+            attribute
+            for attribute, assignment in zip(self._schema, self._assignments)
+            if isinstance(assignment, AttributeFunction)
+        ]
+
+    @property
+    def undecided_attributes(self) -> List[str]:
+        return [
+            attribute
+            for attribute, assignment in zip(self._schema, self._assignments)
+            if assignment is UNDECIDED
+        ]
+
+    @property
+    def map_marked_attributes(self) -> List[str]:
+        return [
+            attribute
+            for attribute, assignment in zip(self._schema, self._assignments)
+            if assignment is MAP_MARKER
+        ]
+
+    @property
+    def decided_functions(self) -> Dict[str, AttributeFunction]:
+        """Mapping attribute → assigned function for all decided attributes."""
+        return {
+            attribute: assignment
+            for attribute, assignment in zip(self._schema, self._assignments)
+            if isinstance(assignment, AttributeFunction)
+        }
+
+    @property
+    def n_assigned(self) -> int:
+        """Number of attributes that are no longer ``UNDECIDED`` (queue level)."""
+        return sum(1 for assignment in self._assignments if assignment is not UNDECIDED)
+
+    @property
+    def is_end_state(self) -> bool:
+        """End states (Definition 4.2) have a concrete function everywhere."""
+        return all(isinstance(assignment, AttributeFunction) for assignment in self._assignments)
+
+    @property
+    def function_description_length(self) -> int:
+        """``c_f(H)`` — summed ψ of the already-assigned functions."""
+        return sum(
+            assignment.description_length
+            for assignment in self._assignments
+            if isinstance(assignment, AttributeFunction)
+        )
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+    def extend(self, attribute: str, assignment: Assignment) -> "SearchState":
+        """A new state with *attribute* set to *assignment*.
+
+        Only ``UNDECIDED`` attributes may be (re)assigned; the search never
+        revises a decided attribute within one branch.
+        """
+        index = self._schema.index_of(attribute)
+        if self._assignments[index] is not UNDECIDED:
+            raise ValueError(f"attribute {attribute!r} is already assigned")
+        assignments = list(self._assignments)
+        assignments[index] = assignment
+        return SearchState(self._schema, assignments)
+
+    def replace(self, attribute: str, assignment: Assignment) -> "SearchState":
+        """A new state with *attribute* overwritten regardless of its value.
+
+        Used by finalisation to resolve ``MAP_MARKER`` assignments.
+        """
+        index = self._schema.index_of(attribute)
+        assignments = list(self._assignments)
+        assignments[index] = assignment
+        return SearchState(self._schema, assignments)
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SearchState):
+            return self._schema == other._schema and self._assignments == other._assignments
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for attribute, assignment in zip(self._schema, self._assignments):
+            if assignment is UNDECIDED:
+                parts.append(f"{attribute}=*")
+            elif assignment is MAP_MARKER:
+                parts.append(f"{attribute}=#MAP#")
+            else:
+                parts.append(f"{attribute}={assignment!r}")
+        return f"SearchState({', '.join(parts)})"

@@ -1,0 +1,46 @@
+"""Problem-instance generation following the paper's evaluation protocol."""
+
+from .generator import (
+    GeneratedInstance,
+    build_instance_from_partition,
+    generate_problem_instance,
+    noise_set_size,
+    partition_records,
+)
+from .primary_key import (
+    ARTIFICIAL_KEY_ATTRIBUTE,
+    DISTINCT_RATIO_THRESHOLD,
+    attach_key_column,
+    key_permutations,
+    prepare_dataset,
+    removable_attributes,
+)
+from .scaling import ScaledFamily, generate_scaled_family
+from .transformer import (
+    SampledTransformation,
+    sample_attribute_function,
+    sample_transformations,
+)
+from . import datasets
+from . import running_example
+
+__all__ = [
+    "GeneratedInstance",
+    "generate_problem_instance",
+    "build_instance_from_partition",
+    "partition_records",
+    "noise_set_size",
+    "ARTIFICIAL_KEY_ATTRIBUTE",
+    "DISTINCT_RATIO_THRESHOLD",
+    "prepare_dataset",
+    "removable_attributes",
+    "key_permutations",
+    "attach_key_column",
+    "ScaledFamily",
+    "generate_scaled_family",
+    "sample_transformations",
+    "sample_attribute_function",
+    "SampledTransformation",
+    "datasets",
+    "running_example",
+]

@@ -1,0 +1,45 @@
+"""Surrogate evaluation datasets (offline stand-ins for the HPI FD datasets)."""
+
+from .base import (
+    CategoricalColumn,
+    CodeColumn,
+    ColumnSpec,
+    DatasetSpec,
+    DateColumn,
+    DecimalColumn,
+    DerivedColumn,
+    IntegerColumn,
+    MissingMixin,
+    NameColumn,
+    categorical,
+    graded,
+)
+from .catalog import (
+    DATASETS,
+    TABLE2_DATASET_NAMES,
+    DatasetEntry,
+    dataset_names,
+    get_dataset_entry,
+    load_dataset,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "CategoricalColumn",
+    "IntegerColumn",
+    "DecimalColumn",
+    "CodeColumn",
+    "DateColumn",
+    "NameColumn",
+    "MissingMixin",
+    "DerivedColumn",
+    "DatasetSpec",
+    "categorical",
+    "graded",
+    "DATASETS",
+    "TABLE2_DATASET_NAMES",
+    "DatasetEntry",
+    "dataset_names",
+    "get_dataset_entry",
+    "load_dataset",
+]

@@ -1,0 +1,225 @@
+"""Column-generator machinery for the surrogate evaluation datasets.
+
+The paper evaluates on the datasets of the HPI functional-dependency
+repeatability page (iris, chess, adult, flight, uniprot, ...).  Those files
+are not available in the offline reproduction environment, so
+:mod:`repro.datagen.datasets` generates *surrogate* tables that mimic the real
+datasets in the properties that matter to the algorithm:
+
+* the number of attributes that survive the protocol's preparation step,
+* the number of records,
+* the mix of value types (categorical codes, measurements, counts, dates,
+  free-text-ish identifiers), and
+* per-column distinct-value ratios below the 0.7 removal threshold.
+
+Every concrete dataset module composes the column specifications defined here
+into a :class:`DatasetSpec`.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...dataio import Schema, Table
+
+
+class ColumnSpec:
+    """Base class of all column generators."""
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        """Produce *n_records* string cells."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CategoricalColumn(ColumnSpec):
+    """Draw from a fixed set of category labels with optional weights."""
+
+    values: Tuple[str, ...]
+    weights: Optional[Tuple[float, ...]] = None
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        if self.weights is not None:
+            return rng.choices(list(self.values), weights=list(self.weights), k=n_records)
+        return [rng.choice(self.values) for _ in range(n_records)]
+
+
+@dataclass(frozen=True)
+class IntegerColumn(ColumnSpec):
+    """Uniform integers in ``[low, high]``, optionally snapped to a step / padded."""
+
+    low: int
+    high: int
+    step: int = 1
+    zero_pad: int = 0
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        cells = []
+        for _ in range(n_records):
+            value = rng.randint(self.low, self.high)
+            if self.step > 1:
+                value = (value // self.step) * self.step
+            text = str(value)
+            if self.zero_pad:
+                text = text.zfill(self.zero_pad)
+            cells.append(text)
+        return cells
+
+
+@dataclass(frozen=True)
+class DecimalColumn(ColumnSpec):
+    """Uniform decimals in ``[low, high]`` rounded to ``decimals`` places."""
+
+    low: float
+    high: float
+    decimals: int = 1
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        cells = []
+        for _ in range(n_records):
+            value = rng.uniform(self.low, self.high)
+            cells.append(f"{value:.{self.decimals}f}")
+        return cells
+
+
+@dataclass(frozen=True)
+class CodeColumn(ColumnSpec):
+    """Codes drawn from a bounded pool, e.g. ``AB-12``; pool size bounds distinctness."""
+
+    pool_size: int
+    letters: int = 2
+    digits: int = 2
+    separator: str = ""
+
+    def _pool(self, rng: random.Random) -> List[str]:
+        pool = set()
+        guard = 0
+        while len(pool) < self.pool_size and guard < self.pool_size * 50:
+            guard += 1
+            letter_part = "".join(rng.choice(string.ascii_uppercase) for _ in range(self.letters))
+            digit_part = "".join(rng.choice(string.digits) for _ in range(self.digits))
+            pool.add(f"{letter_part}{self.separator}{digit_part}")
+        return sorted(pool)
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        pool = self._pool(rng)
+        return [rng.choice(pool) for _ in range(n_records)]
+
+
+@dataclass(frozen=True)
+class DateColumn(ColumnSpec):
+    """Dates in ``yyyymmdd`` (or another supported) format within a year range."""
+
+    first_year: int = 2000
+    last_year: int = 2020
+    layout: str = "{year:04d}{month:02d}{day:02d}"
+    #: Probability of emitting the "no expiry" sentinel 99991231, as common in
+    #: ERP exports (and in the paper's running example).
+    sentinel_probability: float = 0.0
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        cells = []
+        for _ in range(n_records):
+            if self.sentinel_probability and rng.random() < self.sentinel_probability:
+                cells.append("99991231")
+                continue
+            year = rng.randint(self.first_year, self.last_year)
+            month = rng.randint(1, 12)
+            day = rng.randint(1, 28)
+            cells.append(self.layout.format(year=year, month=month, day=day))
+        return cells
+
+
+@dataclass(frozen=True)
+class NameColumn(ColumnSpec):
+    """Person/organisation names composed from bounded token lists."""
+
+    first_tokens: Tuple[str, ...]
+    second_tokens: Tuple[str, ...] = ()
+    separator: str = " "
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        cells = []
+        for _ in range(n_records):
+            first = rng.choice(self.first_tokens)
+            if self.second_tokens:
+                cells.append(f"{first}{self.separator}{rng.choice(self.second_tokens)}")
+            else:
+                cells.append(first)
+        return cells
+
+
+@dataclass(frozen=True)
+class MissingMixin(ColumnSpec):
+    """Wrap another column spec and blank out a fraction of its cells."""
+
+    inner: ColumnSpec = field(default=None)  # type: ignore[assignment]
+    missing_rate: float = 0.1
+    missing_token: str = "?"
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:
+        cells = self.inner.generate(n_records, rng)
+        return [
+            self.missing_token if rng.random() < self.missing_rate else cell
+            for cell in cells
+        ]
+
+
+@dataclass(frozen=True)
+class DerivedColumn(ColumnSpec):
+    """A column computed from previously generated columns (weak dependencies)."""
+
+    source_attributes: Tuple[str, ...]
+    derive: Callable[[Tuple[str, ...], random.Random], str] = None  # type: ignore[assignment]
+
+    def generate(self, n_records: int, rng: random.Random) -> List[str]:  # pragma: no cover
+        raise RuntimeError("DerivedColumn is generated via DatasetSpec.build, not directly")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named surrogate dataset: ordered column specs plus a default size."""
+
+    name: str
+    columns: Tuple[Tuple[str, ColumnSpec], ...]
+    default_records: int
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [name for name, _ in self.columns]
+
+    def build(self, n_records: Optional[int] = None, *, seed: int = 0) -> Table:
+        """Generate the surrogate table with *n_records* rows (default size)."""
+        count = n_records if n_records is not None else self.default_records
+        if count < 1:
+            raise ValueError(f"n_records must be >= 1, got {count}")
+        # Derive a process-independent seed from the dataset name (the builtin
+        # hash of strings is randomised per interpreter run).
+        name_seed = zlib.crc32(self.name.encode("utf-8"))
+        rng = random.Random(seed * 1_000_003 + name_seed)
+        generated: Dict[str, List[str]] = {}
+        for attribute, spec in self.columns:
+            if isinstance(spec, DerivedColumn):
+                cells = []
+                for index in range(count):
+                    inputs = tuple(generated[source][index] for source in spec.source_attributes)
+                    cells.append(spec.derive(inputs, rng))
+                generated[attribute] = cells
+            else:
+                generated[attribute] = spec.generate(count, rng)
+        schema = Schema(self.attribute_names)
+        return Table.from_columns(schema, generated)
+
+
+def categorical(*values: str, weights: Optional[Sequence[float]] = None) -> CategoricalColumn:
+    """Shorthand constructor for :class:`CategoricalColumn`."""
+    return CategoricalColumn(tuple(values), tuple(weights) if weights else None)
+
+
+def graded(prefix: str, count: int) -> CategoricalColumn:
+    """A categorical column of ``count`` graded labels ``prefix1 .. prefixN``."""
+    return CategoricalColumn(tuple(f"{prefix}{i}" for i in range(1, count + 1)))

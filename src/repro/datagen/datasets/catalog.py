@@ -1,0 +1,102 @@
+"""Catalog of the surrogate evaluation datasets.
+
+``DATASETS`` maps the dataset names used throughout the paper's Table 2 to
+their :class:`~repro.datagen.datasets.base.DatasetSpec` builders, together
+with the attribute count the paper reports (including the artificial key added
+by the generation protocol).  The benchmark harness iterates this catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ...dataio import Table
+from .base import DatasetSpec
+from .uci_small import (
+    balance_spec,
+    breast_cancer_spec,
+    bridges_spec,
+    echocardiogram_spec,
+    hepatitis_spec,
+    horse_colic_spec,
+    iris_spec,
+)
+from .uci_large import abalone_spec, adult_spec, chess_spec, letter_spec, nursery_spec
+from .web_data import (
+    fd_reduced_spec,
+    flight_1k_spec,
+    flight_500k_spec,
+    ncvoter_spec,
+    plista_spec,
+    uniprot_spec,
+)
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One row of the catalog: builder plus the paper's reported dimensions."""
+
+    name: str
+    builder: Callable[[], DatasetSpec]
+    #: |A| as reported in Table 2 (original attributes + artificial key).
+    paper_attributes: int
+    #: Record count as reported in Table 2.
+    paper_records: int
+
+    def spec(self) -> DatasetSpec:
+        return self.builder()
+
+    def build(self, n_records: Optional[int] = None, *, seed: int = 0) -> Table:
+        return self.spec().build(n_records, seed=seed)
+
+
+#: The sixteen datasets of Table 2 (flight-500k of Figure 5 is listed last).
+DATASETS: Dict[str, DatasetEntry] = {
+    entry.name: entry
+    for entry in (
+        DatasetEntry("iris", iris_spec, paper_attributes=6, paper_records=150),
+        DatasetEntry("balance", balance_spec, paper_attributes=6, paper_records=625),
+        DatasetEntry("chess", chess_spec, paper_attributes=8, paper_records=28_056),
+        DatasetEntry("abalone", abalone_spec, paper_attributes=9, paper_records=4_177),
+        DatasetEntry("nursery", nursery_spec, paper_attributes=10, paper_records=12_960),
+        DatasetEntry("bridges", bridges_spec, paper_attributes=10, paper_records=108),
+        DatasetEntry("echocardiogram", echocardiogram_spec, paper_attributes=10, paper_records=132),
+        DatasetEntry("breast-cancer", breast_cancer_spec, paper_attributes=11, paper_records=699),
+        DatasetEntry("adult", adult_spec, paper_attributes=15, paper_records=48_842),
+        DatasetEntry("ncvoter-1k", ncvoter_spec, paper_attributes=16, paper_records=1_000),
+        DatasetEntry("letter", letter_spec, paper_attributes=18, paper_records=20_000),
+        DatasetEntry("hepatitis", hepatitis_spec, paper_attributes=19, paper_records=155),
+        DatasetEntry("horse-colic", horse_colic_spec, paper_attributes=28, paper_records=368),
+        DatasetEntry("fd-reduced-30", fd_reduced_spec, paper_attributes=31, paper_records=250_000),
+        DatasetEntry("plista", plista_spec, paper_attributes=43, paper_records=1_000),
+        DatasetEntry("flight-1k", flight_1k_spec, paper_attributes=75, paper_records=1_000),
+        DatasetEntry("uniprot", uniprot_spec, paper_attributes=182, paper_records=1_000),
+        DatasetEntry("flight-500k", flight_500k_spec, paper_attributes=20, paper_records=500_000),
+    )
+}
+
+#: The datasets evaluated in Table 2 (flight-500k only appears in Figure 5).
+TABLE2_DATASET_NAMES: List[str] = [
+    name for name in DATASETS if name != "flight-500k"
+]
+
+
+def dataset_names() -> List[str]:
+    """All catalog entries in Table-2 order."""
+    return list(DATASETS)
+
+
+def get_dataset_entry(name: str) -> DatasetEntry:
+    """The catalog entry called *name*; raises ``KeyError`` with suggestions."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from None
+
+
+def load_dataset(name: str, n_records: Optional[int] = None, *, seed: int = 0) -> Table:
+    """Build the surrogate table for dataset *name*."""
+    return get_dataset_entry(name).build(n_records, seed=seed)

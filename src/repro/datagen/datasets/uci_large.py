@@ -1,0 +1,144 @@
+"""Surrogates of the larger UCI datasets used in the evaluation (Table 2).
+
+=================  ========  ==============  ==========================
+dataset            records   attributes(+1)  character
+=================  ========  ==============  ==========================
+chess (KRK)        28056     7  (→ 8)        board coordinates + outcome
+abalone            4177      8  (→ 9)        shell measurements
+nursery            12960     9  (→ 10)       categorical application form
+adult (census)     48842     14 (→ 15)       demographic attributes
+letter             20000     17 (→ 18)       integer image features
+=================  ========  ==============  ==========================
+
+The default record counts match the originals; the benchmark harness passes a
+smaller ``n_records`` where a laptop-scale run is wanted.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    CategoricalColumn,
+    DatasetSpec,
+    DecimalColumn,
+    IntegerColumn,
+    categorical,
+)
+
+_CHESS_FILES = tuple("abcdefgh")
+_CHESS_RANKS = tuple(str(i) for i in range(1, 9))
+
+
+def chess_spec() -> DatasetSpec:
+    """King-Rook vs King endgame positions with the optimal-depth class (28 056)."""
+    depth_classes = tuple(
+        ["draw", "zero", "one", "two", "three", "four", "five", "six", "seven",
+         "eight", "nine", "ten", "eleven", "twelve", "thirteen", "fourteen",
+         "fifteen", "sixteen"]
+    )
+    return DatasetSpec(
+        name="chess",
+        default_records=28_056,
+        columns=(
+            ("white_king_file", CategoricalColumn(_CHESS_FILES)),
+            ("white_king_rank", CategoricalColumn(_CHESS_RANKS)),
+            ("white_rook_file", CategoricalColumn(_CHESS_FILES)),
+            ("white_rook_rank", CategoricalColumn(_CHESS_RANKS)),
+            ("black_king_file", CategoricalColumn(_CHESS_FILES)),
+            ("black_king_rank", CategoricalColumn(_CHESS_RANKS)),
+            ("optimal_depth", CategoricalColumn(depth_classes)),
+        ),
+    )
+
+
+def abalone_spec() -> DatasetSpec:
+    """Abalone shell measurements (4 177 records)."""
+    return DatasetSpec(
+        name="abalone",
+        default_records=4_177,
+        columns=(
+            ("sex", categorical("M", "F", "I")),
+            ("length", DecimalColumn(0.075, 0.815, decimals=3)),
+            ("diameter", DecimalColumn(0.055, 0.65, decimals=3)),
+            ("height", DecimalColumn(0.0, 0.25, decimals=3)),
+            ("whole_weight", DecimalColumn(0.002, 2.825, decimals=2)),
+            ("shucked_weight", DecimalColumn(0.001, 1.488, decimals=2)),
+            ("shell_weight", DecimalColumn(0.0015, 1.005, decimals=2)),
+            ("rings", IntegerColumn(1, 29)),
+        ),
+    )
+
+
+def nursery_spec() -> DatasetSpec:
+    """Nursery admission form: purely categorical attributes (12 960 records)."""
+    return DatasetSpec(
+        name="nursery",
+        default_records=12_960,
+        columns=(
+            ("parents", categorical("usual", "pretentious", "great_pret")),
+            ("has_nurs", categorical("proper", "less_proper", "improper", "critical", "very_crit")),
+            ("form", categorical("complete", "completed", "incomplete", "foster")),
+            ("children", categorical("1", "2", "3", "more")),
+            ("housing", categorical("convenient", "less_conv", "critical")),
+            ("finance", categorical("convenient", "inconv")),
+            ("social", categorical("nonprob", "slightly_prob", "problematic")),
+            ("health", categorical("recommended", "priority", "not_recom")),
+            ("class", categorical("not_recom", "recommend", "very_recom", "priority", "spec_prior")),
+        ),
+    )
+
+
+def adult_spec() -> DatasetSpec:
+    """Census income ("adult"): 14 demographic attributes (48 842 records)."""
+    return DatasetSpec(
+        name="adult",
+        default_records=48_842,
+        columns=(
+            ("age", IntegerColumn(17, 90)),
+            ("workclass", categorical(
+                "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+                "Local-gov", "State-gov", "Without-pay", "Never-worked", "?")),
+            ("fnlwgt", IntegerColumn(12_000, 1_490_000, step=2_500)),
+            ("education", categorical(
+                "Bachelors", "Some-college", "11th", "HS-grad", "Prof-school",
+                "Assoc-acdm", "Assoc-voc", "9th", "7th-8th", "12th", "Masters",
+                "1st-4th", "10th", "Doctorate", "5th-6th", "Preschool")),
+            ("education_num", IntegerColumn(1, 16)),
+            ("marital_status", categorical(
+                "Married-civ-spouse", "Divorced", "Never-married", "Separated",
+                "Widowed", "Married-spouse-absent", "Married-AF-spouse")),
+            ("occupation", categorical(
+                "Tech-support", "Craft-repair", "Other-service", "Sales",
+                "Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+                "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+                "Transport-moving", "Priv-house-serv", "Protective-serv",
+                "Armed-Forces", "?")),
+            ("relationship", categorical(
+                "Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried")),
+            ("race", categorical(
+                "White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black")),
+            ("sex", categorical("Female", "Male")),
+            ("capital_gain", IntegerColumn(0, 99_999, step=500)),
+            ("capital_loss", IntegerColumn(0, 4_356, step=100)),
+            ("hours_per_week", IntegerColumn(1, 99)),
+            ("income", categorical("<=50K", ">50K", weights=(0.76, 0.24))),
+        ),
+    )
+
+
+def letter_spec() -> DatasetSpec:
+    """Letter recognition: the class letter plus 16 small integer features (20 000)."""
+    feature = IntegerColumn(0, 15)
+    letters = tuple(chr(code) for code in range(ord("A"), ord("Z") + 1))
+    columns = [("letter", CategoricalColumn(letters))]
+    feature_names = [
+        "x_box", "y_box", "width", "height", "onpix", "x_bar", "y_bar",
+        "x2bar", "y2bar", "xybar", "x2ybr", "xy2br", "x_ege", "xegvy",
+        "y_ege", "yegvx",
+    ]
+    for name in feature_names:
+        columns.append((name, feature))
+    return DatasetSpec(
+        name="letter",
+        default_records=20_000,
+        columns=tuple(columns),
+    )

@@ -1,0 +1,192 @@
+"""Surrogates of the small UCI datasets used in the evaluation (Table 2).
+
+Each function mimics one dataset in record count, attribute count and value
+characteristics; the attribute counts are chosen so that, after the protocol
+adds the artificial primary key, the resulting problem instances have the same
+``|A|`` as reported in Table 2 of the paper.
+
+=================  ========  ==============  ==========================
+dataset            records   attributes(+1)  character
+=================  ========  ==============  ==========================
+iris               150       5  (→ 6)        flower measurements + class
+balance            625       5  (→ 6)        integer scale weights + class
+bridges            108       9  (→ 10)       categorical bridge properties
+echocardiogram     132       9  (→ 10)       clinical measurements
+breast-cancer      699       10 (→ 11)       graded cell features
+hepatitis          155       18 (→ 19)       boolean clinical findings
+horse-colic        368       27 (→ 28)       mixed veterinary findings
+=================  ========  ==============  ==========================
+"""
+
+from __future__ import annotations
+
+from .base import (
+    CategoricalColumn,
+    DatasetSpec,
+    DecimalColumn,
+    IntegerColumn,
+    MissingMixin,
+    categorical,
+    graded,
+)
+
+
+def iris_spec() -> DatasetSpec:
+    """Iris: four coarse measurements plus the species label (150 records)."""
+    return DatasetSpec(
+        name="iris",
+        default_records=150,
+        columns=(
+            ("sepal_length", DecimalColumn(4.3, 7.9, decimals=1)),
+            ("sepal_width", DecimalColumn(2.0, 4.4, decimals=1)),
+            ("petal_length", DecimalColumn(1.0, 6.9, decimals=1)),
+            ("petal_width", DecimalColumn(0.1, 2.5, decimals=1)),
+            ("species", categorical("Iris-setosa", "Iris-versicolor", "Iris-virginica")),
+        ),
+    )
+
+
+def balance_spec() -> DatasetSpec:
+    """Balance scale: four integer weights/distances plus the tilt class (625)."""
+    return DatasetSpec(
+        name="balance",
+        default_records=625,
+        columns=(
+            ("left_weight", IntegerColumn(1, 5)),
+            ("left_distance", IntegerColumn(1, 5)),
+            ("right_weight", IntegerColumn(1, 5)),
+            ("right_distance", IntegerColumn(1, 5)),
+            ("class", categorical("L", "B", "R", weights=(0.46, 0.08, 0.46))),
+        ),
+    )
+
+
+def bridges_spec() -> DatasetSpec:
+    """Pittsburgh bridges: categorical construction properties (108 records)."""
+    return DatasetSpec(
+        name="bridges",
+        default_records=108,
+        columns=(
+            ("river", categorical("A", "M", "O", "Y")),
+            ("location", IntegerColumn(1, 52)),
+            ("erected", categorical("CRAFTS", "EMERGING", "MATURE", "MODERN")),
+            ("purpose", categorical("WALK", "AQUEDUCT", "RR", "HIGHWAY")),
+            ("length", categorical("SHORT", "MEDIUM", "LONG", "?")),
+            ("lanes", categorical("1", "2", "4", "6", "?")),
+            ("clear_g", categorical("N", "G", "?")),
+            ("rel_l", categorical("S", "S-F", "F", "?")),
+            ("material", categorical("WOOD", "IRON", "STEEL", "?")),
+        ),
+    )
+
+
+def echocardiogram_spec() -> DatasetSpec:
+    """Echocardiogram: clinical survival measurements (132 records)."""
+    return DatasetSpec(
+        name="echocardiogram",
+        default_records=132,
+        columns=(
+            ("survival_months", IntegerColumn(0, 57)),
+            ("still_alive", categorical("0", "1")),
+            ("age_at_heart_attack", IntegerColumn(35, 86)),
+            ("pericardial_effusion", categorical("0", "1")),
+            ("fractional_shortening", MissingMixin(DecimalColumn(0.01, 0.61, decimals=2),
+                                                   missing_rate=0.06)),
+            ("epss", MissingMixin(DecimalColumn(0.0, 40.0, decimals=0), missing_rate=0.1)),
+            ("lvdd", MissingMixin(DecimalColumn(2.3, 6.8, decimals=1), missing_rate=0.08)),
+            ("wall_motion_index", DecimalColumn(1.0, 3.0, decimals=1)),
+            ("alive_at_1", categorical("0", "1", "?")),
+        ),
+    )
+
+
+def breast_cancer_spec() -> DatasetSpec:
+    """Breast cancer Wisconsin: graded 1–10 cell features plus the class (699)."""
+    return DatasetSpec(
+        name="breast-cancer",
+        default_records=699,
+        columns=(
+            ("clump_thickness", IntegerColumn(1, 10)),
+            ("cell_size_uniformity", IntegerColumn(1, 10)),
+            ("cell_shape_uniformity", IntegerColumn(1, 10)),
+            ("marginal_adhesion", IntegerColumn(1, 10)),
+            ("single_epi_cell_size", IntegerColumn(1, 10)),
+            ("bare_nuclei", MissingMixin(IntegerColumn(1, 10), missing_rate=0.02)),
+            ("bland_chromatin", IntegerColumn(1, 10)),
+            ("normal_nucleoli", IntegerColumn(1, 10)),
+            ("mitoses", IntegerColumn(1, 10)),
+            ("class", categorical("2", "4", weights=(0.65, 0.35))),
+        ),
+    )
+
+
+def hepatitis_spec() -> DatasetSpec:
+    """Hepatitis: mostly boolean clinical findings plus a few lab values (155)."""
+    boolean = categorical("1", "2")
+    return DatasetSpec(
+        name="hepatitis",
+        default_records=155,
+        columns=(
+            ("class", categorical("DIE", "LIVE", weights=(0.2, 0.8))),
+            ("age", IntegerColumn(7, 78)),
+            ("sex", categorical("male", "female")),
+            ("steroid", boolean),
+            ("antivirals", boolean),
+            ("fatigue", boolean),
+            ("malaise", boolean),
+            ("anorexia", boolean),
+            ("liver_big", MissingMixin(boolean, missing_rate=0.06)),
+            ("liver_firm", MissingMixin(boolean, missing_rate=0.07)),
+            ("spleen_palpable", boolean),
+            ("spiders", boolean),
+            ("ascites", boolean),
+            ("varices", boolean),
+            ("bilirubin", DecimalColumn(0.3, 4.8, decimals=1)),
+            ("alk_phosphate", MissingMixin(IntegerColumn(26, 295, step=5), missing_rate=0.15)),
+            ("sgot", IntegerColumn(14, 110, step=2)),
+            ("histology", boolean),
+        ),
+    )
+
+
+def horse_colic_spec() -> DatasetSpec:
+    """Horse colic: 27 mixed veterinary findings with many missing cells (368)."""
+    grade3 = categorical("1", "2", "3")
+    grade4 = categorical("1", "2", "3", "4")
+    grade5 = categorical("1", "2", "3", "4", "5")
+    return DatasetSpec(
+        name="horse-colic",
+        default_records=368,
+        columns=(
+            ("surgery", categorical("1", "2")),
+            ("age", categorical("1", "9")),
+            ("rectal_temp", MissingMixin(DecimalColumn(35.4, 40.8, decimals=1), missing_rate=0.16)),
+            ("pulse", MissingMixin(IntegerColumn(30, 184, step=4), missing_rate=0.06)),
+            ("respiratory_rate", MissingMixin(IntegerColumn(8, 96, step=4), missing_rate=0.16)),
+            ("temp_extremities", MissingMixin(grade4, missing_rate=0.15)),
+            ("peripheral_pulse", MissingMixin(grade4, missing_rate=0.19)),
+            ("mucous_membranes", MissingMixin(categorical("1", "2", "3", "4", "5", "6"),
+                                              missing_rate=0.13)),
+            ("capillary_refill", MissingMixin(grade3, missing_rate=0.09)),
+            ("pain", MissingMixin(grade5, missing_rate=0.15)),
+            ("peristalsis", MissingMixin(grade4, missing_rate=0.12)),
+            ("abdominal_distension", MissingMixin(grade4, missing_rate=0.15)),
+            ("nasogastric_tube", MissingMixin(grade3, missing_rate=0.28)),
+            ("nasogastric_reflux", MissingMixin(grade3, missing_rate=0.29)),
+            ("nasogastric_reflux_ph", MissingMixin(DecimalColumn(1.0, 7.5, decimals=1),
+                                                   missing_rate=0.66)),
+            ("rectal_exam_feces", MissingMixin(grade4, missing_rate=0.28)),
+            ("abdomen", MissingMixin(grade5, missing_rate=0.32)),
+            ("packed_cell_volume", MissingMixin(IntegerColumn(23, 75), missing_rate=0.08)),
+            ("total_protein", MissingMixin(DecimalColumn(3.3, 89.0, decimals=0), missing_rate=0.09)),
+            ("abdominocentesis_appearance", MissingMixin(grade3, missing_rate=0.45)),
+            ("abdomcentesis_total_protein", MissingMixin(DecimalColumn(0.1, 10.1, decimals=1),
+                                                         missing_rate=0.54)),
+            ("outcome", MissingMixin(grade3, missing_rate=0.01)),
+            ("surgical_lesion", categorical("1", "2")),
+            ("lesion_site", graded("site", 12)),
+            ("lesion_type", graded("type", 8)),
+            ("lesion_subtype", graded("sub", 5)),
+            ("cp_data", categorical("1", "2")),
+        ),
+    )

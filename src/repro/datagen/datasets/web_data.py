@@ -1,0 +1,276 @@
+"""Surrogates of the web / domain datasets used in the evaluation (Table 2).
+
+=================  ========  ==============  ==========================
+dataset            records   attributes(+1)  character
+=================  ========  ==============  ==========================
+ncvoter-1k         1000      15 (→ 16)       voter registration roll
+fd-reduced-30      250000    30 (→ 31)       synthetic FD benchmark data
+plista             1000      42 (→ 43)       ad-server web log
+flight-1k          1000      74 (→ 75)       flight on-time reporting
+flight-500k        500000    19 (→ 20)       reduced-width flight data
+uniprot            1000      181 (→ 182)     protein annotation export
+=================  ========  ==============  ==========================
+
+The wide tables (plista, flight, uniprot) compose their long tail of columns
+programmatically — mirroring the real exports, which consist of a handful of
+descriptive fields followed by dozens to hundreds of sparse annotation,
+counter and flag columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import (
+    CategoricalColumn,
+    CodeColumn,
+    ColumnSpec,
+    DatasetSpec,
+    DateColumn,
+    DecimalColumn,
+    IntegerColumn,
+    MissingMixin,
+    NameColumn,
+    categorical,
+    graded,
+)
+
+_FIRST_NAMES = (
+    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL", "LINDA",
+    "WILLIAM", "ELIZABETH", "DAVID", "BARBARA", "RICHARD", "SUSAN", "JOSEPH",
+    "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN", "CHRISTOPHER", "NANCY",
+    "DANIEL", "LISA", "MATTHEW", "BETTY", "ANTHONY", "MARGARET", "MARK", "SANDRA",
+)
+
+_LAST_NAMES = (
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS",
+    "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ", "WILSON", "ANDERSON",
+    "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON",
+    "WHITE", "HARRIS",
+)
+
+_NC_COUNTIES = (
+    "ALAMANCE", "BUNCOMBE", "CABARRUS", "CATAWBA", "CUMBERLAND", "DAVIDSON",
+    "DURHAM", "FORSYTH", "GASTON", "GUILFORD", "IREDELL", "JOHNSTON",
+    "MECKLENBURG", "NEW HANOVER", "ONSLOW", "ORANGE", "PITT", "RANDOLPH",
+    "ROWAN", "UNION", "WAKE", "WAYNE",
+)
+
+_AIRLINES = ("AA", "AS", "B6", "DL", "EV", "F9", "HA", "MQ", "NK", "OO", "UA", "US", "VX", "WN")
+
+_AIRPORTS = (
+    "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO",
+    "EWR", "CLT", "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL",
+    "LGA", "BWI", "SLC", "SAN", "IAD", "DCA", "MDW", "TPA", "PDX", "HNL",
+)
+
+_ORGANISMS = (
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Saccharomyces cerevisiae",
+    "Escherichia coli", "Arabidopsis thaliana", "Drosophila melanogaster",
+    "Caenorhabditis elegans", "Danio rerio", "Bos taurus",
+)
+
+
+def ncvoter_spec() -> DatasetSpec:
+    """North-Carolina voter roll sample: 15 registration attributes (1 000)."""
+    return DatasetSpec(
+        name="ncvoter-1k",
+        default_records=1_000,
+        columns=(
+            ("county_desc", CategoricalColumn(_NC_COUNTIES)),
+            ("first_name", NameColumn(_FIRST_NAMES)),
+            ("last_name", NameColumn(_LAST_NAMES)),
+            ("status_cd", categorical("A", "I", "D", "R", weights=(0.7, 0.15, 0.1, 0.05))),
+            ("reason_cd", categorical("AV", "A1", "IN", "IU", "DN", "DU")),
+            ("absentee_ind", categorical("Y", "N", weights=(0.1, 0.9))),
+            ("zip_code", IntegerColumn(27006, 28909, step=13, zero_pad=5)),
+            ("city", CategoricalColumn((
+                "RALEIGH", "CHARLOTTE", "DURHAM", "GREENSBORO", "WINSTON SALEM",
+                "FAYETTEVILLE", "CARY", "WILMINGTON", "HIGH POINT", "ASHEVILLE"))),
+            ("state_cd", categorical("NC", "SC", "VA", weights=(0.96, 0.02, 0.02))),
+            ("race_code", categorical("W", "B", "A", "I", "O", "U", "M")),
+            ("ethnic_code", categorical("HL", "NL", "UN")),
+            ("gender_code", categorical("M", "F", "U")),
+            ("birth_age_group", categorical("18-25", "26-40", "41-65", "66+")),
+            ("party_cd", categorical("DEM", "REP", "UNA", "LIB", "GRE")),
+            ("precinct_abbrv", graded("PR", 60)),
+        ),
+    )
+
+
+def fd_reduced_spec() -> DatasetSpec:
+    """The synthetic fd-reduced-30 benchmark table: 30 low-cardinality columns."""
+    columns: List[Tuple[str, ColumnSpec]] = []
+    for index in range(30):
+        if index % 3 == 0:
+            spec: ColumnSpec = IntegerColumn(0, 499, zero_pad=4)
+        elif index % 3 == 1:
+            spec = IntegerColumn(0, 99)
+        else:
+            spec = graded(f"c{index}_", 50)
+        columns.append((f"attr_{index:02d}", spec))
+    return DatasetSpec(
+        name="fd-reduced-30",
+        default_records=250_000,
+        columns=tuple(columns),
+    )
+
+
+def plista_spec() -> DatasetSpec:
+    """Ad-server web-log sample: 42 attributes of ids, flags and counters (1 000)."""
+    columns: List[Tuple[str, ColumnSpec]] = [
+        ("publisher_id", graded("pub", 40)),
+        ("campaign_id", IntegerColumn(1_000, 1_400)),
+        ("item_id", CodeColumn(pool_size=300, letters=1, digits=4)),
+        ("domain_id", graded("dom", 80)),
+        ("category", categorical(
+            "news", "sport", "finance", "lifestyle", "tech", "local", "politics", "auto")),
+        ("os_id", categorical("1", "2", "3", "4", "5")),
+        ("browser_id", categorical("1", "2", "3", "4", "5", "6", "7")),
+        ("device_class", categorical("desktop", "mobile", "tablet")),
+        ("country", categorical("DE", "AT", "CH", "NL", "PL")),
+        ("region", graded("reg", 16)),
+        ("created_at", DateColumn(2015, 2016)),
+        ("hour_of_day", IntegerColumn(0, 23)),
+    ]
+    for index in range(15):
+        columns.append((f"flag_{index:02d}", categorical("0", "1")))
+    for index in range(15):
+        columns.append((f"counter_{index:02d}", IntegerColumn(0, 250)))
+    return DatasetSpec(
+        name="plista",
+        default_records=1_000,
+        columns=tuple(columns),
+    )
+
+
+def _flight_common_columns() -> List[Tuple[str, ColumnSpec]]:
+    return [
+        ("flight_date", DateColumn(2015, 2015)),
+        ("airline_code", CategoricalColumn(_AIRLINES)),
+        ("flight_number", IntegerColumn(1, 2400, step=12, zero_pad=4)),
+        ("origin", CategoricalColumn(_AIRPORTS)),
+        ("destination", CategoricalColumn(_AIRPORTS)),
+        ("scheduled_departure", IntegerColumn(0, 2359, step=15, zero_pad=4)),
+        ("departure_delay", IntegerColumn(-15, 180, step=2)),
+        ("scheduled_arrival", IntegerColumn(0, 2359, step=15, zero_pad=4)),
+        ("arrival_delay", IntegerColumn(-20, 200, step=2)),
+        ("cancelled", categorical("0", "1", weights=(0.97, 0.03))),
+        ("diverted", categorical("0", "1", weights=(0.99, 0.01))),
+        ("distance_miles", IntegerColumn(60, 2700, step=10)),
+        ("air_time", IntegerColumn(20, 380, step=2)),
+        ("taxi_out", IntegerColumn(2, 60)),
+        ("taxi_in", IntegerColumn(1, 40)),
+        ("carrier_delay", IntegerColumn(0, 120, step=3)),
+        ("weather_delay", IntegerColumn(0, 90, step=3)),
+        ("nas_delay", IntegerColumn(0, 90, step=3)),
+        ("security_delay", IntegerColumn(0, 30)),
+    ]
+
+
+def flight_1k_spec() -> DatasetSpec:
+    """Flight on-time reporting, wide export: 74 attributes (1 000 records)."""
+    columns = _flight_common_columns()
+    columns.extend([
+        ("late_aircraft_delay", IntegerColumn(0, 120, step=3)),
+        ("origin_state", graded("ST", 40)),
+        ("destination_state", graded("ST", 40)),
+        ("origin_wac", IntegerColumn(1, 93)),
+        ("destination_wac", IntegerColumn(1, 93)),
+    ])
+    # Status/gate/segment annotation columns of the raw reporting format.
+    for index in range(25):
+        columns.append((f"status_flag_{index:02d}", categorical("Y", "N", "")))
+    for index in range(15):
+        columns.append((f"segment_count_{index:02d}", IntegerColumn(0, 40)))
+    for index in range(10):
+        columns.append((f"gate_code_{index:02d}", graded("G", 30)))
+    assert len(columns) == 74
+    return DatasetSpec(
+        name="flight-1k",
+        default_records=1_000,
+        columns=tuple(columns),
+    )
+
+
+def flight_500k_spec() -> DatasetSpec:
+    """The reduced-width flight table used for row scalability: 19 attributes."""
+    return DatasetSpec(
+        name="flight-500k",
+        default_records=500_000,
+        columns=tuple(_flight_common_columns()),
+    )
+
+
+def uniprot_spec() -> DatasetSpec:
+    """Protein-annotation export: 181 attributes (1 000 records).
+
+    The real uniprot export has a handful of descriptive columns followed by a
+    very long tail of annotation columns that are sparse (mostly empty or
+    small counts) or categorical (presence/evidence flags), which is what
+    keeps them below the distinct-ratio threshold.
+    """
+    columns: List[Tuple[str, ColumnSpec]] = [
+        ("entry_status", categorical("reviewed", "unreviewed")),
+        ("organism", CategoricalColumn(_ORGANISMS)),
+        ("taxonomy_lineage", categorical(
+            "Eukaryota", "Bacteria", "Archaea", "Viruses")),
+        ("gene_family", graded("FAM", 120)),
+        ("protein_existence", categorical(
+            "Evidence at protein level", "Evidence at transcript level",
+            "Inferred from homology", "Predicted", "Uncertain")),
+        ("sequence_length_bin", IntegerColumn(50, 3_500, step=50)),
+        ("mass_kda_bin", IntegerColumn(5, 400, step=5)),
+        ("created_year", IntegerColumn(1988, 2018)),
+        ("modified_year", IntegerColumn(2000, 2019)),
+        ("proteome_id", graded("UP", 90)),
+        ("keyword_class", graded("KW-", 100)),
+    ]
+    # Annotation presence / evidence-count columns.
+    annotation_topics = (
+        "function", "catalytic_activity", "cofactor", "activity_regulation",
+        "pathway", "subunit", "interaction", "subcellular_location", "domain",
+        "ptm", "disease", "disruption_phenotype", "toxic_dose", "biotech",
+        "pharmaceutical", "miscellaneous", "similarity", "caution",
+    )
+    for topic in annotation_topics:
+        columns.append((f"cc_{topic}", categorical("0", "1", weights=(0.55, 0.45))))
+        columns.append((f"cc_{topic}_evidence", IntegerColumn(0, 12)))
+    # Feature-count columns (active sites, binding sites, helices, ...).
+    feature_types = (
+        "active_site", "binding_site", "calcium_binding", "chain", "coiled_coil",
+        "compositional_bias", "cross_link", "disulfide_bond", "dna_binding",
+        "domain_ft", "glycosylation", "helix", "initiator_methionine",
+        "lipidation", "metal_binding", "modified_residue", "motif", "mutagenesis",
+        "natural_variant", "non_standard_residue", "nucleotide_binding",
+        "peptide", "propeptide", "region", "repeat", "signal_peptide", "site",
+        "strand", "topological_domain", "transit_peptide", "transmembrane",
+        "turn", "zinc_finger",
+    )
+    for feature in feature_types:
+        columns.append((f"ft_{feature}_count", IntegerColumn(0, 25)))
+    # Cross-reference counts to external databases.
+    databases = (
+        "embl", "pdb", "refseq", "ensembl", "kegg", "reactome", "string",
+        "intact", "pfam", "interpro", "prosite", "smart", "supfam", "go_bp",
+        "go_mf", "go_cc", "omim", "pharmgkb", "chembl", "drugbank",
+        "peptideatlas", "proteomicsdb", "expression_atlas", "bgee", "genevisible",
+        "orthodb", "phylomedb", "treefam", "eggnog", "ko", "oma", "hogenom",
+        "inparanoid", "genetree", "biogrid", "dip", "mint", "corum",
+        "evolutionarytrace", "genewiki", "pro", "rouge", "ucsc", "ctd",
+        "disgenet", "genecards", "hgnc", "mim", "nextprot", "opentargets",
+        "pharos",
+    )
+    for database in databases:
+        columns.append((f"xref_{database}_count", IntegerColumn(0, 30)))
+    # Evidence-code flag columns round the schema off to 181 attributes.
+    index = 0
+    while len(columns) < 181:
+        columns.append((f"evidence_eco_{index:03d}", categorical("0", "1", weights=(0.7, 0.3))))
+        index += 1
+    assert len(columns) == 181
+    return DatasetSpec(
+        name="uniprot",
+        default_records=1_000,
+        columns=tuple(columns),
+    )

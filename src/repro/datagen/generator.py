@@ -1,0 +1,270 @@
+"""Problem-instance generation following the evaluation protocol (Section 5.1).
+
+Starting from a clean dataset table, the generator
+
+1. removes overly distinct and empty attributes (:mod:`.primary_key`),
+2. splits the records into a *core* and two disjoint *noise* sets whose sizes
+   are chosen such that each noise set makes up a fraction ``η`` of its
+   snapshot,
+3. samples one ground-truth transformation per attribute with probability
+   ``τ`` (:mod:`.transformer`),
+4. builds the source snapshot (core + source noise) and the target snapshot
+   (transformed core + transformed target noise),
+5. adds an artificial primary key of running integers, permuted differently
+   in the two snapshots, and
+6. shuffles both snapshots so record order carries no information.
+
+The result bundles the :class:`~repro.core.instance.ProblemInstance` with the
+*reference explanation* — the ground truth used by the quality metrics
+Δcore, Δcosts and accuracy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.explanation import Explanation
+from ..core.instance import ProblemInstance
+from ..dataio import Table
+from ..functions import AttributeFunction, FunctionRegistry, ValueMapping, default_registry
+from .primary_key import (
+    ARTIFICIAL_KEY_ATTRIBUTE,
+    attach_key_column,
+    key_permutations,
+    prepare_dataset,
+)
+from .transformer import sample_transformations
+
+
+@dataclass(frozen=True)
+class GeneratedInstance:
+    """A generated problem instance together with its ground truth."""
+
+    instance: ProblemInstance
+    reference: Explanation
+    #: Ground-truth transformation per original (non-key) attribute.
+    transformations: Dict[str, AttributeFunction]
+    eta: float
+    tau: float
+    seed: Optional[int]
+    key_attribute: str = ARTIFICIAL_KEY_ATTRIBUTE
+
+    @property
+    def core_size(self) -> int:
+        return self.reference.core_size
+
+    @property
+    def n_source_noise(self) -> int:
+        return self.reference.n_deleted
+
+    @property
+    def n_target_noise(self) -> int:
+        return self.reference.n_inserted
+
+    @property
+    def transformed_attributes(self) -> List[str]:
+        """Attributes whose ground-truth function is not the identity."""
+        return [
+            attribute
+            for attribute, function in self.transformations.items()
+            if not function.is_identity
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"{self.instance.name}: core={self.core_size}, "
+            f"noise={self.n_source_noise}+{self.n_target_noise}, "
+            f"eta={self.eta}, tau={self.tau}, "
+            f"transformed={self.transformed_attributes}"
+        )
+
+
+def noise_set_size(n_records: int, eta: float) -> int:
+    """Size of each noise set: ``η·N / (1 + η)`` rounded to the nearest integer.
+
+    Derived from the protocol's requirement that each noise set makes up a
+    fraction η of its snapshot and the two noise sets are disjoint.
+    """
+    if not 0.0 <= eta < 1.0:
+        raise ValueError(f"eta must be in [0, 1), got {eta}")
+    size = round(eta * n_records / (1.0 + eta))
+    # Keep at least one core record.
+    return min(size, max(0, (n_records - 1) // 2))
+
+
+def partition_records(n_records: int, eta: float,
+                      rng: random.Random) -> Tuple[List[int], List[int], List[int]]:
+    """Split record indices into (core, source noise, target noise)."""
+    noise = noise_set_size(n_records, eta)
+    indices = list(range(n_records))
+    rng.shuffle(indices)
+    source_noise = sorted(indices[:noise])
+    target_noise = sorted(indices[noise:2 * noise])
+    core = sorted(indices[2 * noise:])
+    return core, source_noise, target_noise
+
+
+def _restrict_value_mappings(functions: Dict[str, AttributeFunction], table: Table,
+                             row_ids: Sequence[int]) -> Dict[str, AttributeFunction]:
+    """Drop value-mapping entries for values the function is never applied to."""
+    restricted: Dict[str, AttributeFunction] = {}
+    for attribute, function in functions.items():
+        if isinstance(function, ValueMapping):
+            column = table.column_view(attribute)
+            present = {column[row_id] for row_id in row_ids}
+            restricted[attribute] = function.restricted_to(present)
+        else:
+            restricted[attribute] = function
+    return restricted
+
+
+def build_instance_from_partition(prepared: Table, core: Sequence[int],
+                                  source_noise: Sequence[int], target_noise: Sequence[int],
+                                  transformations: Dict[str, AttributeFunction],
+                                  rng: random.Random, *, eta: float, tau: float,
+                                  seed: Optional[int] = None, name: str = "generated",
+                                  registry: Optional[FunctionRegistry] = None,
+                                  add_key: bool = True,
+                                  validate_reference: bool = True) -> GeneratedInstance:
+    """Assemble the snapshots and reference explanation for a fixed partition.
+
+    This lower-level entry point is shared by :func:`generate_problem_instance`
+    and the row-scalability harness (which re-uses one partition and one
+    transformation sample at several scales).
+    """
+    attributes = list(prepared.schema)
+    transformations = _restrict_value_mappings(
+        transformations, prepared, list(core) + list(target_noise)
+    )
+    ordered_functions = [transformations[attribute] for attribute in attributes]
+
+    def transform_row(row: Tuple[str, ...]) -> Tuple[str, ...]:
+        cells = []
+        for function, cell in zip(ordered_functions, row):
+            transformed = function.apply(cell)
+            if transformed is None:
+                raise ValueError(
+                    f"sampled transformation {function!r} is not applicable to {cell!r}"
+                )
+            cells.append(transformed)
+        return tuple(cells)
+
+    # Source snapshot: core + source noise (original representation).
+    source_members: List[Tuple[str, Optional[int]]] = []  # (kind, core position)
+    source_rows: List[Tuple[str, ...]] = []
+    for position, row_id in enumerate(core):
+        source_rows.append(prepared.row(row_id))
+        source_members.append(("core", position))
+    for row_id in source_noise:
+        source_rows.append(prepared.row(row_id))
+        source_members.append(("noise", None))
+
+    # Target snapshot: transformed core + transformed target noise.
+    target_members: List[Tuple[str, Optional[int]]] = []
+    target_rows: List[Tuple[str, ...]] = []
+    for position, row_id in enumerate(core):
+        target_rows.append(transform_row(prepared.row(row_id)))
+        target_members.append(("core", position))
+    for row_id in target_noise:
+        target_rows.append(transform_row(prepared.row(row_id)))
+        target_members.append(("noise", None))
+
+    # Shuffle both snapshots independently.
+    source_order = list(range(len(source_rows)))
+    target_order = list(range(len(target_rows)))
+    rng.shuffle(source_order)
+    rng.shuffle(target_order)
+    source_rows = [source_rows[i] for i in source_order]
+    source_members = [source_members[i] for i in source_order]
+    target_rows = [target_rows[i] for i in target_order]
+    target_members = [target_members[i] for i in target_order]
+
+    source_table = Table(prepared.schema, source_rows)
+    target_table = Table(prepared.schema, target_rows)
+
+    # Row ids of each core member in the shuffled snapshots.
+    source_position_of_core = {
+        member[1]: row_id for row_id, member in enumerate(source_members) if member[0] == "core"
+    }
+    target_position_of_core = {
+        member[1]: row_id for row_id, member in enumerate(target_members) if member[0] == "core"
+    }
+    alignment = {
+        source_position_of_core[position]: target_position_of_core[position]
+        for position in range(len(core))
+    }
+
+    functions: Dict[str, AttributeFunction] = dict(transformations)
+    key_attribute = ARTIFICIAL_KEY_ATTRIBUTE
+    if add_key:
+        source_keys, target_keys = key_permutations(len(source_rows), rng)
+        # The target snapshot can have a different size; draw its keys from an
+        # independent permutation of its own length.
+        if len(target_rows) != len(source_rows):
+            _, target_keys = key_permutations(len(target_rows), rng)
+        source_table = attach_key_column(source_table, source_keys)
+        target_table = attach_key_column(target_table, target_keys[: len(target_rows)])
+        key_mapping = {
+            source_keys[source_id]: target_keys[target_id]
+            for source_id, target_id in alignment.items()
+        }
+        functions[key_attribute] = ValueMapping(key_mapping)
+
+    instance = ProblemInstance(
+        source=source_table,
+        target=target_table,
+        registry=registry if registry is not None else default_registry(),
+        name=name,
+    )
+
+    deleted = tuple(
+        row_id for row_id, member in enumerate(source_members) if member[0] == "noise"
+    )
+    inserted = tuple(
+        row_id for row_id, member in enumerate(target_members) if member[0] == "noise"
+    )
+    reference = Explanation(
+        functions=functions,
+        alignment=alignment,
+        deleted_source_ids=deleted,
+        inserted_target_ids=inserted,
+    )
+    if validate_reference:
+        reference.validate(instance)
+
+    original_transformations = {
+        attribute: function
+        for attribute, function in transformations.items()
+    }
+    return GeneratedInstance(
+        instance=instance,
+        reference=reference,
+        transformations=original_transformations,
+        eta=eta,
+        tau=tau,
+        seed=seed,
+        key_attribute=key_attribute if add_key else "",
+    )
+
+
+def generate_problem_instance(table: Table, *, eta: float, tau: float,
+                              seed: Optional[int] = None,
+                              rng: Optional[random.Random] = None,
+                              name: str = "generated",
+                              registry: Optional[FunctionRegistry] = None,
+                              add_key: bool = True,
+                              prepare: bool = True,
+                              validate_reference: bool = True) -> GeneratedInstance:
+    """Generate one problem instance of difficulty ``(η, τ)`` from *table*."""
+    if rng is None:
+        rng = random.Random(seed)
+    prepared = prepare_dataset(table) if prepare else table
+    core, source_noise, target_noise = partition_records(prepared.n_rows, eta, rng)
+    transformations = sample_transformations(prepared, tau, rng)
+    return build_instance_from_partition(
+        prepared, core, source_noise, target_noise, transformations, rng,
+        eta=eta, tau=tau, seed=seed, name=name, registry=registry,
+        add_key=add_key, validate_reference=validate_reference,
+    )

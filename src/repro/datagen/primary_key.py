@@ -1,0 +1,73 @@
+"""Artificial primary keys and attribute pre-processing (Section 5.1).
+
+Two preparation steps from the evaluation protocol:
+
+* attributes whose fraction of distinct values exceeds 0.7 — and attributes
+  that are completely empty — are removed, because an untransformed
+  highly-distinct attribute would make the alignment trivially easy;
+* a synthetic primary-key attribute of running integers is added, using *two
+  different permutations* of the same integers in the two snapshots, so that
+  blocking on it yields a wrong alignment and the algorithm has to recognise
+  that the key was reassigned.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..dataio import Table
+
+#: Name of the synthetic key column added by the protocol.
+ARTIFICIAL_KEY_ATTRIBUTE = "__row_key__"
+
+#: Distinct-value ratio above which an attribute is dropped before generation.
+DISTINCT_RATIO_THRESHOLD = 0.7
+
+
+def removable_attributes(table: Table, *, threshold: float = DISTINCT_RATIO_THRESHOLD) -> List[str]:
+    """Attributes the protocol removes: too distinct or completely empty."""
+    removable = []
+    for attribute in table.schema:
+        stats = table.column_stats(attribute)
+        if stats.is_empty or stats.distinct_ratio > threshold:
+            removable.append(attribute)
+    return removable
+
+
+def prepare_dataset(table: Table, *, threshold: float = DISTINCT_RATIO_THRESHOLD) -> Table:
+    """Drop the attributes :func:`removable_attributes` flags (if any)."""
+    to_drop = removable_attributes(table, threshold=threshold)
+    if not to_drop:
+        return table
+    if len(to_drop) == len(table.schema):
+        raise ValueError("every attribute would be removed by the distinct-ratio filter")
+    return table.drop_columns(to_drop)
+
+
+def key_permutations(n_records: int, rng: random.Random,
+                     *, width: int | None = None) -> Tuple[List[str], List[str]]:
+    """Two different permutations of the running integers ``0 .. n-1``.
+
+    The integers are zero-padded to a common width so the key looks like a
+    typical surrogate key column.  For ``n_records <= 1`` the permutations are
+    necessarily equal.
+    """
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    digits = width if width is not None else max(4, len(str(max(n_records - 1, 0))))
+    values = [str(index).zfill(digits) for index in range(n_records)]
+    first = list(values)
+    second = list(values)
+    rng.shuffle(first)
+    rng.shuffle(second)
+    if n_records > 1 and first == second:
+        second[0], second[1] = second[1], second[0]
+    return first, second
+
+
+def attach_key_column(table: Table, key_values: Sequence[str],
+                      *, attribute: str = ARTIFICIAL_KEY_ATTRIBUTE,
+                      position: int = 0) -> Table:
+    """A new table with the synthetic key column inserted at *position*."""
+    return table.with_column(attribute, list(key_values), position=position)

@@ -1,0 +1,290 @@
+"""Sampling of ground-truth attribute transformations (Section 5.1).
+
+For every attribute that is chosen to be transformed (probability τ), a meta
+function fitting the attribute's domain is instantiated at random:
+
+* numeric attributes may receive addition, division, multiplication, constant
+  values, prefixing/suffixing, padding-style trims, masks or a value mapping,
+* non-numeric attributes receive the string families,
+* value mappings are instantiated as a random permutation of the attribute's
+  distinct source values — the hardest case, because it has the most
+  parameters and is easily confused with the identity.
+
+The sampled functions must be *total* on the attribute's source values
+(``apply`` never returns ``None``), otherwise the reference explanation would
+not be valid; the sampler retries domain-appropriate families until this
+holds.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from decimal import Decimal
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..dataio import Table
+from ..dataio import values as value_helpers
+from ..functions import (
+    IDENTITY,
+    Addition,
+    AttributeFunction,
+    BackCharTrimming,
+    ConstantValue,
+    Division,
+    FrontCharTrimming,
+    FrontMasking,
+    Lowercasing,
+    Multiplication,
+    Prefixing,
+    PrefixReplacement,
+    Suffixing,
+    SuffixReplacement,
+    Uppercasing,
+    ValueMapping,
+)
+
+#: Sampler signature: distinct source values + rng → concrete function or None
+#: when the family cannot be instantiated on this value set.
+FunctionSampler = Callable[[Sequence[str], random.Random], Optional[AttributeFunction]]
+
+
+def _column_is_numeric(values: Sequence[str]) -> bool:
+    non_missing = [value for value in values if not value_helpers.is_missing(value)]
+    if not non_missing:
+        return False
+    return all(value_helpers.is_numeric(value) for value in non_missing)
+
+
+def _sample_addition(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    delta = Decimal(rng.choice([1, 2, 5, 7, 10, 25, 100, 1000, -1, -5, -100]))
+    return Addition(delta)
+
+
+def _sample_division(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    divisor = Decimal(rng.choice([2, 4, 5, 10, 100, 1000]))
+    return Division(divisor)
+
+
+def _sample_multiplication(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    factor = Decimal(rng.choice([2, 3, 10, 100, 1000]))
+    return Multiplication(factor)
+
+
+def _sample_constant(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    alphabet = string.ascii_uppercase
+    constant = "".join(rng.choice(alphabet) for _ in range(4))
+    return ConstantValue(constant)
+
+
+def _sample_prefixing(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    prefix = rng.choice(["X_", "NEW-", "v2:", "#", "00"])
+    return Prefixing(prefix)
+
+
+def _sample_suffixing(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    suffix = rng.choice(["_X", "-old", ".v2", "#", "00"])
+    return Suffixing(suffix)
+
+
+def _sample_prefix_replacement(values: Sequence[str],
+                               rng: random.Random) -> Optional[AttributeFunction]:
+    non_empty = [value for value in values if value]
+    if not non_empty:
+        return None
+    sample = rng.choice(non_empty)
+    length = rng.randint(1, min(3, len(sample)))
+    old = sample[:length]
+    if not old:
+        return None
+    new = "".join(rng.choice(string.ascii_uppercase + string.digits) for _ in range(length))
+    if new == old:
+        new = ("Z" + new)[: max(1, length)]
+        if new == old:
+            return None
+    # Applicable to every value (identity on non-matching prefixes), hence total.
+    return PrefixReplacement(old, new)
+
+
+def _sample_suffix_replacement(values: Sequence[str],
+                               rng: random.Random) -> Optional[AttributeFunction]:
+    non_empty = [value for value in values if value]
+    if not non_empty:
+        return None
+    sample = rng.choice(non_empty)
+    length = rng.randint(1, min(3, len(sample)))
+    old = sample[-length:]
+    if not old:
+        return None
+    new = "".join(rng.choice(string.ascii_uppercase + string.digits) for _ in range(length))
+    if new == old:
+        new = (new + "Z")[-max(1, length):]
+        if new == old:
+            return None
+    return SuffixReplacement(old, new)
+
+
+def _sample_front_masking(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    shortest = min((len(value) for value in values if value), default=0)
+    if shortest < 2:
+        return None
+    length = rng.randint(1, min(3, shortest))
+    mask = "*" * length
+    return FrontMasking(mask)
+
+
+def _sample_front_trimming(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    # Only meaningful when some values share a leading character that can be
+    # stripped; pick the most common first character.
+    first_chars = [value[0] for value in values if value]
+    if not first_chars:
+        return None
+    char = rng.choice(first_chars)
+    return FrontCharTrimming(char)
+
+
+def _sample_back_trimming(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    last_chars = [value[-1] for value in values if value]
+    if not last_chars:
+        return None
+    char = rng.choice(last_chars)
+    return BackCharTrimming(char)
+
+
+def _sample_uppercasing(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    if all(value == value.upper() for value in values):
+        return None  # would be indistinguishable from the identity
+    return Uppercasing()
+
+
+def _sample_lowercasing(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    if all(value == value.lower() for value in values):
+        return None
+    return Lowercasing()
+
+
+def _sample_value_mapping(values: Sequence[str], rng: random.Random) -> Optional[AttributeFunction]:
+    distinct = sorted(set(values))
+    if len(distinct) < 2:
+        return None
+    permuted = list(distinct)
+    rng.shuffle(permuted)
+    if permuted == distinct:
+        permuted = permuted[1:] + permuted[:1]
+    return ValueMapping(dict(zip(distinct, permuted)))
+
+
+#: Families applicable to numeric attributes.
+NUMERIC_SAMPLERS: Dict[str, FunctionSampler] = {
+    "addition": _sample_addition,
+    "division": _sample_division,
+    "multiplication": _sample_multiplication,
+    "constant": _sample_constant,
+    "prefixing": _sample_prefixing,
+    "suffixing": _sample_suffixing,
+    "prefix_replacement": _sample_prefix_replacement,
+    "suffix_replacement": _sample_suffix_replacement,
+    "front_masking": _sample_front_masking,
+    "value_mapping": _sample_value_mapping,
+}
+
+#: Families applicable to non-numeric (string/categorical) attributes.
+STRING_SAMPLERS: Dict[str, FunctionSampler] = {
+    "constant": _sample_constant,
+    "uppercasing": _sample_uppercasing,
+    "lowercasing": _sample_lowercasing,
+    "prefixing": _sample_prefixing,
+    "suffixing": _sample_suffixing,
+    "prefix_replacement": _sample_prefix_replacement,
+    "suffix_replacement": _sample_suffix_replacement,
+    "front_masking": _sample_front_masking,
+    "front_char_trimming": _sample_front_trimming,
+    "back_char_trimming": _sample_back_trimming,
+    "value_mapping": _sample_value_mapping,
+}
+
+
+@dataclass(frozen=True)
+class SampledTransformation:
+    """The ground-truth function sampled for one attribute."""
+
+    attribute: str
+    function: AttributeFunction
+
+    @property
+    def is_identity(self) -> bool:
+        return self.function.is_identity
+
+
+def _is_total(function: AttributeFunction, values: Sequence[str]) -> bool:
+    """``True`` when *function* is applicable to every distinct value."""
+    return all(function.apply(value) is not None for value in values)
+
+
+def _has_effect(function: AttributeFunction, values: Sequence[str]) -> bool:
+    """``True`` when *function* changes at least one value (not identity-like)."""
+    return any(function.apply(value) != value for value in values)
+
+
+def sample_attribute_function(values: Sequence[str], rng: random.Random, *,
+                              exclude: Sequence[str] = (),
+                              max_attempts: int = 25) -> Optional[AttributeFunction]:
+    """Sample one total, effective transformation for an attribute's values."""
+    distinct = sorted(set(values))
+    if not distinct:
+        return None
+    samplers = NUMERIC_SAMPLERS if _column_is_numeric(distinct) else STRING_SAMPLERS
+    names = [name for name in samplers if name not in set(exclude)]
+    if not names:
+        return None
+    for _ in range(max_attempts):
+        name = rng.choice(names)
+        function = samplers[name](distinct, rng)
+        if function is None:
+            continue
+        if not _is_total(function, distinct):
+            continue
+        if not _has_effect(function, distinct):
+            continue
+        return function
+    return None
+
+
+def sample_transformations(table: Table, tau: float, rng: random.Random, *,
+                           exclude_attributes: Sequence[str] = (),
+                           exclude_functions: Sequence[str] = (),
+                           max_rejections: int = 100) -> Dict[str, AttributeFunction]:
+    """Sample the ground-truth transformation of every attribute (Section 5.1).
+
+    Each attribute is transformed with probability ``tau``; samplings in which
+    *every* attribute ends up transformed are rejected and redrawn, mirroring
+    the paper's protocol (at least one attribute must stay unchanged).
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+    excluded = set(exclude_attributes)
+    eligible = [attribute for attribute in table.schema if attribute not in excluded]
+
+    for _ in range(max_rejections):
+        functions: Dict[str, AttributeFunction] = {
+            attribute: IDENTITY for attribute in table.schema
+        }
+        n_transformed = 0
+        for attribute in eligible:
+            if rng.random() >= tau:
+                continue
+            function = sample_attribute_function(
+                table.column_view(attribute), rng, exclude=exclude_functions
+            )
+            if function is None:
+                continue
+            functions[attribute] = function
+            n_transformed += 1
+        if eligible and n_transformed == len(eligible):
+            continue  # reject: every attribute transformed
+        return functions
+    # Fall back to the last sampling with one attribute reset to the identity.
+    if eligible:
+        functions[eligible[0]] = IDENTITY
+    return functions

@@ -1,0 +1,21 @@
+"""Tabular data substrate: schemas, column-oriented tables, CSV I/O."""
+
+from .schema import Schema, SchemaError
+from .table import ColumnStats, Row, Table, TableError
+from .csv_io import read_csv, read_csv_text, read_snapshot_pair, to_csv_text, write_csv
+from . import values
+
+__all__ = [
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TableError",
+    "ColumnStats",
+    "Row",
+    "read_csv",
+    "read_csv_text",
+    "read_snapshot_pair",
+    "write_csv",
+    "to_csv_text",
+    "values",
+]

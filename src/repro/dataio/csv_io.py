@@ -1,0 +1,100 @@
+"""CSV import/export for table snapshots.
+
+The evaluation datasets of the paper are distributed as CSV files; this module
+lets users load their own snapshots from disk and lets the benchmark harness
+persist generated problem instances for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .schema import Schema
+from .table import Table, TableError
+
+PathLike = Union[str, Path]
+
+
+def read_csv(path: PathLike, *, delimiter: str = ",", has_header: bool = True,
+             encoding: str = "utf-8") -> Table:
+    """Load a CSV file into a :class:`~repro.dataio.table.Table`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    delimiter:
+        Field separator (default comma).
+    has_header:
+        When ``True`` (default) the first row provides attribute names;
+        otherwise attributes are named ``col_0 .. col_{d-1}``.
+    """
+    with open(path, "r", newline="", encoding=encoding) as handle:
+        return read_csv_text(handle.read(), delimiter=delimiter, has_header=has_header)
+
+
+def read_csv_text(text: str, *, delimiter: str = ",", has_header: bool = True) -> Table:
+    """Parse CSV content held in a string (used heavily by the tests)."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise TableError("CSV input contains no rows")
+    if has_header:
+        header, data = rows[0], rows[1:]
+    else:
+        width = len(rows[0])
+        header, data = [f"col_{i}" for i in range(width)], rows
+    schema = Schema(header)
+    width = len(schema)
+    table = Table(schema)
+    for line_number, row in enumerate(data, start=2 if has_header else 1):
+        if len(row) != width:
+            raise TableError(
+                f"line {line_number}: expected {width} fields, got {len(row)}"
+            )
+        table.append(row)
+    return table
+
+
+def write_csv(table: Table, path: PathLike, *, delimiter: str = ",",
+              encoding: str = "utf-8") -> None:
+    """Write *table* to *path* with a header row."""
+    with open(path, "w", newline="", encoding=encoding) as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(list(table.schema))
+        for row in table:
+            writer.writerow(row)
+
+
+def to_csv_text(table: Table, *, delimiter: str = ",") -> str:
+    """Render *table* as a CSV string with a header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(list(table.schema))
+    for row in table:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def read_snapshot_pair(source_path: PathLike, target_path: PathLike, *,
+                       delimiter: str = ",", has_header: bool = True,
+                       attributes: Optional[Sequence[str]] = None) -> tuple[Table, Table]:
+    """Load two snapshots that must share a schema.
+
+    When *attributes* is given, both tables are projected to that attribute
+    subset after loading; otherwise the schemas must match exactly.
+    """
+    source = read_csv(source_path, delimiter=delimiter, has_header=has_header)
+    target = read_csv(target_path, delimiter=delimiter, has_header=has_header)
+    if attributes is not None:
+        source = source.project(attributes)
+        target = target.project(attributes)
+    if source.schema != target.schema:
+        raise TableError(
+            "snapshots have different schemas: "
+            f"{list(source.schema)} vs {list(target.schema)}"
+        )
+    return source, target

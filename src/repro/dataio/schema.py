@@ -1,0 +1,112 @@
+"""Schema description for table snapshots.
+
+A schema is an ordered tuple of attribute names (Definition 3.1 in the paper
+calls this :math:`\\mathcal{A}`).  Both snapshots of a problem instance share
+one schema; the search assigns exactly one transformation function per
+attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown attribute references."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names in column order.  Names must be unique and non-empty.
+    """
+
+    attributes: Tuple[str, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __init__(self, attributes: Iterable[str]):
+        names = tuple(attributes)
+        if not names:
+            raise SchemaError("a schema requires at least one attribute")
+        seen = set()
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid attribute name: {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            seen.add(name)
+        object.__setattr__(self, "attributes", names)
+        object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, position: int) -> str:
+        return self.attributes[position]
+
+    def index_of(self, name: str) -> int:
+        """Column position of *name*; raises :class:`SchemaError` if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute: {name!r}") from None
+
+    def positions_of(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Column positions of several attributes, preserving the given order."""
+        return tuple(self.index_of(name) for name in names)
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """A new schema restricted to *names* (in the given order)."""
+        for name in names:
+            self.index_of(name)
+        return Schema(names)
+
+    def without(self, names: Iterable[str]) -> "Schema":
+        """A new schema with *names* removed, preserving column order."""
+        drop = set(names)
+        for name in drop:
+            self.index_of(name)
+        remaining = [name for name in self.attributes if name not in drop]
+        return Schema(remaining)
+
+    def extended(self, name: str, position: int | None = None) -> "Schema":
+        """A new schema with *name* inserted at *position* (default: append)."""
+        if name in self._index:
+            raise SchemaError(f"attribute already exists: {name!r}")
+        names = list(self.attributes)
+        if position is None:
+            names.append(name)
+        else:
+            names.insert(position, name)
+        return Schema(names)
+
+    def renamed(self, old: str, new: str) -> "Schema":
+        """A new schema with attribute *old* renamed to *new*."""
+        index = self.index_of(old)
+        if new in self._index and new != old:
+            raise SchemaError(f"attribute already exists: {new!r}")
+        names = list(self.attributes)
+        names[index] = new
+        return Schema(names)
+
+    def __hash__(self) -> int:  # dataclass(frozen=True) + custom __init__
+        return hash(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self.attributes == other.attributes
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.attributes)!r})"

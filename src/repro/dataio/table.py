@@ -1,0 +1,315 @@
+"""A lightweight column-oriented table for snapshot data.
+
+The reproduction cannot rely on pandas (not installed in the offline
+environment), so this module provides the small slice of table functionality
+the algorithm needs:
+
+* string-typed cells organised by column for fast projection,
+* stable integer row identifiers (rows never move once added),
+* projections, row/column selection, filtering, and value statistics,
+* deterministic equality and hashing of row tuples for blocking.
+
+Rows are exposed as plain ``tuple[str, ...]`` objects in schema order, which
+keeps blocking indices cheap to build and hash.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .schema import Schema, SchemaError
+
+Row = Tuple[str, ...]
+
+
+class TableError(ValueError):
+    """Raised for malformed table operations (ragged rows, bad indices, ...)."""
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one column, used by the instance generator and
+    the overlap matcher."""
+
+    attribute: str
+    total: int
+    distinct: int
+    missing: int
+    numeric: int
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Fraction of distinct values among all cells (0 for empty columns)."""
+        return self.distinct / self.total if self.total else 0.0
+
+    @property
+    def numeric_ratio(self) -> float:
+        """Fraction of cells that parse as numbers."""
+        return self.numeric / self.total if self.total else 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every cell of the column is a missing token."""
+        return self.total > 0 and self.missing == self.total
+
+
+class Table:
+    """An immutable-by-convention, column-oriented table of string cells.
+
+    Parameters
+    ----------
+    schema:
+        The attribute tuple shared by every row.
+    rows:
+        Iterable of row tuples/lists; each must have exactly ``len(schema)``
+        cells.  Cells are coerced to ``str``.
+    """
+
+    __slots__ = ("_schema", "_columns", "_n_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[object]] = ()):
+        self._schema = schema
+        self._columns: List[List[str]] = [[] for _ in schema]
+        self._n_rows = 0
+        self.extend(rows)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dicts(cls, schema: Schema, records: Iterable[Mapping[str, object]],
+                   default: str = "") -> "Table":
+        """Build a table from mappings keyed by attribute name."""
+        rows = []
+        for record in records:
+            rows.append([str(record.get(name, default)) for name in schema])
+        return cls(schema, rows)
+
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: Mapping[str, Sequence[object]]) -> "Table":
+        """Build a table from per-attribute column sequences of equal length."""
+        lengths = {len(columns[name]) for name in schema if name in columns}
+        missing = [name for name in schema if name not in columns]
+        if missing:
+            raise TableError(f"missing columns: {missing}")
+        if len(lengths) > 1:
+            raise TableError(f"columns have differing lengths: {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        rows = (
+            [columns[name][i] for name in schema]
+            for i in range(n_rows)
+        )
+        return cls(schema, rows)
+
+    def copy(self) -> "Table":
+        """A deep copy sharing no column storage with the original."""
+        clone = Table(self._schema)
+        clone._columns = [list(column) for column in self._columns]
+        clone._n_rows = self._n_rows
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __bool__(self) -> bool:
+        return self._n_rows > 0
+
+    def __iter__(self) -> Iterator[Row]:
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._schema == other._schema and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {self.n_columns} columns: {list(self._schema)})"
+
+    # ------------------------------------------------------------------ #
+    # mutation (used only while building snapshots)
+    # ------------------------------------------------------------------ #
+    def append(self, row: Sequence[object]) -> int:
+        """Append one row and return its row identifier (position)."""
+        if len(row) != len(self._schema):
+            raise TableError(
+                f"row has {len(row)} cells but schema has {len(self._schema)} attributes"
+            )
+        for column, cell in zip(self._columns, row):
+            column.append(str(cell))
+        self._n_rows += 1
+        return self._n_rows - 1
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def row(self, index: int) -> Row:
+        """The row at *index* as a tuple of cells in schema order."""
+        if not 0 <= index < self._n_rows:
+            raise TableError(f"row index out of range: {index}")
+        return tuple(column[index] for column in self._columns)
+
+    def rows(self, indices: Optional[Iterable[int]] = None) -> List[Row]:
+        """All rows, or the rows at *indices* (in that order)."""
+        if indices is None:
+            return [self.row(i) for i in range(self._n_rows)]
+        return [self.row(i) for i in indices]
+
+    def cell(self, index: int, attribute: str) -> str:
+        """Single cell addressed by row index and attribute name."""
+        position = self._schema.index_of(attribute)
+        if not 0 <= index < self._n_rows:
+            raise TableError(f"row index out of range: {index}")
+        return self._columns[position][index]
+
+    def column(self, attribute: str) -> List[str]:
+        """A copy of the column named *attribute*."""
+        return list(self._columns[self._schema.index_of(attribute)])
+
+    def column_view(self, attribute: str) -> Sequence[str]:
+        """Read-only (by convention) direct reference to a column's storage."""
+        return self._columns[self._schema.index_of(attribute)]
+
+    def row_dict(self, index: int) -> Dict[str, str]:
+        """The row at *index* as an attribute-name keyed dict."""
+        return dict(zip(self._schema.attributes, self.row(index)))
+
+    # ------------------------------------------------------------------ #
+    # relational-style operations
+    # ------------------------------------------------------------------ #
+    def project(self, attributes: Sequence[str]) -> "Table":
+        """A new table restricted to *attributes* (projection, keeps duplicates)."""
+        sub_schema = self._schema.subset(attributes)
+        positions = self._schema.positions_of(attributes)
+        projected = Table(sub_schema)
+        projected._columns = [list(self._columns[p]) for p in positions]
+        projected._n_rows = self._n_rows
+        return projected
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Table":
+        """A new table containing the rows satisfying *predicate*."""
+        keep = [index for index in range(self._n_rows) if predicate(self.row(index))]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """A new table containing the rows at *indices*, in that order."""
+        result = Table(self._schema)
+        for position, column in enumerate(self._columns):
+            result._columns[position] = [column[i] for i in indices]
+        result._n_rows = len(indices)
+        return result
+
+    def drop_columns(self, attributes: Iterable[str]) -> "Table":
+        """A new table with *attributes* removed."""
+        drop = set(attributes)
+        keep = [name for name in self._schema if name not in drop]
+        if len(keep) == len(self._schema):
+            unknown = [name for name in drop if name not in self._schema]
+            if unknown:
+                raise SchemaError(f"unknown attribute(s): {unknown}")
+        return self.project(keep)
+
+    def with_column(self, attribute: str, values: Sequence[object],
+                    position: int | None = None) -> "Table":
+        """A new table with an extra column *attribute* holding *values*."""
+        if len(values) != self._n_rows:
+            raise TableError(
+                f"column has {len(values)} cells but table has {self._n_rows} rows"
+            )
+        new_schema = self._schema.extended(attribute, position)
+        insert_at = len(self._schema) if position is None else position
+        result = Table(new_schema)
+        new_columns = [list(column) for column in self._columns]
+        new_columns.insert(insert_at, [str(value) for value in values])
+        result._columns = new_columns
+        result._n_rows = self._n_rows
+        return result
+
+    def map_column(self, attribute: str, function: Callable[[str], str]) -> "Table":
+        """A new table with *function* applied to every cell of *attribute*."""
+        position = self._schema.index_of(attribute)
+        result = self.copy()
+        result._columns[position] = [function(cell) for cell in result._columns[position]]
+        return result
+
+    def concat(self, other: "Table") -> "Table":
+        """A new table with the rows of *other* appended (schemas must match)."""
+        if other.schema != self._schema:
+            raise TableError("cannot concatenate tables with different schemas")
+        result = self.copy()
+        for position in range(len(self._schema)):
+            result._columns[position].extend(other._columns[position])
+        result._n_rows += other._n_rows
+        return result
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def value_counts(self, attribute: str) -> Counter:
+        """Value histogram of one column."""
+        return Counter(self.column_view(attribute))
+
+    def column_stats(self, attribute: str) -> ColumnStats:
+        """Summary statistics of one column."""
+        from . import values as value_helpers
+
+        column = self.column_view(attribute)
+        missing = sum(1 for cell in column if value_helpers.is_missing(cell))
+        numeric = sum(1 for cell in column if value_helpers.is_numeric(cell))
+        return ColumnStats(
+            attribute=attribute,
+            total=len(column),
+            distinct=len(set(column)),
+            missing=missing,
+            numeric=numeric,
+        )
+
+    def stats(self) -> Dict[str, ColumnStats]:
+        """Per-attribute statistics keyed by attribute name."""
+        return {name: self.column_stats(name) for name in self._schema}
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """All rows as attribute-keyed dictionaries (convenience for tests)."""
+        return [self.row_dict(index) for index in range(self._n_rows)]
+
+    def head(self, n: int = 5) -> "Table":
+        """The first *n* rows as a new table."""
+        return self.take(list(range(min(n, self._n_rows))))
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A fixed-width textual rendering (for examples and debugging)."""
+        rows = self.rows(range(min(max_rows, self._n_rows)))
+        headers = list(self._schema)
+        widths = [len(name) for name in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(row) for row in rows)
+        if self._n_rows > max_rows:
+            lines.append(f"... ({self._n_rows - max_rows} more rows)")
+        return "\n".join(lines)

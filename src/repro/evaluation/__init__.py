@@ -1,0 +1,51 @@
+"""Evaluation harness: quality metrics, the Table-2 protocol and report formatting."""
+
+from .metrics import (
+    AggregateMetrics,
+    InstanceMetrics,
+    alignment_precision_recall,
+    cell_accuracy,
+    evaluate_result,
+    macro_average,
+)
+from .protocol import (
+    EVALUATION_SETTINGS,
+    ScalabilityPoint,
+    Table2Cell,
+    default_configurations,
+    generate_instances,
+    run_attribute_scalability,
+    run_configuration,
+    run_row_scalability,
+    run_table2,
+    run_table2_cell,
+)
+from .reporting import (
+    format_attribute_scalability,
+    format_row_scalability,
+    format_table2,
+    linear_fit,
+)
+
+__all__ = [
+    "InstanceMetrics",
+    "AggregateMetrics",
+    "evaluate_result",
+    "cell_accuracy",
+    "macro_average",
+    "alignment_precision_recall",
+    "EVALUATION_SETTINGS",
+    "default_configurations",
+    "generate_instances",
+    "run_configuration",
+    "run_table2_cell",
+    "run_table2",
+    "run_row_scalability",
+    "run_attribute_scalability",
+    "Table2Cell",
+    "ScalabilityPoint",
+    "format_table2",
+    "format_row_scalability",
+    "format_attribute_scalability",
+    "linear_fit",
+]

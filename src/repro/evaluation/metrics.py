@@ -1,0 +1,170 @@
+"""Quality metrics of the evaluation protocol (Section 5.2).
+
+For a produced explanation ``E_res`` and the reference explanation ``E_ref``
+that generated the problem instance, the paper reports:
+
+* ``t`` — wall-clock runtime of the search,
+* ``Δcore`` — relative core size ``|core(E_res)| / |core(E_ref)|``
+  (1 means the same number of records were aligned, < 1 fewer, > 1 more),
+* ``Δcosts`` — relative cost ``c(E_res) / c(E_ref)``
+  (< 1 means the produced explanation is cheaper than the reference), and
+* ``acc`` — cell accuracy: the learned functions are applied to every core
+  record of the reference and compared cell-by-cell with the reference
+  transformation, ignoring the artificial primary-key attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.affidavit import AffidavitResult
+from ..core.cost import explanation_cost
+from ..core.explanation import Explanation
+from ..datagen.generator import GeneratedInstance
+
+
+@dataclass(frozen=True)
+class InstanceMetrics:
+    """Metrics of one search run on one generated problem instance."""
+
+    dataset: str
+    runtime_seconds: float
+    delta_core: float
+    delta_costs: float
+    accuracy: float
+    result_cost: float
+    reference_cost: float
+    result_core_size: int
+    reference_core_size: int
+    expansions: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runtime_seconds": self.runtime_seconds,
+            "delta_core": self.delta_core,
+            "delta_costs": self.delta_costs,
+            "accuracy": self.accuracy,
+            "result_cost": self.result_cost,
+            "reference_cost": self.reference_cost,
+        }
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Macro average over several instance runs (one Table-2 cell)."""
+
+    dataset: str
+    n_runs: int
+    runtime_seconds: float
+    delta_core: float
+    delta_costs: float
+    accuracy: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "t": self.runtime_seconds,
+            "delta_core": self.delta_core,
+            "delta_costs": self.delta_costs,
+            "acc": self.accuracy,
+        }
+
+
+def cell_accuracy(generated: GeneratedInstance, explanation: Explanation, *,
+                  ignore_attributes: Optional[Sequence[str]] = None) -> float:
+    """Fraction of reference-core cells translated correctly by *explanation*.
+
+    The learned attribute functions are applied to every core record of the
+    reference explanation; a cell counts as correct when it matches the
+    reference transformation of that record.  The artificial key attribute is
+    excluded by default, exactly as in the paper.
+    """
+    instance = generated.instance
+    reference = generated.reference
+    ignored = set(ignore_attributes) if ignore_attributes is not None else (
+        {generated.key_attribute} if generated.key_attribute else set()
+    )
+    attributes = [a for a in instance.schema if a not in ignored]
+    if not attributes or not reference.alignment:
+        return 1.0
+
+    learned = [explanation.functions[a] for a in attributes]
+    positions = instance.schema.positions_of(attributes)
+
+    total = 0
+    correct = 0
+    for source_id, target_id in reference.alignment.items():
+        source_row = instance.source.row(source_id)
+        expected_row = instance.target.row(target_id)
+        for function, position in zip(learned, positions):
+            total += 1
+            produced = function.apply(source_row[position])
+            if produced is not None and produced == expected_row[position]:
+                correct += 1
+    return correct / total if total else 1.0
+
+
+def evaluate_result(generated: GeneratedInstance, result: AffidavitResult, *,
+                    alpha: float = 0.5) -> InstanceMetrics:
+    """Compute Δcore, Δcosts and accuracy of one search result."""
+    instance = generated.instance
+    reference = generated.reference
+    reference_cost = explanation_cost(instance, reference, alpha=alpha)
+    result_cost = explanation_cost(instance, result.explanation, alpha=alpha)
+
+    reference_core = reference.core_size
+    result_core = result.explanation.core_size
+    delta_core = result_core / reference_core if reference_core else 1.0
+    delta_costs = result_cost / reference_cost if reference_cost else 1.0
+
+    return InstanceMetrics(
+        dataset=instance.name,
+        runtime_seconds=result.runtime_seconds,
+        delta_core=delta_core,
+        delta_costs=delta_costs,
+        accuracy=cell_accuracy(generated, result.explanation),
+        result_cost=result_cost,
+        reference_cost=reference_cost,
+        result_core_size=result_core,
+        reference_core_size=reference_core,
+        expansions=result.expansions,
+    )
+
+
+def macro_average(metrics: Iterable[InstanceMetrics], *,
+                  dataset: Optional[str] = None) -> AggregateMetrics:
+    """Macro average of several instance metrics (one per generated instance)."""
+    collected: List[InstanceMetrics] = list(metrics)
+    if not collected:
+        raise ValueError("cannot aggregate an empty metrics list")
+    name = dataset if dataset is not None else collected[0].dataset
+    return AggregateMetrics(
+        dataset=name,
+        n_runs=len(collected),
+        runtime_seconds=mean(m.runtime_seconds for m in collected),
+        delta_core=mean(m.delta_core for m in collected),
+        delta_costs=mean(m.delta_costs for m in collected),
+        accuracy=mean(m.accuracy for m in collected),
+    )
+
+
+def alignment_precision_recall(generated: GeneratedInstance,
+                               explanation: Explanation) -> Dict[str, float]:
+    """Precision/recall/F1 of the produced record alignment vs the reference.
+
+    Not part of the paper's reported metrics but useful for the baseline
+    comparisons in the examples and ablation benchmarks.
+    """
+    reference_pairs = set(generated.reference.alignment.items())
+    produced_pairs = set(explanation.alignment.items())
+    if not produced_pairs and not reference_pairs:
+        return {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+    true_positive = len(reference_pairs & produced_pairs)
+    precision = true_positive / len(produced_pairs) if produced_pairs else 0.0
+    recall = true_positive / len(reference_pairs) if reference_pairs else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0 else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,242 @@
+"""The experiment harness reproducing the paper's evaluation protocol.
+
+The protocol (Section 5.2) runs two Affidavit configurations — ``Hs``
+(overlap start state, β=1, ϱ=1) and ``Hid`` (identity start states, β=2,
+ϱ=5) — on ten generated problem instances per dataset per difficulty setting
+``(η, τ) ∈ {(0.3, 0.3), (0.5, 0.5), (0.7, 0.7)}`` and reports macro-averaged
+runtime, Δcore, Δcosts and accuracy (Table 2).
+
+The same harness also drives the scalability experiments: the row-scalability
+sweep of Figure 5 (scaled flight-500k instances) and the attribute-scalability
+view of Figure 6 (runtime per record versus attribute count).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.affidavit import Affidavit
+from ..core.config import AffidavitConfig, identity_configuration, overlap_configuration
+from ..dataio import Table
+from ..datagen.datasets import get_dataset_entry
+from ..datagen.generator import GeneratedInstance, generate_problem_instance
+from ..datagen.scaling import generate_scaled_family
+from .metrics import AggregateMetrics, InstanceMetrics, evaluate_result, macro_average
+
+#: The three difficulty settings of Table 2 as (η, τ) pairs.
+EVALUATION_SETTINGS: Tuple[Tuple[float, float], ...] = ((0.3, 0.3), (0.5, 0.5), (0.7, 0.7))
+
+
+def default_configurations() -> Dict[str, AffidavitConfig]:
+    """The two configurations evaluated in the paper, keyed by their names."""
+    return {"Hs": overlap_configuration(), "Hid": identity_configuration()}
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One cell of Table 2: dataset × setting × configuration."""
+
+    dataset: str
+    eta: float
+    tau: float
+    configuration: str
+    aggregate: AggregateMetrics
+    runs: Tuple[InstanceMetrics, ...]
+
+    @property
+    def setting(self) -> str:
+        return f"eta={self.eta}, tau={self.tau}"
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One measurement of a scalability sweep (Figures 5 and 6)."""
+
+    label: str
+    n_records: int
+    n_attributes: int
+    runtime_seconds: float
+    delta_core: float
+    accuracy: float
+
+    @property
+    def seconds_per_record(self) -> float:
+        return self.runtime_seconds / self.n_records if self.n_records else 0.0
+
+
+def generate_instances(table: Table, *, eta: float, tau: float, n_instances: int,
+                       base_seed: int = 0, name: str = "instance",
+                       validate_reference: bool = True) -> List[GeneratedInstance]:
+    """Generate *n_instances* problem instances of difficulty ``(η, τ)``."""
+    instances = []
+    for index in range(n_instances):
+        instances.append(
+            generate_problem_instance(
+                table,
+                eta=eta,
+                tau=tau,
+                seed=base_seed * 1_000 + index,
+                name=f"{name}#{index}",
+                validate_reference=validate_reference,
+            )
+        )
+    return instances
+
+
+def run_configuration(instances: Sequence[GeneratedInstance], config: AffidavitConfig, *,
+                      dataset: str = "dataset") -> List[InstanceMetrics]:
+    """Run one configuration on a list of generated instances."""
+    metrics: List[InstanceMetrics] = []
+    engine = Affidavit(config)
+    for generated in instances:
+        result = engine.explain(generated.instance)
+        metrics.append(
+            evaluate_result(generated, result, alpha=config.alpha)
+        )
+    return metrics
+
+
+def run_table2_cell(dataset: str, *, eta: float, tau: float, configuration: str,
+                    config: Optional[AffidavitConfig] = None,
+                    n_instances: int = 10, n_records: Optional[int] = None,
+                    seed: int = 0) -> Table2Cell:
+    """Reproduce one cell of Table 2 for *dataset* at difficulty ``(η, τ)``.
+
+    ``n_records`` overrides the dataset's default size (the benchmarks use
+    this to keep the large datasets laptop-sized); ``n_instances`` defaults to
+    the paper's ten repetitions.
+    """
+    if config is None:
+        config = default_configurations()[configuration]
+    entry = get_dataset_entry(dataset)
+    table = entry.build(n_records, seed=seed)
+    validate = table.n_rows <= 50_000
+    instances = generate_instances(
+        table, eta=eta, tau=tau, n_instances=n_instances,
+        base_seed=seed, name=dataset, validate_reference=validate,
+    )
+    runs = run_configuration(instances, config, dataset=dataset)
+    runs = [
+        InstanceMetrics(**{**metric.__dict__, "dataset": dataset})
+        for metric in runs
+    ]
+    return Table2Cell(
+        dataset=dataset,
+        eta=eta,
+        tau=tau,
+        configuration=configuration,
+        aggregate=macro_average(runs, dataset=dataset),
+        runs=tuple(runs),
+    )
+
+
+def run_table2(datasets: Sequence[str], *,
+               settings: Sequence[Tuple[float, float]] = EVALUATION_SETTINGS,
+               configurations: Optional[Dict[str, AffidavitConfig]] = None,
+               n_instances: int = 10,
+               records_override: Optional[Dict[str, int]] = None,
+               seed: int = 0) -> List[Table2Cell]:
+    """Reproduce (a subset of) Table 2.
+
+    Returns one :class:`Table2Cell` per dataset × setting × configuration, in
+    the paper's row order (dataset, then configuration, then setting).
+    """
+    if configurations is None:
+        configurations = default_configurations()
+    records_override = records_override or {}
+    cells: List[Table2Cell] = []
+    for dataset in datasets:
+        for configuration, config in configurations.items():
+            for eta, tau in settings:
+                cells.append(
+                    run_table2_cell(
+                        dataset,
+                        eta=eta,
+                        tau=tau,
+                        configuration=configuration,
+                        config=config,
+                        n_instances=n_instances,
+                        n_records=records_override.get(dataset),
+                        seed=seed,
+                    )
+                )
+    return cells
+
+
+def run_row_scalability(*, dataset: str = "flight-500k", eta: float = 0.3, tau: float = 0.3,
+                        fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+                        n_records: Optional[int] = None,
+                        config: Optional[AffidavitConfig] = None,
+                        seed: int = 0) -> List[ScalabilityPoint]:
+    """Reproduce the row-scalability sweep of Figure 5.
+
+    The paper uses the full 500k-record flight table; ``n_records`` scales the
+    base table down for laptop-sized runs while keeping the sweep shape.
+    """
+    if config is None:
+        config = identity_configuration()
+    entry = get_dataset_entry(dataset)
+    table = entry.build(n_records, seed=seed)
+    family = generate_scaled_family(
+        table, eta=eta, tau=tau, fractions=fractions, seed=seed, name=dataset,
+    )
+    engine = Affidavit(config)
+    points: List[ScalabilityPoint] = []
+    for fraction, generated in family:
+        result = engine.explain(generated.instance)
+        metrics = evaluate_result(generated, result, alpha=config.alpha)
+        points.append(
+            ScalabilityPoint(
+                label=f"{int(round(fraction * 100))}%",
+                n_records=generated.instance.n_source_records,
+                n_attributes=generated.instance.n_attributes,
+                runtime_seconds=result.runtime_seconds,
+                delta_core=metrics.delta_core,
+                accuracy=metrics.accuracy,
+            )
+        )
+    return points
+
+
+def run_attribute_scalability(datasets: Sequence[str], *, eta: float = 0.3, tau: float = 0.3,
+                              config: Optional[AffidavitConfig] = None,
+                              n_instances: int = 1,
+                              records_override: Optional[Dict[str, int]] = None,
+                              seed: int = 0) -> List[ScalabilityPoint]:
+    """Reproduce the attribute-scalability view of Figure 6.
+
+    Runs the ``Hid`` configuration on the ``(0.3, 0.3)`` setting of several
+    datasets and reports runtime normalised by the number of records against
+    the number of attributes.
+    """
+    if config is None:
+        config = identity_configuration()
+    records_override = records_override or {}
+    points: List[ScalabilityPoint] = []
+    for dataset in datasets:
+        cell = run_table2_cell(
+            dataset,
+            eta=eta,
+            tau=tau,
+            configuration="Hid",
+            config=config,
+            n_instances=n_instances,
+            n_records=records_override.get(dataset),
+            seed=seed,
+        )
+        entry = get_dataset_entry(dataset)
+        n_records = records_override.get(dataset, entry.paper_records)
+        points.append(
+            ScalabilityPoint(
+                label=dataset,
+                n_records=n_records,
+                n_attributes=entry.paper_attributes,
+                runtime_seconds=cell.aggregate.runtime_seconds,
+                delta_core=cell.aggregate.delta_core,
+                accuracy=cell.aggregate.accuracy,
+            )
+        )
+    points.sort(key=lambda point: point.n_attributes)
+    return points

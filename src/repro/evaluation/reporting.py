@@ -1,0 +1,116 @@
+"""Plain-text report formatting for the reproduced tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports: a
+Table-2-shaped quality table, the Figure-5 runtime-vs-records series and the
+Figure-6 normalised-runtime-vs-attributes series.  Everything is monospace
+text so it renders in CI logs and the EXPERIMENTS.md appendix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .protocol import ScalabilityPoint, Table2Cell
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_table2(cells: Iterable[Table2Cell]) -> str:
+    """Render Table-2 style rows: dataset × config × setting with t/Δcore/Δcosts/acc."""
+    collected = list(cells)
+    header = ["dataset", "config", "eta", "tau", "t[s]", "d_core", "d_costs", "acc", "runs"]
+    rows: List[List[str]] = []
+    for cell in collected:
+        aggregate = cell.aggregate
+        rows.append([
+            cell.dataset,
+            cell.configuration,
+            f"{cell.eta:.1f}",
+            f"{cell.tau:.1f}",
+            f"{aggregate.runtime_seconds:.2f}",
+            f"{aggregate.delta_core:.2f}",
+            f"{aggregate.delta_costs:.2f}",
+            f"{aggregate.accuracy:.2f}",
+            str(aggregate.n_runs),
+        ])
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [_format_row(header, widths), "-+-".join("-" * width for width in widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_row_scalability(points: Iterable[ScalabilityPoint]) -> str:
+    """Render the Figure-5 series: runtime against scaled record count."""
+    collected = list(points)
+    header = ["scale", "records", "runtime[s]", "s/record", "d_core", "acc"]
+    rows = [
+        [
+            point.label,
+            str(point.n_records),
+            f"{point.runtime_seconds:.2f}",
+            f"{point.seconds_per_record * 1000:.3f}ms",
+            f"{point.delta_core:.2f}",
+            f"{point.accuracy:.2f}",
+        ]
+        for point in collected
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [_format_row(header, widths), "-+-".join("-" * width for width in widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_attribute_scalability(points: Iterable[ScalabilityPoint]) -> str:
+    """Render the Figure-6 series: seconds per record against attribute count."""
+    collected = list(points)
+    header = ["dataset", "attributes", "records", "runtime[s]", "s/record"]
+    rows = [
+        [
+            point.label,
+            str(point.n_attributes),
+            str(point.n_records),
+            f"{point.runtime_seconds:.2f}",
+            f"{point.seconds_per_record * 1000:.3f}ms",
+        ]
+        for point in collected
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [_format_row(header, widths), "-+-".join("-" * width for width in widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def linear_fit(points: Sequence[Tuple[float, float]]) -> Tuple[float, float, float]:
+    """Least-squares line through (x, y) points: returns (slope, intercept, r²).
+
+    Used by the scalability benchmarks to assert the "scales linearly in the
+    number of records" claim: a high r² of the runtime-vs-records fit.
+    """
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points for a linear fit")
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    ss_xx = sum((x - mean_x) ** 2 for x, _ in points)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    ss_yy = sum((y - mean_y) ** 2 for _, y in points)
+    if ss_xx == 0:
+        raise ValueError("x values are constant; cannot fit a line")
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    if ss_yy == 0:
+        r_squared = 1.0
+    else:
+        r_squared = (ss_xy * ss_xy) / (ss_xx * ss_yy)
+    return slope, intercept, r_squared

@@ -1,0 +1,36 @@
+"""Exports of explanations: JSON serialisation, SQL scripts, textual reports."""
+
+from .report import describe_function, render_report
+from .serialization import (
+    SerializationError,
+    explanation_from_dict,
+    explanation_from_json,
+    explanation_to_dict,
+    explanation_to_json,
+    function_from_dict,
+    function_to_dict,
+)
+from .sql import (
+    explanation_to_sql,
+    function_to_sql_expression,
+    quote_identifier,
+    quote_literal,
+    record_level_sql,
+)
+
+__all__ = [
+    "SerializationError",
+    "function_to_dict",
+    "function_from_dict",
+    "explanation_to_dict",
+    "explanation_from_dict",
+    "explanation_to_json",
+    "explanation_from_json",
+    "explanation_to_sql",
+    "record_level_sql",
+    "function_to_sql_expression",
+    "quote_identifier",
+    "quote_literal",
+    "render_report",
+    "describe_function",
+]

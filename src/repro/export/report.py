@@ -1,0 +1,82 @@
+"""Human-readable change reports for explanations.
+
+Where the SQL export targets execution and the JSON export targets storage,
+this module renders an explanation the way a database administrator would want
+to read it during a review: a per-attribute list of learned transformations,
+the alignment statistics, and samples of deleted/inserted records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.cost import explanation_cost, trivial_explanation_cost
+from ..core.explanation import Explanation
+from ..core.instance import ProblemInstance
+
+#: How many deleted/inserted records to show in full before truncating.
+DEFAULT_SAMPLE_SIZE = 5
+
+
+def describe_function(attribute: str, function) -> str:
+    """One line describing the learned transformation of *attribute*."""
+    if function.is_identity:
+        return f"{attribute}: unchanged"
+    if function.meta_name == "value_mapping":
+        return (
+            f"{attribute}: value mapping with {function.size} entries "
+            f"(no concise pattern found)"
+        )
+    return f"{attribute}: {function!r} (psi={function.description_length})"
+
+
+def render_report(instance: ProblemInstance, explanation: Explanation, *,
+                  alpha: float = 0.5, sample_size: int = DEFAULT_SAMPLE_SIZE,
+                  title: Optional[str] = None) -> str:
+    """Render a full plain-text change report."""
+    lines: List[str] = []
+    lines.append(f"=== {title or instance.name}: snapshot difference report ===")
+    lines.append(
+        f"source records: {instance.n_source_records}, "
+        f"target records: {instance.n_target_records}, "
+        f"attributes: {instance.n_attributes}"
+    )
+    cost = explanation_cost(instance, explanation, alpha=alpha)
+    trivial = trivial_explanation_cost(instance, alpha=alpha)
+    ratio = cost / trivial if trivial else 1.0
+    lines.append(
+        f"explanation cost: {cost:.0f} "
+        f"(trivial: {trivial:.0f}, compression ratio {ratio:.2f})"
+    )
+    lines.append("")
+
+    lines.append("-- attribute transformations --")
+    for attribute in instance.schema:
+        lines.append("  " + describe_function(attribute, explanation.functions[attribute]))
+    lines.append("")
+
+    lines.append("-- record-level changes --")
+    lines.append(f"  aligned (transformed) records : {explanation.core_size}")
+    lines.append(f"  deleted records               : {explanation.n_deleted}")
+    lines.append(f"  inserted records              : {explanation.n_inserted}")
+    lines.append("")
+
+    if explanation.deleted_source_ids:
+        lines.append(f"-- deleted records (first {sample_size}) --")
+        for source_id in explanation.deleted_source_ids[:sample_size]:
+            lines.append(f"  {instance.source.row(source_id)}")
+        remaining = explanation.n_deleted - sample_size
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        lines.append("")
+
+    if explanation.inserted_target_ids:
+        lines.append(f"-- inserted records (first {sample_size}) --")
+        for target_id in explanation.inserted_target_ids[:sample_size]:
+            lines.append(f"  {instance.target.row(target_id)}")
+        remaining = explanation.n_inserted - sample_size
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""JSON (de)serialisation of attribute functions and explanations.
+
+Commercial diff tools export their findings as scripts or reports; Affidavit's
+explanations are more compact because they generalise the changes, but they
+still need to leave the Python process: this module converts explanations to
+plain JSON-compatible dictionaries (and back), so they can be stored next to a
+migration, diffed in code review, or applied later by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..core.explanation import Explanation
+from ..functions import (
+    Addition,
+    AttributeFunction,
+    BackCharTrimming,
+    BackMasking,
+    BooleanNegation,
+    ConstantValue,
+    DateConversion,
+    Division,
+    FrontCharTrimming,
+    FrontMasking,
+    Identity,
+    Lowercasing,
+    Multiplication,
+    Prefixing,
+    PrefixReplacement,
+    Suffixing,
+    SuffixReplacement,
+    Uppercasing,
+    ValueMapping,
+)
+
+
+class SerializationError(ValueError):
+    """Raised for malformed function or explanation specifications."""
+
+
+#: meta name → constructor taking the positional parameters of the function.
+_CONSTRUCTORS: Dict[str, Callable[..., AttributeFunction]] = {
+    "identity": Identity,
+    "uppercasing": Uppercasing,
+    "lowercasing": Lowercasing,
+    "constant": ConstantValue,
+    "addition": Addition,
+    "division": Division,
+    "multiplication": Multiplication,
+    "prefixing": Prefixing,
+    "suffixing": Suffixing,
+    "prefix_replacement": PrefixReplacement,
+    "suffix_replacement": SuffixReplacement,
+    "front_masking": FrontMasking,
+    "back_masking": BackMasking,
+    "front_char_trimming": FrontCharTrimming,
+    "back_char_trimming": BackCharTrimming,
+    "boolean_negation": BooleanNegation,
+    "date_conversion": DateConversion,
+}
+
+
+def function_to_dict(function: AttributeFunction) -> Dict[str, Any]:
+    """Serialise one attribute function to a JSON-compatible dict."""
+    if isinstance(function, ValueMapping):
+        return {"meta": function.meta_name, "entries": dict(function.entries)}
+    return {"meta": function.meta_name, "parameters": [str(p) for p in function.parameters]}
+
+
+def function_from_dict(spec: Mapping[str, Any]) -> AttributeFunction:
+    """Rebuild an attribute function from :func:`function_to_dict` output."""
+    meta = spec.get("meta")
+    if not isinstance(meta, str):
+        raise SerializationError(f"function spec lacks a 'meta' name: {spec!r}")
+    if meta == "value_mapping":
+        entries = spec.get("entries")
+        if not isinstance(entries, Mapping):
+            raise SerializationError("value_mapping spec requires an 'entries' mapping")
+        return ValueMapping({str(k): str(v) for k, v in entries.items()})
+    constructor = _CONSTRUCTORS.get(meta)
+    if constructor is None:
+        raise SerializationError(f"unknown meta function: {meta!r}")
+    parameters = spec.get("parameters", [])
+    if not isinstance(parameters, (list, tuple)):
+        raise SerializationError("'parameters' must be a list")
+    try:
+        return constructor(*parameters)
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"cannot instantiate {meta!r} with {parameters!r}: {error}") from error
+
+
+def explanation_to_dict(explanation: Explanation) -> Dict[str, Any]:
+    """Serialise a full explanation (functions, alignment, deletions, insertions)."""
+    return {
+        "functions": {
+            attribute: function_to_dict(function)
+            for attribute, function in explanation.functions.items()
+        },
+        "alignment": {str(k): v for k, v in explanation.alignment.items()},
+        "deleted_source_ids": list(explanation.deleted_source_ids),
+        "inserted_target_ids": list(explanation.inserted_target_ids),
+    }
+
+
+def explanation_from_dict(payload: Mapping[str, Any]) -> Explanation:
+    """Rebuild an explanation from :func:`explanation_to_dict` output."""
+    functions_spec = payload.get("functions")
+    if not isinstance(functions_spec, Mapping):
+        raise SerializationError("explanation payload lacks a 'functions' mapping")
+    functions = {
+        attribute: function_from_dict(spec) for attribute, spec in functions_spec.items()
+    }
+    alignment_spec = payload.get("alignment", {})
+    if not isinstance(alignment_spec, Mapping):
+        raise SerializationError("'alignment' must be a mapping")
+    alignment = {int(k): int(v) for k, v in alignment_spec.items()}
+    return Explanation(
+        functions=functions,
+        alignment=alignment,
+        deleted_source_ids=tuple(int(i) for i in payload.get("deleted_source_ids", [])),
+        inserted_target_ids=tuple(int(i) for i in payload.get("inserted_target_ids", [])),
+    )
+
+
+def explanation_to_json(explanation: Explanation, *, indent: Optional[int] = 2) -> str:
+    """Serialise an explanation to a JSON string."""
+    return json.dumps(explanation_to_dict(explanation), indent=indent, sort_keys=True)
+
+
+def explanation_from_json(text: str) -> Explanation:
+    """Parse an explanation from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise SerializationError("explanation JSON must be an object")
+    return explanation_from_dict(payload)

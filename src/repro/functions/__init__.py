@@ -1,0 +1,95 @@
+"""Transformation-function language: meta functions, instantiations, induction."""
+
+from .base import AttributeFunction, MetaFunction, induce_from_example
+from .identity import IDENTITY, Identity, IdentityMeta
+from .casing import LOWERCASING, UPPERCASING, Lowercasing, LowercasingMeta, Uppercasing, UppercasingMeta
+from .constant import ConstantValue, ConstantValueMeta
+from .arithmetic import (
+    Addition,
+    AdditionMeta,
+    Division,
+    DivisionMeta,
+    Multiplication,
+    MultiplicationMeta,
+)
+from .affix import (
+    Prefixing,
+    PrefixingMeta,
+    PrefixReplacement,
+    PrefixReplacementMeta,
+    Suffixing,
+    SuffixingMeta,
+    SuffixReplacement,
+    SuffixReplacementMeta,
+)
+from .masking import BackMasking, BackMaskingMeta, FrontMasking, FrontMaskingMeta
+from .trimming import (
+    BackCharTrimming,
+    BackCharTrimmingMeta,
+    FrontCharTrimming,
+    FrontCharTrimmingMeta,
+)
+from .mapping import (
+    BOOLEAN_NEGATION,
+    BooleanNegation,
+    BooleanNegationMeta,
+    SingleValueMappingMeta,
+    ValueMapping,
+)
+from .dates import DateConversion, DateConversionMeta, detect_formats, parse_date
+from .registry import FunctionRegistry, default_registry, sat_registry
+from .induction import CandidatePool, CandidateStats, induce_candidates
+
+__all__ = [
+    "AttributeFunction",
+    "MetaFunction",
+    "induce_from_example",
+    "Identity",
+    "IdentityMeta",
+    "IDENTITY",
+    "Uppercasing",
+    "UppercasingMeta",
+    "UPPERCASING",
+    "Lowercasing",
+    "LowercasingMeta",
+    "LOWERCASING",
+    "ConstantValue",
+    "ConstantValueMeta",
+    "Addition",
+    "AdditionMeta",
+    "Division",
+    "DivisionMeta",
+    "Multiplication",
+    "MultiplicationMeta",
+    "Prefixing",
+    "PrefixingMeta",
+    "Suffixing",
+    "SuffixingMeta",
+    "PrefixReplacement",
+    "PrefixReplacementMeta",
+    "SuffixReplacement",
+    "SuffixReplacementMeta",
+    "FrontMasking",
+    "FrontMaskingMeta",
+    "BackMasking",
+    "BackMaskingMeta",
+    "FrontCharTrimming",
+    "FrontCharTrimmingMeta",
+    "BackCharTrimming",
+    "BackCharTrimmingMeta",
+    "ValueMapping",
+    "SingleValueMappingMeta",
+    "BooleanNegation",
+    "BooleanNegationMeta",
+    "BOOLEAN_NEGATION",
+    "DateConversion",
+    "DateConversionMeta",
+    "detect_formats",
+    "parse_date",
+    "FunctionRegistry",
+    "default_registry",
+    "sat_registry",
+    "CandidatePool",
+    "CandidateStats",
+    "induce_candidates",
+]

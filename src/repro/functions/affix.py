@@ -1,0 +1,209 @@
+"""Affix meta functions: prefixing/suffixing and prefix/suffix replacement.
+
+Prefix replacement (``y ◦ x ↦ z ◦ x``) is the family the running example uses
+for the *Date* attribute: ``'9999123' ◦ x ↦ '2018070' ◦ x``, otherwise
+``x ↦ x``.  Matching the paper, the replacement families act as the identity
+on values that do not carry the expected affix, whereas plain prefixing and
+suffixing always attach their affix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..dataio.values import common_prefix_length, common_suffix_length
+from .base import AttributeFunction, MetaFunction
+
+
+class Prefixing(AttributeFunction):
+    """``x ↦ y ◦ x``; one parameter ``y`` (non-empty)."""
+
+    meta_name = "prefixing"
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def apply(self, value: str) -> Optional[str]:
+        return self._prefix + value
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._prefix,)
+
+
+class Suffixing(AttributeFunction):
+    """``x ↦ x ◦ y``; one parameter ``y`` (inverse variant of prefixing)."""
+
+    meta_name = "suffixing"
+
+    __slots__ = ("_suffix",)
+
+    def __init__(self, suffix: str):
+        if not suffix:
+            raise ValueError("suffix must be non-empty")
+        self._suffix = suffix
+
+    @property
+    def suffix(self) -> str:
+        return self._suffix
+
+    def apply(self, value: str) -> Optional[str]:
+        return value + self._suffix
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._suffix,)
+
+
+class PrefixReplacement(AttributeFunction):
+    """``y ◦ x ↦ z ◦ x`` and otherwise ``x ↦ x``; two parameters ``y, z``."""
+
+    meta_name = "prefix_replacement"
+
+    __slots__ = ("_old", "_new")
+
+    def __init__(self, old: str, new: str):
+        if not old:
+            raise ValueError("the replaced prefix must be non-empty")
+        if old == new:
+            raise ValueError("prefix replacement must change the prefix")
+        self._old = old
+        self._new = new
+
+    @property
+    def old(self) -> str:
+        return self._old
+
+    @property
+    def new(self) -> str:
+        return self._new
+
+    def apply(self, value: str) -> Optional[str]:
+        if value.startswith(self._old):
+            return self._new + value[len(self._old):]
+        return value
+
+    @property
+    def description_length(self) -> int:
+        return 2
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._old, self._new)
+
+
+class SuffixReplacement(AttributeFunction):
+    """``x ◦ y ↦ x ◦ z`` and otherwise ``x ↦ x``; two parameters ``y, z``."""
+
+    meta_name = "suffix_replacement"
+
+    __slots__ = ("_old", "_new")
+
+    def __init__(self, old: str, new: str):
+        if not old:
+            raise ValueError("the replaced suffix must be non-empty")
+        if old == new:
+            raise ValueError("suffix replacement must change the suffix")
+        self._old = old
+        self._new = new
+
+    @property
+    def old(self) -> str:
+        return self._old
+
+    @property
+    def new(self) -> str:
+        return self._new
+
+    def apply(self, value: str) -> Optional[str]:
+        if value.endswith(self._old):
+            return value[: len(value) - len(self._old)] + self._new
+        return value
+
+    @property
+    def description_length(self) -> int:
+        return 2
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._old, self._new)
+
+
+class PrefixingMeta(MetaFunction):
+    """Induces ``x ↦ y ◦ x`` when the target ends with the full source value."""
+
+    name = "prefixing"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if (
+            source_value
+            and len(target_value) > len(source_value)
+            and target_value.endswith(source_value)
+        ):
+            yield Prefixing(target_value[: len(target_value) - len(source_value)])
+
+
+class SuffixingMeta(MetaFunction):
+    """Induces ``x ↦ x ◦ y`` when the target starts with the full source value."""
+
+    name = "suffixing"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if (
+            source_value
+            and len(target_value) > len(source_value)
+            and target_value.startswith(source_value)
+        ):
+            yield Suffixing(target_value[len(source_value):])
+
+
+class PrefixReplacementMeta(MetaFunction):
+    """Induces the minimal prefix replacement consistent with one example.
+
+    The changed prefixes are determined by the longest common suffix of the
+    two values: everything before it differs and is replaced wholesale.
+    """
+
+    name = "prefix_replacement"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value == target_value:
+            return
+        keep = common_suffix_length(source_value, target_value)
+        old = source_value[: len(source_value) - keep]
+        new = target_value[: len(target_value) - keep]
+        if not old or old == new:
+            return
+        yield PrefixReplacement(old, new)
+
+
+class SuffixReplacementMeta(MetaFunction):
+    """Induces the minimal suffix replacement consistent with one example."""
+
+    name = "suffix_replacement"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value == target_value:
+            return
+        keep = common_prefix_length(source_value, target_value)
+        old = source_value[keep:]
+        new = target_value[keep:]
+        if not old or old == new:
+            return
+        yield SuffixReplacement(old, new)

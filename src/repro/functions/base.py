@@ -1,0 +1,111 @@
+"""Abstract interfaces of the transformation-function language.
+
+The paper distinguishes *meta functions* (parameterised function families such
+as "Addition" or "Prefix Replacement", Table 1) from *attribute functions*
+(concrete instantiations such as ``x ↦ x + 5``).  A problem instance's
+function pool :math:`\\mathcal{F}` implicitly contains every instantiation of
+the configured meta functions that maps at least one source value to a target
+value of the same attribute.
+
+Two properties drive the search:
+
+* ``description_length`` (:math:`\\psi(f)`) — the number of data values needed
+  to instantiate the function from its meta function; it is the second term of
+  the MDL cost (Definition 3.9).
+* ``induce`` on the meta function — given a *single* noisy input–output
+  example, propose every instantiation consistent with it.  Families whose
+  parameters are not learnable from one example (e.g. general linear
+  functions) are outside the supported language, exactly as in the paper
+  (Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class AttributeFunction(abc.ABC):
+    """A concrete value transformation ``f : value -> value`` for one attribute.
+
+    Implementations must be immutable, hashable and comparable so that the
+    search can deduplicate candidate functions and search states.
+    """
+
+    #: Name of the meta function this instantiation belongs to.
+    meta_name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(self, value: str) -> Optional[str]:
+        """Transform *value*, or return ``None`` when the function is not
+        applicable to it (e.g. numeric addition on a non-numeric cell)."""
+
+    @property
+    @abc.abstractmethod
+    def description_length(self) -> int:
+        """:math:`\\psi(f)` — number of parameters of the instantiation."""
+
+    @property
+    @abc.abstractmethod
+    def parameters(self) -> Tuple[object, ...]:
+        """The instantiation parameters (used for equality and display)."""
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def covers(self, source_value: str, target_value: str) -> bool:
+        """``True`` when this function maps *source_value* to *target_value*."""
+        return self.apply(source_value) == target_value
+
+    def apply_all(self, values: Iterable[str]) -> list:
+        """Apply to several values; not-applicable cells become ``None``."""
+        return [self.apply(value) for value in values]
+
+    @property
+    def is_identity(self) -> bool:
+        """``True`` only for the identity function (overridden there)."""
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeFunction):
+            return (self.meta_name, self.parameters) == (other.meta_name, other.parameters)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.meta_name, self.parameters))
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{type(self).__name__}({params})"
+
+
+class MetaFunction(abc.ABC):
+    """A parameterised family of attribute functions (one row of Table 1)."""
+
+    #: Unique name of the family, e.g. ``"addition"``.
+    name: str = "abstract"
+
+    #: ``True`` when the family only makes sense for numeric attributes; the
+    #: instance generator uses this to sample domain-appropriate functions.
+    numeric_only: bool = False
+
+    @abc.abstractmethod
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        """All instantiations consistent with one input–output example.
+
+        The example may be noisy (wrong alignment, inserted/deleted record),
+        so implementations must not raise on uninterpretable values — they
+        simply yield nothing.
+        """
+
+    def __repr__(self) -> str:
+        return f"<meta function {self.name!r}>"
+
+
+def induce_from_example(meta_functions: Sequence[MetaFunction], source_value: str,
+                        target_value: str) -> list:
+    """Collect the candidate functions of all *meta_functions* for one example."""
+    candidates = []
+    for meta in meta_functions:
+        candidates.extend(meta.induce(source_value, target_value))
+    return candidates

@@ -1,0 +1,71 @@
+"""Casing meta functions: uppercasing and its inverse, lowercasing."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .base import AttributeFunction, MetaFunction
+
+
+class Uppercasing(AttributeFunction):
+    """``x ↦ UPPERCASE(x)``; zero parameters."""
+
+    meta_name = "uppercasing"
+
+    def apply(self, value: str) -> Optional[str]:
+        return value.upper()
+
+    @property
+    def description_length(self) -> int:
+        return 0
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "Uppercasing()"
+
+
+class Lowercasing(AttributeFunction):
+    """``x ↦ lowercase(x)``; zero parameters (inverse variant of uppercasing)."""
+
+    meta_name = "lowercasing"
+
+    def apply(self, value: str) -> Optional[str]:
+        return value.lower()
+
+    @property
+    def description_length(self) -> int:
+        return 0
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "Lowercasing()"
+
+
+UPPERCASING = Uppercasing()
+LOWERCASING = Lowercasing()
+
+
+class UppercasingMeta(MetaFunction):
+    """Induces :class:`Uppercasing` from examples where it has a visible effect."""
+
+    name = "uppercasing"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value != target_value and source_value.upper() == target_value:
+            yield UPPERCASING
+
+
+class LowercasingMeta(MetaFunction):
+    """Induces :class:`Lowercasing` from examples where it has a visible effect."""
+
+    name = "lowercasing"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value != target_value and source_value.lower() == target_value:
+            yield LOWERCASING

@@ -1,0 +1,49 @@
+"""Constant-value meta function ``x ↦ c`` (one parameter)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .base import AttributeFunction, MetaFunction
+
+
+class ConstantValue(AttributeFunction):
+    """``x ↦ c`` for a fixed cell value ``c``; description length 1.
+
+    The running example of the paper uses this family for the *Unit*
+    attribute: every ``'USD'`` cell becomes ``'k $'``.
+    """
+
+    meta_name = "constant"
+
+    __slots__ = ("_constant",)
+
+    def __init__(self, constant: str):
+        self._constant = str(constant)
+
+    @property
+    def constant(self) -> str:
+        return self._constant
+
+    def apply(self, value: str) -> Optional[str]:
+        return self._constant
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._constant,)
+
+
+class ConstantValueMeta(MetaFunction):
+    """Induces ``x ↦ target`` from any example (always consistent)."""
+
+    name = "constant"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        # A constant equal to the source value would be indistinguishable from
+        # the identity on this example but strictly more expensive, so skip it.
+        if target_value != source_value:
+            yield ConstantValue(target_value)

@@ -1,0 +1,45 @@
+"""The identity meta function ``x ↦ x`` (zero parameters)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .base import AttributeFunction, MetaFunction
+
+
+class Identity(AttributeFunction):
+    """``x ↦ x``; description length 0."""
+
+    meta_name = "identity"
+
+    def apply(self, value: str) -> Optional[str]:
+        return value
+
+    @property
+    def description_length(self) -> int:
+        return 0
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return ()
+
+    @property
+    def is_identity(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+#: Shared singleton — the identity has no parameters, one instance suffices.
+IDENTITY = Identity()
+
+
+class IdentityMeta(MetaFunction):
+    """Meta function of :class:`Identity`."""
+
+    name = "identity"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value == target_value:
+            yield IDENTITY

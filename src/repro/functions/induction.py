@@ -1,0 +1,114 @@
+"""Induction of candidate attribute functions from noisy input–output examples.
+
+Section 4.4.2 of the paper: for an attribute, sample up to ``k`` distinct
+target records from blocks that contain both source and target records and try
+to produce each sampled target value from *any* source value in the same
+block.  Every meta-function instantiation consistent with at least one such
+example becomes a candidate; candidates that were generated fewer times than
+a binomial significance test requires are filtered out.
+
+This module provides the per-example induction and the aggregation /
+filtering; the sampling of blocks lives in :mod:`repro.core.extension` because
+it depends on the search state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .base import AttributeFunction, MetaFunction
+from .registry import FunctionRegistry
+
+
+@dataclass
+class CandidateStats:
+    """Bookkeeping for one candidate function during induction."""
+
+    function: AttributeFunction
+    generation_count: int = 0
+    examples: List[Tuple[str, str]] = field(default_factory=list)
+
+    def record(self, source_value: str, target_value: str) -> None:
+        self.generation_count += 1
+        if len(self.examples) < 5:
+            self.examples.append((source_value, target_value))
+
+
+class CandidatePool:
+    """Accumulates candidate functions over many induction examples."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[AttributeFunction, CandidateStats] = {}
+        self._examples_seen = 0
+
+    @property
+    def examples_seen(self) -> int:
+        """Number of (target value, block) induction examples processed."""
+        return self._examples_seen
+
+    @property
+    def candidates(self) -> List[AttributeFunction]:
+        return list(self._stats)
+
+    def stats_for(self, function: AttributeFunction) -> Optional[CandidateStats]:
+        return self._stats.get(function)
+
+    def generation_counts(self) -> Counter:
+        """Histogram ``function -> number of examples that generated it``."""
+        return Counter({f: s.generation_count for f, s in self._stats.items()})
+
+    def add_example(self, registry: FunctionRegistry, source_values: Sequence[str],
+                    target_value: str) -> None:
+        """Induce candidates for one sampled target value.
+
+        Every source value of the target's block is tried as the input half of
+        the example, but each candidate is counted at most once per example so
+        that large blocks do not dominate the significance statistics.
+        """
+        self._examples_seen += 1
+        generated_here = set()
+        for source_value in source_values:
+            for meta in registry:
+                for function in meta.induce(source_value, target_value):
+                    if function in generated_here:
+                        continue
+                    generated_here.add(function)
+                    stats = self._stats.get(function)
+                    if stats is None:
+                        stats = CandidateStats(function)
+                        self._stats[function] = stats
+                    stats.record(source_value, target_value)
+
+    def filtered(self, min_generation_count: int) -> List[AttributeFunction]:
+        """Candidates generated at least *min_generation_count* times."""
+        return [
+            stats.function
+            for stats in self._stats.values()
+            if stats.generation_count >= min_generation_count
+        ]
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+
+def induce_candidates(registry: FunctionRegistry,
+                      examples: Iterable[Tuple[Sequence[str], str]],
+                      *, min_generation_count: int = 1) -> List[AttributeFunction]:
+    """Convenience wrapper: induce and filter candidates from explicit examples.
+
+    Parameters
+    ----------
+    registry:
+        The meta functions to instantiate.
+    examples:
+        Iterable of ``(source values of the block, sampled target value)``.
+    min_generation_count:
+        Minimum number of examples a candidate must be generated from to
+        survive filtering (Section 4.4.2's significance threshold).
+    """
+    pool = CandidatePool()
+    for source_values, target_value in examples:
+        pool.add_example(registry, source_values, target_value)
+    return pool.filtered(min_generation_count)

@@ -1,0 +1,104 @@
+"""Masking meta functions: replace a fixed-length slice at the front or back.
+
+Front masking (``.{|m|} ◦ x ↦ m ◦ x``) overwrites the first ``|m|`` characters
+of a value with the mask string ``m`` — a pattern common in anonymised
+exports (e.g. masking the first digits of account numbers).  Back masking is
+the inverse variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..dataio.values import common_prefix_length, common_suffix_length
+from .base import AttributeFunction, MetaFunction
+
+
+class FrontMasking(AttributeFunction):
+    """``.{|m|} ◦ x ↦ m ◦ x``; one parameter ``m`` (the mask string)."""
+
+    meta_name = "front_masking"
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, mask: str):
+        if not mask:
+            raise ValueError("mask must be non-empty")
+        self._mask = mask
+
+    @property
+    def mask(self) -> str:
+        return self._mask
+
+    def apply(self, value: str) -> Optional[str]:
+        if len(value) < len(self._mask):
+            return None
+        return self._mask + value[len(self._mask):]
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._mask,)
+
+
+class BackMasking(AttributeFunction):
+    """``x ◦ .{|m|} ↦ x ◦ m``; one parameter ``m`` (inverse variant)."""
+
+    meta_name = "back_masking"
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, mask: str):
+        if not mask:
+            raise ValueError("mask must be non-empty")
+        self._mask = mask
+
+    @property
+    def mask(self) -> str:
+        return self._mask
+
+    def apply(self, value: str) -> Optional[str]:
+        if len(value) < len(self._mask):
+            return None
+        return value[: len(value) - len(self._mask)] + self._mask
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._mask,)
+
+
+class FrontMaskingMeta(MetaFunction):
+    """Induces a front mask from an equal-length example with a shared suffix."""
+
+    name = "front_masking"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if len(source_value) != len(target_value) or source_value == target_value:
+            return
+        keep = common_suffix_length(source_value, target_value)
+        mask = target_value[: len(target_value) - keep]
+        if not mask:
+            return
+        yield FrontMasking(mask)
+
+
+class BackMaskingMeta(MetaFunction):
+    """Induces a back mask from an equal-length example with a shared prefix."""
+
+    name = "back_masking"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if len(source_value) != len(target_value) or source_value == target_value:
+            return
+        keep = common_prefix_length(source_value, target_value)
+        mask = target_value[keep:]
+        if not mask:
+            return
+        yield BackMasking(mask)

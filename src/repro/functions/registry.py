@@ -1,0 +1,113 @@
+"""Registry of the meta functions available to a problem instance.
+
+The registry plays the role of the implicit function pool
+:math:`\\mathcal{F}` of Definition 3.1: it lists which families the search may
+instantiate.  Users extend Affidavit with domain-specific families by
+registering additional :class:`~repro.functions.base.MetaFunction`
+implementations — the Python analogue of the "small Java interface" mentioned
+in the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .base import MetaFunction
+from .arithmetic import AdditionMeta, DivisionMeta, MultiplicationMeta
+from .affix import (
+    PrefixingMeta,
+    PrefixReplacementMeta,
+    SuffixingMeta,
+    SuffixReplacementMeta,
+)
+from .casing import LowercasingMeta, UppercasingMeta
+from .constant import ConstantValueMeta
+from .dates import DateConversionMeta
+from .identity import IdentityMeta
+from .mapping import BooleanNegationMeta
+from .masking import BackMaskingMeta, FrontMaskingMeta
+from .trimming import BackCharTrimmingMeta, FrontCharTrimmingMeta
+
+
+class FunctionRegistry:
+    """An ordered, name-indexed collection of meta functions."""
+
+    def __init__(self, meta_functions: Iterable[MetaFunction] = ()):
+        self._by_name: Dict[str, MetaFunction] = {}
+        for meta in meta_functions:
+            self.register(meta)
+
+    def register(self, meta: MetaFunction) -> None:
+        """Add *meta* to the registry; duplicate names are rejected."""
+        if meta.name in self._by_name:
+            raise ValueError(f"meta function already registered: {meta.name!r}")
+        self._by_name[meta.name] = meta
+
+    def unregister(self, name: str) -> None:
+        """Remove the meta function called *name*."""
+        if name not in self._by_name:
+            raise KeyError(f"meta function not registered: {name!r}")
+        del self._by_name[name]
+
+    def get(self, name: str) -> Optional[MetaFunction]:
+        """The meta function called *name*, or ``None``."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[MetaFunction]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def subset(self, names: Sequence[str]) -> "FunctionRegistry":
+        """A new registry containing only the named families (in that order)."""
+        missing = [name for name in names if name not in self._by_name]
+        if missing:
+            raise KeyError(f"meta functions not registered: {missing}")
+        return FunctionRegistry(self._by_name[name] for name in names)
+
+    def copy(self) -> "FunctionRegistry":
+        return FunctionRegistry(self._by_name.values())
+
+    def __repr__(self) -> str:
+        return f"FunctionRegistry({self.names})"
+
+
+def default_registry(*, include_dates: bool = True) -> FunctionRegistry:
+    """The meta functions of Table 1 plus their inverse variants.
+
+    ``include_dates`` additionally enables the date-conversion extension
+    described in the paper's conclusions.
+    """
+    families: List[MetaFunction] = [
+        IdentityMeta(),
+        UppercasingMeta(),
+        LowercasingMeta(),
+        ConstantValueMeta(),
+        AdditionMeta(),
+        DivisionMeta(),
+        MultiplicationMeta(),
+        FrontMaskingMeta(),
+        BackMaskingMeta(),
+        FrontCharTrimmingMeta(),
+        BackCharTrimmingMeta(),
+        PrefixingMeta(),
+        SuffixingMeta(),
+        PrefixReplacementMeta(),
+        SuffixReplacementMeta(),
+    ]
+    if include_dates:
+        families.append(DateConversionMeta())
+    return FunctionRegistry(families)
+
+
+def sat_registry() -> FunctionRegistry:
+    """The restricted registry used by the 3-SAT reduction: identity + negation."""
+    return FunctionRegistry([IdentityMeta(), BooleanNegationMeta()])

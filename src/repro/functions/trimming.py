@@ -1,0 +1,109 @@
+"""Character-trimming meta functions: strip a repeated character from an end.
+
+Front char trimming (``[c]* ◦ x ↦ x``) removes a run of one specific leading
+character — the classic example is dropping leading zeros from padded
+identifiers.  Back char trimming is the inverse variant (e.g. removing
+trailing zeros or padding blanks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .base import AttributeFunction, MetaFunction
+
+
+class FrontCharTrimming(AttributeFunction):
+    """``[c]* ◦ x ↦ x``; one parameter ``c`` (the trimmed character)."""
+
+    meta_name = "front_char_trimming"
+
+    __slots__ = ("_char",)
+
+    def __init__(self, char: str):
+        if len(char) != 1:
+            raise ValueError("the trimmed token must be a single character")
+        self._char = char
+
+    @property
+    def char(self) -> str:
+        return self._char
+
+    def apply(self, value: str) -> Optional[str]:
+        return value.lstrip(self._char)
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._char,)
+
+
+class BackCharTrimming(AttributeFunction):
+    """``x ◦ [c]* ↦ x``; one parameter ``c`` (inverse variant)."""
+
+    meta_name = "back_char_trimming"
+
+    __slots__ = ("_char",)
+
+    def __init__(self, char: str):
+        if len(char) != 1:
+            raise ValueError("the trimmed token must be a single character")
+        self._char = char
+
+    @property
+    def char(self) -> str:
+        return self._char
+
+    def apply(self, value: str) -> Optional[str]:
+        return value.rstrip(self._char)
+
+    @property
+    def description_length(self) -> int:
+        return 1
+
+    @property
+    def parameters(self) -> Tuple[object, ...]:
+        return (self._char,)
+
+
+class FrontCharTrimmingMeta(MetaFunction):
+    """Induces front trimming when the source is the target plus a leading run."""
+
+    name = "front_char_trimming"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value == target_value or not source_value.endswith(target_value):
+            return
+        removed = source_value[: len(source_value) - len(target_value)]
+        if not removed:
+            return
+        char = removed[0]
+        if removed != char * len(removed):
+            return
+        candidate = FrontCharTrimming(char)
+        # The target must not start with the trimmed character, otherwise the
+        # function would strip more than this example shows.
+        if candidate.covers(source_value, target_value):
+            yield candidate
+
+
+class BackCharTrimmingMeta(MetaFunction):
+    """Induces back trimming when the source is the target plus a trailing run."""
+
+    name = "back_char_trimming"
+
+    def induce(self, source_value: str, target_value: str) -> Iterable[AttributeFunction]:
+        if source_value == target_value or not source_value.startswith(target_value):
+            return
+        removed = source_value[len(target_value):]
+        if not removed:
+            return
+        char = removed[0]
+        if removed != char * len(removed):
+            return
+        candidate = BackCharTrimming(char)
+        if candidate.covers(source_value, target_value):
+            yield candidate

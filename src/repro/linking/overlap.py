@@ -1,0 +1,149 @@
+"""Overlap-score matching used to build the ``Hs`` start state (Section 4.2).
+
+The idea: assume, independently for every attribute, that it has not been
+changed and link source and target records sharing a value on it.  Each shared
+attribute value contributes one point to a record pair's *overlap score*.  If
+``k`` attributes really are unchanged, correctly aligned pairs score at least
+``k``, so the per-source best-scoring pairs expose which attributes are most
+likely untouched.  Those attributes are then pre-assigned the identity in the
+start state.
+
+To avoid a quadratic comparison, scores are only accumulated for pairs that
+share at least one value, and values shared by so many records that they would
+generate more than ``max_block_size`` pairs are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataio import Table
+from ..dataio.values import is_missing
+
+
+@dataclass(frozen=True)
+class OverlapMatch:
+    """The best-scoring target record for one source record."""
+
+    source_id: int
+    target_id: int
+    score: int
+    #: Attributes on which the two records agree.
+    overlapping_attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OverlapAnalysis:
+    """Result of the a-priori overlap matching.
+
+    Attributes
+    ----------
+    matches:
+        Per-source best match (only for source records with a positive score).
+    identity_attributes:
+        The attributes ``A_id`` assumed unchanged, i.e. pre-assigned the
+        identity in the ``Hs`` start state.
+    attribute_frequencies:
+        How often each attribute overlapped on the best-scoring pairs.
+    modal_score:
+        The most frequent overlap score among the best pairs (the paper's
+        choice of ``k'``).
+    """
+
+    matches: List[OverlapMatch]
+    identity_attributes: Tuple[str, ...]
+    attribute_frequencies: Dict[str, int]
+    modal_score: int
+
+
+def _pair_scores(source: Table, target: Table, *, max_block_size: int,
+                 skip_missing: bool) -> Tuple[Dict[Tuple[int, int], int], Dict[Tuple[int, int], List[str]]]:
+    """Accumulate overlap scores for record pairs sharing at least one value."""
+    scores: Dict[Tuple[int, int], int] = defaultdict(int)
+    shared_attributes: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for attribute in source.schema:
+        source_index: Dict[str, List[int]] = defaultdict(list)
+        for source_id, value in enumerate(source.column_view(attribute)):
+            if skip_missing and is_missing(value):
+                continue
+            source_index[value].append(source_id)
+        target_index: Dict[str, List[int]] = defaultdict(list)
+        for target_id, value in enumerate(target.column_view(attribute)):
+            if skip_missing and is_missing(value):
+                continue
+            target_index[value].append(target_id)
+        for value, source_ids in source_index.items():
+            target_ids = target_index.get(value)
+            if not target_ids:
+                continue
+            if len(source_ids) * len(target_ids) > max_block_size:
+                # Too frequent to be informative; skip to stay sub-quadratic.
+                continue
+            for source_id in source_ids:
+                for target_id in target_ids:
+                    pair = (source_id, target_id)
+                    scores[pair] += 1
+                    shared_attributes[pair].append(attribute)
+    return scores, shared_attributes
+
+
+def analyse_overlap(source: Table, target: Table, *, max_block_size: int = 100_000,
+                    skip_missing: bool = True) -> OverlapAnalysis:
+    """Run the full overlap analysis of Section 4.2.
+
+    Returns the best target per source record, the modal overlap score ``k'``
+    and the ``k'`` most frequently overlapping attributes ``A_id``.
+    """
+    scores, shared_attributes = _pair_scores(
+        source, target, max_block_size=max_block_size, skip_missing=skip_missing
+    )
+
+    best_per_source: Dict[int, Tuple[int, int]] = {}
+    for (source_id, target_id), score in scores.items():
+        incumbent = best_per_source.get(source_id)
+        if (
+            incumbent is None
+            or score > incumbent[1]
+            or (score == incumbent[1] and target_id < incumbent[0])
+        ):
+            best_per_source[source_id] = (target_id, score)
+
+    matches = [
+        OverlapMatch(
+            source_id=source_id,
+            target_id=target_id,
+            score=score,
+            overlapping_attributes=tuple(shared_attributes[(source_id, target_id)]),
+        )
+        for source_id, (target_id, score) in sorted(best_per_source.items())
+    ]
+
+    if not matches:
+        return OverlapAnalysis(
+            matches=[], identity_attributes=(), attribute_frequencies={}, modal_score=0
+        )
+
+    attribute_frequency: Counter = Counter()
+    for match in matches:
+        attribute_frequency.update(match.overlapping_attributes)
+
+    score_frequency = Counter(match.score for match in matches)
+    modal_score = max(
+        score_frequency, key=lambda score: (score_frequency[score], score)
+    )
+    how_many = max(1, min(modal_score, len(source.schema)))
+
+    ranked_attributes = sorted(
+        attribute_frequency,
+        key=lambda attribute: (-attribute_frequency[attribute], source.schema.index_of(attribute)),
+    )
+    identity_attributes = tuple(ranked_attributes[:how_many])
+
+    return OverlapAnalysis(
+        matches=matches,
+        identity_attributes=identity_attributes,
+        attribute_frequencies=dict(attribute_frequency),
+        modal_score=modal_score,
+    )

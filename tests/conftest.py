@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ProblemInstance, identity_configuration, overlap_configuration
+from repro.dataio import Schema, Table
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.datagen.running_example import (
+    running_example_instance,
+    source_table,
+    target_table,
+)
+
+
+@pytest.fixture
+def running_example() -> ProblemInstance:
+    """The paper's running example I₁ (Figure 1)."""
+    return running_example_instance()
+
+
+@pytest.fixture
+def running_source() -> Table:
+    return source_table()
+
+
+@pytest.fixture
+def running_target() -> Table:
+    return target_table()
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    return Schema(["id", "name", "amount", "unit"])
+
+
+@pytest.fixture
+def small_table(small_schema) -> Table:
+    return Table(
+        small_schema,
+        [
+            ("1", "alpha", "100", "EUR"),
+            ("2", "beta", "250", "EUR"),
+            ("3", "gamma", "75", "USD"),
+            ("4", "delta", "100", "USD"),
+        ],
+    )
+
+
+@pytest.fixture
+def iris_table() -> Table:
+    """A small surrogate iris table (deterministic)."""
+    return load_dataset("iris", seed=7)
+
+
+@pytest.fixture
+def generated_iris():
+    """A generated (η=0.3, τ=0.3) problem instance over the iris surrogate."""
+    table = load_dataset("iris", seed=7)
+    return generate_problem_instance(table, eta=0.3, tau=0.3, seed=11, name="iris-test")
+
+
+@pytest.fixture
+def hid_config():
+    """A fast variant of the paper's Hid configuration for unit tests."""
+    return identity_configuration(max_expansions=200)
+
+
+@pytest.fixture
+def hs_config():
+    """A fast variant of the paper's Hs configuration for unit tests."""
+    return overlap_configuration(max_expansions=200)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)

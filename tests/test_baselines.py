@@ -1,0 +1,122 @@
+"""Unit tests for the baseline comparators (keyed diff, similarity linking, trivial)."""
+
+import pytest
+
+from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
+from repro.core import ProblemInstance
+from repro.dataio import Schema, Table
+from repro.datagen.running_example import (
+    reference_alignment,
+    running_example_instance,
+    source_table,
+    target_table,
+)
+
+
+@pytest.fixture
+def stable_key_snapshots():
+    schema = Schema(["key", "value", "status"])
+    source = Table(schema, [("k1", "10", "old"), ("k2", "20", "old"), ("k3", "30", "old")])
+    target = Table(schema, [("k2", "20", "new"), ("k1", "11", "old"), ("k9", "90", "new")])
+    return source, target
+
+
+class TestKeyedDiff:
+    def test_alignment_and_changes_with_stable_keys(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        report = KeyedDiff(["key"]).diff(source, target)
+        assert report.alignment == {0: 1, 1: 0}
+        assert report.deleted_source_ids == (2,)
+        assert report.inserted_target_ids == (2,)
+        changed = {(c.attribute, c.old_value, c.new_value) for c in report.cell_changes}
+        assert ("value", "10", "11") in changed
+        assert ("status", "old", "new") in changed
+        assert report.n_changed_cells == 2
+
+    def test_description_length_counts_inserts_and_changes(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        report = KeyedDiff(["key"]).diff(source, target)
+        # 1 inserted record × 3 attributes + 2 changed cells × 2 values
+        assert report.description_length(n_attributes=3) == 3 + 4
+
+    def test_requires_key_attribute(self):
+        with pytest.raises(ValueError):
+            KeyedDiff([])
+
+    def test_unknown_key_attribute_raises(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        with pytest.raises(Exception):
+            KeyedDiff(["missing"]).diff(source, target)
+
+    def test_summary_mentions_counts(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        text = KeyedDiff(["key"]).diff(source, target).summary()
+        assert "2 aligned" in text
+
+    def test_breaks_down_under_key_reassignment(self):
+        # The motivating failure mode: on the running example the composite key
+        # was reassigned, so a keyed diff on ID2 produces a wrong alignment.
+        instance = running_example_instance()
+        report = KeyedDiff(["ID2"]).diff(instance.source, instance.target)
+        reference = reference_alignment()
+        wrong = sum(
+            1 for source_id, target_id in report.alignment.items()
+            if reference.get(source_id) != target_id
+        )
+        assert wrong > len(report.alignment) / 2
+        # and the per-record change script is much longer than Affidavit's
+        # 77-cost explanation
+        assert report.description_length(instance.n_attributes) > 77
+
+
+class TestSimilarityLinker:
+    def test_links_records_sharing_values(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        result = SimilarityLinker().link(source, target)
+        assert result.alignment[1] == 0  # k2 rows share key and value
+        assert result.n_aligned >= 2
+
+    def test_one_to_one_matching(self):
+        schema = Schema(["v"])
+        source = Table(schema, [("a",), ("a",)])
+        target = Table(schema, [("a",)])
+        result = SimilarityLinker().link(source, target)
+        assert result.n_aligned == 1
+        assert len(result.deleted_source_ids) == 1
+
+    def test_min_score_threshold(self, stable_key_snapshots):
+        source, target = stable_key_snapshots
+        result = SimilarityLinker(min_score=3).link(source, target)
+        # only exact triples would reach score 3; none exist
+        assert result.n_aligned == 0
+
+    def test_invalid_min_score(self):
+        with pytest.raises(ValueError):
+            SimilarityLinker(min_score=0)
+
+    def test_degrades_on_running_example(self):
+        # Val and Unit are transformed, ID1/ID2 reassigned: pure similarity
+        # matching cannot recover the full reference alignment.
+        instance = running_example_instance()
+        result = SimilarityLinker().link(instance.source, instance.target)
+        reference = reference_alignment()
+        correct = sum(
+            1 for source_id, target_id in result.alignment.items()
+            if reference.get(source_id) == target_id
+        )
+        assert correct < len(reference)
+
+
+class TestTrivialBaseline:
+    def test_costs_and_structure(self):
+        instance = running_example_instance()
+        result = run_trivial_baseline(instance)
+        assert result.cost == 112
+        assert result.n_deleted == instance.n_source_records
+        assert result.n_inserted == instance.n_target_records
+        assert result.explanation.is_valid(instance)
+
+    def test_alpha_scaling(self):
+        instance = running_example_instance()
+        assert run_trivial_baseline(instance, alpha=1.0).cost == 2 * 112
+        assert run_trivial_baseline(instance, alpha=0.0).cost == 0

@@ -1,0 +1,130 @@
+"""Tests of the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataio import read_csv, write_csv
+from repro.datagen.running_example import source_table, target_table
+from repro.export import explanation_from_json
+
+
+@pytest.fixture
+def snapshot_files(tmp_path):
+    source_path = tmp_path / "source.csv"
+    target_path = tmp_path / "target.csv"
+    write_csv(source_table(), source_path)
+    write_csv(target_table(), target_path)
+    return source_path, target_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_defaults(self, snapshot_files):
+        source_path, target_path = snapshot_files
+        args = build_parser().parse_args(["explain", str(source_path), str(target_path)])
+        assert args.config == "hid"
+        assert args.json is None
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "iris"])
+        assert args.eta == 0.3
+        assert args.tau == 0.3
+
+
+class TestExplainCommand:
+    def test_prints_report(self, snapshot_files, capsys):
+        source_path, target_path = snapshot_files
+        exit_code = main(["explain", str(source_path), str(target_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "attribute transformations" in output
+        assert "Val" in output
+
+    def test_writes_json_sql_and_report(self, snapshot_files, tmp_path, capsys):
+        source_path, target_path = snapshot_files
+        json_path = tmp_path / "explanation.json"
+        sql_path = tmp_path / "migration.sql"
+        report_path = tmp_path / "report.txt"
+        exit_code = main([
+            "explain", str(source_path), str(target_path),
+            "--quiet",
+            "--json", str(json_path),
+            "--sql", str(sql_path),
+            "--table-name", "erp_items",
+            "--report", str(report_path),
+        ])
+        assert exit_code == 0
+        assert capsys.readouterr().out == ""
+
+        explanation = explanation_from_json(json_path.read_text())
+        assert explanation.core_size == 13
+
+        sql = sql_path.read_text()
+        assert '"erp_items"' in sql
+        assert "UPDATE" in sql and "INSERT INTO" in sql
+
+        assert "record-level changes" in report_path.read_text()
+
+    def test_overlap_configuration_flag(self, snapshot_files, capsys):
+        source_path, target_path = snapshot_files
+        exit_code = main([
+            "explain", str(source_path), str(target_path), "--config", "hs",
+        ])
+        assert exit_code == 0
+        assert "snapshot difference report" in capsys.readouterr().out
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["explain", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")])
+
+
+class TestGenerateCommand:
+    def test_writes_snapshot_pair(self, tmp_path, capsys):
+        exit_code = main([
+            "generate", "iris", "--records", "90", "--eta", "0.2", "--tau", "0.2",
+            "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output
+        source = read_csv(tmp_path / "iris_source.csv")
+        target = read_csv(tmp_path / "iris_target.csv")
+        assert source.schema == target.schema
+        assert source.n_rows > 0
+
+    def test_unknown_dataset_fails(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "no-such-dataset", "--output-dir", str(tmp_path)])
+
+
+class TestDatasetsCommand:
+    def test_lists_catalog(self, capsys):
+        exit_code = main(["datasets"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "iris" in output and "uniprot" in output
+        assert "records" in output
+
+
+class TestEndToEndViaCli:
+    def test_generate_then_explain(self, tmp_path, capsys):
+        main([
+            "generate", "balance", "--records", "150", "--seed", "5",
+            "--output-dir", str(tmp_path),
+        ])
+        json_path = tmp_path / "explanation.json"
+        exit_code = main([
+            "explain",
+            str(tmp_path / "balance_source.csv"),
+            str(tmp_path / "balance_target.csv"),
+            "--quiet",
+            "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert "functions" in payload and "alignment" in payload

@@ -1,0 +1,132 @@
+"""Tests of the 3-SAT → Explain-Table-Delta reduction (Theorem 3.12, Figure 2)."""
+
+import random
+
+import pytest
+
+from repro.complexity import (
+    CLAUSE_ATTRIBUTE,
+    example_formula,
+    extract_interpretation,
+    formula,
+    clause,
+    interpretation_to_functions,
+    is_satisfiable,
+    random_formula,
+    reduce_formula,
+    solve_reduction_exact,
+)
+from repro.core import explanation_cost, explanation_from_functions
+from repro.functions import BOOLEAN_NEGATION, IDENTITY
+
+
+class TestReductionConstruction:
+    def test_figure2_dimensions(self):
+        # The example reduction of Figure 2 has 3 source and 11 target records.
+        instance = reduce_formula(example_formula())
+        assert instance.n_source_records == 3
+        assert instance.n_target_records == 11
+        assert list(instance.schema) == ["#", "v1", "v2", "v3", "v4"]
+
+    def test_source_rows_encode_literal_polarity(self):
+        instance = reduce_formula(example_formula())
+        rows = {row[0]: row for row in instance.source}
+        assert rows["c1"] == ("c1", "1", "1", "1", "-")
+        assert rows["c2"] == ("c2", "0", "-", "-", "1")
+        assert rows["c3"] == ("c3", "-", "-", "0", "-")
+
+    def test_target_rows_per_clause(self):
+        instance = reduce_formula(example_formula())
+        tags = [row[0] for row in instance.target]
+        assert tags.count("c1") == 7  # 2³ − 1 models of a 3-literal clause
+        assert tags.count("c2") == 3  # 2² − 1
+        assert tags.count("c3") == 1  # 2¹ − 1
+
+    def test_target_rows_have_at_least_one_satisfied_literal(self):
+        instance = reduce_formula(example_formula())
+        for row in instance.target:
+            literal_cells = [cell for cell in row[1:] if cell != "-"]
+            assert "1" in literal_cells
+
+    def test_registry_restricted_to_identity_and_negation(self):
+        instance = reduce_formula(example_formula())
+        assert set(instance.registry.names) == {"identity", "boolean_negation"}
+
+    def test_function_description_lengths_are_zero(self):
+        # Both allowed functions have ψ = 0, so costs are driven by |T⁺| alone.
+        assert IDENTITY.description_length == 0
+        assert BOOLEAN_NEGATION.description_length == 0
+
+
+class TestInterpretationEncoding:
+    def test_satisfying_interpretation_produces_one_target_per_clause(self):
+        f = example_formula()
+        instance = reduce_formula(f)
+        model = {"v1": False, "v2": True, "v3": False, "v4": True}
+        assert f.satisfied_by(model) is True
+        functions = interpretation_to_functions(f, model)
+        explanation = explanation_from_functions(instance, functions)
+        assert explanation.n_deleted == 0
+        assert explanation.core_size == f.n_clauses
+
+    def test_falsifying_interpretation_leaves_clause_unexplained(self):
+        f = example_formula()
+        instance = reduce_formula(f)
+        interpretation = {"v1": True, "v2": False, "v3": True, "v4": False}
+        assert f.satisfied_by(interpretation) is False
+        functions = interpretation_to_functions(f, interpretation)
+        explanation = explanation_from_functions(instance, functions)
+        assert explanation.n_deleted >= 1
+
+    def test_unsatisfied_clause_count_matches_deletions(self):
+        f = example_formula()
+        instance = reduce_formula(f)
+        interpretation = {"v1": True, "v2": False, "v3": True, "v4": False}
+        functions = interpretation_to_functions(f, interpretation)
+        explanation = explanation_from_functions(instance, functions)
+        unsatisfied = f.n_clauses - f.n_satisfied_clauses(interpretation)
+        assert explanation.n_deleted == unsatisfied
+
+    def test_extract_interpretation_round_trip(self):
+        f = example_formula()
+        instance = reduce_formula(f)
+        model = {"v1": False, "v2": True, "v3": False, "v4": True}
+        explanation = explanation_from_functions(
+            instance, interpretation_to_functions(f, model)
+        )
+        assert extract_interpretation(f, explanation) == model
+
+
+class TestExactSolution:
+    def test_satisfiable_formula_yields_zero_deletions(self):
+        solution = solve_reduction_exact(example_formula())
+        assert solution.is_satisfying
+        assert solution.satisfied_clauses == 3
+        assert example_formula().satisfied_by(solution.interpretation) is True
+
+    def test_unsatisfiable_formula_cannot_explain_every_clause(self):
+        f = formula(clause("v1"), clause("!v1"))
+        solution = solve_reduction_exact(f)
+        assert not solution.is_satisfying
+        assert solution.satisfied_clauses == 1
+
+    def test_cost_decreases_with_each_satisfied_clause(self):
+        # Each satisfied clause removes one target record from T⁺ (|A| cells).
+        f = example_formula()
+        instance = reduce_formula(f)
+        n_attributes = instance.n_attributes
+        best = solve_reduction_exact(f)
+        all_deleted_cost = n_attributes * instance.n_target_records
+        assert best.cost == all_deleted_cost - n_attributes * f.n_clauses
+
+    def test_reduction_decides_satisfiability_like_dpll(self):
+        rng = random.Random(21)
+        for _ in range(6):
+            f = random_formula(4, 6, rng=rng)
+            solution = solve_reduction_exact(f)
+            assert solution.is_satisfying == is_satisfiable(f)
+
+    def test_explanation_cost_consistency(self):
+        f = example_formula()
+        solution = solve_reduction_exact(f)
+        assert solution.cost == explanation_cost(solution.instance, solution.explanation)

@@ -1,0 +1,137 @@
+"""Unit tests for the 3-SAT machinery (formulas, DPLL solver)."""
+
+import random
+
+import pytest
+
+from repro.complexity import (
+    Clause,
+    Formula,
+    Literal,
+    clause,
+    example_formula,
+    formula,
+    is_satisfiable,
+    max_satisfiable_clauses,
+    random_formula,
+    solve,
+)
+
+
+class TestLiteralsAndClauses:
+    def test_literal_parsing_shorthand(self):
+        c = clause("v1", "!v2", "¬v3")
+        assert c.literals[0] == Literal("v1", True)
+        assert c.literals[1] == Literal("v2", False)
+        assert c.literals[2] == Literal("v3", False)
+
+    def test_literal_negation(self):
+        assert Literal("x", True).negated() == Literal("x", False)
+
+    def test_literal_satisfaction(self):
+        assert Literal("x", True).satisfied_by({"x": True}) is True
+        assert Literal("x", False).satisfied_by({"x": True}) is False
+        assert Literal("x", True).satisfied_by({}) is None
+
+    def test_clause_requires_literals(self):
+        with pytest.raises(ValueError):
+            Clause(())
+
+    def test_clause_rejects_repeated_variables(self):
+        with pytest.raises(ValueError):
+            clause("v1", "!v1")
+
+    def test_clause_satisfaction(self):
+        c = clause("v1", "!v2")
+        assert c.satisfied_by({"v1": True, "v2": True}) is True
+        assert c.satisfied_by({"v1": False, "v2": True}) is False
+        assert c.satisfied_by({"v1": False}) is None
+
+
+class TestFormula:
+    def test_variables_ordered_by_first_occurrence(self):
+        f = example_formula()
+        assert f.variables == ["v1", "v2", "v3", "v4"]
+        assert f.n_clauses == 3
+
+    def test_formula_requires_clauses(self):
+        with pytest.raises(ValueError):
+            Formula(())
+
+    def test_satisfaction(self):
+        f = example_formula()
+        model = {"v1": False, "v2": True, "v3": False, "v4": False}
+        assert f.satisfied_by(model) is True
+        assert f.n_satisfied_clauses(model) == 3
+        falsifying = {"v1": True, "v2": False, "v3": True, "v4": False}
+        assert f.satisfied_by(falsifying) is False
+
+    def test_repr_contains_connectives(self):
+        assert "∧" in repr(example_formula())
+        assert "∨" in repr(example_formula().clauses[0])
+
+
+class TestDpll:
+    def test_example_formula_is_satisfiable(self):
+        model = solve(example_formula())
+        assert model is not None
+        assert example_formula().satisfied_by(model) is True
+
+    def test_unsatisfiable_formula(self):
+        f = formula(clause("v1"), clause("!v1"))
+        assert solve(f) is None
+        assert not is_satisfiable(f)
+
+    def test_unsatisfiable_three_variable_formula(self):
+        # (x ∨ y) ∧ (x ∨ ¬y) ∧ (¬x ∨ y) ∧ (¬x ∨ ¬y) is unsatisfiable.
+        f = formula(
+            clause("x", "y"), clause("x", "!y"), clause("!x", "y"), clause("!x", "!y")
+        )
+        assert not is_satisfiable(f)
+
+    def test_solution_covers_all_variables(self):
+        model = solve(example_formula())
+        assert set(model) == {"v1", "v2", "v3", "v4"}
+
+    def test_respects_partial_assignment(self):
+        f = formula(clause("v1", "v2"))
+        model = solve(f, {"v1": False})
+        assert model is not None
+        assert model["v2"] is True
+
+    def test_random_formulas_agree_with_bruteforce(self):
+        rng = random.Random(5)
+        for index in range(10):
+            f = random_formula(5, 8, rng=rng)
+            best_count, _ = max_satisfiable_clauses(f)
+            assert is_satisfiable(f) == (best_count == f.n_clauses)
+
+
+class TestMaxSat:
+    def test_max_satisfiable_clauses_on_unsat_formula(self):
+        f = formula(clause("v1"), clause("!v1"))
+        best_count, assignment = max_satisfiable_clauses(f)
+        assert best_count == 1
+        assert f.n_satisfied_clauses(assignment) == 1
+
+    def test_max_satisfiable_on_satisfiable_formula(self):
+        best_count, assignment = max_satisfiable_clauses(example_formula())
+        assert best_count == 3
+        assert example_formula().satisfied_by(assignment) is True
+
+
+class TestRandomFormula:
+    def test_dimensions(self):
+        f = random_formula(6, 10, rng=random.Random(0))
+        assert f.n_clauses == 10
+        assert all(len(c) == 3 for c in f.clauses)
+        assert set(f.variables) <= {f"v{i}" for i in range(1, 7)}
+
+    def test_requires_enough_variables(self):
+        with pytest.raises(ValueError):
+            random_formula(2, 3)
+
+    def test_deterministic_for_seed(self):
+        assert random_formula(5, 5, rng=random.Random(1)) == random_formula(
+            5, 5, rng=random.Random(1)
+        )

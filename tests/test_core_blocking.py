@@ -1,0 +1,129 @@
+"""Unit tests for blocking under search states (Definitions 4.3/4.4)."""
+
+import pytest
+
+from repro.core import ProblemInstance, SearchState, build_blocking, refine_blocking
+from repro.core.blocking import NOT_APPLICABLE, transformed_column
+from repro.dataio import Schema, Table
+from repro.datagen.running_example import running_example_instance
+from repro.functions import IDENTITY, ConstantValue, Division, ValueMapping
+
+
+@pytest.fixture
+def instance():
+    schema = Schema(["kind", "amount"])
+    source = Table(schema, [("A", "1000"), ("A", "2000"), ("B", "3000")])
+    target = Table(schema, [("A", "1"), ("A", "2"), ("B", "3"), ("C", "9")])
+    return ProblemInstance(source=source, target=target)
+
+
+class TestBuildBlocking:
+    def test_no_assignments_yields_single_block(self, instance):
+        blocking = build_blocking(instance, SearchState.empty(instance.schema))
+        assert len(blocking) == 1
+        block = next(iter(blocking))
+        assert len(block.source_ids) == 3
+        assert len(block.target_ids) == 4
+
+    def test_identity_assignment_groups_by_value(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state)
+        assert len(blocking) == 3  # A, B, C
+        mixed = blocking.mixed_blocks()
+        assert len(mixed) == 2  # A and B have both sides
+
+    def test_source_cells_are_transformed_before_blocking(self, instance):
+        state = SearchState.empty(instance.schema).extend("amount", Division(1000))
+        blocking = build_blocking(instance, state)
+        # "1000"/1000 = "1" matches target "1": a mixed block must exist.
+        assert any(
+            block.is_mixed and len(block.source_ids) == 1 for block in blocking
+        )
+
+    def test_inapplicable_cells_never_match_targets(self, instance):
+        state = SearchState.empty(instance.schema).extend("amount", ValueMapping({}))
+        blocking = build_blocking(instance, state)
+        assert blocking.unaligned_source_bound() == 3
+        assert blocking.unaligned_target_bound() == 4
+
+    def test_transformed_column_marks_inapplicable_cells(self, instance):
+        column = transformed_column(instance.source, "amount", ValueMapping({"1000": "x"}))
+        assert column == ["x", NOT_APPLICABLE, NOT_APPLICABLE]
+
+
+class TestBounds:
+    def test_bounds_with_no_assignment(self, instance):
+        blocking = build_blocking(instance, SearchState.empty(instance.schema))
+        assert blocking.unaligned_target_bound() == 1  # |T| - |S|
+        assert blocking.unaligned_source_bound() == 0
+
+    def test_bounds_with_identity(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state)
+        # block C has a target but no source record
+        assert blocking.unaligned_target_bound() == 1
+        assert blocking.unaligned_source_bound() == 0
+
+    def test_bounds_with_constant(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", ConstantValue("A"))
+        blocking = build_blocking(instance, state)
+        # all sources land in block A (2 targets), so one source is surplus,
+        # and blocks B and C have surplus targets.
+        assert blocking.unaligned_source_bound() == 1
+        assert blocking.unaligned_target_bound() == 2
+
+
+class TestRefinement:
+    def test_refine_equals_build_from_scratch(self, instance):
+        base_state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        base = build_blocking(instance, base_state)
+        refined = refine_blocking(instance, base, "amount", Division(1000))
+
+        full_state = base_state.extend("amount", Division(1000))
+        rebuilt = build_blocking(instance, full_state)
+
+        assert refined.unaligned_source_bound() == rebuilt.unaligned_source_bound()
+        assert refined.unaligned_target_bound() == rebuilt.unaligned_target_bound()
+        assert len(refined.mixed_blocks()) == len(rebuilt.mixed_blocks())
+
+    def test_refine_on_running_example(self):
+        instance = running_example_instance()
+        state = SearchState.empty(instance.schema).extend("Type", IDENTITY)
+        base = build_blocking(instance, state)
+        refined = refine_blocking(instance, base, "Org", IDENTITY)
+        state2 = state.extend("Org", IDENTITY)
+        rebuilt = build_blocking(instance, state2)
+        assert refined.unaligned_source_bound() == rebuilt.unaligned_source_bound()
+        assert refined.unaligned_target_bound() == rebuilt.unaligned_target_bound()
+
+
+class TestIndeterminacy:
+    def test_max_distinct_source_values(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state)
+        # in block A there are two distinct amounts, in block B one.
+        assert blocking.max_distinct_source_values(instance.source, "amount") == 2
+        assert blocking.max_distinct_source_values(instance.source, "kind") == 1
+
+    def test_running_example_figure3_block(self):
+        # Figure 3: under H₁ = (*, *, *, id, *, const 'k $', id) the block with
+        # index ('C', 'k $', 'SAP') holds S08, S09, S10 and T08, T10.
+        instance = running_example_instance()
+        state = (
+            SearchState.empty(instance.schema)
+            .extend("Type", IDENTITY)
+            .extend("Unit", ConstantValue("k $"))
+            .extend("Org", IDENTITY)
+        )
+        blocking = build_blocking(instance, state)
+        source = instance.source
+        target = instance.target
+        matching = [
+            block for block in blocking
+            if {source.cell(i, "ID1") for i in block.source_ids} == {"S08", "S09", "S10"}
+        ]
+        assert len(matching) == 1
+        block = matching[0]
+        assert {target.cell(i, "ID1") for i in block.target_ids} == {"T08", "T10"}
+        assert block.surplus_sources == 1
+        assert block.surplus_targets == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the MDL cost model (Definitions 3.8–3.10 and 4.6)."""
+
+import pytest
+
+from repro.core import (
+    ProblemInstance,
+    compression_ratio,
+    explanation_cost,
+    explanation_from_functions,
+    function_description_length,
+    insertion_description_length,
+    partial_state_cost,
+    trivial_explanation,
+    trivial_explanation_cost,
+)
+from repro.dataio import Schema, Table
+from repro.functions import IDENTITY, ConstantValue, Division, PrefixReplacement, ValueMapping
+
+
+@pytest.fixture
+def instance():
+    schema = Schema(["id", "amount"])
+    source = Table(schema, [("a", "1000"), ("b", "2000")])
+    target = Table(schema, [("a", "1"), ("b", "2"), ("c", "3")])
+    return ProblemInstance(source=source, target=target)
+
+
+class TestDescriptionLengths:
+    def test_insertion_length(self):
+        assert insertion_description_length(7, 3) == 21
+        assert insertion_description_length(7, 0) == 0
+
+    def test_insertion_length_rejects_negative(self):
+        with pytest.raises(ValueError):
+            insertion_description_length(-1, 2)
+
+    def test_function_length_sums_psi(self):
+        functions = [IDENTITY, Division(1000), ConstantValue("x"),
+                     PrefixReplacement("a", "b"), ValueMapping({"1": "2", "3": "4"})]
+        assert function_description_length(functions) == 0 + 1 + 1 + 2 + 4
+
+
+class TestExplanationCost:
+    def test_alpha_default_balances_terms(self, instance):
+        explanation = explanation_from_functions(
+            instance, {"id": IDENTITY, "amount": Division(1000)}
+        )
+        # 1 inserted record × 2 attributes + ψ(division)=1
+        assert explanation_cost(instance, explanation) == 2 + 1
+
+    def test_alpha_extremes(self, instance):
+        explanation = explanation_from_functions(
+            instance, {"id": IDENTITY, "amount": Division(1000)}
+        )
+        # alpha = 1: only insertions count (doubled weight).
+        assert explanation_cost(instance, explanation, alpha=1.0) == 2 * 2
+        # alpha = 0: only functions count (doubled weight).
+        assert explanation_cost(instance, explanation, alpha=0.0) == 2 * 1
+
+    def test_invalid_alpha_rejected(self, instance):
+        explanation = trivial_explanation(instance)
+        with pytest.raises(ValueError):
+            explanation_cost(instance, explanation, alpha=1.5)
+
+    def test_trivial_cost(self, instance):
+        assert trivial_explanation_cost(instance) == instance.n_attributes * instance.n_target_records
+        trivial = trivial_explanation(instance)
+        assert explanation_cost(instance, trivial) == trivial_explanation_cost(instance)
+
+    def test_compression_ratio(self, instance):
+        explanation = explanation_from_functions(
+            instance, {"id": IDENTITY, "amount": Division(1000)}
+        )
+        assert compression_ratio(instance, explanation) == pytest.approx(3 / 6)
+        assert compression_ratio(instance, trivial_explanation(instance)) == pytest.approx(1.0)
+
+
+class TestPartialStateCost:
+    def test_uses_the_tighter_lower_bound(self):
+        cost = partial_state_cost(
+            n_attributes=3,
+            function_lengths=2,
+            unaligned_target_bound=1,
+            unaligned_source_bound=5,
+            delta=1,
+            alpha=0.5,
+        )
+        # max(1, 5 - 1) = 4 unaligned targets → 4 × 3 attributes + 2
+        assert cost == 4 * 3 + 2
+
+    def test_never_negative_insertion_bound(self):
+        cost = partial_state_cost(
+            n_attributes=3,
+            function_lengths=0,
+            unaligned_target_bound=0,
+            unaligned_source_bound=0,
+            delta=10,
+            alpha=0.5,
+        )
+        assert cost == 0
+
+    def test_alpha_weighting(self):
+        cost = partial_state_cost(
+            n_attributes=2,
+            function_lengths=4,
+            unaligned_target_bound=3,
+            unaligned_source_bound=0,
+            delta=0,
+            alpha=0.25,
+        )
+        assert cost == pytest.approx(2 * 0.25 * 6 + 2 * 0.75 * 4)

@@ -1,0 +1,119 @@
+"""Unit tests for state-cost evaluation (Section 4.5) and start states (Section 4.2)."""
+
+import pytest
+
+from repro.core import (
+    ProblemInstance,
+    SearchState,
+    StateEvaluator,
+    build_blocking,
+    empty_start_states,
+    explanation_cost,
+    explanation_from_functions,
+    identity_start_states,
+    overlap_start_states,
+    start_states,
+    identity_configuration,
+    overlap_configuration,
+    AffidavitConfig,
+)
+from repro.dataio import Schema, Table
+from repro.datagen.running_example import reference_functions, running_example_instance
+from repro.functions import IDENTITY, ConstantValue, Division
+
+
+@pytest.fixture
+def instance():
+    schema = Schema(["kind", "amount"])
+    source = Table(schema, [("A", "1000"), ("A", "2000"), ("B", "3000")])
+    target = Table(schema, [("A", "1"), ("A", "2"), ("B", "3"), ("C", "9")])
+    return ProblemInstance(source=source, target=target)
+
+
+class TestStateEvaluator:
+    def test_cost_of_empty_state_is_delta_based(self, instance):
+        evaluator = StateEvaluator(instance)
+        state = SearchState.empty(instance.schema)
+        # one target more than sources → at least one insertion × |A|
+        assert evaluator.cost(state) == 1 * 2
+
+    def test_cost_grows_with_function_lengths(self, instance):
+        evaluator = StateEvaluator(instance)
+        cheap = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        pricey = SearchState.empty(instance.schema).extend("kind", ConstantValue("A"))
+        assert evaluator.cost(pricey) > evaluator.cost(cheap)
+
+    def test_end_state_cost_matches_explanation_cost(self):
+        # Coherence requirement of Section 4.5: for end states the state cost
+        # equals the cost of the explanation constructed from it.
+        instance = running_example_instance()
+        functions = reference_functions()
+        state = SearchState.from_functions(instance.schema, functions)
+        assert state.is_end_state
+        evaluator = StateEvaluator(instance)
+        explanation = explanation_from_functions(instance, functions)
+        assert evaluator.cost(state) == explanation_cost(instance, explanation)
+
+    def test_blocking_cache_returns_same_object(self, instance):
+        evaluator = StateEvaluator(instance, cache_size=4)
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        first = evaluator.blocking(state)
+        second = evaluator.blocking(state)
+        assert first is second
+
+    def test_cache_eviction(self, instance):
+        evaluator = StateEvaluator(instance, cache_size=1)
+        first_state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        second_state = SearchState.empty(instance.schema).extend("amount", Division(1000))
+        first = evaluator.blocking(first_state)
+        evaluator.blocking(second_state)
+        assert evaluator.blocking(first_state) is not first
+
+    def test_remember_blocking(self, instance):
+        evaluator = StateEvaluator(instance)
+        state = SearchState.empty(instance.schema)
+        blocking = build_blocking(instance, state)
+        evaluator.remember_blocking(state, blocking)
+        assert evaluator.blocking(state) is blocking
+
+    def test_invalid_alpha(self, instance):
+        with pytest.raises(ValueError):
+            StateEvaluator(instance, alpha=2.0)
+
+
+class TestStartStates:
+    def test_empty_strategy(self, instance):
+        states = empty_start_states(instance)
+        assert len(states) == 1
+        assert states[0].n_assigned == 0
+
+    def test_identity_strategy_one_state_per_attribute(self, instance):
+        states = identity_start_states(instance)
+        assert len(states) == instance.n_attributes
+        for state in states:
+            assert state.n_assigned == 1
+            decided = state.decided_functions
+            assert all(function.is_identity for function in decided.values())
+        assigned = {state.decided_attributes[0] for state in states}
+        assert assigned == set(instance.schema)
+
+    def test_overlap_strategy_on_running_example(self):
+        instance = running_example_instance()
+        states = overlap_start_states(instance)
+        assert len(states) == 1
+        state = states[0]
+        assert state.n_assigned >= 1
+        # every pre-assigned attribute uses the identity
+        assert all(function.is_identity for function in state.decided_functions.values())
+
+    def test_overlap_strategy_falls_back_to_empty(self, instance):
+        # With a tiny block-size cap every shared value is skipped, so no
+        # identity attributes can be derived and H∅ is used instead.
+        states = overlap_start_states(instance, max_block_size=0 + 1)
+        assert len(states) == 1
+
+    def test_dispatch_by_configuration(self, instance):
+        assert len(start_states(instance, identity_configuration())) == instance.n_attributes
+        assert len(start_states(instance, overlap_configuration())) == 1
+        empty_config = AffidavitConfig(start_strategy="empty")
+        assert start_states(instance, empty_config)[0].n_assigned == 0

@@ -1,0 +1,142 @@
+"""Unit tests for the state-extension machinery (Sections 4.3 and 4.4)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ProblemInstance,
+    SearchState,
+    StateEvaluator,
+    StateExpander,
+    build_blocking,
+    identity_configuration,
+)
+from repro.core.search_state import MAP_MARKER
+from repro.dataio import Schema, Table
+from repro.datagen.running_example import running_example_instance
+from repro.functions import IDENTITY, ConstantValue, Division
+
+
+def make_expander(instance, config=None):
+    config = config or identity_configuration()
+    evaluator = StateEvaluator(instance, alpha=config.alpha)
+    rng = random.Random(config.seed)
+    return StateExpander(instance, config, evaluator, rng), evaluator
+
+
+@pytest.fixture
+def numeric_instance():
+    """Sources divided by 1000 plus one inserted target record."""
+    schema = Schema(["kind", "amount"])
+    source_rows = [("A", str(1000 * (i + 1))) for i in range(20)]
+    target_rows = [("A", str(i + 1)) for i in range(20)] + [("B", "999")]
+    return ProblemInstance(
+        source=Table(schema, source_rows), target=Table(schema, target_rows)
+    )
+
+
+class TestBudgets:
+    def test_sample_budgets_follow_the_paper(self, numeric_instance):
+        expander, _ = make_expander(numeric_instance)
+        assert expander.ranking_budget == 139
+        # θ=0.1, ρ=0.95, ≥5 generations → k in the low nineties
+        assert 80 <= expander.example_budget <= 100
+
+
+class TestExpand:
+    def test_expands_amount_with_division(self, numeric_instance):
+        expander, evaluator = make_expander(numeric_instance)
+        state = SearchState.empty(numeric_instance.schema).extend("kind", IDENTITY)
+        extensions = expander.expand(state)
+        assert extensions
+        assigned = {
+            extension.attribute: extension.state.function_for("amount")
+            for extension in extensions
+        }
+        assert "amount" in assigned
+        functions = [
+            extension.state.function_for("amount")
+            for extension in extensions
+            if extension.attribute == "amount"
+        ]
+        assert any(
+            function is not None and function.apply("5000") == "5"
+            for function in functions
+        )
+
+    def test_extension_costs_match_evaluator(self, numeric_instance):
+        expander, evaluator = make_expander(numeric_instance)
+        state = SearchState.empty(numeric_instance.schema).extend("kind", IDENTITY)
+        for extension in expander.expand(state):
+            assert extension.cost == pytest.approx(evaluator.cost(extension.state))
+
+    def test_end_state_is_not_expandable(self, numeric_instance):
+        expander, _ = make_expander(numeric_instance)
+        state = SearchState.from_functions(
+            numeric_instance.schema, {"kind": IDENTITY, "amount": Division(1000)}
+        )
+        assert expander.expand(state) == []
+
+    def test_map_marked_state_is_finalized(self, numeric_instance):
+        expander, _ = make_expander(numeric_instance)
+        state = (
+            SearchState.empty(numeric_instance.schema)
+            .extend("kind", IDENTITY)
+            .extend("amount", MAP_MARKER)
+        )
+        extensions = expander.expand(state)
+        assert len(extensions) == 1
+        assert extensions[0].state.is_end_state
+
+    def test_finalized_states_use_value_mappings(self, numeric_instance):
+        expander, _ = make_expander(numeric_instance)
+        state = (
+            SearchState.empty(numeric_instance.schema)
+            .extend("kind", IDENTITY)
+            .extend("amount", MAP_MARKER)
+        )
+        final = expander.expand(state)[0].state
+        function = final.function_for("amount")
+        assert function.meta_name == "value_mapping"
+
+    def test_expansion_is_deterministic_for_fixed_seed(self, numeric_instance):
+        state = SearchState.empty(numeric_instance.schema).extend("kind", IDENTITY)
+        first_expander, _ = make_expander(numeric_instance)
+        second_expander, _ = make_expander(numeric_instance)
+        first = [(e.attribute, e.state, e.cost) for e in first_expander.expand(state)]
+        second = [(e.attribute, e.state, e.cost) for e in second_expander.expand(state)]
+        assert first == second
+
+
+class TestExtensionQuality:
+    def test_running_example_extends_val_with_division(self):
+        instance = running_example_instance()
+        expander, _ = make_expander(instance)
+        state = (
+            SearchState.empty(instance.schema)
+            .extend("Type", IDENTITY)
+            .extend("Org", IDENTITY)
+            .extend("Unit", ConstantValue("k $"))
+        )
+        extensions = expander.expand(state)
+        functions = {
+            (extension.attribute, repr(extension.state.function_for(extension.attribute)))
+            for extension in extensions
+        }
+        assert any(attribute == "Val" for attribute, _ in functions) or any(
+            attribute == "Date" for attribute, _ in functions
+        )
+        # whichever attribute was chosen, the induced candidates must beat a
+        # greedy value map, i.e. be concise functions
+        for extension in extensions:
+            induced = extension.state.function_for(extension.attribute)
+            assert induced.description_length <= 4
+
+    def test_blocking_of_extension_is_remembered(self, numeric_instance):
+        expander, evaluator = make_expander(numeric_instance)
+        state = SearchState.empty(numeric_instance.schema).extend("kind", IDENTITY)
+        extensions = expander.expand(state)
+        for extension in extensions:
+            if extension.blocking is not None:
+                assert evaluator.blocking(extension.state) is extension.blocking

@@ -1,0 +1,200 @@
+"""Unit tests for ProblemInstance, Explanation and Proposition 3.6."""
+
+import pytest
+
+from repro.core import (
+    Explanation,
+    InvalidExplanationError,
+    ProblemInstance,
+    explanation_from_functions,
+    trivial_explanation,
+)
+from repro.dataio import Schema, Table, TableError
+from repro.functions import IDENTITY, ConstantValue, Division, ValueMapping, default_registry
+
+
+@pytest.fixture
+def tiny_instance():
+    schema = Schema(["id", "amount", "unit"])
+    source = Table(schema, [("a", "1000", "USD"), ("b", "2000", "USD"), ("c", "500", "USD")])
+    target = Table(schema, [("b", "2", "kUSD"), ("a", "1", "kUSD"), ("z", "9", "kUSD")])
+    return ProblemInstance(source=source, target=target, name="tiny")
+
+
+class TestProblemInstance:
+    def test_schema_must_match(self):
+        source = Table(Schema(["a"]), [("1",)])
+        target = Table(Schema(["b"]), [("1",)])
+        with pytest.raises(TableError):
+            ProblemInstance(source=source, target=target)
+
+    def test_basic_properties(self, tiny_instance):
+        assert tiny_instance.n_attributes == 3
+        assert tiny_instance.n_source_records == 3
+        assert tiny_instance.n_target_records == 3
+        assert tiny_instance.delta == 0
+        assert tiny_instance.attributes == ("id", "amount", "unit")
+
+    def test_delta(self):
+        schema = Schema(["a"])
+        instance = ProblemInstance(
+            source=Table(schema, [("1",), ("2",)]),
+            target=Table(schema, [("1",)]),
+        )
+        assert instance.delta == 1
+
+    def test_describe_mentions_name_and_sizes(self, tiny_instance):
+        text = tiny_instance.describe()
+        assert "tiny" in text and "|S|=3" in text
+
+    def test_restricted_to(self, tiny_instance):
+        restricted = tiny_instance.restricted_to(["amount"])
+        assert restricted.n_attributes == 1
+        assert restricted.source.row(0) == ("1000",)
+
+    def test_with_registry(self, tiny_instance):
+        registry = default_registry(include_dates=False)
+        swapped = tiny_instance.with_registry(registry)
+        assert "date_conversion" not in swapped.registry
+        assert swapped.source is tiny_instance.source
+
+    def test_default_registry_used(self, tiny_instance):
+        assert "division" in tiny_instance.registry
+
+
+class TestExplanationFromFunctions:
+    def test_running_style_construction(self, tiny_instance):
+        functions = {
+            "id": ValueMapping({"a": "a", "b": "b"}),
+            "amount": Division(1000),
+            "unit": ConstantValue("kUSD"),
+        }
+        explanation = explanation_from_functions(tiny_instance, functions)
+        assert explanation.core_size == 2
+        assert explanation.deleted_source_ids == (2,)
+        assert explanation.inserted_target_ids == (2,)
+        assert explanation.is_valid(tiny_instance)
+        # source record 0 ("a") maps to target record 1 ("a", "1", "kUSD")
+        assert explanation.alignment[0] == 1
+
+    def test_missing_function_raises(self, tiny_instance):
+        with pytest.raises(InvalidExplanationError):
+            explanation_from_functions(tiny_instance, {"id": IDENTITY})
+
+    def test_inapplicable_function_sends_record_to_deleted(self, tiny_instance):
+        functions = {
+            "id": IDENTITY,
+            "amount": Division(1000),
+            "unit": ValueMapping({}),  # applicable to nothing
+        }
+        explanation = explanation_from_functions(tiny_instance, functions)
+        assert explanation.core_size == 0
+        assert len(explanation.deleted_source_ids) == 3
+        assert len(explanation.inserted_target_ids) == 3
+
+    def test_duplicate_images_consume_distinct_targets(self):
+        schema = Schema(["x"])
+        source = Table(schema, [("1",), ("1",), ("1",)])
+        target = Table(schema, [("1",), ("1",)])
+        instance = ProblemInstance(source=source, target=target)
+        explanation = explanation_from_functions(instance, {"x": IDENTITY})
+        assert explanation.core_size == 2
+        assert len(explanation.deleted_source_ids) == 1
+        assert explanation.inserted_target_ids == ()
+        assert explanation.is_valid(instance)
+
+
+class TestExplanationValidation:
+    def test_trivial_explanation_is_valid(self, tiny_instance):
+        explanation = trivial_explanation(tiny_instance)
+        assert explanation.is_valid(tiny_instance)
+        assert explanation.core_size == 0
+        assert explanation.n_deleted == 3
+        assert explanation.n_inserted == 3
+
+    def test_overlapping_core_and_deleted_rejected(self, tiny_instance):
+        explanation = Explanation(
+            functions={a: IDENTITY for a in tiny_instance.schema},
+            alignment={0: 0},
+            deleted_source_ids=(0, 1, 2),
+            inserted_target_ids=(1, 2),
+        )
+        with pytest.raises(InvalidExplanationError):
+            explanation.validate(tiny_instance)
+
+    def test_non_injective_alignment_rejected(self, tiny_instance):
+        explanation = Explanation(
+            functions={a: IDENTITY for a in tiny_instance.schema},
+            alignment={0: 0, 1: 0},
+            deleted_source_ids=(2,),
+            inserted_target_ids=(1, 2),
+        )
+        with pytest.raises(InvalidExplanationError):
+            explanation.validate(tiny_instance)
+
+    def test_uncovered_target_rejected(self, tiny_instance):
+        explanation = Explanation(
+            functions={a: IDENTITY for a in tiny_instance.schema},
+            alignment={},
+            deleted_source_ids=(0, 1, 2),
+            inserted_target_ids=(0, 1),  # target 2 is unaccounted for
+        )
+        with pytest.raises(InvalidExplanationError):
+            explanation.validate(tiny_instance)
+
+    def test_functions_must_reproduce_aligned_targets(self, tiny_instance):
+        explanation = Explanation(
+            functions={a: IDENTITY for a in tiny_instance.schema},
+            alignment={0: 0},  # identity does not map source 0 to target 0
+            deleted_source_ids=(1, 2),
+            inserted_target_ids=(1, 2),
+        )
+        with pytest.raises(InvalidExplanationError):
+            explanation.validate(tiny_instance)
+
+    def test_missing_attribute_function_rejected(self, tiny_instance):
+        explanation = Explanation(
+            functions={"id": IDENTITY},
+            alignment={},
+            deleted_source_ids=(0, 1, 2),
+            inserted_target_ids=(0, 1, 2),
+        )
+        with pytest.raises(InvalidExplanationError):
+            explanation.validate(tiny_instance)
+
+
+class TestExplanationBehaviour:
+    def test_transform_record_generalises_to_unseen_rows(self, tiny_instance):
+        functions = {
+            "id": IDENTITY,
+            "amount": Division(1000),
+            "unit": ConstantValue("kUSD"),
+        }
+        explanation = explanation_from_functions(tiny_instance, functions)
+        unseen = ("zzz", "7000", "USD")
+        assert explanation.transform_record(tiny_instance.schema.attributes, unseen) == (
+            "zzz", "7", "kUSD",
+        )
+
+    def test_transform_table(self, tiny_instance):
+        explanation = explanation_from_functions(
+            tiny_instance,
+            {"id": IDENTITY, "amount": IDENTITY, "unit": IDENTITY},
+        )
+        transformed = explanation.transform_table(tiny_instance.source)
+        assert transformed[0] == tiny_instance.source.row(0)
+
+    def test_summary_lists_functions(self, tiny_instance):
+        explanation = trivial_explanation(tiny_instance)
+        text = explanation.summary()
+        assert "attribute functions" in text
+        assert "unit" in text
+
+    def test_core_source_ids_sorted(self, tiny_instance):
+        functions = {
+            "id": IDENTITY,
+            "amount": Division(1000),
+            "unit": ConstantValue("kUSD"),
+        }
+        explanation = explanation_from_functions(tiny_instance, functions)
+        assert explanation.core_source_ids == tuple(sorted(explanation.alignment))

@@ -1,0 +1,119 @@
+"""Unit tests for the level-width-bounded priority queue (Section 4.6)."""
+
+import pytest
+
+from repro.core import BoundedLevelQueue, SearchState
+from repro.dataio import Schema
+from repro.functions import ConstantValue, IDENTITY
+
+
+@pytest.fixture
+def schema():
+    return Schema(["a", "b", "c", "d"])
+
+
+def state_with(schema, *assignments):
+    """Build a state assigning constants to the first len(assignments) attributes."""
+    state = SearchState.empty(schema)
+    for attribute, value in zip(schema, assignments):
+        state = state.extend(attribute, ConstantValue(value))
+    return state
+
+
+class TestCapacityRules:
+    def test_level_capacity_formula(self):
+        queue = BoundedLevelQueue(width=5)
+        assert queue.level_capacity(0) == 6
+        assert queue.level_capacity(1) == 5
+        assert queue.level_capacity(5) == 1
+        assert queue.level_capacity(9) == 1
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedLevelQueue(width=0)
+
+
+class TestPushAndPoll:
+    def test_poll_returns_lowest_cost(self, schema):
+        queue = BoundedLevelQueue(width=3)
+        queue.push(state_with(schema, "x"), 10.0)
+        queue.push(state_with(schema, "y"), 5.0)
+        queue.push(state_with(schema, "z"), 7.0)
+        assert queue.poll().cost == 5.0
+        assert queue.poll().cost == 7.0
+        assert len(queue) == 1
+
+    def test_tie_break_prefers_more_assignments(self, schema):
+        queue = BoundedLevelQueue(width=3)
+        shallow = state_with(schema, "x")
+        deep = state_with(schema, "x", "y")
+        queue.push(shallow, 5.0)
+        queue.push(deep, 5.0)
+        assert queue.poll().state == deep
+
+    def test_poll_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedLevelQueue(width=1).poll()
+
+    def test_peek_does_not_remove(self, schema):
+        queue = BoundedLevelQueue(width=2)
+        queue.push(state_with(schema, "x"), 3.0)
+        assert queue.peek().cost == 3.0
+        assert len(queue) == 1
+
+    def test_duplicate_states_rejected(self, schema):
+        queue = BoundedLevelQueue(width=3)
+        state = state_with(schema, "x")
+        assert queue.push(state, 4.0)
+        assert not queue.push(state, 2.0)
+        assert len(queue) == 1
+
+
+class TestLevelBounding:
+    def test_full_level_rejects_worse_states(self, schema):
+        queue = BoundedLevelQueue(width=1)  # capacity 1 on level 1
+        queue.push(state_with(schema, "x"), 5.0)
+        accepted = queue.push(state_with(schema, "y"), 9.0)
+        assert not accepted
+        assert len(queue) == 1
+
+    def test_full_level_accepts_better_state_and_evicts_worst(self, schema):
+        queue = BoundedLevelQueue(width=1)
+        queue.push(state_with(schema, "x"), 5.0)
+        accepted = queue.push(state_with(schema, "y"), 3.0)
+        assert accepted
+        assert len(queue) == 1
+        assert queue.poll().cost == 3.0
+
+    def test_levels_are_bounded_independently(self, schema):
+        queue = BoundedLevelQueue(width=2)
+        # level 1 capacity 2, level 2 capacity 1
+        assert queue.push(state_with(schema, "a"), 1.0)
+        assert queue.push(state_with(schema, "b"), 2.0)
+        assert not queue.push(state_with(schema, "c"), 3.0)
+        assert queue.push(state_with(schema, "a", "b"), 9.0)
+        assert not queue.push(state_with(schema, "x", "y"), 10.0)
+        assert len(queue) == 3
+
+    def test_states_on_level(self, schema):
+        queue = BoundedLevelQueue(width=3)
+        queue.push(state_with(schema, "a"), 1.0)
+        queue.push(state_with(schema, "a", "b"), 2.0)
+        assert len(queue.states_on_level(1)) == 1
+        assert len(queue.states_on_level(2)) == 1
+        assert queue.states_on_level(3) == []
+
+    def test_equal_cost_accepted_on_full_level(self, schema):
+        queue = BoundedLevelQueue(width=1)
+        queue.push(state_with(schema, "x"), 5.0)
+        # "not worse than all states on the level" admits equal costs
+        assert queue.push(state_with(schema, "y"), 5.0)
+        assert len(queue) == 1
+
+
+class TestRepr:
+    def test_repr_shows_level_occupancy(self, schema):
+        queue = BoundedLevelQueue(width=2)
+        queue.push(state_with(schema, "a"), 1.0)
+        assert "width=2" in repr(queue)
+        assert "1: 1" in repr(queue)

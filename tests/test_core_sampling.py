@@ -1,0 +1,111 @@
+"""Unit tests for the sampling-theory helpers (Sections 4.4.2 and 4.4.3)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    binomial_pmf,
+    binomial_tail,
+    cochran_sample_size,
+    example_sample_size,
+    generation_threshold,
+)
+
+
+class TestBinomialBasics:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(k, 10, 0.3) for k in range(11))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_out_of_range_is_zero(self):
+        assert binomial_pmf(-1, 10, 0.3) == 0.0
+        assert binomial_pmf(11, 10, 0.3) == 0.0
+
+    def test_pmf_known_value(self):
+        assert binomial_pmf(2, 4, 0.5) == pytest.approx(6 / 16)
+
+    def test_tail_edge_cases(self):
+        assert binomial_tail(0, 10, 0.3) == 1.0
+        assert binomial_tail(11, 10, 0.3) == 0.0
+
+    def test_tail_monotonically_decreasing_in_threshold(self):
+        values = [binomial_tail(k, 20, 0.4) for k in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_tail_complement_consistency(self):
+        assert binomial_tail(3, 12, 0.25) == pytest.approx(
+            1.0 - sum(binomial_pmf(k, 12, 0.25) for k in range(3))
+        )
+
+
+class TestExampleSampleSize:
+    def test_paper_defaults(self):
+        # θ = 0.1, ρ = 0.95, at least 5 generations.
+        k = example_sample_size(0.1, 0.95, min_successes=5)
+        assert binomial_tail(5, k, 0.1) >= 0.95
+        assert binomial_tail(5, k - 1, 0.1) < 0.95
+
+    def test_result_is_minimal(self):
+        k = example_sample_size(0.3, 0.9, min_successes=3)
+        assert binomial_tail(3, k, 0.3) >= 0.9
+        assert binomial_tail(3, k - 1, 0.3) < 0.9
+
+    def test_larger_theta_needs_fewer_samples(self):
+        assert example_sample_size(0.5, 0.95) < example_sample_size(0.1, 0.95)
+
+    def test_higher_confidence_needs_more_samples(self):
+        assert example_sample_size(0.1, 0.99) > example_sample_size(0.1, 0.9)
+
+    def test_theta_one_needs_exactly_min_successes(self):
+        assert example_sample_size(1.0, 0.95, min_successes=5) == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            example_sample_size(0.0, 0.95)
+        with pytest.raises(ValueError):
+            example_sample_size(0.1, 1.0)
+        with pytest.raises(ValueError):
+            example_sample_size(0.1, 0.95, min_successes=0)
+
+    def test_cap_respected_for_extreme_theta(self):
+        assert example_sample_size(1e-6, 0.95, max_size=1000) == 1000
+
+
+class TestGenerationThreshold:
+    def test_full_budget_uses_min_successes(self):
+        assert generation_threshold(90, 90) == 5
+        assert generation_threshold(90, 500) == 5
+
+    def test_scaled_down_for_small_tables(self):
+        assert generation_threshold(90, 45) == math.ceil(5 * 45 / 90)
+        assert generation_threshold(90, 9) == 1
+        assert generation_threshold(90, 1) == 1
+
+    def test_never_below_one(self):
+        assert generation_threshold(90, 0) == 1
+        assert generation_threshold(0, 10) == 1
+
+
+class TestCochran:
+    def test_paper_defaults_yield_139(self):
+        # z = 1.96, e = 0.05, p = θ = 0.1 → 1.96² · 0.1 · 0.9 / 0.0025 = 138.3.
+        assert cochran_sample_size(0.1) == 139
+
+    def test_p_half_is_worst_case(self):
+        assert cochran_sample_size(0.5) >= cochran_sample_size(0.1)
+        assert cochran_sample_size(0.5) == math.ceil(1.96 ** 2 * 0.25 / 0.0025)
+
+    def test_tighter_error_needs_more_samples(self):
+        assert cochran_sample_size(0.1, error=0.01) > cochran_sample_size(0.1, error=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cochran_sample_size(0.0)
+        with pytest.raises(ValueError):
+            cochran_sample_size(1.0)
+        with pytest.raises(ValueError):
+            cochran_sample_size(0.1, error=0.0)
+
+    def test_cap(self):
+        assert cochran_sample_size(0.5, error=0.0001, max_size=1000) == 1000

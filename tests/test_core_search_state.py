@@ -1,0 +1,108 @@
+"""Unit tests for search states (Definition 4.1/4.2)."""
+
+import pytest
+
+from repro.core import MAP_MARKER, UNDECIDED, SearchState
+from repro.dataio import Schema
+from repro.functions import IDENTITY, ConstantValue, Division
+
+
+@pytest.fixture
+def schema():
+    return Schema(["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_empty_state(self, schema):
+        state = SearchState.empty(schema)
+        assert state.undecided_attributes == ["a", "b", "c"]
+        assert state.n_assigned == 0
+        assert not state.is_end_state
+
+    def test_from_functions(self, schema):
+        state = SearchState.from_functions(schema, {"b": IDENTITY})
+        assert state.assignment_for("b") is IDENTITY
+        assert state.assignment_for("a") is UNDECIDED
+
+    def test_length_mismatch_rejected(self, schema):
+        with pytest.raises(ValueError):
+            SearchState(schema, [UNDECIDED])
+
+
+class TestAccessors:
+    def test_decided_and_undecided(self, schema):
+        state = SearchState(schema, [IDENTITY, UNDECIDED, MAP_MARKER])
+        assert state.decided_attributes == ["a"]
+        assert state.undecided_attributes == ["b"]
+        assert state.map_marked_attributes == ["c"]
+        assert state.n_assigned == 2
+
+    def test_function_for(self, schema):
+        state = SearchState(schema, [IDENTITY, UNDECIDED, MAP_MARKER])
+        assert state.function_for("a") is IDENTITY
+        assert state.function_for("b") is None
+        assert state.function_for("c") is None
+
+    def test_decided_functions(self, schema):
+        division = Division(10)
+        state = SearchState(schema, [division, UNDECIDED, IDENTITY])
+        assert state.decided_functions == {"a": division, "c": IDENTITY}
+
+    def test_is_end_state(self, schema):
+        assert SearchState(schema, [IDENTITY, IDENTITY, IDENTITY]).is_end_state
+        assert not SearchState(schema, [IDENTITY, MAP_MARKER, IDENTITY]).is_end_state
+
+    def test_function_description_length(self, schema):
+        state = SearchState(schema, [Division(10), ConstantValue("x"), UNDECIDED])
+        assert state.function_description_length == 2
+
+
+class TestDerivation:
+    def test_extend(self, schema):
+        state = SearchState.empty(schema).extend("b", IDENTITY)
+        assert state.assignment_for("b") is IDENTITY
+        assert state.assignment_for("a") is UNDECIDED
+
+    def test_extend_already_assigned_rejected(self, schema):
+        state = SearchState.empty(schema).extend("b", IDENTITY)
+        with pytest.raises(ValueError):
+            state.extend("b", ConstantValue("x"))
+
+    def test_extend_does_not_mutate_original(self, schema):
+        original = SearchState.empty(schema)
+        original.extend("a", IDENTITY)
+        assert original.assignment_for("a") is UNDECIDED
+
+    def test_replace_overwrites_map_marker(self, schema):
+        state = SearchState(schema, [MAP_MARKER, UNDECIDED, UNDECIDED])
+        replaced = state.replace("a", IDENTITY)
+        assert replaced.assignment_for("a") is IDENTITY
+
+
+class TestEqualityAndRepr:
+    def test_equal_states_hash_equal(self, schema):
+        left = SearchState.empty(schema).extend("a", IDENTITY)
+        right = SearchState.empty(schema).extend("a", IDENTITY)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_assignments_not_equal(self, schema):
+        left = SearchState.empty(schema).extend("a", IDENTITY)
+        right = SearchState.empty(schema).extend("b", IDENTITY)
+        assert left != right
+
+    def test_function_identity_matters_for_equality(self, schema):
+        left = SearchState.empty(schema).extend("a", Division(10))
+        right = SearchState.empty(schema).extend("a", Division(20))
+        assert left != right
+
+    def test_repr_shows_assignments(self, schema):
+        state = SearchState(schema, [IDENTITY, UNDECIDED, MAP_MARKER])
+        text = repr(state)
+        assert "a=Identity()" in text
+        assert "b=*" in text
+        assert "c=#MAP#" in text
+
+    def test_sentinels_have_stable_repr(self):
+        assert repr(UNDECIDED) == "*"
+        assert repr(MAP_MARKER) == "#MAP#"

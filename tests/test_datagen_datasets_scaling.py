@@ -1,0 +1,139 @@
+"""Unit tests for the surrogate dataset catalog and the scaled-instance families."""
+
+import pytest
+
+from repro.datagen import DISTINCT_RATIO_THRESHOLD, generate_scaled_family, prepare_dataset
+from repro.datagen.datasets import (
+    DATASETS,
+    TABLE2_DATASET_NAMES,
+    get_dataset_entry,
+    load_dataset,
+)
+from repro.datagen.datasets.base import (
+    CategoricalColumn,
+    DatasetSpec,
+    DecimalColumn,
+    IntegerColumn,
+    MissingMixin,
+    categorical,
+    graded,
+)
+
+
+class TestColumnSpecs:
+    def test_categorical_only_emits_listed_values(self, rng):
+        column = categorical("a", "b", "c")
+        assert set(column.generate(100, rng)) <= {"a", "b", "c"}
+
+    def test_integer_column_respects_bounds_and_padding(self, rng):
+        column = IntegerColumn(5, 20, zero_pad=4)
+        cells = column.generate(50, rng)
+        assert all(len(cell) == 4 for cell in cells)
+        assert all(5 <= int(cell) <= 20 for cell in cells)
+
+    def test_integer_step_snapping(self, rng):
+        column = IntegerColumn(0, 100, step=10)
+        assert all(int(cell) % 10 == 0 for cell in column.generate(50, rng))
+
+    def test_decimal_column_precision(self, rng):
+        column = DecimalColumn(0.0, 1.0, decimals=2)
+        cells = column.generate(20, rng)
+        assert all("." in cell and len(cell.split(".")[1]) == 2 for cell in cells)
+
+    def test_missing_mixin_blanks_cells(self, rng):
+        column = MissingMixin(categorical("x"), missing_rate=0.5, missing_token="?")
+        cells = column.generate(200, rng)
+        assert 0 < cells.count("?") < 200
+
+    def test_graded_labels(self, rng):
+        column = graded("lvl", 3)
+        assert set(column.generate(50, rng)) <= {"lvl1", "lvl2", "lvl3"}
+
+    def test_dataset_spec_build_is_deterministic(self):
+        entry = get_dataset_entry("iris")
+        assert entry.build(50, seed=9) == entry.build(50, seed=9)
+        assert entry.build(50, seed=9) != entry.build(50, seed=10)
+
+    def test_dataset_spec_rejects_empty(self):
+        spec = DatasetSpec("x", (("a", categorical("1")),), default_records=10)
+        with pytest.raises(ValueError):
+            spec.build(0)
+
+
+class TestCatalog:
+    def test_all_table2_datasets_present(self):
+        expected = {
+            "iris", "balance", "chess", "abalone", "nursery", "bridges",
+            "echocardiogram", "breast-cancer", "adult", "ncvoter-1k", "letter",
+            "hepatitis", "horse-colic", "fd-reduced-30", "plista", "flight-1k",
+            "uniprot",
+        }
+        assert expected <= set(TABLE2_DATASET_NAMES)
+        assert "flight-500k" in DATASETS and "flight-500k" not in TABLE2_DATASET_NAMES
+
+    def test_unknown_dataset_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            get_dataset_entry("no-such-dataset")
+
+    def test_default_record_counts_match_paper(self):
+        assert DATASETS["iris"].paper_records == 150
+        assert DATASETS["chess"].paper_records == 28_056
+        assert DATASETS["fd-reduced-30"].paper_records == 250_000
+        assert load_dataset("iris").n_rows == 150
+
+    def test_record_count_override(self):
+        assert load_dataset("adult", 500).n_rows == 500
+
+    @pytest.mark.parametrize("name", [n for n in TABLE2_DATASET_NAMES])
+    def test_prepared_attribute_counts_match_table2(self, name):
+        entry = get_dataset_entry(name)
+        n_records = min(entry.paper_records, 1_000)
+        table = entry.build(n_records, seed=0)
+        prepared = prepare_dataset(table)
+        # +1 for the artificial key added later by the generation protocol.
+        assert len(prepared.schema) + 1 == entry.paper_attributes
+
+    @pytest.mark.parametrize("name", ["iris", "nursery", "plista"])
+    def test_no_column_exceeds_distinct_threshold(self, name):
+        entry = get_dataset_entry(name)
+        table = entry.build(min(entry.paper_records, 1_000), seed=0)
+        for attribute, stats in table.stats().items():
+            assert stats.distinct_ratio <= DISTINCT_RATIO_THRESHOLD, attribute
+
+
+class TestScaledFamilies:
+    def test_family_shares_transformations_across_scales(self):
+        table = load_dataset("flight-500k", 2_000, seed=1)
+        family = generate_scaled_family(
+            table, eta=0.3, tau=0.3, fractions=(0.5, 1.0), seed=3
+        )
+        half = family.instance_at(0.5)
+        full = family.instance_at(1.0)
+        for attribute, function in full.transformations.items():
+            # value mappings are restricted per scale; other families identical
+            if function.meta_name != "value_mapping":
+                assert half.transformations[attribute] == function
+
+    def test_record_counts_scale_linearly(self):
+        table = load_dataset("flight-500k", 2_000, seed=1)
+        family = generate_scaled_family(
+            table, eta=0.3, tau=0.3, fractions=(0.25, 0.5, 1.0), seed=3
+        )
+        sizes = [generated.instance.n_source_records for _, generated in family]
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[1] == pytest.approx(sizes[2] / 2, rel=0.05)
+        assert sizes[0] == pytest.approx(sizes[2] / 4, rel=0.05)
+
+    def test_scaled_references_are_valid(self):
+        table = load_dataset("flight-500k", 1_000, seed=1)
+        family = generate_scaled_family(
+            table, eta=0.3, tau=0.3, fractions=(0.4, 1.0), seed=5,
+            validate_reference=False,
+        )
+        for _, generated in family:
+            generated.reference.validate(generated.instance)
+
+    def test_invalid_fraction_rejected(self):
+        table = load_dataset("iris", seed=1)
+        with pytest.raises(ValueError):
+            generate_scaled_family(table, eta=0.3, tau=0.3, fractions=(0.0, 1.0))

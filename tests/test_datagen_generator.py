@@ -1,0 +1,164 @@
+"""Unit tests for problem-instance generation (Section 5.1 protocol)."""
+
+import random
+
+import pytest
+
+from repro.dataio import Schema, Table
+from repro.datagen import (
+    ARTIFICIAL_KEY_ATTRIBUTE,
+    generate_problem_instance,
+    key_permutations,
+    noise_set_size,
+    partition_records,
+    prepare_dataset,
+    removable_attributes,
+)
+from repro.datagen.datasets import load_dataset
+from repro.functions import ValueMapping
+
+
+class TestPreparation:
+    def test_high_distinct_attributes_removed(self):
+        schema = Schema(["unique_id", "category"])
+        table = Table(schema, [(str(i), f"c{i % 3}") for i in range(100)])
+        assert removable_attributes(table) == ["unique_id"]
+        prepared = prepare_dataset(table)
+        assert list(prepared.schema) == ["category"]
+
+    def test_empty_attributes_removed(self):
+        schema = Schema(["empty", "kept"])
+        table = Table(schema, [("", f"v{i % 4}") for i in range(50)])
+        assert "empty" in removable_attributes(table)
+
+    def test_error_when_everything_would_be_removed(self):
+        schema = Schema(["unique"])
+        table = Table(schema, [(str(i),) for i in range(10)])
+        with pytest.raises(ValueError):
+            prepare_dataset(table)
+
+    def test_nothing_removed_returns_same_table(self):
+        schema = Schema(["category"])
+        table = Table(schema, [(f"c{i % 3}",) for i in range(30)])
+        assert prepare_dataset(table) is table
+
+
+class TestPartitioning:
+    def test_noise_set_size_formula(self):
+        # η·N / (1 + η): for N = 130 and η = 0.3 → 30 records per noise set.
+        assert noise_set_size(130, 0.3) == 30
+        assert noise_set_size(100, 0.0) == 0
+
+    def test_noise_fraction_of_snapshot(self):
+        n_records, eta = 1000, 0.5
+        noise = noise_set_size(n_records, eta)
+        snapshot_size = n_records - noise
+        assert noise / snapshot_size == pytest.approx(eta, abs=0.01)
+
+    def test_partition_is_disjoint_and_complete(self):
+        core, source_noise, target_noise = partition_records(100, 0.4, random.Random(0))
+        all_indices = core + source_noise + target_noise
+        assert sorted(all_indices) == list(range(100))
+        assert not (set(core) & set(source_noise))
+        assert not (set(source_noise) & set(target_noise))
+
+    def test_at_least_one_core_record(self):
+        core, _, _ = partition_records(3, 0.9, random.Random(0))
+        assert len(core) >= 1
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            noise_set_size(100, 1.0)
+
+
+class TestKeyPermutations:
+    def test_two_different_permutations_of_same_values(self):
+        first, second = key_permutations(50, random.Random(1))
+        assert sorted(first) == sorted(second)
+        assert first != second
+        assert len(set(first)) == 50
+
+    def test_zero_padding(self):
+        first, _ = key_permutations(5, random.Random(0))
+        assert all(len(value) == 4 for value in first)
+
+    def test_singleton(self):
+        first, second = key_permutations(1, random.Random(0))
+        assert first == second == ["0000"]
+
+
+class TestGenerateProblemInstance:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        table = load_dataset("iris", seed=3)
+        return generate_problem_instance(table, eta=0.3, tau=0.3, seed=5, name="iris-gen")
+
+    def test_reference_explanation_is_valid(self, generated):
+        generated.reference.validate(generated.instance)
+
+    def test_snapshot_sizes_follow_protocol(self, generated):
+        # 150 records, η = 0.3 → noise ≈ 35 per side, snapshots of ≈ 115.
+        noise = noise_set_size(150, 0.3)
+        assert generated.n_source_noise == noise
+        assert generated.n_target_noise == noise
+        assert generated.instance.n_source_records == 150 - noise
+        assert generated.instance.n_target_records == 150 - noise
+
+    def test_artificial_key_attribute_added(self, generated):
+        assert ARTIFICIAL_KEY_ATTRIBUTE in generated.instance.schema
+        assert generated.key_attribute == ARTIFICIAL_KEY_ATTRIBUTE
+        key_function = generated.reference.functions[ARTIFICIAL_KEY_ATTRIBUTE]
+        assert isinstance(key_function, ValueMapping)
+
+    def test_key_alignment_is_wrong_when_used_for_blocking(self, generated):
+        # Equal key values must not correspond to the reference alignment for
+        # (at least most of) the records, otherwise the key would be trivial.
+        instance = generated.instance
+        key = ARTIFICIAL_KEY_ATTRIBUTE
+        source_keys = {instance.source.cell(s, key): s for s in range(instance.n_source_records)}
+        agreements = 0
+        for source_id, target_id in generated.reference.alignment.items():
+            target_key = instance.target.cell(target_id, key)
+            if source_keys.get(target_key) == source_id:
+                agreements += 1
+        assert agreements < generated.core_size / 2
+
+    def test_transformed_attribute_listing(self, generated):
+        for attribute in generated.transformed_attributes:
+            assert not generated.transformations[attribute].is_identity
+
+    def test_describe_mentions_core_and_noise(self, generated):
+        text = generated.describe()
+        assert "core=" in text and "eta=0.3" in text
+
+    def test_tau_zero_means_core_records_unchanged(self):
+        table = load_dataset("iris", seed=3)
+        generated = generate_problem_instance(table, eta=0.2, tau=0.0, seed=7)
+        for attribute, function in generated.transformations.items():
+            if attribute != generated.key_attribute:
+                assert function.is_identity
+
+    def test_seed_reproducibility(self):
+        table = load_dataset("balance", seed=2)
+        first = generate_problem_instance(table, eta=0.3, tau=0.5, seed=13)
+        second = generate_problem_instance(table, eta=0.3, tau=0.5, seed=13)
+        assert first.instance.source == second.instance.source
+        assert first.instance.target == second.instance.target
+        assert first.reference.functions == second.reference.functions
+
+    def test_different_seeds_differ(self):
+        table = load_dataset("balance", seed=2)
+        first = generate_problem_instance(table, eta=0.3, tau=0.5, seed=13)
+        second = generate_problem_instance(table, eta=0.3, tau=0.5, seed=14)
+        assert (
+            first.instance.source != second.instance.source
+            or first.reference.functions != second.reference.functions
+        )
+
+    def test_without_key_attribute(self):
+        table = load_dataset("iris", seed=3)
+        generated = generate_problem_instance(
+            table, eta=0.3, tau=0.3, seed=5, add_key=False
+        )
+        assert ARTIFICIAL_KEY_ATTRIBUTE not in generated.instance.schema
+        generated.reference.validate(generated.instance)

@@ -1,0 +1,93 @@
+"""Consistency tests of the hard-coded running-example data (Figure 1).
+
+These tests guard the fixture itself: the snapshot contents, the reference
+alignment labels and the reference functions must stay mutually consistent,
+because several other test modules and the examples build on them.
+"""
+
+import pytest
+
+from repro.datagen.running_example import (
+    REFERENCE_ALIGNMENT_LABELS,
+    REFERENCE_DELETED_LABELS,
+    REFERENCE_INSERTED_LABELS,
+    RUNNING_EXAMPLE_SCHEMA,
+    reference_alignment,
+    reference_functions,
+    running_example_instance,
+    source_table,
+    target_table,
+)
+from repro.functions import ValueMapping
+
+
+class TestSnapshotData:
+    def test_row_counts(self):
+        assert source_table().n_rows == 17
+        assert target_table().n_rows == 16
+
+    def test_schema_shared(self):
+        assert source_table().schema == RUNNING_EXAMPLE_SCHEMA
+        assert target_table().schema == RUNNING_EXAMPLE_SCHEMA
+
+    def test_record_labels_are_unique(self):
+        assert len(set(source_table().column_view("ID1"))) == 17
+        assert len(set(target_table().column_view("ID1"))) == 16
+
+    def test_source_units_are_usd_targets_are_k_dollar(self):
+        assert set(source_table().column_view("Unit")) == {"USD"}
+        assert set(target_table().column_view("Unit")) == {"k $"}
+
+    def test_id2_is_a_running_sequence_in_both_snapshots(self):
+        assert sorted(source_table().column_view("ID2")) == [
+            f"{i:04d}" for i in range(17)
+        ]
+        assert sorted(target_table().column_view("ID2")) == [
+            f"{i:04d}" for i in range(16)
+        ]
+
+
+class TestReferenceData:
+    def test_alignment_covers_13_pairs(self):
+        assert len(REFERENCE_ALIGNMENT_LABELS) == 13
+        assert len(reference_alignment()) == 13
+
+    def test_labels_partition_the_snapshots(self):
+        aligned_sources = set(REFERENCE_ALIGNMENT_LABELS)
+        aligned_targets = set(REFERENCE_ALIGNMENT_LABELS.values())
+        assert aligned_sources | set(REFERENCE_DELETED_LABELS) == set(
+            source_table().column_view("ID1")
+        )
+        assert aligned_targets | set(REFERENCE_INSERTED_LABELS) == set(
+            target_table().column_view("ID1")
+        )
+        assert not aligned_sources & set(REFERENCE_DELETED_LABELS)
+        assert not aligned_targets & set(REFERENCE_INSERTED_LABELS)
+
+    def test_reference_functions_map_every_aligned_pair(self):
+        instance = running_example_instance()
+        functions = reference_functions()
+        attributes = instance.schema.attributes
+        for source_id, target_id in reference_alignment().items():
+            source_row = instance.source.row(source_id)
+            target_row = instance.target.row(target_id)
+            for attribute, source_cell, target_cell in zip(attributes, source_row, target_row):
+                assert functions[attribute].apply(source_cell) == target_cell
+
+    def test_key_functions_are_value_mappings_with_13_entries(self):
+        functions = reference_functions()
+        assert isinstance(functions["ID1"], ValueMapping)
+        assert isinstance(functions["ID2"], ValueMapping)
+        assert functions["ID1"].size == 13
+        assert functions["ID2"].size == 13
+
+    def test_function_description_lengths_sum_to_56(self):
+        # Section 3.1: L(F^E1) = 13·2 + 13·2 + 2 + 0 + 1 + 1 + 0 = 56.
+        functions = reference_functions()
+        total = sum(functions[a].description_length for a in RUNNING_EXAMPLE_SCHEMA)
+        assert total == 56
+
+    def test_instance_uses_default_registry(self):
+        instance = running_example_instance()
+        assert "division" in instance.registry
+        assert "prefix_replacement" in instance.registry

@@ -1,0 +1,107 @@
+"""Unit tests for ground-truth transformation sampling (Section 5.1)."""
+
+import random
+
+import pytest
+
+from repro.dataio import Schema, Table
+from repro.datagen.transformer import (
+    NUMERIC_SAMPLERS,
+    STRING_SAMPLERS,
+    sample_attribute_function,
+    sample_transformations,
+)
+from repro.functions import ValueMapping
+
+
+@pytest.fixture
+def mixed_table():
+    schema = Schema(["code", "amount", "label"])
+    rows = [(f"c{i:03d}", str(100 * (i + 1)), f"label_{i % 5}") for i in range(50)]
+    return Table(schema, rows)
+
+
+class TestSampleAttributeFunction:
+    def test_numeric_column_gets_total_function(self):
+        rng = random.Random(3)
+        values = [str(10 * i) for i in range(1, 30)]
+        for _ in range(10):
+            function = sample_attribute_function(values, rng)
+            assert function is not None
+            for value in values:
+                assert function.apply(value) is not None
+
+    def test_string_column_gets_total_function(self):
+        rng = random.Random(4)
+        values = [f"code_{i}" for i in range(20)]
+        for _ in range(10):
+            function = sample_attribute_function(values, rng)
+            assert function is not None
+            for value in values:
+                assert function.apply(value) is not None
+
+    def test_sampled_function_changes_at_least_one_value(self):
+        rng = random.Random(5)
+        values = [f"v{i}" for i in range(10)]
+        function = sample_attribute_function(values, rng)
+        assert any(function.apply(value) != value for value in values)
+
+    def test_empty_value_list_returns_none(self):
+        assert sample_attribute_function([], random.Random(0)) is None
+
+    def test_exclusion_of_families(self):
+        rng = random.Random(6)
+        values = [str(i) for i in range(1, 40)]
+        for _ in range(20):
+            function = sample_attribute_function(
+                values, rng, exclude=[name for name in NUMERIC_SAMPLERS if name != "constant"]
+            )
+            if function is not None:
+                assert function.meta_name == "constant"
+
+    def test_value_mapping_sampler_produces_permutation(self):
+        rng = random.Random(7)
+        values = [f"x{i}" for i in range(10)]
+        sampler = STRING_SAMPLERS["value_mapping"]
+        mapping = sampler(values, rng)
+        assert isinstance(mapping, ValueMapping)
+        assert set(mapping.entries.keys()) == set(values)
+        assert set(mapping.entries.values()) == set(values)
+        assert any(key != value for key, value in mapping.entries.items())
+
+
+class TestSampleTransformations:
+    def test_tau_zero_keeps_everything_identity(self, mixed_table):
+        functions = sample_transformations(mixed_table, 0.0, random.Random(1))
+        assert all(function.is_identity for function in functions.values())
+
+    def test_tau_one_never_transforms_every_attribute(self, mixed_table):
+        # The protocol rejects samplings in which every attribute changes.
+        for seed in range(5):
+            functions = sample_transformations(mixed_table, 1.0, random.Random(seed))
+            assert any(function.is_identity for function in functions.values())
+
+    def test_all_attributes_receive_a_function(self, mixed_table):
+        functions = sample_transformations(mixed_table, 0.5, random.Random(2))
+        assert set(functions) == set(mixed_table.schema)
+
+    def test_sampled_functions_are_total_on_their_column(self, mixed_table):
+        functions = sample_transformations(mixed_table, 0.8, random.Random(3))
+        for attribute, function in functions.items():
+            for value in mixed_table.column_view(attribute):
+                assert function.apply(value) is not None
+
+    def test_excluded_attributes_stay_identity(self, mixed_table):
+        functions = sample_transformations(
+            mixed_table, 1.0, random.Random(4), exclude_attributes=["code"]
+        )
+        assert functions["code"].is_identity
+
+    def test_invalid_tau_rejected(self, mixed_table):
+        with pytest.raises(ValueError):
+            sample_transformations(mixed_table, 1.5, random.Random(0))
+
+    def test_deterministic_given_seed(self, mixed_table):
+        first = sample_transformations(mixed_table, 0.5, random.Random(9))
+        second = sample_transformations(mixed_table, 0.5, random.Random(9))
+        assert first == second

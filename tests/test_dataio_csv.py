@@ -1,0 +1,94 @@
+"""Unit tests for repro.dataio.csv_io."""
+
+import pytest
+
+from repro.dataio import (
+    Schema,
+    Table,
+    TableError,
+    read_csv,
+    read_csv_text,
+    read_snapshot_pair,
+    to_csv_text,
+    write_csv,
+)
+
+
+@pytest.fixture
+def sample_table():
+    return Table(Schema(["id", "name", "value"]), [("1", "alpha", "10"), ("2", "be,ta", "20")])
+
+
+class TestReadCsvText:
+    def test_parses_header_and_rows(self):
+        table = read_csv_text("a,b\n1,2\n3,4\n")
+        assert table.schema == Schema(["a", "b"])
+        assert table.rows() == [("1", "2"), ("3", "4")]
+
+    def test_without_header(self):
+        table = read_csv_text("1,2\n3,4\n", has_header=False)
+        assert table.schema == Schema(["col_0", "col_1"])
+        assert table.n_rows == 2
+
+    def test_custom_delimiter(self):
+        table = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert table.row(0) == ("1", "2")
+
+    def test_quoted_fields(self):
+        table = read_csv_text('a,b\n"x,y",2\n')
+        assert table.row(0) == ("x,y", "2")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(TableError):
+            read_csv_text("")
+
+    def test_ragged_line_raises_with_line_number(self):
+        with pytest.raises(TableError, match="line 3"):
+            read_csv_text("a,b\n1,2\n1,2,3\n")
+
+
+class TestRoundTrip:
+    def test_to_csv_text_round_trip(self, sample_table):
+        text = to_csv_text(sample_table)
+        parsed = read_csv_text(text)
+        assert parsed == sample_table
+
+    def test_file_round_trip(self, sample_table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(sample_table, path)
+        loaded = read_csv(path)
+        assert loaded == sample_table
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "does-not-exist.csv")
+
+
+class TestSnapshotPair:
+    def test_matching_schemas(self, sample_table, tmp_path):
+        source_path = tmp_path / "source.csv"
+        target_path = tmp_path / "target.csv"
+        write_csv(sample_table, source_path)
+        write_csv(sample_table, target_path)
+        source, target = read_snapshot_pair(source_path, target_path)
+        assert source.schema == target.schema
+
+    def test_schema_mismatch_raises(self, sample_table, tmp_path):
+        other = Table(Schema(["x"]), [("1",)])
+        source_path = tmp_path / "source.csv"
+        target_path = tmp_path / "target.csv"
+        write_csv(sample_table, source_path)
+        write_csv(other, target_path)
+        with pytest.raises(TableError):
+            read_snapshot_pair(source_path, target_path)
+
+    def test_projection_to_shared_attributes(self, sample_table, tmp_path):
+        source_path = tmp_path / "source.csv"
+        target_path = tmp_path / "target.csv"
+        write_csv(sample_table, source_path)
+        write_csv(sample_table, target_path)
+        source, target = read_snapshot_pair(
+            source_path, target_path, attributes=["id", "value"]
+        )
+        assert source.schema == Schema(["id", "value"])
+        assert target.schema == Schema(["id", "value"])

@@ -1,0 +1,103 @@
+"""Unit tests for repro.dataio.schema."""
+
+import pytest
+
+from repro.dataio import Schema, SchemaError
+
+
+class TestSchemaConstruction:
+    def test_preserves_order(self):
+        schema = Schema(["b", "a", "c"])
+        assert schema.attributes == ("b", "a", "c")
+        assert list(schema) == ["b", "a", "c"]
+
+    def test_length(self):
+        assert len(Schema(["x"])) == 1
+        assert len(Schema(["x", "y", "z"])) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b", "a"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", ""])
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", 3])
+
+
+class TestSchemaLookup:
+    def test_contains(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_index_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index_of("a") == 0
+        assert schema.index_of("c") == 2
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).index_of("b")
+
+    def test_positions_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.positions_of(["c", "a"]) == (2, 0)
+
+    def test_getitem(self):
+        schema = Schema(["a", "b"])
+        assert schema[1] == "b"
+
+
+class TestSchemaDerivation:
+    def test_subset_preserves_requested_order(self):
+        schema = Schema(["a", "b", "c"])
+        assert Schema(["c", "a"]) == schema.subset(["c", "a"])
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).subset(["a", "x"])
+
+    def test_without(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.without(["b"]) == Schema(["a", "c"])
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).without(["z"])
+
+    def test_extended_appends_by_default(self):
+        assert Schema(["a"]).extended("b") == Schema(["a", "b"])
+
+    def test_extended_at_position(self):
+        assert Schema(["a", "c"]).extended("b", position=1) == Schema(["a", "b", "c"])
+
+    def test_extended_duplicate_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).extended("a")
+
+    def test_renamed(self):
+        assert Schema(["a", "b"]).renamed("a", "x") == Schema(["x", "b"])
+
+    def test_renamed_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).renamed("a", "b")
+
+
+class TestSchemaEquality:
+    def test_equal_schemas_hash_equal(self):
+        assert hash(Schema(["a", "b"])) == hash(Schema(["a", "b"]))
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+
+    def test_order_matters(self):
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_not_equal_to_other_types(self):
+        assert Schema(["a"]) != ("a",)

@@ -1,0 +1,196 @@
+"""Unit tests for repro.dataio.table."""
+
+import pytest
+
+from repro.dataio import Schema, Table, TableError
+
+
+@pytest.fixture
+def schema():
+    return Schema(["id", "name", "value"])
+
+
+@pytest.fixture
+def table(schema):
+    return Table(schema, [("1", "a", "10"), ("2", "b", "20"), ("3", "a", "30")])
+
+
+class TestConstruction:
+    def test_empty_table(self, schema):
+        table = Table(schema)
+        assert table.n_rows == 0
+        assert not table
+        assert table.n_columns == 3
+
+    def test_rows_are_coerced_to_strings(self, schema):
+        table = Table(schema, [(1, "a", 10.5)])
+        assert table.row(0) == ("1", "a", "10.5")
+
+    def test_ragged_row_rejected(self, schema):
+        with pytest.raises(TableError):
+            Table(schema, [("1", "a")])
+
+    def test_from_dicts(self, schema):
+        table = Table.from_dicts(schema, [{"id": "1", "name": "x"}], default="?")
+        assert table.row(0) == ("1", "x", "?")
+
+    def test_from_columns(self, schema):
+        table = Table.from_columns(schema, {"id": ["1"], "name": ["n"], "value": ["9"]})
+        assert table.row(0) == ("1", "n", "9")
+
+    def test_from_columns_missing_column(self, schema):
+        with pytest.raises(TableError):
+            Table.from_columns(schema, {"id": ["1"], "name": ["n"]})
+
+    def test_from_columns_length_mismatch(self, schema):
+        with pytest.raises(TableError):
+            Table.from_columns(schema, {"id": ["1"], "name": ["n"], "value": []})
+
+    def test_copy_is_independent(self, table):
+        clone = table.copy()
+        clone.append(("9", "z", "90"))
+        assert table.n_rows == 3
+        assert clone.n_rows == 4
+
+
+class TestAccess:
+    def test_row_and_cell(self, table):
+        assert table.row(1) == ("2", "b", "20")
+        assert table.cell(2, "value") == "30"
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(TableError):
+            table.row(3)
+
+    def test_cell_out_of_range(self, table):
+        with pytest.raises(TableError):
+            table.cell(99, "id")
+
+    def test_column_returns_copy(self, table):
+        column = table.column("name")
+        column.append("mutated")
+        assert table.column("name") == ["a", "b", "a"]
+
+    def test_column_view_reflects_storage(self, table):
+        assert list(table.column_view("id")) == ["1", "2", "3"]
+
+    def test_row_dict(self, table):
+        assert table.row_dict(0) == {"id": "1", "name": "a", "value": "10"}
+
+    def test_rows_with_indices(self, table):
+        assert table.rows([2, 0]) == [("3", "a", "30"), ("1", "a", "10")]
+
+    def test_iteration(self, table):
+        assert list(table) == [("1", "a", "10"), ("2", "b", "20"), ("3", "a", "30")]
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert len(dicts) == 3
+        assert dicts[1]["name"] == "b"
+
+
+class TestRelationalOperations:
+    def test_project(self, table):
+        projected = table.project(["value", "id"])
+        assert projected.schema == Schema(["value", "id"])
+        assert projected.row(0) == ("10", "1")
+        assert projected.n_rows == 3
+
+    def test_select(self, table):
+        selected = table.select(lambda row: row[1] == "a")
+        assert selected.n_rows == 2
+        assert [row[0] for row in selected] == ["1", "3"]
+
+    def test_take_preserves_order(self, table):
+        taken = table.take([2, 2, 0])
+        assert [row[0] for row in taken] == ["3", "3", "1"]
+
+    def test_drop_columns(self, table):
+        dropped = table.drop_columns(["name"])
+        assert dropped.schema == Schema(["id", "value"])
+        assert dropped.row(0) == ("1", "10")
+
+    def test_drop_unknown_column_raises(self, table):
+        with pytest.raises(Exception):
+            table.drop_columns(["missing"])
+
+    def test_with_column_appends(self, table):
+        extended = table.with_column("flag", ["x", "y", "z"])
+        assert extended.schema.attributes[-1] == "flag"
+        assert extended.cell(1, "flag") == "y"
+        # original unchanged
+        assert "flag" not in table.schema
+
+    def test_with_column_at_position(self, table):
+        extended = table.with_column("flag", ["x", "y", "z"], position=0)
+        assert extended.schema.attributes[0] == "flag"
+        assert extended.row(0) == ("x", "1", "a", "10")
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(TableError):
+            table.with_column("flag", ["only-one"])
+
+    def test_map_column(self, table):
+        mapped = table.map_column("value", lambda cell: cell + "0")
+        assert mapped.column("value") == ["100", "200", "300"]
+        assert table.column("value") == ["10", "20", "30"]
+
+    def test_concat(self, table):
+        other = Table(table.schema, [("9", "z", "90")])
+        combined = table.concat(other)
+        assert combined.n_rows == 4
+        assert combined.row(3) == ("9", "z", "90")
+
+    def test_concat_schema_mismatch(self, table):
+        other = Table(Schema(["x"]), [("1",)])
+        with pytest.raises(TableError):
+            table.concat(other)
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+        assert table.head(10).n_rows == 3
+
+
+class TestStatistics:
+    def test_value_counts(self, table):
+        counts = table.value_counts("name")
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+    def test_column_stats(self, table):
+        stats = table.column_stats("value")
+        assert stats.total == 3
+        assert stats.distinct == 3
+        assert stats.numeric == 3
+        assert stats.missing == 0
+        assert stats.numeric_ratio == 1.0
+
+    def test_distinct_ratio(self, table):
+        assert table.column_stats("name").distinct_ratio == pytest.approx(2 / 3)
+
+    def test_empty_column_detection(self):
+        schema = Schema(["a", "b"])
+        table = Table(schema, [("", "1"), ("", "2")])
+        assert table.column_stats("a").is_empty
+        assert not table.column_stats("b").is_empty
+
+    def test_stats_covers_all_attributes(self, table):
+        assert set(table.stats()) == {"id", "name", "value"}
+
+    def test_pretty_contains_header_and_rows(self, table):
+        text = table.pretty()
+        assert "id" in text and "name" in text
+        assert "20" in text
+
+    def test_pretty_truncation_note(self, schema):
+        table = Table(schema, [(str(i), "n", "1") for i in range(30)])
+        assert "more rows" in table.pretty(max_rows=5)
+
+
+class TestEquality:
+    def test_equal_tables(self, schema):
+        rows = [("1", "a", "2")]
+        assert Table(schema, rows) == Table(schema, rows)
+
+    def test_different_rows_not_equal(self, schema):
+        assert Table(schema, [("1", "a", "2")]) != Table(schema, [("1", "a", "3")])

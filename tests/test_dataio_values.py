@@ -1,0 +1,99 @@
+"""Unit tests for repro.dataio.values (cell parsing/formatting conventions)."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.dataio import values
+
+
+class TestParseNumber:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", Decimal("0")),
+            ("42", Decimal("42")),
+            ("-7", Decimal("-7")),
+            ("+3", Decimal("3")),
+            ("3.14", Decimal("3.14")),
+            ("-0.5", Decimal("-0.5")),
+            ("  12 ", Decimal("12")),
+            ("0.065", Decimal("0.065")),
+        ],
+    )
+    def test_accepts_plain_numbers(self, text, expected):
+        assert values.parse_number(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", " ", "abc", "1,000", "1e5", "12.3.4", "$5", "-", "+", "12 34", "0x10"],
+    )
+    def test_rejects_non_numbers(self, text):
+        assert values.parse_number(text) is None
+
+    def test_is_numeric_consistent_with_parse(self):
+        assert values.is_numeric("10.5")
+        assert not values.is_numeric("ten")
+
+
+class TestFormatNumber:
+    @pytest.mark.parametrize(
+        "number,expected",
+        [
+            (Decimal("80"), "80"),
+            (Decimal("80.000"), "80"),
+            (Decimal("6.540"), "6.54"),
+            (Decimal("0.0650"), "0.065"),
+            (Decimal("-2.50"), "-2.5"),
+            (Decimal("0"), "0"),
+            (Decimal("1E+2"), "100"),
+        ],
+    )
+    def test_formatting(self, number, expected):
+        assert values.format_number(number) == expected
+
+
+class TestArithmeticHelpers:
+    def test_add_strings(self):
+        assert values.add_strings("10", Decimal(5)) == "15"
+        assert values.add_strings("2.5", Decimal("-0.5")) == "2"
+
+    def test_add_strings_non_numeric(self):
+        assert values.add_strings("abc", Decimal(1)) is None
+
+    def test_divide_strings_matches_running_example(self):
+        # The Val attribute of the running example: x ↦ x / 1000.
+        assert values.divide_strings("80000", Decimal(1000)) == "80"
+        assert values.divide_strings("6540", Decimal(1000)) == "6.54"
+        assert values.divide_strings("65", Decimal(1000)) == "0.065"
+        assert values.divide_strings("0", Decimal(1000)) == "0"
+
+    def test_divide_by_zero(self):
+        assert values.divide_strings("10", Decimal(0)) is None
+
+    def test_divide_non_numeric(self):
+        assert values.divide_strings("x", Decimal(2)) is None
+
+    def test_multiply_strings(self):
+        assert values.multiply_strings("12", Decimal(3)) == "36"
+        assert values.multiply_strings("1.5", Decimal(2)) == "3"
+        assert values.multiply_strings("n/a", Decimal(2)) is None
+
+
+class TestStringHelpers:
+    def test_common_prefix_length(self):
+        assert values.common_prefix_length("99991231", "99990701") == 4
+        assert values.common_prefix_length("abc", "xyz") == 0
+        assert values.common_prefix_length("abc", "abc") == 3
+
+    def test_common_suffix_length(self):
+        assert values.common_suffix_length("99991231", "20180701") == 1
+        assert values.common_suffix_length("abc", "abc") == 3
+        assert values.common_suffix_length("abc", "xyz") == 0
+
+    def test_missing_tokens(self):
+        assert values.is_missing("")
+        assert values.is_missing("?")
+        assert values.is_missing("NULL")
+        assert not values.is_missing("0")
+        assert not values.is_missing("value")

@@ -1,0 +1,134 @@
+"""Unit tests for the evaluation metrics (Δcore, Δcosts, accuracy)."""
+
+import pytest
+
+from repro.core import Affidavit, explanation_cost, identity_configuration, trivial_explanation
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.evaluation import (
+    alignment_precision_recall,
+    cell_accuracy,
+    evaluate_result,
+    macro_average,
+)
+from repro.evaluation.metrics import InstanceMetrics
+
+
+@pytest.fixture(scope="module")
+def generated():
+    table = load_dataset("balance", seed=5)
+    return generate_problem_instance(table, eta=0.3, tau=0.3, seed=21, name="balance-gen")
+
+
+@pytest.fixture(scope="module")
+def result(generated):
+    return Affidavit(identity_configuration()).explain(generated.instance)
+
+
+class TestCellAccuracy:
+    def test_reference_functions_have_perfect_accuracy(self, generated):
+        assert cell_accuracy(generated, generated.reference) == 1.0
+
+    def test_trivial_explanation_accuracy_reflects_identity_attributes(self, generated):
+        # The trivial explanation assigns the identity everywhere, so its
+        # accuracy equals the fraction of cells the ground truth left unchanged.
+        trivial = trivial_explanation(generated.instance)
+        accuracy = cell_accuracy(generated, trivial)
+        assert 0.0 <= accuracy <= 1.0
+        transformed = set(generated.transformed_attributes)
+        considered = [
+            a for a in generated.instance.schema if a != generated.key_attribute
+        ]
+        if transformed & set(considered):
+            assert accuracy < 1.0
+
+    def test_key_attribute_ignored_by_default(self, generated):
+        # Ignoring nothing makes the key attribute count, which the trivial
+        # identity cannot translate, so accuracy must drop.
+        trivial = trivial_explanation(generated.instance)
+        with_key = cell_accuracy(generated, trivial, ignore_attributes=[])
+        without_key = cell_accuracy(generated, trivial)
+        assert with_key < without_key
+
+
+class TestEvaluateResult:
+    def test_metrics_are_consistent(self, generated, result):
+        metrics = evaluate_result(generated, result)
+        assert metrics.reference_core_size == generated.core_size
+        assert metrics.result_core_size == result.explanation.core_size
+        assert metrics.delta_core == pytest.approx(
+            metrics.result_core_size / metrics.reference_core_size
+        )
+        assert metrics.reference_cost == explanation_cost(
+            generated.instance, generated.reference
+        )
+        assert metrics.delta_costs == pytest.approx(
+            metrics.result_cost / metrics.reference_cost
+        )
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert metrics.runtime_seconds > 0
+
+    def test_good_explanation_on_easy_setting(self, generated, result):
+        metrics = evaluate_result(generated, result)
+        # (η=0.3, τ=0.3) on a small categorical dataset: the search should be
+        # close to the reference.
+        assert metrics.accuracy >= 0.9
+        assert 0.8 <= metrics.delta_core <= 1.2
+        assert metrics.delta_costs <= 1.2
+
+    def test_as_dict_round_trip(self, generated, result):
+        metrics = evaluate_result(generated, result)
+        as_dict = metrics.as_dict()
+        assert as_dict["accuracy"] == metrics.accuracy
+        assert set(as_dict) >= {"delta_core", "delta_costs", "runtime_seconds"}
+
+
+class TestMacroAverage:
+    def test_average_of_identical_runs(self):
+        metric = InstanceMetrics(
+            dataset="d", runtime_seconds=1.0, delta_core=0.9, delta_costs=1.1,
+            accuracy=0.95, result_cost=10, reference_cost=9, result_core_size=9,
+            reference_core_size=10,
+        )
+        aggregate = macro_average([metric, metric])
+        assert aggregate.n_runs == 2
+        assert aggregate.delta_core == pytest.approx(0.9)
+        assert aggregate.accuracy == pytest.approx(0.95)
+        assert aggregate.as_row()["t"] == pytest.approx(1.0)
+
+    def test_average_of_different_runs(self):
+        low = InstanceMetrics(
+            dataset="d", runtime_seconds=1.0, delta_core=0.5, delta_costs=1.0,
+            accuracy=0.5, result_cost=1, reference_cost=1, result_core_size=1,
+            reference_core_size=2,
+        )
+        high = InstanceMetrics(
+            dataset="d", runtime_seconds=3.0, delta_core=1.5, delta_costs=2.0,
+            accuracy=1.0, result_cost=2, reference_cost=1, result_core_size=3,
+            reference_core_size=2,
+        )
+        aggregate = macro_average([low, high])
+        assert aggregate.runtime_seconds == pytest.approx(2.0)
+        assert aggregate.delta_core == pytest.approx(1.0)
+        assert aggregate.accuracy == pytest.approx(0.75)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            macro_average([])
+
+
+class TestAlignmentPrecisionRecall:
+    def test_reference_alignment_scores_perfectly(self, generated):
+        scores = alignment_precision_recall(generated, generated.reference)
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_trivial_alignment_scores_zero(self, generated):
+        scores = alignment_precision_recall(
+            generated, trivial_explanation(generated.instance)
+        )
+        assert scores["recall"] == 0.0
+        assert scores["f1"] == 0.0
+
+    def test_search_result_alignment_quality(self, generated, result):
+        scores = alignment_precision_recall(generated, result.explanation)
+        assert scores["f1"] >= 0.8

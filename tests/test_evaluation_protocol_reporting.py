@@ -1,0 +1,156 @@
+"""Tests of the experiment harness (Table 2 / Figure 5 / Figure 6) and reporting."""
+
+import pytest
+
+from repro.core import identity_configuration, overlap_configuration
+from repro.datagen.datasets import load_dataset
+from repro.evaluation import (
+    EVALUATION_SETTINGS,
+    default_configurations,
+    format_attribute_scalability,
+    format_row_scalability,
+    format_table2,
+    generate_instances,
+    linear_fit,
+    run_attribute_scalability,
+    run_configuration,
+    run_row_scalability,
+    run_table2,
+    run_table2_cell,
+)
+
+#: Fast, laptop-sized overrides used throughout these tests.
+FAST = dict(n_instances=2, n_records=120, seed=1)
+
+
+class TestProtocolBasics:
+    def test_settings_match_paper(self):
+        assert EVALUATION_SETTINGS == ((0.3, 0.3), (0.5, 0.5), (0.7, 0.7))
+
+    def test_default_configurations(self):
+        configs = default_configurations()
+        assert set(configs) == {"Hs", "Hid"}
+        assert configs["Hid"].queue_width == 5
+        assert configs["Hs"].queue_width == 1
+
+    def test_generate_instances_count_and_names(self):
+        table = load_dataset("iris", 100, seed=2)
+        instances = generate_instances(table, eta=0.3, tau=0.3, n_instances=3, name="iris")
+        assert len(instances) == 3
+        assert {g.instance.name for g in instances} == {"iris#0", "iris#1", "iris#2"}
+
+    def test_run_configuration_returns_one_metric_per_instance(self):
+        table = load_dataset("iris", 100, seed=2)
+        instances = generate_instances(table, eta=0.3, tau=0.3, n_instances=2)
+        metrics = run_configuration(instances, overlap_configuration())
+        assert len(metrics) == 2
+
+
+class TestTable2Harness:
+    def test_single_cell(self):
+        cell = run_table2_cell("iris", eta=0.3, tau=0.3, configuration="Hid", **FAST)
+        assert cell.dataset == "iris"
+        assert cell.aggregate.n_runs == 2
+        assert cell.aggregate.accuracy > 0.5
+        assert len(cell.runs) == 2
+        assert cell.setting == "eta=0.3, tau=0.3"
+
+    def test_run_table2_produces_full_grid(self):
+        cells = run_table2(
+            ["iris"],
+            settings=((0.3, 0.3),),
+            n_instances=1,
+            records_override={"iris": 100},
+            seed=2,
+        )
+        # 1 dataset × 2 configurations × 1 setting
+        assert len(cells) == 2
+        assert {cell.configuration for cell in cells} == {"Hs", "Hid"}
+
+    def test_custom_configuration_subset(self):
+        cells = run_table2(
+            ["balance"],
+            settings=((0.3, 0.3),),
+            configurations={"Hid": identity_configuration()},
+            n_instances=1,
+            records_override={"balance": 120},
+            seed=3,
+        )
+        assert len(cells) == 1
+        assert cells[0].configuration == "Hid"
+
+
+class TestScalabilityHarness:
+    def test_row_scalability_points(self):
+        points = run_row_scalability(
+            n_records=400, fractions=(0.5, 1.0), seed=2
+        )
+        assert len(points) == 2
+        assert points[0].n_records < points[1].n_records
+        assert all(point.runtime_seconds > 0 for point in points)
+        assert all(point.n_attributes == 20 for point in points)
+
+    def test_attribute_scalability_sorted_by_attribute_count(self):
+        points = run_attribute_scalability(
+            ["balance", "iris"],
+            records_override={"iris": 100, "balance": 100},
+            n_instances=1,
+            seed=2,
+        )
+        assert [point.n_attributes for point in points] == sorted(
+            point.n_attributes for point in points
+        )
+        assert all(point.seconds_per_record > 0 for point in points)
+
+
+class TestReporting:
+    def test_format_table2(self):
+        cells = run_table2(
+            ["iris"],
+            settings=((0.3, 0.3),),
+            n_instances=1,
+            records_override={"iris": 100},
+            seed=2,
+        )
+        text = format_table2(cells)
+        assert "dataset" in text and "d_core" in text and "acc" in text
+        assert "iris" in text
+        assert len(text.splitlines()) == 2 + len(cells)
+
+    def test_format_row_scalability(self):
+        points = run_row_scalability(n_records=300, fractions=(0.5, 1.0), seed=2)
+        text = format_row_scalability(points)
+        assert "records" in text and "runtime" in text
+        assert "50%" in text and "100%" in text
+
+    def test_format_attribute_scalability(self):
+        points = run_attribute_scalability(
+            ["iris"], records_override={"iris": 100}, n_instances=1, seed=2
+        )
+        text = format_attribute_scalability(points)
+        assert "attributes" in text and "s/record" in text
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        slope, intercept, r_squared = linear_fit([(1, 2), (2, 4), (3, 6)])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(0.0)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_noisy_but_linear(self):
+        points = [(x, 3 * x + 1 + (0.1 if x % 2 else -0.1)) for x in range(1, 10)]
+        slope, intercept, r_squared = linear_fit(points)
+        assert slope == pytest.approx(3.0, rel=0.05)
+        assert r_squared > 0.99
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([(1, 1)])
+        with pytest.raises(ValueError):
+            linear_fit([(1, 1), (1, 2)])
+
+    def test_constant_y_has_full_r_squared(self):
+        slope, intercept, r_squared = linear_fit([(1, 5), (2, 5), (3, 5)])
+        assert slope == pytest.approx(0.0)
+        assert r_squared == pytest.approx(1.0)

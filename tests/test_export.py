@@ -1,0 +1,184 @@
+"""Unit tests for the export layer: JSON serialisation, SQL scripts, reports."""
+
+import json
+
+import pytest
+
+from repro.core import Affidavit, explanation_from_functions, identity_configuration
+from repro.datagen.running_example import (
+    reference_functions,
+    running_example_instance,
+)
+from repro.export import (
+    SerializationError,
+    describe_function,
+    explanation_from_dict,
+    explanation_from_json,
+    explanation_to_dict,
+    explanation_to_json,
+    explanation_to_sql,
+    function_from_dict,
+    function_to_dict,
+    function_to_sql_expression,
+    quote_identifier,
+    quote_literal,
+    record_level_sql,
+    render_report,
+)
+from repro.functions import (
+    Addition,
+    ConstantValue,
+    DateConversion,
+    Division,
+    FrontMasking,
+    IDENTITY,
+    Prefixing,
+    PrefixReplacement,
+    Uppercasing,
+    ValueMapping,
+    default_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return running_example_instance()
+
+
+@pytest.fixture(scope="module")
+def reference(instance):
+    return explanation_from_functions(instance, reference_functions())
+
+
+class TestFunctionSerialization:
+    @pytest.mark.parametrize(
+        "function",
+        [
+            IDENTITY,
+            Uppercasing(),
+            ConstantValue("k $"),
+            Addition(-5),
+            Division(1000),
+            Prefixing("X_"),
+            PrefixReplacement("9999123", "2018070"),
+            FrontMasking("**"),
+            DateConversion("yyyy-mm-dd", "yyyymmdd"),
+            ValueMapping({"a": "b", "c": "d"}),
+        ],
+    )
+    def test_round_trip(self, function):
+        spec = function_to_dict(function)
+        rebuilt = function_from_dict(spec)
+        assert rebuilt == function
+        assert rebuilt.description_length == function.description_length
+        # behaviour preserved on a probe value
+        assert rebuilt.apply("9999123100") == function.apply("9999123100")
+
+    def test_spec_is_json_compatible(self):
+        spec = function_to_dict(Division(1000))
+        assert json.loads(json.dumps(spec)) == spec
+
+    def test_unknown_meta_rejected(self):
+        with pytest.raises(SerializationError):
+            function_from_dict({"meta": "teleportation", "parameters": []})
+
+    def test_missing_meta_rejected(self):
+        with pytest.raises(SerializationError):
+            function_from_dict({"parameters": []})
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SerializationError):
+            function_from_dict({"meta": "division", "parameters": ["0"]})
+        with pytest.raises(SerializationError):
+            function_from_dict({"meta": "constant", "parameters": "not-a-list"})
+
+    def test_value_mapping_requires_entries(self):
+        with pytest.raises(SerializationError):
+            function_from_dict({"meta": "value_mapping", "parameters": []})
+
+
+class TestExplanationSerialization:
+    def test_dict_round_trip(self, instance, reference):
+        payload = explanation_to_dict(reference)
+        rebuilt = explanation_from_dict(payload)
+        assert rebuilt.functions == reference.functions
+        assert rebuilt.alignment == reference.alignment
+        assert rebuilt.deleted_source_ids == reference.deleted_source_ids
+        assert rebuilt.inserted_target_ids == reference.inserted_target_ids
+        assert rebuilt.is_valid(instance)
+
+    def test_json_round_trip(self, instance, reference):
+        text = explanation_to_json(reference)
+        rebuilt = explanation_from_json(text)
+        assert rebuilt.functions == reference.functions
+        assert rebuilt.is_valid(instance)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            explanation_from_json("{not json")
+        with pytest.raises(SerializationError):
+            explanation_from_json("[]")
+
+    def test_missing_functions_rejected(self):
+        with pytest.raises(SerializationError):
+            explanation_from_dict({"alignment": {}})
+
+
+class TestSqlExport:
+    def test_quoting(self):
+        assert quote_literal("o'neill") == "'o''neill'"
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_expressions_for_common_families(self):
+        assert function_to_sql_expression("v", IDENTITY) == '"v"'
+        assert function_to_sql_expression("v", ConstantValue("k $")) == "'k $'"
+        assert "UPPER" in function_to_sql_expression("v", Uppercasing())
+        assert "/ 1000" in function_to_sql_expression("v", Division(1000))
+        assert "|| \"v\"" in function_to_sql_expression("v", Prefixing("X_"))
+        assert "CASE" in function_to_sql_expression("v", PrefixReplacement("a", "b"))
+        assert "CASE" in function_to_sql_expression("v", ValueMapping({"a": "b"}))
+
+    def test_unsupported_families_return_none(self):
+        assert function_to_sql_expression("v", FrontMasking("**")) is None
+        assert function_to_sql_expression("v", ValueMapping({})) is None
+
+    def test_generalised_script_structure(self, instance, reference):
+        script = explanation_to_sql(instance, reference, table_name="erp_items")
+        assert script.count("DELETE FROM") == reference.n_deleted
+        assert script.count("INSERT INTO") == reference.n_inserted
+        assert script.count("UPDATE") == 1  # one generalised UPDATE statement
+        assert '"erp_items"' in script
+        assert "/ 1000" in script
+
+    def test_record_level_script_is_longer(self, instance, reference):
+        generalised = explanation_to_sql(instance, reference)
+        per_record = record_level_sql(instance, reference)
+        assert per_record.count("UPDATE") == reference.core_size
+        assert len(per_record) > len(generalised) / 2
+
+    def test_key_attributes_limit_predicates(self, instance, reference):
+        script = record_level_sql(instance, reference, key_attributes=["ID1"])
+        # predicates mention only the key attribute
+        assert 'WHERE "ID1" =' in script
+        assert 'AND "ID2"' not in script
+
+
+class TestReport:
+    def test_report_mentions_all_sections(self, instance, reference):
+        report = render_report(instance, reference)
+        assert "attribute transformations" in report
+        assert "record-level changes" in report
+        assert "deleted records" in report
+        assert "inserted records" in report
+        assert "compression ratio" in report
+
+    def test_report_on_search_result(self, instance):
+        result = Affidavit(identity_configuration()).explain(instance)
+        report = render_report(instance, result.explanation, title="running example")
+        assert "running example" in report
+        assert "value mapping" in report  # the reassigned key attributes
+
+    def test_describe_function(self):
+        assert describe_function("a", IDENTITY) == "a: unchanged"
+        assert "value mapping" in describe_function("a", ValueMapping({"x": "y"}))
+        assert "psi=1" in describe_function("a", Division(10))

@@ -1,0 +1,137 @@
+"""Failure-injection tests: the search must stay robust on degenerate inputs.
+
+The paper's protocol always produces "reasonable" instances; downstream users
+will not.  These tests feed the engine pathological snapshots — empty
+attributes, constant columns, heavy duplication, completely shuffled content,
+missing-value floods — and require that it still terminates with a *valid*
+explanation that is never worse than the trivial one.
+"""
+
+import pytest
+
+from repro.core import (
+    Affidavit,
+    ProblemInstance,
+    identity_configuration,
+    overlap_configuration,
+    trivial_explanation_cost,
+)
+from repro.dataio import Schema, Table
+from repro.functions import default_registry
+
+
+def run_both_configs(instance):
+    results = []
+    for config in (identity_configuration(), overlap_configuration()):
+        result = Affidavit(config).explain(instance)
+        result.explanation.validate(instance)
+        assert result.cost <= trivial_explanation_cost(instance)
+        results.append(result)
+    return results
+
+
+class TestDegenerateShapes:
+    def test_single_record_snapshots(self):
+        schema = Schema(["a", "b"])
+        instance = ProblemInstance(
+            source=Table(schema, [("1", "x")]),
+            target=Table(schema, [("2", "x")]),
+        )
+        run_both_configs(instance)
+
+    def test_empty_source_snapshot(self):
+        schema = Schema(["a"])
+        instance = ProblemInstance(
+            source=Table(schema),
+            target=Table(schema, [("1",), ("2",)]),
+        )
+        for result in run_both_configs(instance):
+            assert result.explanation.n_inserted == 2
+
+    def test_both_snapshots_empty(self):
+        schema = Schema(["a", "b"])
+        instance = ProblemInstance(source=Table(schema), target=Table(schema))
+        for result in run_both_configs(instance):
+            assert result.cost == 0
+
+    def test_all_cells_identical(self):
+        schema = Schema(["a", "b"])
+        rows = [("x", "y")] * 25
+        instance = ProblemInstance(
+            source=Table(schema, rows), target=Table(schema, rows)
+        )
+        for result in run_both_configs(instance):
+            assert result.explanation.n_deleted == 0
+            assert result.explanation.n_inserted == 0
+
+    def test_massive_duplication_with_surplus(self):
+        schema = Schema(["a"])
+        instance = ProblemInstance(
+            source=Table(schema, [("dup",)] * 30),
+            target=Table(schema, [("dup",)] * 20),
+        )
+        for result in run_both_configs(instance):
+            assert result.explanation.core_size == 20
+            assert result.explanation.n_deleted == 10
+
+
+class TestPathologicalContent:
+    def test_missing_value_flood(self):
+        schema = Schema(["a", "b", "c"])
+        source_rows = [("?", "?", str(i % 4)) for i in range(40)]
+        target_rows = [("?", "?", str((i + 1) % 4)) for i in range(40)]
+        instance = ProblemInstance(
+            source=Table(schema, source_rows), target=Table(schema, target_rows)
+        )
+        run_both_configs(instance)
+
+    def test_disjoint_value_universes(self):
+        schema = Schema(["a", "b"])
+        source_rows = [(f"s{i}", f"u{i % 3}") for i in range(30)]
+        target_rows = [(f"t{i}", f"w{i % 3}") for i in range(30)]
+        instance = ProblemInstance(
+            source=Table(schema, source_rows), target=Table(schema, target_rows)
+        )
+        run_both_configs(instance)
+
+    def test_extremely_long_cell_values(self):
+        schema = Schema(["a", "b"])
+        long_value = "x" * 5_000
+        source_rows = [(long_value + str(i), "k") for i in range(10)]
+        target_rows = [("PREFIX-" + long_value + str(i), "k") for i in range(10)]
+        instance = ProblemInstance(
+            source=Table(schema, source_rows), target=Table(schema, target_rows)
+        )
+        results = run_both_configs(instance)
+        # the systematic prefixing should be learned by at least one config
+        assert any(
+            results[i].explanation.functions["a"].meta_name in {"prefixing", "prefix_replacement"}
+            for i in range(2)
+        )
+
+    def test_restricted_registry_still_terminates(self):
+        # With only identity available, the search can only explain unchanged
+        # records; everything else must be labelled deleted/inserted.
+        registry = default_registry().subset(["identity"])
+        schema = Schema(["a", "b"])
+        source_rows = [(str(i), "same") for i in range(20)]
+        target_rows = [(str(i + 100), "same") for i in range(20)]
+        instance = ProblemInstance(
+            source=Table(schema, source_rows),
+            target=Table(schema, target_rows),
+            registry=registry,
+        )
+        result = Affidavit(identity_configuration()).explain(instance)
+        result.explanation.validate(instance)
+        assert result.cost <= trivial_explanation_cost(instance)
+
+    def test_numeric_overflow_like_values(self):
+        schema = Schema(["big"])
+        source_rows = [(str((10**27 + i) * 1000),) for i in range(15)]
+        target_rows = [(str(10**27 + i),) for i in range(15)]
+        instance = ProblemInstance(
+            source=Table(schema, source_rows), target=Table(schema, target_rows)
+        )
+        result = Affidavit(identity_configuration()).explain(instance)
+        result.explanation.validate(instance)
+        assert result.explanation.core_size == 15

@@ -1,0 +1,156 @@
+"""Unit tests for the affix, masking and trimming meta functions."""
+
+import pytest
+
+from repro.functions import (
+    BackCharTrimming,
+    BackCharTrimmingMeta,
+    BackMasking,
+    BackMaskingMeta,
+    FrontCharTrimming,
+    FrontCharTrimmingMeta,
+    FrontMasking,
+    FrontMaskingMeta,
+    Prefixing,
+    PrefixingMeta,
+    PrefixReplacement,
+    PrefixReplacementMeta,
+    Suffixing,
+    SuffixingMeta,
+    SuffixReplacement,
+    SuffixReplacementMeta,
+)
+
+
+class TestPrefixingAndSuffixing:
+    def test_prefixing(self):
+        assert Prefixing("X_").apply("abc") == "X_abc"
+        assert Prefixing("X_").description_length == 1
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Prefixing("")
+
+    def test_suffixing(self):
+        assert Suffixing("_v2").apply("abc") == "abc_v2"
+
+    def test_prefixing_meta(self):
+        candidates = list(PrefixingMeta().induce("123", "ID123"))
+        assert candidates == [Prefixing("ID")]
+
+    def test_prefixing_meta_requires_proper_superstring(self):
+        assert not list(PrefixingMeta().induce("123", "123"))
+        assert not list(PrefixingMeta().induce("123", "124"))
+        assert not list(PrefixingMeta().induce("", "abc"))
+
+    def test_suffixing_meta(self):
+        assert list(SuffixingMeta().induce("123", "123-a")) == [Suffixing("-a")]
+        assert not list(SuffixingMeta().induce("123", "a-123"))
+
+
+class TestPrefixReplacement:
+    def test_running_example_date_function(self):
+        function = PrefixReplacement("9999123", "2018070")
+        assert function.apply("99991231") == "20180701"
+        # otherwise x -> x
+        assert function.apply("20130416") == "20130416"
+
+    def test_description_length(self):
+        assert PrefixReplacement("a", "b").description_length == 2
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            PrefixReplacement("", "x")
+        with pytest.raises(ValueError):
+            PrefixReplacement("x", "x")
+
+    def test_meta_induces_minimal_replacement(self):
+        candidates = list(PrefixReplacementMeta().induce("99991231", "20180701"))
+        assert candidates == [PrefixReplacement("9999123", "2018070")]
+
+    def test_meta_skips_equal_values(self):
+        assert not list(PrefixReplacementMeta().induce("abc", "abc"))
+
+    def test_meta_skips_pure_suffix_extension(self):
+        # common suffix is the whole source, nothing to replace in front
+        assert not list(PrefixReplacementMeta().induce("abc", "abc"))
+
+
+class TestSuffixReplacement:
+    def test_apply(self):
+        function = SuffixReplacement("USD", "EUR")
+        assert function.apply("100 USD") == "100 EUR"
+        assert function.apply("100 GBP") == "100 GBP"
+
+    def test_meta(self):
+        candidates = list(SuffixReplacementMeta().induce("100 USD", "100 EUR"))
+        assert candidates == [SuffixReplacement("USD", "EUR")]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SuffixReplacement("", "x")
+
+
+class TestMasking:
+    def test_front_masking(self):
+        function = FrontMasking("***")
+        assert function.apply("1234567") == "***4567"
+        assert function.apply("12") is None  # shorter than the mask
+
+    def test_back_masking(self):
+        function = BackMasking("XX")
+        assert function.apply("abcdef") == "abcdXX"
+
+    def test_front_masking_meta_requires_equal_lengths(self):
+        assert list(FrontMaskingMeta().induce("1234", "XX34")) == [FrontMasking("XX")]
+        assert not list(FrontMaskingMeta().induce("1234", "XX345"))
+        assert not list(FrontMaskingMeta().induce("1234", "1234"))
+
+    def test_back_masking_meta(self):
+        assert list(BackMaskingMeta().induce("1234", "12XX")) == [BackMasking("XX")]
+        assert not list(BackMaskingMeta().induce("1234", "1234"))
+
+    def test_masking_description_length(self):
+        assert FrontMasking("**").description_length == 1
+        assert BackMasking("**").description_length == 1
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            FrontMasking("")
+        with pytest.raises(ValueError):
+            BackMasking("")
+
+
+class TestTrimming:
+    def test_front_char_trimming(self):
+        function = FrontCharTrimming("0")
+        assert function.apply("000123") == "123"
+        assert function.apply("123") == "123"
+        assert function.apply("000") == ""
+
+    def test_back_char_trimming(self):
+        function = BackCharTrimming("0")
+        assert function.apply("12000") == "12"
+
+    def test_single_character_required(self):
+        with pytest.raises(ValueError):
+            FrontCharTrimming("00")
+        with pytest.raises(ValueError):
+            BackCharTrimming("")
+
+    def test_front_trimming_meta(self):
+        assert list(FrontCharTrimmingMeta().induce("000123", "123")) == [FrontCharTrimming("0")]
+
+    def test_front_trimming_meta_rejects_mixed_prefix(self):
+        assert not list(FrontCharTrimmingMeta().induce("0a123", "123"))
+
+    def test_front_trimming_meta_rejects_incomplete_trim(self):
+        # stripping '0' from '000123' would not yield '0123'
+        assert not list(FrontCharTrimmingMeta().induce("000123", "0123"))
+
+    def test_back_trimming_meta(self):
+        assert list(BackCharTrimmingMeta().induce("12000", "12")) == [BackCharTrimming("0")]
+        assert not list(BackCharTrimmingMeta().induce("12000", "12000"))
+
+    def test_description_length(self):
+        assert FrontCharTrimming("0").description_length == 1

@@ -1,0 +1,122 @@
+"""Unit tests for value mappings, boolean negation and date conversion."""
+
+import pytest
+
+from repro.functions import (
+    BOOLEAN_NEGATION,
+    BooleanNegationMeta,
+    DateConversion,
+    DateConversionMeta,
+    SingleValueMappingMeta,
+    ValueMapping,
+    detect_formats,
+    parse_date,
+)
+
+
+class TestValueMapping:
+    def test_apply_known_and_unknown_keys(self):
+        mapping = ValueMapping({"a": "x", "b": "y"})
+        assert mapping.apply("a") == "x"
+        assert mapping.apply("c") is None
+
+    def test_description_length_counts_two_per_entry(self):
+        # Matches the worked example of Section 3.1: 13 entries cost 26.
+        mapping = ValueMapping({str(i): str(i + 1) for i in range(13)})
+        assert mapping.description_length == 26
+
+    def test_identity_like_entries_still_counted(self):
+        mapping = ValueMapping({"0001": "0001", "0002": "0005"})
+        assert mapping.description_length == 4
+
+    def test_size(self):
+        assert ValueMapping({"a": "b"}).size == 1
+
+    def test_restricted_to(self):
+        mapping = ValueMapping({"a": "1", "b": "2", "c": "3"})
+        restricted = mapping.restricted_to(["a", "c", "unknown"])
+        assert restricted.entries == {"a": "1", "c": "3"}
+
+    def test_merged_with_other_wins_conflicts(self):
+        merged = ValueMapping({"a": "1", "b": "2"}).merged_with(ValueMapping({"b": "9", "c": "3"}))
+        assert merged.entries == {"a": "1", "b": "9", "c": "3"}
+
+    def test_equality_is_content_based(self):
+        assert ValueMapping({"a": "1", "b": "2"}) == ValueMapping({"b": "2", "a": "1"})
+        assert ValueMapping({"a": "1"}) != ValueMapping({"a": "2"})
+
+    def test_single_entry_meta(self):
+        candidates = list(SingleValueMappingMeta().induce("a", "b"))
+        assert len(candidates) == 1
+        assert candidates[0].apply("a") == "b"
+        assert not list(SingleValueMappingMeta().induce("a", "a"))
+
+
+class TestBooleanNegation:
+    def test_flips_zero_and_one(self):
+        assert BOOLEAN_NEGATION.apply("0") == "1"
+        assert BOOLEAN_NEGATION.apply("1") == "0"
+
+    def test_identity_on_other_values(self):
+        assert BOOLEAN_NEGATION.apply("-") == "-"
+        assert BOOLEAN_NEGATION.apply("c1") == "c1"
+
+    def test_zero_description_length(self):
+        assert BOOLEAN_NEGATION.description_length == 0
+
+    def test_meta_requires_visible_flip(self):
+        meta = BooleanNegationMeta()
+        assert list(meta.induce("0", "1")) == [BOOLEAN_NEGATION]
+        assert not list(meta.induce("-", "-"))
+        assert not list(meta.induce("0", "0"))
+
+
+class TestDateFormats:
+    def test_detect_formats(self):
+        assert "yyyymmdd" in detect_formats("20190931".replace("31", "30"))
+        assert "yyyy-mm-dd" in detect_formats("2019-09-30")
+        assert detect_formats("not a date") == []
+
+    def test_detect_rejects_invalid_calendar_dates(self):
+        assert detect_formats("20191345") == []
+
+    def test_parse_date(self):
+        parsed = parse_date("2019-03-05", "yyyy-mm-dd")
+        assert (parsed.year, parsed.month, parsed.day) == (2019, 3, 5)
+        assert parse_date("2019-03-05", "yyyymmdd") is None
+        assert parse_date("2019-03-05", "unknown-format") is None
+
+
+class TestDateConversion:
+    def test_reformat(self):
+        function = DateConversion("mon dd yyyy", "yyyymmdd")
+        assert function.apply("Sep 30 2019") == "20190930"
+
+    def test_non_matching_values_pass_through(self):
+        function = DateConversion("yyyy-mm-dd", "yyyymmdd")
+        assert function.apply("99991231") == "99991231"
+        assert function.apply("n/a") == "n/a"
+
+    def test_description_length(self):
+        assert DateConversion("yyyymmdd", "yyyy-mm-dd").description_length == 2
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            DateConversion("nope", "yyyymmdd")
+        with pytest.raises(ValueError):
+            DateConversion("yyyymmdd", "yyyymmdd")
+
+    def test_meta_generates_consistent_candidates(self):
+        candidates = list(DateConversionMeta().induce("2019-09-30", "20190930"))
+        assert DateConversion("yyyy-mm-dd", "yyyymmdd") in candidates
+        for candidate in candidates:
+            assert candidate.covers("2019-09-30", "20190930")
+
+    def test_meta_ambiguous_example_yields_multiple_candidates(self):
+        # day and month are both <= 12, so dd/mm and mm/dd both fit.
+        candidates = list(DateConversionMeta().induce("03/04/2019", "20190403"))
+        assert len(candidates) >= 1
+
+    def test_meta_skips_non_dates(self):
+        assert not list(DateConversionMeta().induce("abc", "20190930"))
+        assert not list(DateConversionMeta().induce("20190930", "20190930"))

@@ -1,0 +1,133 @@
+"""Unit tests for block-respecting alignments, greedy maps and histogram overlap."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import ProblemInstance, SearchState, build_blocking
+from repro.dataio import Schema, Table
+from repro.functions import ConstantValue, Division, IDENTITY
+from repro.linking import (
+    alignment_accuracy,
+    block_overlap,
+    greedy_alignment_from_values,
+    histogram_overlap,
+    induce_greedy_mapping,
+    sample_random_alignment,
+    transformed_histogram,
+    value_histogram,
+)
+
+
+@pytest.fixture
+def instance():
+    schema = Schema(["group", "value"])
+    source = Table(schema, [("A", "1"), ("A", "2"), ("B", "3"), ("B", "4"), ("C", "5")])
+    target = Table(schema, [("A", "x1"), ("A", "x2"), ("B", "x3"), ("D", "x9")])
+    return ProblemInstance(source=source, target=target)
+
+
+@pytest.fixture
+def blocking(instance):
+    state = SearchState.empty(instance.schema).extend("group", IDENTITY)
+    return build_blocking(instance, state)
+
+
+class TestRandomAlignment:
+    def test_respects_blocks(self, instance, blocking):
+        rng = random.Random(0)
+        pairs = sample_random_alignment(blocking, rng)
+        source_groups = instance.source.column_view("group")
+        target_groups = instance.target.column_view("group")
+        for source_id, target_id in pairs:
+            assert source_groups[source_id] == target_groups[target_id]
+
+    def test_pairs_min_of_each_block(self, instance, blocking):
+        pairs = sample_random_alignment(blocking, random.Random(0))
+        # block A: min(2,2)=2, block B: min(2,1)=1, C and D have one side only.
+        assert len(pairs) == 3
+
+    def test_no_duplicate_records_within_alignment(self, blocking):
+        pairs = sample_random_alignment(blocking, random.Random(3))
+        sources = [s for s, _ in pairs]
+        targets = [t for _, t in pairs]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+
+    def test_deterministic_for_seed(self, blocking):
+        assert sample_random_alignment(blocking, random.Random(7)) == sample_random_alignment(
+            blocking, random.Random(7)
+        )
+
+
+class TestGreedyMapping:
+    def test_maps_to_most_frequent_co_occurrence(self):
+        schema = Schema(["v"])
+        source = Table(schema, [("a",), ("a",), ("a",), ("b",)])
+        target = Table(schema, [("x",), ("x",), ("y",), ("z",)])
+        alignment = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        mapping = induce_greedy_mapping(alignment, source, target, "v")
+        assert mapping.apply("a") == "x"
+        assert mapping.apply("b") == "z"
+
+    def test_tie_break_is_lexicographic(self):
+        schema = Schema(["v"])
+        source = Table(schema, [("a",), ("a",)])
+        target = Table(schema, [("y",), ("x",)])
+        mapping = induce_greedy_mapping([(0, 0), (1, 1)], source, target, "v")
+        assert mapping.apply("a") == "x"
+
+    def test_empty_alignment_gives_empty_mapping(self):
+        schema = Schema(["v"])
+        table = Table(schema, [("a",)])
+        mapping = induce_greedy_mapping([], table, table, "v")
+        assert mapping.size == 0
+
+
+class TestKeyedAlignment:
+    def test_greedy_alignment_from_values(self):
+        schema = Schema(["key", "payload"])
+        source = Table(schema, [("k1", "a"), ("k2", "b"), ("k3", "c")])
+        target = Table(schema, [("k3", "c2"), ("k1", "a2")])
+        pairs = greedy_alignment_from_values(source, target, ["key"])
+        assert dict(pairs) == {0: 1, 2: 0}
+
+    def test_duplicate_keys_matched_at_most_once(self):
+        schema = Schema(["key"])
+        source = Table(schema, [("k",), ("k",), ("k",)])
+        target = Table(schema, [("k",), ("k",)])
+        pairs = greedy_alignment_from_values(source, target, ["key"])
+        assert len(pairs) == 2
+        assert len({t for _, t in pairs}) == 2
+
+    def test_alignment_accuracy(self):
+        reference = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        predicted = [(0, 0), (1, 1), (2, 9)]
+        assert alignment_accuracy(predicted, reference) == 0.5
+        assert alignment_accuracy([], []) == 1.0
+
+
+class TestHistograms:
+    def test_value_histogram(self):
+        assert value_histogram(["a", "b", "a"]) == Counter({"a": 2, "b": 1})
+
+    def test_histogram_overlap(self):
+        left = Counter({"a": 2, "b": 1})
+        right = Counter({"a": 1, "c": 5})
+        assert histogram_overlap(left, right) == 1
+        assert histogram_overlap(right, left) == 1
+
+    def test_overlap_of_disjoint_histograms_is_zero(self):
+        assert histogram_overlap(Counter({"a": 1}), Counter({"b": 1})) == 0
+
+    def test_transformed_histogram_skips_inapplicable(self):
+        histogram = transformed_histogram(Division(1000), ["6540", "x", "9800"])
+        assert histogram == Counter({"6.54": 1, "9.8": 1})
+
+    def test_block_overlap_running_example_figure(self):
+        # Section 4.4.3: on block κᵢ the division has overlap 2, the constant 1.
+        source_values = ["6540", "9800", "0"]
+        target_values = ["9.8", "6.54"]
+        assert block_overlap(Division(1000), source_values, target_values) == 2
+        assert block_overlap(ConstantValue("9.8"), source_values, target_values) == 1

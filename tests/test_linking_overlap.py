@@ -1,0 +1,84 @@
+"""Unit tests for the overlap-score matching used by the Hs start state."""
+
+import pytest
+
+from repro.dataio import Schema, Table
+from repro.linking import analyse_overlap
+from repro.datagen.running_example import source_table, target_table
+
+
+@pytest.fixture
+def snapshots():
+    schema = Schema(["key", "colour", "size"])
+    source = Table(schema, [
+        ("k1", "red", "S"),
+        ("k2", "blue", "M"),
+        ("k3", "green", "L"),
+    ])
+    # keys are reassigned; colour and size are unchanged
+    target = Table(schema, [
+        ("x9", "red", "S"),
+        ("x8", "blue", "M"),
+        ("x7", "green", "L"),
+    ])
+    return source, target
+
+
+class TestAnalyseOverlap:
+    def test_best_matches_found_via_unchanged_attributes(self, snapshots):
+        source, target = snapshots
+        analysis = analyse_overlap(source, target)
+        matches = {m.source_id: m.target_id for m in analysis.matches}
+        assert matches == {0: 0, 1: 1, 2: 2}
+        assert all(m.score == 2 for m in analysis.matches)
+
+    def test_identity_attributes_exclude_reassigned_key(self, snapshots):
+        source, target = snapshots
+        analysis = analyse_overlap(source, target)
+        assert set(analysis.identity_attributes) <= {"colour", "size"}
+        assert analysis.modal_score == 2
+        assert len(analysis.identity_attributes) == 2
+
+    def test_attribute_frequencies(self, snapshots):
+        source, target = snapshots
+        analysis = analyse_overlap(source, target)
+        assert analysis.attribute_frequencies["colour"] == 3
+        assert analysis.attribute_frequencies["size"] == 3
+        assert "key" not in analysis.attribute_frequencies
+
+    def test_max_block_size_filters_frequent_values(self):
+        schema = Schema(["constant", "id"])
+        source = Table(schema, [("x", str(i)) for i in range(20)])
+        target = Table(schema, [("x", str(i)) for i in range(20)])
+        # With a tiny cap, the constant column (20×20 pairs) is skipped and
+        # only the id column contributes scores.
+        analysis = analyse_overlap(source, target, max_block_size=50)
+        assert all(m.score == 1 for m in analysis.matches)
+        assert analysis.identity_attributes == ("id",)
+
+    def test_missing_values_are_ignored(self):
+        schema = Schema(["a", "b"])
+        source = Table(schema, [("", "1"), ("", "2")])
+        target = Table(schema, [("", "1"), ("", "2")])
+        analysis = analyse_overlap(source, target)
+        assert all("a" not in m.overlapping_attributes for m in analysis.matches)
+
+    def test_no_overlap_yields_empty_analysis(self):
+        schema = Schema(["a"])
+        source = Table(schema, [("x",)])
+        target = Table(schema, [("y",)])
+        analysis = analyse_overlap(source, target)
+        assert analysis.matches == []
+        assert analysis.identity_attributes == ()
+        assert analysis.modal_score == 0
+
+
+class TestRunningExampleOverlap:
+    def test_unchanged_attributes_are_preferred(self):
+        # On I₁ the attributes Type and Org are unchanged; Date is unchanged
+        # for most records.  The reassigned ID2 must not dominate.
+        analysis = analyse_overlap(source_table(), target_table())
+        assert analysis.identity_attributes
+        assert set(analysis.identity_attributes) <= {"Type", "Org", "Date", "ID2"}
+        assert "Val" not in analysis.identity_attributes
+        assert "Unit" not in analysis.identity_attributes
