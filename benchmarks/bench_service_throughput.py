@@ -1,0 +1,96 @@
+"""Throughput of the explanation-job subsystem.
+
+Not a table of the paper: this benchmark measures the serving layer added on
+top of the reproduction — jobs/second for a pool of small instances at worker
+counts 1, 2 and 4, plus the latency gap between a cold submission and an
+idempotency-cache hit.  The search itself is pure Python (the GIL limits CPU
+parallelism), so the worker scaling mostly exercises the manager's queueing
+and bookkeeping overhead; the cache-hit speedup is the headline number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataio import read_csv_text
+from repro.service import JobManager
+
+from conftest import scaled
+
+WORKER_COUNTS = (1, 2, 4)
+
+N_JOBS = 8
+
+
+def _pairs(n_jobs: int, rows: int):
+    pairs = []
+    for j in range(n_jobs):
+        divisor = 10 ** (1 + j % 3)
+        source = read_csv_text(
+            "id,val\n"
+            + "".join(f"{i},{(i + j) * divisor}\n" for i in range(1, rows + 1))
+        )
+        target = read_csv_text(
+            "id,val\n" + "".join(f"{i},{i + j}\n" for i in range(1, rows + 1))
+        )
+        pairs.append((source, target))
+    return pairs
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_jobs_per_second_by_worker_count(benchmark, workers, report_sink):
+    rows = scaled(120)
+    pairs = _pairs(N_JOBS, rows)
+
+    def run_pool():
+        with JobManager(workers=workers) as manager:
+            jobs = [
+                manager.submit(source, target, name=f"job{i}", use_cache=False)
+                for i, (source, target) in enumerate(pairs)
+            ]
+            assert manager.wait_all(300.0)
+            assert all(job.state.value == "done" for job in jobs)
+        return jobs
+
+    benchmark.pedantic(run_pool, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.total
+    throughput = N_JOBS / elapsed if elapsed else float("inf")
+    benchmark.extra_info.update({
+        "workers": workers,
+        "jobs": N_JOBS,
+        "rows": rows,
+        "jobs_per_second": round(throughput, 2),
+    })
+    report_sink.append(
+        f"service throughput: workers={workers} rows={rows} "
+        f"-> {throughput:.2f} jobs/s ({elapsed:.3f}s for {N_JOBS} jobs)"
+    )
+
+
+def test_cache_hit_speedup(benchmark, report_sink):
+    rows = scaled(120)
+    (source, target), = _pairs(1, rows)
+
+    with JobManager(workers=1) as manager:
+        cold = manager.submit(source, target)
+        assert cold.wait(300.0)
+        cold_runtime = cold.result.runtime_seconds
+
+        def resubmit():
+            job = manager.submit(source, target)
+            assert job.wait(300.0)
+            assert job.cache_hit
+            return job
+
+        benchmark(resubmit)
+    hit_seconds = benchmark.stats.stats.mean
+    speedup = cold_runtime / hit_seconds if hit_seconds else float("inf")
+    benchmark.extra_info.update({
+        "cold_seconds": round(cold_runtime, 4),
+        "hit_seconds": round(hit_seconds, 6),
+        "speedup": round(speedup, 1),
+    })
+    report_sink.append(
+        f"idempotency cache: cold {cold_runtime * 1000:.1f}ms vs "
+        f"hit {hit_seconds * 1e6:.0f}us ({speedup:.0f}x)"
+    )

@@ -1,3 +1,53 @@
-from setuptools import setup
+"""Packaging of the Affidavit reproduction (src layout, stdlib-only)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).parent
+
+
+def _version() -> str:
+    """Read ``repro.__version__`` without importing the package."""
+    text = (_HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def _readme() -> str:
+    readme = _HERE / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+
+setup(
+    name="repro-affidavit",
+    version=_version(),
+    description=(
+        "Reproduction of 'Explaining Differences Between Unaligned Table "
+        "Snapshots' (Fink, Meilicke, Stuckenschmidt; EDBT 2020) with a "
+        "concurrent explanation service"
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-affidavit = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

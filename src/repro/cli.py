@@ -1,6 +1,6 @@
 """Command-line interface of the Affidavit reproduction.
 
-Three subcommands cover the profiling workflow the paper targets (comparing
+Five subcommands cover the profiling workflow the paper targets (comparing
 hundreds of tables with minimal user effort):
 
 ``explain``
@@ -16,6 +16,14 @@ hundreds of tables with minimal user effort):
 ``datasets``
     List the available surrogate datasets and their dimensions.
 
+``serve``
+    Run the explanation service: an HTTP API with a bounded worker pool and
+    an idempotency-keyed result cache (see :mod:`repro.service`).
+
+``batch``
+    Explain every ``<name>_source.csv`` / ``<name>_target.csv`` pair in a
+    directory through the same concurrent job subsystem.
+
 Run ``python -m repro.cli --help`` for the full usage.
 """
 
@@ -26,6 +34,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from . import __version__
 from .core import Affidavit, ProblemInstance, identity_configuration, overlap_configuration
 from .dataio import read_snapshot_pair, write_csv
 from .datagen import generate_problem_instance
@@ -45,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-affidavit",
         description="Explain differences between unaligned table snapshots (EDBT 2020).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -82,6 +94,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory for <dataset>_source.csv / <dataset>_target.csv")
 
     subparsers.add_parser("datasets", help="list the available surrogate datasets")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the explanation service (HTTP API + worker pool + cache)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent explain workers")
+    serve.add_argument("--cache-entries", type=int, default=128,
+                       help="capacity of the idempotency result cache")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result time-to-live in seconds (default: no expiry)")
+    serve.add_argument("--data-root", type=Path, default=Path("."),
+                       help="directory that server-side snapshot paths are confined "
+                            "to (default: the working directory)")
+
+    batch = subparsers.add_parser(
+        "batch", help="explain every *_source.csv / *_target.csv pair in a directory"
+    )
+    batch.add_argument("directory", type=Path,
+                       help="directory holding the snapshot pairs")
+    batch.add_argument("--config", choices=("hid", "hs"), default="hid",
+                       help="search configuration for every pair")
+    batch.add_argument("--seed", type=int, default=0, help="random seed of the search")
+    batch.add_argument("--workers", type=int, default=2,
+                       help="concurrent explain workers")
+    batch.add_argument("--delimiter", default=",", help="CSV field delimiter")
+    batch.add_argument("--output-dir", type=Path, default=None,
+                       help="write per-pair explanation JSON and a batch summary here")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress the per-pair progress lines")
 
     return parser
 
@@ -130,6 +174,47 @@ def run_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    from .service import serve_forever
+
+    return serve_forever(
+        args.host, args.port,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        data_root=args.data_root,
+    )
+
+
+def run_batch_command(args: argparse.Namespace) -> int:
+    from .service import run_batch
+
+    config = _configuration(args.config, args.seed)
+
+    def on_progress(name: str, state: str) -> None:
+        if not args.quiet:
+            print(f"{name:<24s} {state}")
+
+    try:
+        outcomes = run_batch(
+            args.directory,
+            workers=args.workers,
+            config=config,
+            delimiter=args.delimiter,
+            output_dir=args.output_dir,
+            on_progress=on_progress,
+        )
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    done = sum(1 for o in outcomes if o.state == "done")
+    cached = sum(1 for o in outcomes if o.cache_hit)
+    if not args.quiet:
+        print(f"{done}/{len(outcomes)} pairs explained "
+              f"({cached} cache hits, workers={args.workers})")
+    return 0 if done == len(outcomes) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -139,6 +224,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_generate(args)
     if args.command == "datasets":
         return run_datasets(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "batch":
+        return run_batch_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -41,7 +41,7 @@ from .initialization import (
     start_states,
 )
 from .extension import Extension, StateExpander
-from .affidavit import Affidavit, AffidavitResult, explain_snapshots
+from .affidavit import Affidavit, AffidavitResult, SearchProgress, explain_snapshots
 
 __all__ = [
     "AffidavitConfig",
@@ -84,5 +84,6 @@ __all__ = [
     "StateExpander",
     "Affidavit",
     "AffidavitResult",
+    "SearchProgress",
     "explain_snapshots",
 ]

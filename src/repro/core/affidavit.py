@@ -27,6 +27,17 @@ from .search_state import MAP_MARKER, SearchState
 
 
 @dataclass(frozen=True)
+class SearchProgress:
+    """Snapshot handed to :attr:`AffidavitConfig.progress_callback` once per
+    expansion — enough for a job monitor to display liveness and quality."""
+
+    expansions: int
+    generated_states: int
+    queue_size: int
+    best_cost: Optional[float]
+
+
+@dataclass(frozen=True)
 class AffidavitResult:
     """Outcome of one search run."""
 
@@ -38,6 +49,10 @@ class AffidavitResult:
     generated_states: int
     runtime_seconds: float
     config: AffidavitConfig
+    #: True when :attr:`AffidavitConfig.should_stop` ended the search early;
+    #: the explanation is then the finalised best partial state, still valid
+    #: but not necessarily what an uninterrupted run would have returned.
+    cancelled: bool = False
 
     @property
     def compression_ratio(self) -> float:
@@ -107,8 +122,12 @@ class Affidavit:
         expansions = 0
         best_entry = None
         best_seen_partial = None
+        cancelled = False
 
         while queue:
+            if config.should_stop is not None and config.should_stop():
+                cancelled = True
+                break
             entry = queue.poll()
             if entry.state.is_end_state:
                 best_entry = entry
@@ -127,6 +146,15 @@ class Affidavit:
                     continue
                 if queue.push(extension.state, extension.cost):
                     generated += 1
+            if config.progress_callback is not None:
+                config.progress_callback(SearchProgress(
+                    expansions=expansions,
+                    generated_states=generated,
+                    queue_size=len(queue),
+                    best_cost=(
+                        best_seen_partial.cost if best_seen_partial is not None else None
+                    ),
+                ))
 
         if best_entry is None:
             # The expansion budget ran out or the queue drained without an
@@ -167,6 +195,7 @@ class Affidavit:
             generated_states=generated,
             runtime_seconds=runtime,
             config=config,
+            cancelled=cancelled,
         )
 
 

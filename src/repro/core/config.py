@@ -27,7 +27,10 @@ The two configurations evaluated in the paper (Section 5.2) are available as
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .affidavit import SearchProgress
 
 START_EMPTY = "empty"
 START_IDENTITY = "identity"
@@ -55,6 +58,19 @@ class AffidavitConfig:
     max_expansions: Optional[int] = 10_000
     #: Seed of the search-owned random generator; fixed for reproducibility.
     seed: int = 0
+    #: Called once per state expansion with a
+    #: :class:`~repro.core.affidavit.SearchProgress` snapshot.  Excluded from
+    #: equality/hashing so configs that differ only in observers compare equal
+    #: (the service's idempotency cache relies on this).
+    progress_callback: Optional[Callable[["SearchProgress"], None]] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Polled once per state expansion; returning ``True`` stops the search,
+    #: which then finalises the best partial state seen so far and flags the
+    #: result as cancelled.  Enables cooperative cancellation of long runs.
+    should_stop: Optional[Callable[[], bool]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:

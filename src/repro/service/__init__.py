@@ -1,0 +1,54 @@
+"""repro.service — a concurrent explanation-job subsystem.
+
+The CLI runs one blocking search per invocation; production data-profiling
+instead wraps the expensive Affidavit analysis behind a long-running service.
+This package provides that serving layer with stdlib means only:
+
+* :mod:`.cache` — an idempotency-keyed result cache (TTL + LRU) so repeated
+  submissions of the same snapshot pair return instantly,
+* :mod:`.jobs` — a :class:`~repro.service.jobs.JobManager` with a bounded
+  worker pool, per-job progress and cooperative cancellation,
+* :mod:`.schemas` — typed request/response payloads with JSON round-trips,
+* :mod:`.server` — the HTTP API (``/healthz``, ``/v1/explain``,
+  ``/v1/jobs/...``) on :class:`http.server.ThreadingHTTPServer`,
+* :mod:`.batch` — a bulk front-end that fans a directory of snapshot pairs
+  through the same job manager.
+"""
+
+from .cache import CacheStats, ResultCache, idempotency_key
+from .jobs import (
+    Job,
+    JobManager,
+    JobNotFound,
+    JobState,
+)
+from .schemas import (
+    ExplainRequest,
+    JobView,
+    ResultView,
+    ValidationError,
+    config_from_request,
+)
+from .server import AffidavitHTTPServer, create_server, serve_forever
+from .batch import BatchOutcome, discover_pairs, run_batch
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "idempotency_key",
+    "Job",
+    "JobManager",
+    "JobNotFound",
+    "JobState",
+    "ExplainRequest",
+    "JobView",
+    "ResultView",
+    "ValidationError",
+    "config_from_request",
+    "AffidavitHTTPServer",
+    "create_server",
+    "serve_forever",
+    "BatchOutcome",
+    "discover_pairs",
+    "run_batch",
+]

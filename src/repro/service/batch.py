@@ -1,0 +1,171 @@
+"""Bulk profiling: fan a directory of snapshot pairs through the job manager.
+
+The CLI's ``generate`` command writes ``<name>_source.csv`` /
+``<name>_target.csv`` pairs; this module discovers every such pair in a
+directory, submits them all to one :class:`~repro.service.jobs.JobManager`
+(same worker pool, same idempotency cache as the HTTP service) and collects
+the outcomes.  Re-running a batch over an unchanged directory is therefore
+almost free — every pair hits the cache.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import AffidavitConfig
+from ..dataio import TableError, read_snapshot_pair
+from ..export import explanation_to_dict
+from .jobs import Job, JobManager, JobState
+
+SOURCE_SUFFIX = "_source.csv"
+TARGET_SUFFIX = "_target.csv"
+
+
+def discover_pairs(directory: Path) -> List[Tuple[str, Path, Path]]:
+    """All ``(name, source_path, target_path)`` pairs under *directory*.
+
+    A pair exists when ``<name>_source.csv`` and ``<name>_target.csv`` are
+    both present; lone halves are ignored.  Sorted by name for determinism.
+    """
+    directory = Path(directory)
+    pairs = []
+    for source_path in sorted(directory.glob(f"*{SOURCE_SUFFIX}")):
+        name = source_path.name[: -len(SOURCE_SUFFIX)]
+        target_path = directory / f"{name}{TARGET_SUFFIX}"
+        if target_path.exists():
+            pairs.append((name, source_path, target_path))
+    return pairs
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Per-pair result row of a batch run."""
+
+    name: str
+    state: str
+    cache_hit: bool
+    cost: Optional[float]
+    trivial_cost: Optional[float]
+    compression_ratio: Optional[float]
+    runtime_seconds: Optional[float]
+    error: Optional[str]
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "cache_hit": self.cache_hit,
+            "cost": self.cost,
+            "trivial_cost": self.trivial_cost,
+            "compression_ratio": self.compression_ratio,
+            "runtime_seconds": self.runtime_seconds,
+            "error": self.error,
+        }
+
+
+def _outcome(job: Job) -> BatchOutcome:
+    result = job.result
+    return BatchOutcome(
+        name=job.name,
+        state=job.state.value,
+        cache_hit=job.cache_hit,
+        cost=None if result is None else result.cost,
+        trivial_cost=None if result is None else result.trivial_cost,
+        compression_ratio=None if result is None else result.compression_ratio,
+        runtime_seconds=None if result is None else result.runtime_seconds,
+        error=job.error,
+    )
+
+
+def run_batch(directory: Path, *,
+              workers: int = 2,
+              config: Optional[AffidavitConfig] = None,
+              manager: Optional[JobManager] = None,
+              delimiter: str = ",",
+              output_dir: Optional[Path] = None,
+              timeout: Optional[float] = None,
+              on_progress: Optional[Callable[[str, str], None]] = None
+              ) -> List[BatchOutcome]:
+    """Explain every snapshot pair in *directory* and return the outcomes.
+
+    Parameters
+    ----------
+    manager:
+        Reuse an existing manager (e.g. the HTTP service's, sharing its
+        cache); otherwise a private pool of *workers* threads is created and
+        torn down around the batch.
+    output_dir:
+        When given, a ``<name>.explanation.json`` file is written per
+        successful pair plus a ``batch_summary.json`` of all outcomes.
+    on_progress:
+        Called with ``(name, state)`` as each job finishes — lets the CLI
+        stream a line per pair.
+    """
+    directory = Path(directory)
+    pairs = discover_pairs(directory)
+    if not pairs:
+        raise FileNotFoundError(
+            f"no '*{SOURCE_SUFFIX}' / '*{TARGET_SUFFIX}' pairs in {directory}"
+        )
+
+    own_manager = manager is None
+    if own_manager:
+        manager = JobManager(workers=workers)
+    try:
+        # One unreadable pair must not sink the batch: record it as failed
+        # and keep going.
+        entries: List[Tuple[str, Optional[Job], Optional[str]]] = []
+        for name, source_path, target_path in pairs:
+            try:
+                source, target = read_snapshot_pair(
+                    source_path, target_path, delimiter=delimiter
+                )
+            except (TableError, OSError, ValueError) as error:
+                entries.append((name, None, str(error)))
+                continue
+            entries.append(
+                (name, manager.submit(source, target, config=config, name=name), None)
+            )
+        outcomes: List[BatchOutcome] = []
+        for name, job, error in entries:
+            if job is None:
+                outcomes.append(BatchOutcome(
+                    name=name, state=JobState.FAILED.value, cache_hit=False,
+                    cost=None, trivial_cost=None, compression_ratio=None,
+                    runtime_seconds=None, error=error,
+                ))
+                if on_progress is not None:
+                    on_progress(name, JobState.FAILED.value)
+                continue
+            finished = job.wait(timeout)
+            if not finished:
+                manager.cancel(job.id)
+                job.wait(5.0)
+            outcomes.append(_outcome(job))
+            if on_progress is not None:
+                on_progress(job.name, job.state.value)
+    finally:
+        if own_manager:
+            manager.shutdown(wait=True, cancel_pending=True)
+
+    if output_dir is not None:
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for (name, job, _), outcome in zip(entries, outcomes):
+            if job is not None and job.state is JobState.DONE and job.result is not None:
+                payload = {
+                    **outcome.to_dict(),
+                    "explanation": explanation_to_dict(job.result.explanation),
+                }
+                path = output_dir / f"{job.name}.explanation.json"
+                path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                                encoding="utf-8")
+        summary_path = output_dir / "batch_summary.json"
+        summary_path.write_text(
+            json.dumps([o.to_dict() for o in outcomes], indent=2) + "\n",
+            encoding="utf-8",
+        )
+    return outcomes

@@ -1,0 +1,374 @@
+"""Job manager: a bounded worker pool around ``Affidavit.explain``.
+
+One :class:`Job` is one explanation request for a snapshot pair.  Jobs move
+through the classic lifecycle
+
+    queued -> running -> done | failed | cancelled
+
+with two service-specific twists:
+
+* **Idempotency.**  Submissions are keyed by the content hash of both
+  snapshots plus the comparable configuration fields
+  (:func:`~repro.service.cache.idempotency_key`).  A submission whose key is
+  already cached materialises as an immediately-``done`` job flagged
+  ``cache_hit`` — no worker is consumed.
+* **Cooperative cancellation.**  ``DELETE``-ing a running job sets an event
+  that the core search polls once per expansion via the
+  :attr:`~repro.core.AffidavitConfig.should_stop` hook, so even a search deep
+  in a large instance stops within one expansion.
+
+The pool is a :class:`concurrent.futures.ThreadPoolExecutor`; the search is
+pure Python, but explain jobs spend their time in hash/loop-heavy code that
+releases the GIL rarely, so the pool primarily bounds *concurrent memory* and
+provides backpressure, and it parallelises the I/O-bound parts (CSV parsing,
+result serialisation) across requests.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import replace
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from ..core import (
+    Affidavit,
+    AffidavitConfig,
+    AffidavitResult,
+    ProblemInstance,
+    SearchProgress,
+    identity_configuration,
+)
+from ..dataio import Table
+from ..functions import FunctionRegistry
+from .cache import ResultCache, idempotency_key
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of an explanation job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobNotFound(KeyError):
+    """Raised when a job id is unknown to the manager."""
+
+
+class Job:
+    """One explanation request tracked by the :class:`JobManager`.
+
+    All mutable fields are guarded by an internal lock; readers get consistent
+    snapshots via the properties.  Waiting for completion uses an event, not
+    polling.
+    """
+
+    def __init__(self, job_id: str, name: str, key: str,
+                 instance: Optional[ProblemInstance] = None):
+        self.id = job_id
+        self.name = name
+        self.key = key
+        #: Retained for result rendering (SQL scripts and reports need the
+        #: snapshots, not just the explanation).
+        self.instance = instance
+        self.submitted_at = time.time()
+        self._lock = threading.Lock()
+        self._state = JobState.QUEUED
+        self._cache_hit = False
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._result: Optional[AffidavitResult] = None
+        self._error: Optional[str] = None
+        self._progress: Optional[SearchProgress] = None
+        self._cancel_event = threading.Event()
+        self._done_event = threading.Event()
+
+    # -- read side ----------------------------------------------------- #
+    @property
+    def state(self) -> JobState:
+        with self._lock:
+            return self._state
+
+    @property
+    def cache_hit(self) -> bool:
+        with self._lock:
+            return self._cache_hit
+
+    @property
+    def started_at(self) -> Optional[float]:
+        with self._lock:
+            return self._started_at
+
+    @property
+    def finished_at(self) -> Optional[float]:
+        with self._lock:
+            return self._finished_at
+
+    @property
+    def result(self) -> Optional[AffidavitResult]:
+        with self._lock:
+            return self._result
+
+    @property
+    def error(self) -> Optional[str]:
+        with self._lock:
+            return self._error
+
+    @property
+    def progress(self) -> Optional[SearchProgress]:
+        with self._lock:
+            return self._progress
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; ``False`` on timeout."""
+        return self._done_event.wait(timeout)
+
+    # -- write side (manager/worker only) ------------------------------ #
+    def _record_progress(self, progress: SearchProgress) -> None:
+        with self._lock:
+            self._progress = progress
+
+    def _transition(self, state: JobState, *,
+                    result: Optional[AffidavitResult] = None,
+                    error: Optional[str] = None,
+                    cache_hit: bool = False) -> None:
+        with self._lock:
+            if self._state.is_terminal:
+                return
+            self._state = state
+            if state is JobState.RUNNING:
+                self._started_at = time.time()
+                return
+            if result is not None:
+                self._result = result
+            if error is not None:
+                self._error = error
+            self._cache_hit = self._cache_hit or cache_hit
+            if state.is_terminal:
+                self._finished_at = time.time()
+        if state.is_terminal:
+            self._done_event.set()
+
+
+class JobManager:
+    """Runs explanation jobs on a bounded worker pool with result caching.
+
+    Parameters
+    ----------
+    workers:
+        Number of concurrent explain workers (>= 1).
+    cache:
+        A shared :class:`~repro.service.cache.ResultCache`; when ``None`` a
+        private one is created from *cache_entries* / *cache_ttl*.
+    cache_entries / cache_ttl:
+        Sizing of the private cache (ignored when *cache* is given).
+    default_config:
+        Configuration used for submissions that do not bring their own.
+    max_retained_jobs:
+        Upper bound on the job registry.  When a submission would exceed it,
+        the oldest *terminal* jobs (and their snapshots/results) are dropped;
+        live jobs are never evicted, so a burst of work can temporarily push
+        the registry above the bound.  Keeps a long-running service from
+        accumulating every job it ever ran.
+    """
+
+    def __init__(self, workers: int = 2, *,
+                 cache: Optional[ResultCache] = None,
+                 cache_entries: int = 128,
+                 cache_ttl: Optional[float] = None,
+                 default_config: Optional[AffidavitConfig] = None,
+                 max_retained_jobs: int = 1024):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retained_jobs < 1:
+            raise ValueError(f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
+        self.workers = workers
+        self.max_retained_jobs = max_retained_jobs
+        self.cache = cache if cache is not None else ResultCache(
+            max_entries=cache_entries, ttl_seconds=cache_ttl
+        )
+        self._default_config = default_config or identity_configuration()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="affidavit-worker"
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, source: Table, target: Table, *,
+               config: Optional[AffidavitConfig] = None,
+               name: str = "instance",
+               registry: Optional[FunctionRegistry] = None,
+               throttle_seconds: float = 0.0,
+               use_cache: bool = True) -> Job:
+        """Queue one explain job and return its :class:`Job` handle.
+
+        *throttle_seconds* inserts a sleep after every expansion — a
+        rate-limiting and testing knob that makes search duration
+        controllable without touching the instance.
+        """
+        if self._closed:
+            raise RuntimeError("JobManager is shut down")
+        config = config or self._default_config
+        if registry is not None:
+            instance = ProblemInstance(source=source, target=target,
+                                       registry=registry, name=name)
+            key = idempotency_key(source, target, config,
+                                  registry_names=tuple(registry.names))
+        else:
+            instance = ProblemInstance(source=source, target=target, name=name)
+            key = idempotency_key(source, target, config)
+        job = Job(self._next_id(), name, key, instance)
+
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                with self._lock:
+                    self._jobs[job.id] = job
+                    self._prune_locked()
+                job._transition(JobState.DONE, result=cached, cache_hit=True)
+                return job
+
+        with self._lock:
+            self._jobs[job.id] = job
+            self._futures[job.id] = self._executor.submit(
+                self._run, job, instance, config, throttle_seconds, use_cache
+            )
+            self._prune_locked()
+        return job
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest terminal jobs once the registry exceeds its bound
+        (caller holds ``self._lock``; dicts preserve insertion order)."""
+        excess = len(self._jobs) - self.max_retained_jobs
+        if excess <= 0:
+            return
+        for job_id in [j.id for j in self._jobs.values() if j.state.is_terminal][:excess]:
+            del self._jobs[job_id]
+            self._futures.pop(job_id, None)
+
+    def _next_id(self) -> str:
+        return f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
+
+    # ------------------------------------------------------------------ #
+    # worker body
+    # ------------------------------------------------------------------ #
+    def _run(self, job: Job, instance: ProblemInstance,
+             config: AffidavitConfig, throttle_seconds: float,
+             use_cache: bool) -> None:
+        if job._cancel_event.is_set():
+            job._transition(JobState.CANCELLED, error="cancelled before start")
+            return
+        job._transition(JobState.RUNNING)
+
+        user_should_stop = config.should_stop
+        user_progress = config.progress_callback
+
+        def should_stop() -> bool:
+            if job._cancel_event.is_set():
+                return True
+            return user_should_stop() if user_should_stop is not None else False
+
+        def on_progress(progress: SearchProgress) -> None:
+            job._record_progress(progress)
+            if user_progress is not None:
+                user_progress(progress)
+            if throttle_seconds > 0:
+                time.sleep(throttle_seconds)
+
+        run_config = config.with_overrides(
+            should_stop=should_stop, progress_callback=on_progress
+        )
+        try:
+            result = Affidavit(run_config).explain(instance)
+        except Exception:  # noqa: BLE001 - a job failure must not kill the worker
+            job._transition(JobState.FAILED, error=traceback.format_exc(limit=20))
+            return
+        # Publish the result with the caller's config: the run config's
+        # observer closures capture this job (and so both snapshot tables),
+        # which must not be pinned by the cache or handed back to clients.
+        result = replace(result, config=config)
+        if result.cancelled or job._cancel_event.is_set():
+            job._transition(JobState.CANCELLED, result=result)
+            return
+        if use_cache:
+            self.cache.put(job.key, result)
+        job._transition(JobState.DONE, result=result)
+
+    # ------------------------------------------------------------------ #
+    # queries and control
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(job_id)
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state name — the health endpoint's view of the pool."""
+        counts = {state.value: 0 for state in JobState}
+        for job in self.jobs():
+            counts[job.state.value] += 1
+        return counts
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; ``True`` unless the job already finished.
+
+        Queued jobs are cancelled immediately (the pool never starts them);
+        running jobs stop cooperatively within one search expansion.
+        """
+        job = self.get(job_id)
+        if job.state.is_terminal:
+            return False
+        job._cancel_event.set()
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is not None and future.cancel():
+            job._transition(JobState.CANCELLED, error="cancelled while queued")
+        return True
+
+    def wait_all(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every submitted job is terminal; ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in self.jobs():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def shutdown(self, wait: bool = True, *, cancel_pending: bool = False) -> None:
+        """Stop accepting work and (optionally) cancel everything in flight."""
+        self._closed = True
+        if cancel_pending:
+            for job in self.jobs():
+                if not job.state.is_terminal:
+                    self.cancel(job.id)
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True, cancel_pending=True)

@@ -1,0 +1,289 @@
+"""The HTTP face of the explanation service (stdlib ``http.server``).
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness plus pool/cache statistics — suitable for load-balancer checks.
+``POST /v1/explain``
+    Submit a snapshot pair (inline CSV or server-side paths).  Responds
+    ``202 Accepted`` with the job view, or ``200 OK`` when the idempotency
+    cache already holds the result (``cache_hit: true``).
+``GET /v1/jobs``
+    All jobs known to the manager.
+``GET /v1/jobs/<id>``
+    State, progress and timestamps of one job.
+``GET /v1/jobs/<id>/result[?format=json|sql|report]``
+    The explanation in the requested format; ``409 Conflict`` while the job
+    is still queued/running.
+``DELETE /v1/jobs/<id>``
+    Cooperative cancellation (queued jobs die immediately, running searches
+    stop within one expansion).
+
+The server is a :class:`http.server.ThreadingHTTPServer`: request handling is
+cheap and threaded, while the heavy search work stays on the manager's
+bounded worker pool — accepting a burst of submissions never oversubscribes
+the machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..export import explanation_to_sql, render_report
+from .jobs import JobManager, JobNotFound, JobState
+from .schemas import (
+    ExplainRequest,
+    JobView,
+    ResultView,
+    ValidationError,
+    config_from_request,
+)
+
+MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd inline payloads
+
+RESULT_FORMATS = ("json", "sql", "report")
+
+
+class AffidavitHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns a :class:`JobManager`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], manager: JobManager, *,
+                 data_root: Optional[Path] = None, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.data_root = data_root
+        self.verbose = verbose
+        self.started_at = time.time()
+
+    def shutdown_service(self, *, cancel_pending: bool = True) -> None:
+        """Stop the HTTP loop and wind down the worker pool."""
+        self.shutdown()
+        self.server_close()
+        self.manager.shutdown(wait=True, cancel_pending=cancel_pending)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: AffidavitHTTPServer  # narrowed for readability
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._guarded(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._guarded(self._route_delete)
+
+    def _guarded(self, route) -> None:
+        """Run *route*; an unexpected error becomes a 500 JSON response
+        instead of a dropped connection."""
+        try:
+            route()
+        except BrokenPipeError:  # client went away mid-response
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001
+            self.close_connection = True
+            try:
+                self._send_json(500, {"error": f"internal error: {error}"})
+            except OSError:
+                pass
+
+    def _route_get(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["healthz"]:
+            self._send_json(200, self._health_payload())
+        elif parts == ["v1", "jobs"]:
+            views = [JobView.from_job(job).to_dict()
+                     for job in self.server.manager.jobs()]
+            self._send_json(200, {"jobs": views})
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._with_job(parts[2], lambda job: self._send_json(
+                200, JobView.from_job(job).to_dict()
+            ))
+        elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            query = parse_qs(parsed.query)
+            self._with_job(parts[2], lambda job: self._send_result(job, query))
+        else:
+            self._send_json(404, {"error": f"no such route: {parsed.path}"})
+
+    def _route_post(self) -> None:
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts != ["v1", "explain"]:
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+            return
+        try:
+            payload = self._read_json_body()
+            request = ExplainRequest.from_dict(payload)
+            source, target = request.load_tables(self.server.data_root)
+            config = config_from_request(request)
+        except ValidationError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        job = self.server.manager.submit(
+            source, target,
+            config=config,
+            name=request.name,
+            throttle_seconds=request.throttle_seconds,
+            use_cache=request.use_cache,
+        )
+        status = 200 if job.state is JobState.DONE else 202
+        self._send_json(status, JobView.from_job(job).to_dict())
+
+    def _route_delete(self) -> None:
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._with_job(parts[2], self._cancel_job)
+        else:
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+
+    # ------------------------------------------------------------------ #
+    # endpoint bodies
+    # ------------------------------------------------------------------ #
+    def _health_payload(self) -> Dict[str, Any]:
+        manager = self.server.manager
+        return {
+            "status": "ok",
+            "version": __version__,
+            "workers": manager.workers,
+            "uptime_seconds": round(time.time() - self.server.started_at, 3),
+            "jobs": manager.counts(),
+            "cache": manager.cache.stats().to_dict(),
+        }
+
+    def _send_result(self, job, query: Dict[str, list]) -> None:
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in RESULT_FORMATS:
+            self._send_json(400, {"error": f"unknown format {fmt!r} (use {RESULT_FORMATS})"})
+            return
+        state = job.state
+        if state is JobState.FAILED:
+            self._send_json(500, {"error": job.error or "job failed", "state": state.value})
+            return
+        if job.result is None:
+            self._send_json(409, {
+                "error": f"job is {state.value}; result not available yet",
+                "state": state.value,
+            })
+            return
+        if fmt == "json":
+            self._send_json(200, ResultView.from_job(job).to_dict())
+        elif fmt == "sql":
+            table_name = query.get("table", [job.name])[0]
+            script = explanation_to_sql(
+                job.instance, job.result.explanation, table_name=table_name
+            )
+            self._send_text(200, script, content_type="application/sql")
+        else:
+            report = render_report(job.instance, job.result.explanation, title=job.name)
+            self._send_text(200, report + "\n")
+
+    def _cancel_job(self, job) -> None:
+        accepted = self.server.manager.cancel(job.id)
+        if accepted:
+            self._send_json(202, {"id": job.id, "cancelling": True,
+                                  "state": job.state.value})
+        else:
+            self._send_json(409, {"id": job.id, "cancelling": False,
+                                  "state": job.state.value,
+                                  "error": "job already finished"})
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _with_job(self, job_id: str, action) -> None:
+        try:
+            job = self.server.manager.get(job_id)
+        except JobNotFound:
+            self._send_json(404, {"error": f"unknown job: {job_id}"})
+            return
+        action(job)
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            raise ValidationError("malformed Content-Length header") from None
+        if length <= 0:
+            raise ValidationError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            # The body stays unread; keeping the connection alive would let
+            # it be parsed as the next request line.
+            self.close_connection = True
+            raise ValidationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(f"invalid JSON body: {error}") from error
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0, *,
+                  manager: Optional[JobManager] = None,
+                  workers: int = 2,
+                  cache_entries: int = 128,
+                  cache_ttl: Optional[float] = None,
+                  data_root: Optional[Path] = None,
+                  verbose: bool = False) -> AffidavitHTTPServer:
+    """Build a ready-to-serve HTTP server (port 0 picks an ephemeral port)."""
+    if manager is None:
+        manager = JobManager(workers=workers, cache_entries=cache_entries,
+                             cache_ttl=cache_ttl)
+    return AffidavitHTTPServer((host, port), manager,
+                               data_root=data_root, verbose=verbose)
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8080, *,
+                  workers: int = 2,
+                  cache_entries: int = 128,
+                  cache_ttl: Optional[float] = None,
+                  data_root: Optional[Path] = None,
+                  verbose: bool = True) -> int:
+    """Blocking entry point used by ``repro-affidavit serve``."""
+    server = create_server(host, port, workers=workers,
+                           cache_entries=cache_entries, cache_ttl=cache_ttl,
+                           data_root=data_root, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"affidavit service listening on http://{bound_host}:{bound_port} "
+          f"({workers} workers, cache {cache_entries} entries"
+          f"{'' if cache_ttl is None else f', ttl {cache_ttl:g}s'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down ...")
+    finally:
+        server.shutdown_service()
+    return 0

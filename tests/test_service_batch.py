@@ -1,0 +1,112 @@
+"""Batch front-end: pair discovery, bulk runs, cache reuse, CLI integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dataio import write_csv, read_csv_text
+from repro.service import JobManager, discover_pairs, run_batch
+
+
+def _write_pair(directory, name: str, divisor: int, rows: int = 5) -> None:
+    source = read_csv_text(
+        "id,val\n" + "".join(f"{i},{i * 3 * divisor}\n" for i in range(1, rows + 1))
+    )
+    target = read_csv_text(
+        "id,val\n" + "".join(f"{i},{i * 3}\n" for i in range(1, rows + 1))
+    )
+    write_csv(source, directory / f"{name}_source.csv")
+    write_csv(target, directory / f"{name}_target.csv")
+
+
+@pytest.fixture
+def pair_dir(tmp_path):
+    directory = tmp_path / "pairs"
+    directory.mkdir()
+    _write_pair(directory, "alpha", 10)
+    _write_pair(directory, "beta", 100)
+    _write_pair(directory, "gamma", 1000)
+    return directory
+
+
+def test_discover_pairs_sorted_and_complete(pair_dir):
+    (pair_dir / "lonely_source.csv").write_text("a\n1\n", encoding="utf-8")
+    (pair_dir / "unrelated.csv").write_text("a\n1\n", encoding="utf-8")
+    pairs = discover_pairs(pair_dir)
+    assert [name for name, _, _ in pairs] == ["alpha", "beta", "gamma"]
+    for name, source_path, target_path in pairs:
+        assert source_path.name == f"{name}_source.csv"
+        assert target_path.name == f"{name}_target.csv"
+
+
+def test_run_batch_explains_every_pair(pair_dir, tmp_path):
+    output_dir = tmp_path / "out"
+    events = []
+    outcomes = run_batch(pair_dir, workers=2, output_dir=output_dir,
+                         on_progress=lambda name, state: events.append((name, state)))
+    assert [o.name for o in outcomes] == ["alpha", "beta", "gamma"]
+    assert all(o.state == "done" for o in outcomes)
+    assert all(o.cost is not None and o.cost <= o.trivial_cost for o in outcomes)
+    assert events == [("alpha", "done"), ("beta", "done"), ("gamma", "done")]
+
+    summary = json.loads((output_dir / "batch_summary.json").read_text())
+    assert len(summary) == 3
+    for name in ("alpha", "beta", "gamma"):
+        payload = json.loads(
+            (output_dir / f"{name}.explanation.json").read_text()
+        )
+        assert payload["state"] == "done"
+        assert payload["explanation"]["functions"]["val"]["meta"] == "division"
+
+
+def test_run_batch_reuses_shared_manager_cache(pair_dir):
+    with JobManager(workers=2) as manager:
+        first = run_batch(pair_dir, manager=manager)
+        assert all(not o.cache_hit for o in first)
+        second = run_batch(pair_dir, manager=manager)
+        assert all(o.cache_hit for o in second)
+        assert all(o.state == "done" for o in second)
+
+
+def test_corrupt_pair_fails_without_sinking_the_batch(pair_dir):
+    (pair_dir / "broken_source.csv").write_text("a,b\n1,2\n3\n", encoding="utf-8")
+    (pair_dir / "broken_target.csv").write_text("a,b\n1,2\n", encoding="utf-8")
+    outcomes = run_batch(pair_dir, workers=2)
+    by_name = {o.name: o for o in outcomes}
+    assert by_name["broken"].state == "failed"
+    assert by_name["broken"].error
+    for name in ("alpha", "beta", "gamma"):
+        assert by_name[name].state == "done"
+
+
+def test_run_batch_empty_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        run_batch(tmp_path)
+
+
+def test_cli_batch_command(pair_dir, tmp_path, capsys):
+    output_dir = tmp_path / "cli-out"
+    exit_code = main([
+        "batch", str(pair_dir), "--workers", "2", "--output-dir", str(output_dir),
+    ])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "3/3 pairs explained" in captured
+    assert (output_dir / "batch_summary.json").exists()
+
+
+def test_cli_batch_missing_directory(tmp_path, capsys):
+    exit_code = main(["batch", str(tmp_path / "void"), "--quiet"])
+    assert exit_code == 1
+
+
+def test_cli_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out

@@ -1,0 +1,283 @@
+"""End-to-end HTTP round-trips against a live server on an ephemeral port.
+
+Covers the acceptance criteria of the service subsystem: health checks,
+>= 4 concurrent explain jobs completing with correct explanations, a
+cache-hit-flagged repeat submission, DELETE cancellation mid-search, result
+formats, and the error paths — all with stdlib ``urllib`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import create_server
+
+POLL_INTERVAL = 0.02
+
+
+@pytest.fixture
+def server():
+    instance = create_server(workers=4)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown_service()
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def request(base_url: str, method: str, path: str, body=None):
+    """(status, parsed-or-text body) of one HTTP exchange."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        base_url + path, method=method, data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as response:
+            raw = response.read().decode("utf-8")
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        raw = error.read().decode("utf-8")
+        status = error.code
+        content_type = error.headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, json.loads(raw)
+    return status, raw
+
+
+def wait_for_state(base_url: str, job_id: str, states, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, view = request(base_url, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if view["state"] in states:
+            return view
+        time.sleep(POLL_INTERVAL)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+def division_pair(divisor: int, rows: int = 6):
+    source = "id,val\n" + "".join(f"{i},{i * 7 * divisor}\n" for i in range(1, rows + 1))
+    target = "id,val\n" + "".join(f"{i},{i * 7}\n" for i in range(1, rows + 1))
+    return source, target
+
+
+def explain_body(divisor: int, **extra):
+    source, target = division_pair(divisor)
+    body = {"source_csv": source, "target_csv": target, "name": f"div{divisor}"}
+    body.update(extra)
+    return body
+
+
+# --------------------------------------------------------------------- #
+# health
+# --------------------------------------------------------------------- #
+def test_healthz(base_url):
+    status, payload = request(base_url, "GET", "/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["workers"] == 4
+    assert set(payload["jobs"]) == {"queued", "running", "done", "failed", "cancelled"}
+    assert payload["cache"]["size"] == 0
+    assert payload["uptime_seconds"] >= 0
+
+
+# --------------------------------------------------------------------- #
+# submit / poll / result
+# --------------------------------------------------------------------- #
+def test_explain_round_trip_json_sql_report(base_url):
+    status, view = request(base_url, "POST", "/v1/explain", explain_body(100))
+    assert status in (200, 202)
+    assert view["cache_hit"] is False
+    job_id = view["id"]
+
+    wait_for_state(base_url, job_id, {"done"})
+    status, result = request(base_url, "GET", f"/v1/jobs/{job_id}/result")
+    assert status == 200
+    assert result["cancelled"] is False
+    assert result["cost"] <= result["trivial_cost"]
+    function = result["explanation"]["functions"]["val"]
+    assert function["meta"] == "division"
+    assert float(function["parameters"][0]) == pytest.approx(100)
+
+    status, script = request(base_url, "GET", f"/v1/jobs/{job_id}/result?format=sql")
+    assert status == 200
+    assert "UPDATE" in script and "div100" in script
+
+    status, report = request(base_url, "GET", f"/v1/jobs/{job_id}/result?format=report")
+    assert status == 200
+    assert "div100" in report
+
+
+def test_four_concurrent_jobs_complete(base_url):
+    divisors = (2, 10, 100, 1000)
+    job_ids = {}
+    for divisor in divisors:
+        status, view = request(base_url, "POST", "/v1/explain", explain_body(divisor))
+        assert status in (200, 202)
+        job_ids[divisor] = view["id"]
+
+    for divisor, job_id in job_ids.items():
+        wait_for_state(base_url, job_id, {"done"})
+        status, result = request(base_url, "GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200
+        function = result["explanation"]["functions"]["val"]
+        assert function["meta"] == "division"
+        assert float(function["parameters"][0]) == pytest.approx(divisor)
+
+    status, listing = request(base_url, "GET", "/v1/jobs")
+    assert status == 200
+    assert len(listing["jobs"]) == len(divisors)
+
+
+def test_repeat_submission_is_cache_hit(base_url):
+    body = explain_body(50)
+    status, first = request(base_url, "POST", "/v1/explain", body)
+    assert status in (200, 202)
+    wait_for_state(base_url, first["id"], {"done"})
+
+    status, second = request(base_url, "POST", "/v1/explain", body)
+    assert status == 200                      # served straight from the cache
+    assert second["cache_hit"] is True
+    assert second["state"] == "done"
+    assert second["id"] != first["id"]
+    assert second["idempotency_key"] == first["idempotency_key"]
+
+    status, health = request(base_url, "GET", "/healthz")
+    assert health["cache"]["hits"] == 1
+
+    # The cached job serves results in every format too.
+    status, result = request(base_url, "GET", f"/v1/jobs/{second['id']}/result")
+    assert status == 200
+    assert result["cache_hit"] is True
+
+
+def test_different_config_is_not_a_cache_hit(base_url):
+    status, first = request(base_url, "POST", "/v1/explain", explain_body(60))
+    wait_for_state(base_url, first["id"], {"done"})
+    status, second = request(
+        base_url, "POST", "/v1/explain",
+        explain_body(60, overrides={"seed": 99}),
+    )
+    assert second["cache_hit"] is False
+
+
+# --------------------------------------------------------------------- #
+# cancellation
+# --------------------------------------------------------------------- #
+def test_delete_cancels_running_job_mid_search(base_url):
+    # One second of sleep per expansion: the job is guaranteed to still be
+    # mid-search when the DELETE lands right after the first progress report.
+    body = explain_body(100, throttle_seconds=1.0, use_cache=False)
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    assert status == 202
+    job_id = view["id"]
+
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        status, view = request(base_url, "GET", f"/v1/jobs/{job_id}")
+        if view["progress"] is not None:
+            break
+        time.sleep(POLL_INTERVAL)
+    assert view["state"] == "running"
+
+    status, payload = request(base_url, "DELETE", f"/v1/jobs/{job_id}")
+    assert status == 202
+    assert payload["cancelling"] is True
+
+    final = wait_for_state(base_url, job_id, {"cancelled"})
+    assert final["state"] == "cancelled"
+
+    # A cancelled search never populates the idempotency cache.
+    status, health = request(base_url, "GET", "/healthz")
+    assert health["cache"]["size"] == 0
+
+
+def test_delete_finished_job_conflicts(base_url):
+    status, view = request(base_url, "POST", "/v1/explain", explain_body(100))
+    wait_for_state(base_url, view["id"], {"done"})
+    status, payload = request(base_url, "DELETE", f"/v1/jobs/{view['id']}")
+    assert status == 409
+    assert payload["cancelling"] is False
+
+
+# --------------------------------------------------------------------- #
+# error paths
+# --------------------------------------------------------------------- #
+def test_unknown_routes_and_jobs_are_404(base_url):
+    assert request(base_url, "GET", "/nope")[0] == 404
+    assert request(base_url, "GET", "/v1/jobs/job-missing")[0] == 404
+    assert request(base_url, "GET", "/v1/jobs/job-missing/result")[0] == 404
+    assert request(base_url, "DELETE", "/v1/jobs/job-missing")[0] == 404
+    assert request(base_url, "POST", "/v1/nope", {})[0] == 404
+
+
+def test_validation_errors_are_400(base_url):
+    status, payload = request(base_url, "POST", "/v1/explain", {})
+    assert status == 400 and "error" in payload
+    status, _ = request(base_url, "POST", "/v1/explain",
+                        {"source_csv": "a\n1\n"})          # missing target
+    assert status == 400
+    status, _ = request(base_url, "POST", "/v1/explain",
+                        explain_body(2, config="bogus"))
+    assert status == 400
+    status, _ = request(base_url, "POST", "/v1/explain",
+                        explain_body(2, overrides={"alpha": 7.0}))
+    assert status == 400
+    status, _ = request(base_url, "POST", "/v1/explain",
+                        explain_body(2, unknown_field=1))
+    assert status == 400
+    status, _ = request(
+        base_url, "POST", "/v1/explain",
+        {"source_csv": "a,b\n1,2\n", "target_csv": "c\n3\n"},  # schema mismatch
+    )
+    assert status == 400
+
+
+def test_wrong_typed_fields_are_400_not_dropped_connections(base_url):
+    cases = [
+        {"source_csv": 123, "target_csv": "id\n1\n"},
+        {"source_csv": "id\n1\n", "target_csv": ["id", "1"]},
+        {"source_path": 7, "target_path": 8},
+        {"source_csv": "id\n1\n", "target_csv": "id\n1\n", "name": 5},
+        {"source_csv": "id\n1\n", "target_csv": "id\n1\n", "use_cache": "yes"},
+        {"source_csv": "id\n1\n", "target_csv": "id\n1\n",
+         "throttle_seconds": "soon"},
+    ]
+    for body in cases:
+        status, payload = request(base_url, "POST", "/v1/explain", body)
+        assert status == 400, body
+        assert "error" in payload
+
+
+def test_result_of_running_job_conflicts(base_url):
+    body = explain_body(100, throttle_seconds=1.0, use_cache=False,
+                        name="slowpoke")
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    job_id = view["id"]
+    status, payload = request(base_url, "GET", f"/v1/jobs/{job_id}/result")
+    assert status == 409
+    assert payload["state"] in ("queued", "running")
+    request(base_url, "DELETE", f"/v1/jobs/{job_id}")   # don't leak the worker
+    wait_for_state(base_url, job_id, {"cancelled", "done"})
+
+
+def test_unknown_result_format_is_400(base_url):
+    status, view = request(base_url, "POST", "/v1/explain", explain_body(100))
+    wait_for_state(base_url, view["id"], {"done"})
+    status, _ = request(base_url, "GET",
+                        f"/v1/jobs/{view['id']}/result?format=yaml")
+    assert status == 400

@@ -1,0 +1,293 @@
+"""Job lifecycle, cooperative cancellation and the core search hooks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import Affidavit, SearchProgress, identity_configuration
+from repro.dataio import read_csv_text
+from repro.service import JobManager, JobNotFound, JobState
+
+
+@pytest.fixture
+def pair():
+    source = read_csv_text(
+        "id,name,val\n1,alpha,100\n2,beta,200\n3,gamma,300\n4,delta,400\n"
+    )
+    target = read_csv_text(
+        "id,name,val\n1,ALPHA,1\n2,BETA,2\n3,GAMMA,3\n4,DELTA,4\n"
+    )
+    return source, target
+
+
+# --------------------------------------------------------------------- #
+# core hooks (the seam the job layer builds on)
+# --------------------------------------------------------------------- #
+def test_progress_callback_fires_per_expansion(running_example):
+    seen = []
+    config = identity_configuration(max_expansions=50).with_overrides(
+        progress_callback=seen.append
+    )
+    result = Affidavit(config).explain(running_example)
+    assert result.cancelled is False
+    assert len(seen) == result.expansions
+    assert all(isinstance(p, SearchProgress) for p in seen)
+    expansions = [p.expansions for p in seen]
+    assert expansions == sorted(expansions)
+    assert expansions[-1] == result.expansions
+
+
+def test_should_stop_cancels_immediately(running_example):
+    config = identity_configuration().with_overrides(should_stop=lambda: True)
+    result = Affidavit(config).explain(running_example)
+    assert result.cancelled is True
+    assert result.expansions == 0
+    # The forced finalisation must still produce a valid, bounded explanation.
+    assert result.cost <= result.trivial_cost
+
+
+def test_should_stop_mid_search_keeps_partial_progress(running_example):
+    calls = {"n": 0}
+
+    def stop_after_two() -> bool:
+        calls["n"] += 1
+        return calls["n"] > 2
+
+    config = identity_configuration().with_overrides(should_stop=stop_after_two)
+    result = Affidavit(config).explain(running_example)
+    assert result.cancelled is True
+    assert result.cost <= result.trivial_cost
+
+
+def test_observer_configs_compare_equal():
+    plain = identity_configuration()
+    observed = identity_configuration().with_overrides(
+        progress_callback=lambda p: None, should_stop=lambda: False
+    )
+    assert plain == observed
+    assert hash(plain) == hash(observed)
+
+
+# --------------------------------------------------------------------- #
+# job lifecycle
+# --------------------------------------------------------------------- #
+def test_job_reaches_done_with_result(pair):
+    source, target = pair
+    with JobManager(workers=2) as manager:
+        job = manager.submit(source, target, name="lifecycle")
+        assert job.wait(30.0)
+        assert job.state is JobState.DONE
+        assert job.cache_hit is False
+        assert job.error is None
+        assert job.started_at is not None
+        assert job.finished_at is not None
+        assert job.result is not None
+        assert job.result.cost <= job.result.trivial_cost
+        functions = job.result.explanation.functions
+        assert functions["name"].meta_name == "uppercasing"
+        assert functions["val"].meta_name == "division"
+
+
+def test_repeated_submission_hits_cache(pair):
+    source, target = pair
+    with JobManager(workers=1) as manager:
+        first = manager.submit(source, target)
+        assert first.wait(30.0)
+        second = manager.submit(source, target)
+        assert second.state is JobState.DONE
+        assert second.cache_hit is True
+        assert second.result is first.result
+        assert manager.cache.stats().hits == 1
+
+
+def test_published_result_carries_clean_config(pair):
+    """The manager's observer wrappers (which close over the job and its
+    tables) must not leak into the stored/cached result."""
+    source, target = pair
+    config = identity_configuration()
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target, config=config)
+        assert job.wait(30.0)
+        assert job.result.config == config
+        assert job.result.config.should_stop is None
+        assert job.result.config.progress_callback is None
+        cached = manager.cache.get(job.key)
+        assert cached.config.should_stop is None
+
+
+def test_terminal_jobs_are_pruned_beyond_retention_bound(pair):
+    source, target = pair
+    with JobManager(workers=1, max_retained_jobs=3) as manager:
+        jobs = []
+        for i in range(5):
+            job = manager.submit(source, target, name=f"j{i}", use_cache=False)
+            assert job.wait(30.0)
+            jobs.append(job)
+        retained = {j.id for j in manager.jobs()}
+        assert len(retained) <= 3
+        assert jobs[-1].id in retained          # newest survives
+        assert jobs[0].id not in retained       # oldest terminal evicted
+        with pytest.raises(JobNotFound):
+            manager.get(jobs[0].id)
+
+
+def test_cache_can_be_bypassed(pair):
+    source, target = pair
+    with JobManager(workers=1) as manager:
+        first = manager.submit(source, target)
+        assert first.wait(30.0)
+        second = manager.submit(source, target, use_cache=False)
+        assert second.wait(30.0)
+        assert second.cache_hit is False
+
+
+def test_schema_mismatch_rejected_at_submit(pair):
+    source, _ = pair
+    other_schema = read_csv_text("a,b\n1,2\n")
+    with JobManager(workers=1) as manager:
+        with pytest.raises(Exception):
+            # Schema mismatch is rejected at submission time, not in a worker.
+            manager.submit(source, other_schema)
+
+
+def test_failing_search_marks_job_failed(pair):
+    source, target = pair
+
+    def explode(_: SearchProgress) -> None:
+        raise RuntimeError("observer exploded")
+
+    config = identity_configuration().with_overrides(progress_callback=explode)
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target, config=config, use_cache=False)
+        assert job.wait(30.0)
+        assert job.state is JobState.FAILED
+        assert "observer exploded" in job.error
+        assert job.result is None
+        assert len(manager.cache) == 0
+
+
+def test_unknown_job_raises(pair):
+    with JobManager(workers=1) as manager:
+        with pytest.raises(JobNotFound):
+            manager.get("job-nope")
+        with pytest.raises(JobNotFound):
+            manager.cancel("job-nope")
+
+
+def test_counts_and_jobs_listing(pair):
+    source, target = pair
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target)
+        assert job.wait(30.0)
+        assert [j.id for j in manager.jobs()] == [job.id]
+        counts = manager.counts()
+        assert counts["done"] == 1
+        assert sum(counts.values()) == 1
+
+
+def test_submit_after_shutdown_is_rejected(pair):
+    source, target = pair
+    manager = JobManager(workers=1)
+    manager.shutdown()
+    with pytest.raises(RuntimeError):
+        manager.submit(source, target)
+
+
+# --------------------------------------------------------------------- #
+# cancellation
+# --------------------------------------------------------------------- #
+def test_cancel_running_job_mid_search(pair):
+    """Deterministic mid-search cancel: the job's own progress callback blocks
+    the search until the test has issued the cancellation."""
+    source, target = pair
+    in_search = threading.Event()
+    release = threading.Event()
+
+    def gate(_: SearchProgress) -> None:
+        in_search.set()
+        release.wait(30.0)
+
+    config = identity_configuration().with_overrides(progress_callback=gate)
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target, config=config, use_cache=False)
+        assert in_search.wait(30.0), "search never reached the first expansion"
+        assert job.state is JobState.RUNNING
+        assert manager.cancel(job.id) is True
+        release.set()
+        assert job.wait(30.0)
+        assert job.state is JobState.CANCELLED
+        assert job.result is not None and job.result.cancelled is True
+        # A cancelled (partial) run must never poison the idempotency cache.
+        assert len(manager.cache) == 0
+
+
+def test_cancel_queued_job_never_runs(pair):
+    source, target = pair
+    in_search = threading.Event()
+    release = threading.Event()
+
+    def gate(_: SearchProgress) -> None:
+        in_search.set()
+        release.wait(30.0)
+
+    config = identity_configuration().with_overrides(progress_callback=gate)
+    with JobManager(workers=1) as manager:
+        blocker = manager.submit(source, target, config=config, use_cache=False)
+        assert in_search.wait(30.0)
+        # The single worker is busy; this one stays queued.
+        queued = manager.submit(source, target, name="queued", use_cache=False)
+        assert queued.state is JobState.QUEUED
+        assert manager.cancel(queued.id) is True
+        release.set()
+        assert queued.wait(30.0)
+        assert queued.state is JobState.CANCELLED
+        assert queued.started_at is None
+        assert blocker.wait(30.0)
+        assert blocker.state is JobState.DONE
+
+
+def test_cancel_finished_job_returns_false(pair):
+    source, target = pair
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target)
+        assert job.wait(30.0)
+        assert manager.cancel(job.id) is False
+        assert job.state is JobState.DONE
+
+
+def test_throttle_slows_search(pair):
+    source, target = pair
+    with JobManager(workers=1) as manager:
+        job = manager.submit(source, target, throttle_seconds=0.01, use_cache=False)
+        assert job.wait(30.0)
+        assert job.state is JobState.DONE
+        assert job.result.runtime_seconds >= 0.01 * job.result.expansions
+
+
+# --------------------------------------------------------------------- #
+# concurrency
+# --------------------------------------------------------------------- #
+def test_four_concurrent_jobs_complete_correctly():
+    divisors = (10, 100, 1000, 2)
+    pairs = []
+    for d in divisors:
+        source = read_csv_text(
+            "id,val\n" + "".join(f"{i},{i * d * 7}\n" for i in range(1, 7))
+        )
+        target = read_csv_text(
+            "id,val\n" + "".join(f"{i},{i * 7}\n" for i in range(1, 7))
+        )
+        pairs.append((source, target))
+    with JobManager(workers=4) as manager:
+        jobs = [
+            manager.submit(source, target, name=f"div{d}")
+            for d, (source, target) in zip(divisors, pairs)
+        ]
+        assert manager.wait_all(60.0)
+        for d, job in zip(divisors, jobs):
+            assert job.state is JobState.DONE, job.error
+            function = job.result.explanation.functions["val"]
+            assert function.meta_name == "division"
+            assert float(function.parameters[0]) == pytest.approx(d)
