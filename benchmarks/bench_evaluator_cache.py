@@ -1,0 +1,153 @@
+"""Benchmark of the columnar evaluation engine with cross-state memoization.
+
+The workload is the Figure-5 row-scaling family (a *flight-500k* surrogate at
+(η=0.3, τ=0.3), scaled to 20–100 % of its records).  Every instance is
+explained twice with identical configurations except for the engine:
+
+* **row-wise** — ``columnar_cache=False``: per-cell function application on
+  every state evaluation, as the pre-columnar engine did;
+* **columnar** — the default engine: per-attribute value maps memoized across
+  search states by the column cache.
+
+Both runs must return bit-identical explanations and costs (asserted per
+instance); the headline number is the aggregate speedup, gated at ≥ 3x in
+the full run and ≥ 1.5x in ``--quick`` CI smoke mode (smaller instances show
+smaller wins, and shared CI runners are noisy).
+
+Results are written to ``benchmarks/BENCH_evaluator.json``:
+
+``series``            per-fraction record counts, per-engine runtimes, speedups
+``speedup``           aggregate (summed row-wise / summed columnar) runtime ratio
+``threshold``         the gate the run was checked against
+``cache``             final column-cache counters of the largest columnar run
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Affidavit, identity_configuration
+from repro.datagen.datasets import load_dataset
+from repro.datagen.scaling import generate_scaled_family
+
+from conftest import scaled
+
+FULL_RECORDS = scaled(8_000)
+QUICK_RECORDS = 1_000
+FULL_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+QUICK_FRACTIONS = (0.2, 0.6, 1.0)
+FULL_THRESHOLD = 3.0
+QUICK_THRESHOLD = 1.5
+
+
+def _explain_timed(instance, config):
+    started = time.perf_counter()
+    result = Affidavit(config).explain(instance)
+    return result, time.perf_counter() - started
+
+
+def test_columnar_engine_speedup(bench_seed, quick_mode, bench_json, report_sink):
+    records = QUICK_RECORDS if quick_mode else FULL_RECORDS
+    fractions = QUICK_FRACTIONS if quick_mode else FULL_FRACTIONS
+    threshold = QUICK_THRESHOLD if quick_mode else FULL_THRESHOLD
+
+    table = load_dataset("flight-500k", records, seed=bench_seed)
+    family = generate_scaled_family(
+        table, eta=0.3, tau=0.3, fractions=fractions, seed=bench_seed,
+        name="flight-500k",
+    )
+
+    series = []
+    rowwise_total = 0.0
+    columnar_total = 0.0
+    final_cache = None
+    for fraction in fractions:
+        instance = family.instance_at(fraction).instance
+        columnar_result, columnar_seconds = _explain_timed(
+            instance, identity_configuration(seed=bench_seed)
+        )
+        rowwise_result, rowwise_seconds = _explain_timed(
+            instance,
+            identity_configuration(seed=bench_seed, columnar_cache=False),
+        )
+
+        # The engines must be indistinguishable apart from speed.
+        assert columnar_result.cost == rowwise_result.cost
+        assert (
+            columnar_result.explanation.functions
+            == rowwise_result.explanation.functions
+        )
+        assert columnar_result.expansions == rowwise_result.expansions
+
+        rowwise_total += rowwise_seconds
+        columnar_total += columnar_seconds
+        final_cache = columnar_result.cache_stats
+        series.append({
+            "fraction": fraction,
+            "records": instance.n_source_records,
+            "rowwise_seconds": round(rowwise_seconds, 4),
+            "columnar_seconds": round(columnar_seconds, 4),
+            "speedup": round(rowwise_seconds / max(columnar_seconds, 1e-9), 2),
+            "cache_hit_rate": (
+                None if columnar_result.cache_stats is None
+                else round(columnar_result.cache_stats.hit_rate, 4)
+            ),
+        })
+
+    speedup = rowwise_total / max(columnar_total, 1e-9)
+    bench_json["evaluator"] = {
+        "benchmark": "evaluator_cache",
+        "workload": "figure5-row-scaling",
+        "dataset": "flight-500k",
+        "eta": 0.3,
+        "tau": 0.3,
+        "seed": bench_seed,
+        "quick": quick_mode,
+        "series": series,
+        "rowwise_total_seconds": round(rowwise_total, 4),
+        "columnar_total_seconds": round(columnar_total, 4),
+        "speedup": round(speedup, 2),
+        "threshold": threshold,
+        "cache": None if final_cache is None else final_cache.as_dict(),
+    }
+
+    lines = [
+        "EVALUATOR CACHE (columnar engine vs row-wise fallback, "
+        f"flight-500k surrogate, seed={bench_seed}, "
+        f"{'quick' if quick_mode else 'full'})",
+    ]
+    for point in series:
+        lines.append(
+            f"  {point['records']:>7} records: "
+            f"row-wise {point['rowwise_seconds']:.2f}s vs "
+            f"columnar {point['columnar_seconds']:.2f}s "
+            f"({point['speedup']:.2f}x)"
+        )
+    lines.append(
+        f"  aggregate: {rowwise_total:.2f}s vs {columnar_total:.2f}s "
+        f"= {speedup:.2f}x (gate: >= {threshold}x)"
+    )
+    report_sink.append("\n".join(lines))
+
+    assert speedup >= threshold, (
+        f"columnar engine speedup {speedup:.2f}x fell below the "
+        f"{threshold}x gate"
+    )
+
+
+def test_cache_hit_rate_grows_with_search_depth(bench_seed, quick_mode):
+    """Sanity check that the cache is actually exercised by the search: the
+    hit rate of a non-trivial run must be substantial."""
+    records = 400 if quick_mode else scaled(1_500)
+    table = load_dataset("flight-500k", records, seed=bench_seed)
+    family = generate_scaled_family(
+        table, eta=0.3, tau=0.3, fractions=(1.0,), seed=bench_seed,
+        name="flight-500k",
+    )
+    result = Affidavit(identity_configuration(seed=bench_seed)).explain(
+        family.instance_at(1.0).instance
+    )
+    stats = result.cache_stats
+    assert stats is not None
+    assert stats.lookups > 0
+    assert stats.hit_rate >= 0.3, f"suspiciously low hit rate: {stats}"

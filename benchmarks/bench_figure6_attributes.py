@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datagen.datasets import get_dataset_entry
-from repro.evaluation import format_attribute_scalability, linear_fit, run_attribute_scalability
+from repro.evaluation import format_attribute_scalability, linear_fit
 from repro.evaluation.protocol import ScalabilityPoint, run_table2_cell
 
 from conftest import scaled

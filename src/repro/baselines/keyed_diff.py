@@ -11,7 +11,7 @@ generated change script never generalises to unseen records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..dataio import Table

@@ -24,7 +24,8 @@ from .cost import (
     trivial_explanation_cost,
 )
 from .search_state import MAP_MARKER, UNDECIDED, SearchState
-from .blocking import Block, BlockingResult, build_blocking, refine_blocking
+from .blocking import NOT_APPLICABLE, Block, BlockingResult, build_blocking, refine_blocking
+from .colcache import ColumnCache, ColumnCacheStats
 from .queue import BoundedLevelQueue, QueueEntry
 from .sampling import (
     binomial_pmf,
@@ -32,6 +33,7 @@ from .sampling import (
     cochran_sample_size,
     example_sample_size,
     generation_threshold,
+    sample_concatenated,
 )
 from .evaluator import StateEvaluator
 from .initialization import (
@@ -68,6 +70,9 @@ __all__ = [
     "BlockingResult",
     "build_blocking",
     "refine_blocking",
+    "NOT_APPLICABLE",
+    "ColumnCache",
+    "ColumnCacheStats",
     "BoundedLevelQueue",
     "QueueEntry",
     "binomial_pmf",
@@ -75,6 +80,7 @@ __all__ = [
     "example_sample_size",
     "generation_threshold",
     "cochran_sample_size",
+    "sample_concatenated",
     "StateEvaluator",
     "start_states",
     "empty_start_states",

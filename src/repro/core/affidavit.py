@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Optional, Set
 
 from ..dataio import Table
 from ..functions import FunctionRegistry
+from .colcache import ColumnCacheStats
 from .config import AffidavitConfig, identity_configuration
 from .cost import explanation_cost, trivial_explanation_cost
 from .evaluator import StateEvaluator
@@ -35,6 +36,19 @@ class SearchProgress:
     generated_states: int
     queue_size: int
     best_cost: Optional[float]
+    #: Column-cache counters at snapshot time; lets operators watch the hit
+    #: rate live.  Under the row-wise fallback engine the cache stores
+    #: nothing, so misses accumulate per lookup and only zero-work identity
+    #: lookups count as hits.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of column lookups served from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 @dataclass(frozen=True)
@@ -53,6 +67,9 @@ class AffidavitResult:
     #: the explanation is then the finalised best partial state, still valid
     #: but not necessarily what an uninterrupted run would have returned.
     cancelled: bool = False
+    #: Final column-cache counters of the run (``None`` for results built
+    #: before the columnar engine existed, e.g. unpickled ones).
+    cache_stats: Optional[ColumnCacheStats] = None
 
     @property
     def compression_ratio(self) -> float:
@@ -68,8 +85,14 @@ class AffidavitResult:
             f"expansions          : {self.expansions} "
             f"(generated {self.generated_states} states)",
             f"runtime             : {self.runtime_seconds:.3f}s",
-            self.explanation.summary(),
         ]
+        if self.cache_stats is not None and self.cache_stats.lookups:
+            lines.append(
+                f"column cache        : {self.cache_stats.hits} hits / "
+                f"{self.cache_stats.lookups} lookups "
+                f"({self.cache_stats.hit_rate:.0%} hit rate)"
+            )
+        lines.append(self.explanation.summary())
         return "\n".join(lines)
 
 
@@ -100,7 +123,12 @@ class Affidavit:
         config = self._config
         started = time.perf_counter()
 
-        evaluator = StateEvaluator(instance, alpha=config.alpha)
+        evaluator = StateEvaluator(
+            instance,
+            alpha=config.alpha,
+            columnar=config.columnar_cache,
+            column_cache_entries=config.column_cache_entries,
+        )
         rng = random.Random(config.seed)
         expander = StateExpander(instance, config, evaluator, rng)
         queue = BoundedLevelQueue(config.queue_width)
@@ -147,6 +175,7 @@ class Affidavit:
                 if queue.push(extension.state, extension.cost):
                     generated += 1
             if config.progress_callback is not None:
+                cache_stats = evaluator.cache_stats()
                 config.progress_callback(SearchProgress(
                     expansions=expansions,
                     generated_states=generated,
@@ -154,6 +183,9 @@ class Affidavit:
                     best_cost=(
                         best_seen_partial.cost if best_seen_partial is not None else None
                     ),
+                    cache_hits=cache_stats.hits,
+                    cache_misses=cache_stats.misses,
+                    cache_evictions=cache_stats.evictions,
                 ))
 
         if best_entry is None:
@@ -196,6 +228,7 @@ class Affidavit:
             runtime_seconds=runtime,
             config=config,
             cancelled=cancelled,
+            cache_stats=evaluator.cache_stats(),
         )
 
 
@@ -203,7 +236,11 @@ def explain_snapshots(source: Table, target: Table, *,
                       config: Optional[AffidavitConfig] = None,
                       registry: Optional[FunctionRegistry] = None,
                       name: str = "instance") -> AffidavitResult:
-    """Convenience one-call API: build the instance and run the search."""
+    """Convenience one-call API: build the instance and run the search.
+
+    Note that both snapshots are frozen in place (the search memoizes column
+    transforms); pass ``table.copy()`` to keep a mutable original.
+    """
     if registry is not None:
         instance = ProblemInstance(source=source, target=target, registry=registry, name=name)
     else:

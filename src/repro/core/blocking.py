@@ -19,11 +19,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dataio import Table
 from ..functions import AttributeFunction
+# NOT_APPLICABLE is re-exported (aliased) for the existing importers of this
+# module; the sentinel itself now lives with the column cache.
+from .colcache import NOT_APPLICABLE as NOT_APPLICABLE
+from .colcache import ColumnCache, apply_with_sentinel
 from .instance import ProblemInstance
 from .search_state import SearchState
-
-#: Key component marking a source cell on which the assigned function failed.
-NOT_APPLICABLE = "\x00<not-applicable>"
 
 BlockKey = Tuple[str, ...]
 
@@ -84,11 +85,24 @@ class BlockingResult:
     # ------------------------------------------------------------------ #
     def unaligned_target_bound(self) -> int:
         """``c_t(H)`` — target records that cannot be aligned under this state."""
-        return sum(block.surplus_targets for block in self._blocks.values())
+        return self.unaligned_bounds()[0]
 
     def unaligned_source_bound(self) -> int:
         """``c_s(H)`` — source records that cannot be aligned under this state."""
-        return sum(block.surplus_sources for block in self._blocks.values())
+        return self.unaligned_bounds()[1]
+
+    def unaligned_bounds(self) -> Tuple[int, int]:
+        """Both lower bounds ``(c_t(H), c_s(H))`` in a single pass."""
+        target_bound = 0
+        source_bound = 0
+        for block in self._blocks.values():
+            n_targets = len(block.target_ids)
+            n_sources = len(block.source_ids)
+            if n_targets > n_sources:
+                target_bound += n_targets - n_sources
+            elif n_sources > n_targets:
+                source_bound += n_sources - n_targets
+        return target_bound, source_bound
 
     # ------------------------------------------------------------------ #
     # statistics used by the extension step
@@ -104,6 +118,11 @@ class BlockingResult:
         maximum = 0
         for block in self._blocks.values():
             if not block.is_mixed:
+                continue
+            # A block's distinct count is bounded by its size; blocks that
+            # cannot beat the current maximum are skipped without building
+            # the value set (exact, since only the maximum is reported).
+            if len(block.source_ids) <= maximum:
                 continue
             distinct = len({column[source_id] for source_id in block.source_ids})
             if distinct > maximum:
@@ -144,17 +163,22 @@ class BlockingResult:
 
 def transformed_column(table: Table, attribute: str,
                        function: AttributeFunction) -> List[str]:
-    """Apply *function* to one column; inapplicable cells become the sentinel."""
-    column = table.column_view(attribute)
-    result = []
-    for cell in column:
-        transformed = function.apply(cell)
-        result.append(NOT_APPLICABLE if transformed is None else transformed)
-    return result
+    """Apply *function* to one column; inapplicable cells become the sentinel.
+
+    Goes through the function's ``apply_column`` hook, so families with a
+    bulk form (identity, value mappings) get it even on the uncached path.
+    """
+    return apply_with_sentinel(function, table.column_view(attribute))
 
 
-def build_blocking(instance: ProblemInstance, state: SearchState) -> BlockingResult:
-    """Compute :math:`\\Phi_H` from scratch for *state*."""
+def build_blocking(instance: ProblemInstance, state: SearchState,
+                   cache: Optional[ColumnCache] = None) -> BlockingResult:
+    """Compute :math:`\\Phi_H` from scratch for *state*.
+
+    When *cache* is given, source columns are transformed through the
+    column cache, so a function applied once to a column is reused by every
+    search state that shares that assignment.
+    """
     decided = state.decided_functions
     if not decided:
         block = Block(
@@ -164,22 +188,28 @@ def build_blocking(instance: ProblemInstance, state: SearchState) -> BlockingRes
         return BlockingResult({(): block})
 
     attributes = [a for a in instance.schema if a in decided]
-    source_columns = [
-        transformed_column(instance.source, attribute, decided[attribute])
-        for attribute in attributes
-    ]
+    if cache is not None:
+        source_columns = [
+            cache.transformed(attribute, decided[attribute])
+            for attribute in attributes
+        ]
+    else:
+        source_columns = [
+            transformed_column(instance.source, attribute, decided[attribute])
+            for attribute in attributes
+        ]
     target_columns = [instance.target.column_view(attribute) for attribute in attributes]
 
     blocks: Dict[BlockKey, Block] = {}
-    for source_id in range(instance.n_source_records):
-        key = tuple(column[source_id] for column in source_columns)
+    # Columnar key building: zip walks all decided columns in lockstep, which
+    # is markedly faster than indexing each column per row.
+    for source_id, key in enumerate(zip(*source_columns)):
         bucket = blocks.get(key)
         if bucket is None:
             bucket = Block()
             blocks[key] = bucket
         bucket.source_ids.append(source_id)
-    for target_id in range(instance.n_target_records):
-        key = tuple(column[target_id] for column in target_columns)
+    for target_id, key in enumerate(zip(*target_columns)):
         bucket = blocks.get(key)
         if bucket is None:
             bucket = Block()
@@ -189,8 +219,12 @@ def build_blocking(instance: ProblemInstance, state: SearchState) -> BlockingRes
 
 
 def refine_blocking(instance: ProblemInstance, blocking: BlockingResult,
-                    attribute: str, function: AttributeFunction) -> BlockingResult:
+                    attribute: str, function: AttributeFunction,
+                    cache: Optional[ColumnCache] = None) -> BlockingResult:
     """Refine an existing blocking by additionally deciding one attribute."""
-    source_components = transformed_column(instance.source, attribute, function)
+    if cache is not None:
+        source_components = cache.transformed(attribute, function)
+    else:
+        source_components = transformed_column(instance.source, attribute, function)
     target_components = instance.target.column_view(attribute)
     return blocking.refine(source_components, target_components)

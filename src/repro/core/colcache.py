@@ -1,0 +1,331 @@
+"""Cross-state memoization of per-attribute function application.
+
+The best-first search evaluates thousands of sibling states that share most
+of their attribute assignments, and every evaluation ultimately applies the
+same :class:`~repro.functions.base.AttributeFunction` to cells of the same
+source column — once per cell per state in the row-wise engine.  Two facts
+make that work massively redundant:
+
+* the source snapshot never changes during a search, so an attribute's
+  *distinct value domain* is fixed, and
+* sibling states share most assignments, so the same ``(function,
+  attribute)`` pair is evaluated over and over.
+
+:class:`ColumnCache` therefore memoizes, per ``(function, attribute)`` key, a
+lazily-filled *value map* ``{source value -> transformed value}``.  Whether a
+whole column is transformed for blocking or a block's value histogram is
+transformed for candidate ranking, each distinct value is pushed through the
+function at most once per search — every further occurrence, in any block of
+any state, is a dictionary lookup.
+
+Cells on which a function is not applicable map to the
+:data:`NOT_APPLICABLE` sentinel (rather than ``None``) so transformed
+columns can be used directly as blocking-key components: the sentinel never
+equals a target value, which keeps such records unaligned exactly as
+Section 4.5 of the paper requires.
+
+The cache is bounded (LRU over ``(function, attribute)`` value maps) and
+keeps hit/miss/eviction counters that the search threads through
+:class:`~repro.core.affidavit.SearchProgress` and the service layer's job
+status, so operators can watch hit rates live.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..dataio import Table
+from ..functions import AttributeFunction
+
+#: Key component marking a source cell on which the assigned function failed.
+#: (Shared with :mod:`repro.core.blocking`, which re-exports it.)
+NOT_APPLICABLE = "\x00<not-applicable>"
+
+
+def apply_with_sentinel(function: AttributeFunction,
+                        column: Sequence[str]) -> List[str]:
+    """Apply *function* to a whole column; inapplicable cells become the
+    sentinel.  Uses the function's (possibly vectorised) ``apply_column``."""
+    return [
+        NOT_APPLICABLE if value is None else value
+        for value in function.apply_column(column)
+    ]
+
+
+@dataclass(frozen=True)
+class ColumnCacheStats:
+    """Point-in-time snapshot of a :class:`ColumnCache`'s counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    max_entries: int = 0
+    #: Total number of per-cell ``apply`` calls the cache performed.  The
+    #: row-wise engine pays one per cell per lookup; the columnar engine one
+    #: per *distinct* value per entry — the ratio is the engine's whole point.
+    applications: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from an existing value map."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (benchmark output and job-status payloads)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "applications": self.applications,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ColumnCache:
+    """Memoizes per-attribute function application for one source table.
+
+    Parameters
+    ----------
+    table:
+        The source snapshot whose columns are transformed.  A cache instance
+        is bound to exactly one table; the evaluator that owns it guarantees
+        every lookup refers to this table's columns.
+    max_entries:
+        LRU bound on the number of cached ``(function, attribute)`` value
+        maps.  One map holds at most one entry per distinct value of the
+        attribute's column.
+    enabled:
+        When ``False`` the cache degrades to the row-wise fallback: every
+        lookup recomputes with per-cell ``apply`` calls, exactly like the
+        pre-columnar engine.  Used as the benchmark baseline and by the
+        equivalence tests.
+    """
+
+    __slots__ = ("_table", "_max_entries", "_enabled", "_maps",
+                 "_hits", "_misses", "_evictions", "_applications")
+
+    def __init__(self, table: Table, *, max_entries: int = 512,
+                 enabled: bool = True):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._table = table
+        self._max_entries = max_entries
+        self._enabled = enabled
+        self._maps: "OrderedDict[Tuple[AttributeFunction, str], Dict[str, str]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._applications = 0
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+    # ------------------------------------------------------------------ #
+    # value maps
+    # ------------------------------------------------------------------ #
+    def _value_map(self, attribute: str,
+                   function: AttributeFunction) -> Dict[str, str]:
+        """The (lazily filled) value map of one ``(function, attribute)`` key.
+
+        Functions flagged non-``cacheable`` (greedy value mappings, which are
+        unique per search state) get a fresh throwaway map so they cannot
+        evict reusable entries.
+        """
+        if not function.cacheable:
+            self._misses += 1
+            return {}
+        key = (function, attribute)
+        cached = self._maps.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._maps.move_to_end(key)
+            return cached
+        self._misses += 1
+        fresh: Dict[str, str] = {}
+        self._maps[key] = fresh
+        while len(self._maps) > self._max_entries:
+            self._maps.popitem(last=False)
+            self._evictions += 1
+        return fresh
+
+    def _extend_map(self, mapping: Dict[str, str], function: AttributeFunction,
+                    values: Sequence[str]) -> None:
+        """Apply *function* to every value not in *mapping* yet."""
+        apply = function.apply
+        applications = 0
+        for value in values:
+            if value not in mapping:
+                transformed = apply(value)
+                mapping[value] = NOT_APPLICABLE if transformed is None else transformed
+                applications += 1
+        self._applications += applications
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def transformed(self, attribute: str,
+                    function: AttributeFunction) -> Sequence[str]:
+        """*function* applied to the whole *attribute* column (read-only).
+
+        Identity functions return the table's column view itself — zero-copy
+        and counted as a hit, since no application work happens.  Otherwise
+        the column is materialised through the value map: one ``apply`` per
+        distinct value ever seen, one dict lookup per cell.
+        """
+        column = self._table.column_view(attribute)
+        if function.is_identity:
+            # The identity never fails, so no sentinel substitution is needed.
+            self._hits += 1
+            return column
+        if not self._enabled:
+            # Row-wise fallback: per-cell application, no memoization.
+            self._misses += 1
+            self._applications += len(column)
+            return apply_with_sentinel(function, column)
+        mapping = self._value_map(attribute, function)
+        self._extend_map(mapping, function, column.value_counts().keys())
+        return [mapping[cell] for cell in column]
+
+    def transformed_histogram(self, attribute: str, function: AttributeFunction,
+                              value_counts: Mapping[str, int]) -> Counter:
+        """Histogram of *function* applied to a value histogram.
+
+        *value_counts* is the histogram of some slice of the attribute's
+        column (e.g. one block's source values).  Each distinct value is
+        transformed through the value map and its multiplicity is added to
+        the result; not-applicable values are dropped.  Single-slice
+        convenience form of :meth:`transformed_histograms`.
+        """
+        (histogram,) = self.transformed_histograms(attribute, function, [value_counts])
+        return Counter(histogram)
+
+    def transformed_histograms(self, attribute: str, function: AttributeFunction,
+                               slices: Sequence[Mapping[str, int]],
+                               distinct_values: Optional[Sequence[str]] = None,
+                               restrict_to: Optional[Sequence[AbstractSet[str]]] = None,
+                               ) -> List[Mapping[str, int]]:
+        """:meth:`transformed_histogram` over several slices, one map lookup.
+
+        Candidate ranking scores a candidate over every sampled block of a
+        state; resolving the value map once for the whole batch keeps the
+        hit/miss counters meaningful (one lookup per candidate, not per
+        block).  When the caller scores many candidates over the same slices
+        it can pass the union of the slices' keys as *distinct_values* once,
+        saving the per-slice membership sweep.  *restrict_to* optionally
+        gives, per slice, the only transformed values of interest (e.g. the
+        block's target values for overlap scoring); others are dropped, which
+        for poorly-matching candidates skips almost all histogram insertions.
+        """
+        if function.is_identity:
+            self._hits += 1
+            if restrict_to is None:
+                # The slices themselves (callers treat results as read-only).
+                return [
+                    value_counts if isinstance(value_counts, Counter)
+                    else Counter(value_counts)
+                    for value_counts in slices
+                ]
+            return [
+                Counter({
+                    value: count
+                    for value, count in value_counts.items()
+                    if value in wanted
+                })
+                for value_counts, wanted in zip(slices, restrict_to)
+            ]
+        if not self._enabled:
+            self._misses += 1
+            apply = function.apply
+            results = []
+            applications = 0
+            for value_counts in slices:
+                histogram: Counter = Counter()
+                for value, count in value_counts.items():
+                    transformed = apply(value)
+                    applications += 1
+                    if transformed is not None:
+                        histogram[transformed] += count
+                results.append(histogram)
+            self._applications += applications
+            return results
+        mapping = self._value_map(attribute, function)
+        if distinct_values is not None:
+            self._extend_map(mapping, function, distinct_values)
+        results = []
+        for position, value_counts in enumerate(slices):
+            if distinct_values is None:
+                self._extend_map(mapping, function, value_counts.keys())
+            wanted = restrict_to[position] if restrict_to is not None else None
+            if len(value_counts) == 1:
+                # Single-valued blocks dominate deep search states.
+                ((value, count),) = value_counts.items()
+                transformed = mapping[value]
+                if transformed is not NOT_APPLICABLE and (
+                        wanted is None or transformed in wanted):
+                    results.append({transformed: count})
+                else:
+                    results.append({})
+                continue
+            histogram: Dict[str, int] = {}
+            histogram_get = histogram.get
+            if wanted is None:
+                for value, count in value_counts.items():
+                    transformed = mapping[value]
+                    if transformed is not NOT_APPLICABLE:
+                        histogram[transformed] = histogram_get(transformed, 0) + count
+            else:
+                for value, count in value_counts.items():
+                    transformed = mapping[value]
+                    if transformed is not NOT_APPLICABLE and transformed in wanted:
+                        histogram[transformed] = histogram_get(transformed, 0) + count
+            results.append(histogram)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # maintenance and statistics
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._maps.clear()
+
+    def stats(self) -> ColumnCacheStats:
+        """A consistent snapshot of the counters."""
+        return ColumnCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._maps),
+            max_entries=self._max_entries,
+            applications=self._applications,
+        )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ColumnCache({stats.entries}/{stats.max_entries} entries, "
+            f"{stats.hits} hits, {stats.misses} misses, "
+            f"{stats.applications} applications, "
+            f"hit rate {stats.hit_rate:.0%})"
+        )

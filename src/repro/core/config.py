@@ -58,6 +58,15 @@ class AffidavitConfig:
     max_expansions: Optional[int] = 10_000
     #: Seed of the search-owned random generator; fixed for reproducibility.
     seed: int = 0
+    #: Run the columnar evaluation engine with cross-state memoization of
+    #: per-attribute function applications.  ``False`` selects the row-wise
+    #: fallback engine — identical results, no memoization — used as the
+    #: benchmark baseline and by the equivalence tests.
+    columnar_cache: bool = True
+    #: LRU bound of the column cache: maximum number of cached
+    #: ``(function, attribute)`` value maps (each at most one entry per
+    #: distinct value of the column).
+    column_cache_entries: int = 4096
     #: Called once per state expansion with a
     #: :class:`~repro.core.affidavit.SearchProgress` snapshot.  Excluded from
     #: equality/hashing so configs that differ only in observers compare equal
@@ -96,6 +105,10 @@ class AffidavitConfig:
             )
         if self.max_expansions is not None and self.max_expansions < 1:
             raise ValueError(f"max_expansions must be >= 1 or None, got {self.max_expansions}")
+        if self.column_cache_entries < 1:
+            raise ValueError(
+                f"column_cache_entries must be >= 1, got {self.column_cache_entries}"
+            )
 
     def with_overrides(self, **changes) -> "AffidavitConfig":
         """A copy with selected fields replaced."""

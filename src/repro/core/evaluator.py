@@ -16,25 +16,38 @@ allows the best-first search to stop as soon as it polls an end state.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .blocking import BlockingResult, build_blocking
-from .cost import partial_state_cost
+from .colcache import ColumnCache, ColumnCacheStats
+from .cost import batch_partial_state_costs, partial_state_cost
 from .instance import ProblemInstance
 from .search_state import SearchState
 
 
 class StateEvaluator:
-    """Computes blockings and costs of search states for one problem instance."""
+    """Computes blockings and costs of search states for one problem instance.
+
+    The evaluator is the owner of the search's :class:`ColumnCache`: every
+    blocking it builds transforms source columns through the cache, so the
+    per-attribute application work is shared across all states of one search.
+    ``columnar=False`` switches to the row-wise fallback engine (identical
+    results, no memoization) — the baseline of the evaluator benchmark and of
+    the equivalence tests.
+    """
 
     def __init__(self, instance: ProblemInstance, *, alpha: float = 0.5,
-                 cache_size: int = 16):
+                 cache_size: int = 16, columnar: bool = True,
+                 column_cache_entries: int = 4096):
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         self._instance = instance
         self._alpha = alpha
         self._cache_size = max(1, cache_size)
         self._blocking_cache: "OrderedDict[SearchState, BlockingResult]" = OrderedDict()
+        self._column_cache = ColumnCache(
+            instance.source, max_entries=column_cache_entries, enabled=columnar
+        )
 
     @property
     def instance(self) -> ProblemInstance:
@@ -43,6 +56,20 @@ class StateEvaluator:
     @property
     def alpha(self) -> float:
         return self._alpha
+
+    @property
+    def column_cache(self) -> ColumnCache:
+        """The per-attribute application cache shared across search states."""
+        return self._column_cache
+
+    @property
+    def columnar(self) -> bool:
+        """True when the columnar (memoized) engine is active."""
+        return self._column_cache.enabled
+
+    def cache_stats(self) -> ColumnCacheStats:
+        """Snapshot of the column cache's hit/miss/eviction counters."""
+        return self._column_cache.stats()
 
     # ------------------------------------------------------------------ #
     # blocking with a small LRU cache
@@ -53,7 +80,7 @@ class StateEvaluator:
         if cached is not None:
             self._blocking_cache.move_to_end(state)
             return cached
-        blocking = build_blocking(self._instance, state)
+        blocking = build_blocking(self._instance, state, self._column_cache)
         self.remember_blocking(state, blocking)
         return blocking
 
@@ -72,10 +99,11 @@ class StateEvaluator:
         """The state cost ``c(H)`` (Definition 4.6)."""
         if blocking is None:
             blocking = self.blocking(state)
+        target_bound, source_bound = blocking.unaligned_bounds()
         return self.cost_from_bounds(
             state,
-            unaligned_target_bound=blocking.unaligned_target_bound(),
-            unaligned_source_bound=blocking.unaligned_source_bound(),
+            unaligned_target_bound=target_bound,
+            unaligned_source_bound=source_bound,
         )
 
     def cost_from_bounds(self, state: SearchState, *, unaligned_target_bound: int,
@@ -86,6 +114,24 @@ class StateEvaluator:
             function_lengths=state.function_description_length,
             unaligned_target_bound=unaligned_target_bound,
             unaligned_source_bound=unaligned_source_bound,
+            delta=self._instance.delta,
+            alpha=self._alpha,
+        )
+
+    def batch_costs_from_bounds(self, function_lengths: Sequence[int],
+                                bounds: Sequence[Tuple[int, int]]) -> List[float]:
+        """State costs for many candidate extensions in one call.
+
+        *function_lengths* holds ``c_f`` per candidate successor,
+        *bounds* the matching ``(c_t, c_s)`` pairs from its refined blocking.
+        Element *i* equals what :meth:`cost_from_bounds` would return for the
+        *i*-th successor — the expander uses this to score a whole candidate
+        batch against the greedy-map benchmark at once.
+        """
+        return batch_partial_state_costs(
+            n_attributes=self._instance.n_attributes,
+            function_lengths=function_lengths,
+            bounds=bounds,
             delta=self._instance.delta,
             alpha=self._alpha,
         )

@@ -29,15 +29,20 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..functions import AttributeFunction, ValueMapping
-from ..functions.induction import CandidatePool
+from ..functions import AttributeFunction
+from ..functions.induction import CandidatePool, InductionMemo
 from ..linking.alignment import AlignmentPairs, induce_greedy_mapping, sample_random_alignment
-from ..linking.histogram import block_overlap
+from ..linking.histogram import block_overlap, indexed_histogram
 from .blocking import Block, BlockingResult, build_blocking, refine_blocking
 from .config import AffidavitConfig
 from .evaluator import StateEvaluator
 from .instance import ProblemInstance
-from .sampling import cochran_sample_size, example_sample_size, generation_threshold
+from .sampling import (
+    cochran_sample_size,
+    example_sample_size,
+    generation_threshold,
+    sample_concatenated,
+)
 from .search_state import MAP_MARKER, SearchState
 
 
@@ -69,6 +74,14 @@ class StateExpander:
             min_successes=config.min_generation_successes,
         )
         self._ranking_budget = cochran_sample_size(config.theta)
+        # Cross-state memo of per-example candidate induction; only the
+        # columnar engine uses it (the row-wise fallback stays pre-memoization
+        # so benchmarks and equivalence tests compare against the true
+        # baseline).  Induction is deterministic per (source, target) value
+        # pair, so memoization cannot change the induced candidates.
+        self._induction_memo: Optional[InductionMemo] = (
+            InductionMemo() if evaluator.columnar else None
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -146,15 +159,37 @@ class StateExpander:
     def _extensions_for_attribute(self, state: SearchState, blocking: BlockingResult,
                                   alignment: AlignmentPairs,
                                   attribute: str) -> List[Extension]:
-        """Extensions of *state* on *attribute* that beat the greedy map."""
+        """Extensions of *state* on *attribute* that beat the greedy map.
+
+        The greedy map and every ranked candidate are refined against the
+        current blocking (through the column cache) and their successor costs
+        are scored in one batch; only candidates beating the greedy benchmark
+        materialise successor states.
+        """
+        candidates = self._induce_ranked_candidates(blocking, attribute)
+        if not candidates:
+            # Nothing to compare against the greedy benchmark; skip building
+            # it (no RNG is involved, so the search trajectory is unchanged).
+            return []
         greedy_map = induce_greedy_mapping(
             alignment, self._instance.source, self._instance.target, attribute
         )
-        greedy_cost = self._extension_cost(state, blocking, attribute, greedy_map)[0]
+        functions: List[AttributeFunction] = [greedy_map] + candidates
 
+        cache = self._evaluator.column_cache
+        refined_blockings = [
+            refine_blocking(self._instance, blocking, attribute, function, cache)
+            for function in functions
+        ]
+        base_length = state.function_description_length
+        costs = self._evaluator.batch_costs_from_bounds(
+            [base_length + function.description_length for function in functions],
+            [refined.unaligned_bounds() for refined in refined_blockings],
+        )
+
+        greedy_cost = costs[0]
         extensions: List[Extension] = []
-        for function in self._induce_ranked_candidates(blocking, attribute):
-            cost, refined = self._extension_cost(state, blocking, attribute, function)
+        for function, refined, cost in zip(functions[1:], refined_blockings[1:], costs[1:]):
             if cost < greedy_cost:
                 successor = state.extend(attribute, function)
                 self._evaluator.remember_blocking(successor, refined)
@@ -162,19 +197,6 @@ class StateExpander:
                     Extension(state=successor, cost=cost, blocking=refined, attribute=attribute)
                 )
         return extensions
-
-    def _extension_cost(self, state: SearchState, blocking: BlockingResult,
-                        attribute: str, function: AttributeFunction
-                        ) -> Tuple[float, BlockingResult]:
-        """Cost of extending *state* with *function* on *attribute*."""
-        refined = refine_blocking(self._instance, blocking, attribute, function)
-        successor = state.extend(attribute, function)
-        cost = self._evaluator.cost_from_bounds(
-            successor,
-            unaligned_target_bound=refined.unaligned_target_bound(),
-            unaligned_source_bound=refined.unaligned_source_bound(),
-        )
-        return cost, refined
 
     # ------------------------------------------------------------------ #
     # candidate induction and ranking (Section 4.4)
@@ -193,32 +215,35 @@ class StateExpander:
 
     def _induce_candidates(self, mixed_blocks: Sequence[Block],
                            attribute: str) -> List[AttributeFunction]:
-        """Sample target records and induce significant candidate functions."""
+        """Sample target records and induce significant candidate functions.
+
+        Sampling draws ``(block, offset)`` pairs directly from the blocks'
+        target-record counts (no flattened population list), and per-example
+        induction is memoized across states by value pair.
+        """
         source_column = self._instance.source.column_view(attribute)
         target_column = self._instance.target.column_view(attribute)
 
-        population: List[Tuple[int, Block]] = []
-        for block in mixed_blocks:
-            for target_id in block.target_ids:
-                population.append((target_id, block))
-
-        budget = min(self._example_budget, len(population))
+        sizes = [len(block.target_ids) for block in mixed_blocks]
+        total = sum(sizes)
+        budget = min(self._example_budget, total)
         if budget == 0:
             return []
-        if budget == len(population):
-            sampled = population
-        else:
-            sampled = self._rng.sample(population, budget)
+        sampled = sample_concatenated(self._rng, sizes, budget)
 
         pool = CandidatePool()
         block_values: Dict[int, List[str]] = {}
-        for target_id, block in sampled:
-            key = id(block)
-            values = block_values.get(key)
+        for block_index, offset in sampled:
+            block = mixed_blocks[block_index]
+            values = block_values.get(block_index)
             if values is None:
                 values = sorted({source_column[source_id] for source_id in block.source_ids})
-                block_values[key] = values
-            pool.add_example(self._instance.registry, values, target_column[target_id])
+                block_values[block_index] = values
+            pool.add_example(
+                self._instance.registry, values,
+                target_column[block.target_ids[offset]],
+                memo=self._induction_memo,
+            )
 
         threshold = generation_threshold(
             self._example_budget, pool.examples_seen,
@@ -229,57 +254,125 @@ class StateExpander:
     def _rank_candidates(self, candidates: Sequence[AttributeFunction],
                          mixed_blocks: Sequence[Block],
                          attribute: str) -> List[AttributeFunction]:
-        """Rank candidates by sampled histogram overlap minus description length."""
+        """Rank candidates by sampled histogram overlap minus description length.
+
+        The columnar engine transforms the whole source column once per
+        candidate (served by the column cache, so usually once per *search*)
+        and counts per-block histograms by row id; the target histograms are
+        shared across all candidates.  The row-wise fallback applies every
+        candidate cell by cell per block, as the pre-columnar engine did.
+        Both paths produce identical overlap scores and ranking.
+        """
+        sizes = [len(block.source_ids) for block in mixed_blocks]
+        total = sum(sizes)
+        budget = min(self._ranking_budget, total)
+        sampled = sample_concatenated(self._rng, sizes, budget)
+
+        sampled_block_indices: List[int] = []
+        seen = set()
+        for block_index, _ in sampled:
+            if block_index not in seen:
+                seen.add(block_index)
+                sampled_block_indices.append(block_index)
+
+        if self._evaluator.columnar:
+            scored = self._score_candidates_columnar(
+                candidates, mixed_blocks, sampled_block_indices, attribute
+            )
+        else:
+            scored = self._score_candidates_rowwise(
+                candidates, mixed_blocks, sampled_block_indices, attribute
+            )
+        scored.sort(key=lambda item: (-item[0], -item[1]))
+        return [candidate for _, _, candidate in scored]
+
+    def _score_candidates_columnar(
+            self, candidates: Sequence[AttributeFunction],
+            mixed_blocks: Sequence[Block], block_indices: Sequence[int],
+            attribute: str) -> List[Tuple[float, int, AttributeFunction]]:
+        """Overlap scores via the column cache's value maps.
+
+        Per sampled block, the source values are collapsed into a value
+        histogram once; every candidate is then scored per *distinct* value
+        through its memoized value map, so a value transformed for any
+        earlier candidate-block pair — in this state or a sibling — is never
+        pushed through ``apply`` again.  The per-block target histograms are
+        likewise computed once and shared by all candidates.
+        """
         source_column = self._instance.source.column_view(attribute)
         target_column = self._instance.target.column_view(attribute)
+        cache = self._evaluator.column_cache
+        blocks = [mixed_blocks[i] for i in block_indices]
+        target_histograms = [
+            indexed_histogram(target_column, block.target_ids) for block in blocks
+        ]
+        source_histograms = [
+            indexed_histogram(source_column, block.source_ids) for block in blocks
+        ]
+        distinct_values = list(dict.fromkeys(
+            value for histogram in source_histograms for value in histogram
+        ))
+        target_keys = [histogram.keys() for histogram in target_histograms]
+        scored: List[Tuple[float, int, AttributeFunction]] = []
+        for order, candidate in enumerate(candidates):
+            transformed = cache.transformed_histograms(
+                attribute, candidate, source_histograms, distinct_values,
+                restrict_to=target_keys,
+            )
+            # Inline overlap: the restricted histograms only hold values the
+            # target histogram also has, so the min-sum needs no key
+            # intersection (Counter lookups return 0 for the identity path's
+            # unrestricted histograms).
+            overlap = 0
+            for histogram, target_histogram in zip(transformed, target_histograms):
+                for value, count in histogram.items():
+                    target_count = target_histogram[value]
+                    overlap += count if count < target_count else target_count
+            scored.append((overlap - candidate.description_length, -order, candidate))
+        return scored
 
-        population: List[Tuple[int, Block]] = []
-        for block in mixed_blocks:
-            for source_id in block.source_ids:
-                population.append((source_id, block))
-        budget = min(self._ranking_budget, len(population))
-        if budget == len(population):
-            sampled = population
-        else:
-            sampled = self._rng.sample(population, budget)
-
-        evaluated_blocks: Dict[int, Tuple[List[str], List[str]]] = {}
-        for _, block in sampled:
-            key = id(block)
-            if key not in evaluated_blocks:
-                evaluated_blocks[key] = (
-                    [source_column[source_id] for source_id in block.source_ids],
-                    [target_column[target_id] for target_id in block.target_ids],
-                )
-
+    def _score_candidates_rowwise(
+            self, candidates: Sequence[AttributeFunction],
+            mixed_blocks: Sequence[Block], block_indices: Sequence[int],
+            attribute: str) -> List[Tuple[float, int, AttributeFunction]]:
+        """Overlap scores via per-cell application (pre-columnar baseline)."""
+        source_column = self._instance.source.column_view(attribute)
+        target_column = self._instance.target.column_view(attribute)
+        evaluated_blocks = [
+            (
+                [source_column[source_id] for source_id in mixed_blocks[i].source_ids],
+                [target_column[target_id] for target_id in mixed_blocks[i].target_ids],
+            )
+            for i in block_indices
+        ]
         scored: List[Tuple[float, int, AttributeFunction]] = []
         for order, candidate in enumerate(candidates):
             overlap = sum(
                 block_overlap(candidate, source_values, target_values)
-                for source_values, target_values in evaluated_blocks.values()
+                for source_values, target_values in evaluated_blocks
             )
             scored.append((overlap - candidate.description_length, -order, candidate))
-        scored.sort(key=lambda item: (-item[0], -item[1]))
-        return [candidate for _, _, candidate in scored]
+        return scored
 
     # ------------------------------------------------------------------ #
     # finalisation of map-marked attributes
     # ------------------------------------------------------------------ #
     def _finalize(self, state: SearchState) -> Extension:
         """Resolve every ``MAP_MARKER`` with a greedy map, one at a time."""
+        cache = self._evaluator.column_cache
         current = state
         while True:
             marked = current.map_marked_attributes
             if not marked:
                 break
-            blocking = build_blocking(self._instance, current)
+            blocking = build_blocking(self._instance, current, cache)
             alignment = sample_random_alignment(blocking, self._rng)
             attribute = marked[0]
             mapping = induce_greedy_mapping(
                 alignment, self._instance.source, self._instance.target, attribute
             )
             current = current.replace(attribute, mapping)
-        final_blocking = build_blocking(self._instance, current)
+        final_blocking = build_blocking(self._instance, current, cache)
         self._evaluator.remember_blocking(current, final_blocking)
         cost = self._evaluator.cost(current, final_blocking)
         return Extension(state=current, cost=cost, blocking=final_blocking, attribute=None)

@@ -18,7 +18,7 @@ from ..functions import IDENTITY
 from ..linking.overlap import OverlapAnalysis, analyse_overlap
 from .config import START_EMPTY, START_IDENTITY, START_OVERLAP, AffidavitConfig
 from .instance import ProblemInstance
-from .search_state import SearchState, UNDECIDED
+from .search_state import SearchState
 
 
 def empty_start_states(instance: ProblemInstance) -> List[SearchState]:

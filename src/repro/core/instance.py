@@ -19,6 +19,12 @@ class ProblemInstance:
         Snapshot ``S`` — the older state of the table.
     target:
         Snapshot ``T`` — the newer state of the table.
+
+        Both snapshots are **frozen in place** on construction (see
+        :meth:`repro.dataio.Table.freeze`): the search memoizes column
+        transforms and blockings, so the tables must not change afterwards.
+        Callers that want to keep mutating a table should pass
+        ``table.copy()``.
     registry:
         The meta functions whose instantiations form the candidate pool
         :math:`\\mathcal{F}`.  Defaults to :func:`repro.functions.default_registry`.
@@ -37,6 +43,11 @@ class ProblemInstance:
                 "source and target snapshots must share a schema: "
                 f"{list(self.source.schema)} vs {list(self.target.schema)}"
             )
+        # The search assumes the snapshots never change (cached blockings,
+        # memoized column transforms, zero-copy views); freezing makes that
+        # assumption explicit and lets projections share column storage.
+        self.source.freeze()
+        self.target.freeze()
 
     @property
     def schema(self) -> Schema:

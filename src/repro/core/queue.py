@@ -16,7 +16,7 @@ attributes) to ``max(1, ϱ − i + 1)`` for level ``i``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .search_state import SearchState
 

@@ -1,6 +1,8 @@
-"""Sample-size computations used by the candidate induction and ranking steps.
+"""Sampling utilities used by the candidate induction and ranking steps.
 
-Two statistical tools from Section 4.4 of the paper:
+Besides :func:`sample_concatenated` — the columnar sampler that draws from
+the records of many blocks without materialising them as one flat list —
+this module holds two statistical tools from Section 4.4 of the paper:
 
 * **Binomial example budget** (Section 4.4.2): the number ``k`` of target
   records to sample so that, if the sought function is visible in a fraction
@@ -15,7 +17,48 @@ Two statistical tools from Section 4.4 of the paper:
 from __future__ import annotations
 
 import math
+import random
+from bisect import bisect_right
 from functools import lru_cache
+from itertools import accumulate
+from typing import List, Sequence, Tuple
+
+
+def sample_concatenated(rng: random.Random, sizes: Sequence[int],
+                        budget: int) -> List[Tuple[int, int]]:
+    """Uniform sample of ``(group index, offset)`` pairs from virtual groups.
+
+    Conceptually the groups (e.g. the record lists of all mixed blocks) are
+    concatenated into one population of ``sum(sizes)`` elements and ``budget``
+    of them are drawn without replacement; the pairs identify each drawn
+    element by its group and its offset within the group.  The population is
+    never materialised — only ``budget`` flat indices are mapped back through
+    a prefix-sum table.
+
+    The draw is bit-compatible with ``rng.sample(flat_population, budget)``
+    on the materialised population: ``random.sample`` consumes randomness as
+    a function of ``(len(population), k)`` only, so the selected positions —
+    and therefore the search trajectory — are unchanged.  When the budget
+    covers the whole population, every element is returned in group order
+    without consuming randomness, again matching the eager code path.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    prefix = list(accumulate(sizes))
+    total = prefix[-1] if prefix else 0
+    if budget >= total:
+        return [
+            (group, offset)
+            for group, size in enumerate(sizes)
+            for offset in range(size)
+        ]
+    flat_indices = rng.sample(range(total), budget)
+    pairs: List[Tuple[int, int]] = []
+    for flat in flat_indices:
+        group = bisect_right(prefix, flat)
+        start = prefix[group - 1] if group else 0
+        pairs.append((group, flat - start))
+    return pairs
 
 
 def binomial_pmf(successes: int, trials: int, probability: float) -> float:

@@ -12,7 +12,7 @@ States are immutable and hashable so that the search can deduplicate them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dataio import Schema
 from ..functions import AttributeFunction

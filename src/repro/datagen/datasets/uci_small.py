@@ -21,7 +21,6 @@ horse-colic        368       27 (→ 28)       mixed veterinary findings
 from __future__ import annotations
 
 from .base import (
-    CategoricalColumn,
     DatasetSpec,
     DecimalColumn,
     IntegerColumn,

@@ -27,9 +27,7 @@ from .base import (
     ColumnSpec,
     DatasetSpec,
     DateColumn,
-    DecimalColumn,
     IntegerColumn,
-    MissingMixin,
     NameColumn,
     categorical,
     graded,

@@ -22,7 +22,7 @@ import random
 import string
 from dataclasses import dataclass
 from decimal import Decimal
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..dataio import Table
 from ..dataio import values as value_helpers

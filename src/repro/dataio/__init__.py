@@ -1,7 +1,7 @@
 """Tabular data substrate: schemas, column-oriented tables, CSV I/O."""
 
 from .schema import Schema, SchemaError
-from .table import ColumnStats, Row, Table, TableError
+from .table import Column, ColumnStats, Row, Table, TableError
 from .csv_io import read_csv, read_csv_text, read_snapshot_pair, to_csv_text, write_csv
 from . import values
 
@@ -10,6 +10,7 @@ __all__ = [
     "SchemaError",
     "Table",
     "TableError",
+    "Column",
     "ColumnStats",
     "Row",
     "read_csv",

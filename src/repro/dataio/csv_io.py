@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from .schema import Schema
 from .table import Table, TableError

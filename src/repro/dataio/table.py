@@ -4,13 +4,18 @@ The reproduction cannot rely on pandas (not installed in the offline
 environment), so this module provides the small slice of table functionality
 the algorithm needs:
 
-* string-typed cells organised by column for fast projection,
+* string-typed cells organised in :class:`Column` objects for fast projection,
 * stable integer row identifiers (rows never move once added),
+* zero-copy column views with cached per-column statistics,
 * projections, row/column selection, filtering, and value statistics,
 * deterministic equality and hashing of row tuples for blocking.
 
 Rows are exposed as plain ``tuple[str, ...]`` objects in schema order, which
-keeps blocking indices cheap to build and hash.
+keeps blocking indices cheap to build and hash.  Columns are exposed as
+:class:`Column` — a ``list`` subclass, so all positional access stays as fast
+as raw lists — which lazily caches its value histogram and inferred type and
+invalidates both on mutation.  Freezing a table (:meth:`Table.freeze`) forbids
+further mutation, which lets projections share column storage outright.
 """
 
 from __future__ import annotations
@@ -26,6 +31,137 @@ Row = Tuple[str, ...]
 
 class TableError(ValueError):
     """Raised for malformed table operations (ragged rows, bad indices, ...)."""
+
+
+class Column(List[str]):
+    """One typed column of cells: a ``list`` with cached derived data.
+
+    The cache (value histogram, inferred kind, missing/numeric counts) is
+    computed lazily on first use and dropped whenever the column is mutated,
+    so a column that is still being built behaves exactly like a plain list
+    while a finished column answers statistics queries in O(1) after the
+    first call.
+    """
+
+    __slots__ = ("_counts", "_kind", "_missing", "_numeric")
+
+    #: Inferred column kinds.
+    KIND_EMPTY = "empty"
+    KIND_NUMERIC = "numeric"
+    KIND_TEXT = "text"
+
+    def __init__(self, cells: Iterable[str] = ()):
+        super().__init__(cells)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._counts: Optional[Counter] = None
+        self._kind: Optional[str] = None
+        self._missing: Optional[int] = None
+        self._numeric: Optional[int] = None
+
+    # -- mutating list methods drop the cache --------------------------- #
+    def append(self, cell: str) -> None:
+        if self._counts is not None or self._kind is not None:
+            self._invalidate()
+        super().append(cell)
+
+    def extend(self, cells: Iterable[str]) -> None:
+        if self._counts is not None or self._kind is not None:
+            self._invalidate()
+        super().extend(cells)
+
+    def insert(self, index: int, cell: str) -> None:
+        self._invalidate()
+        super().insert(index, cell)
+
+    def __setitem__(self, index, cell) -> None:
+        self._invalidate()
+        super().__setitem__(index, cell)
+
+    def __delitem__(self, index) -> None:
+        self._invalidate()
+        super().__delitem__(index)
+
+    def __iadd__(self, cells):
+        self._invalidate()
+        return super().__iadd__(cells)
+
+    def clear(self) -> None:
+        self._invalidate()
+        super().clear()
+
+    def pop(self, index: int = -1) -> str:
+        self._invalidate()
+        return super().pop(index)
+
+    def __imul__(self, factor):
+        self._invalidate()
+        return super().__imul__(factor)
+
+    def remove(self, cell: str) -> None:
+        self._invalidate()
+        super().remove(cell)
+
+    def __reduce__(self):
+        # Rebuild through __init__ so unpickling does not call the overridden
+        # mutators before the slot state exists; the cache is recomputed
+        # lazily on the copy.
+        return (self.__class__, (list(self),))
+
+    # -- cached derived data -------------------------------------------- #
+    def value_counts(self) -> Counter:
+        """The column's value histogram (cached; treat as read-only)."""
+        if self._counts is None:
+            self._counts = Counter(self)
+        return self._counts
+
+    def distinct_count(self) -> int:
+        """Number of distinct cell values."""
+        return len(self.value_counts())
+
+    def _classify(self) -> None:
+        from . import values as value_helpers
+
+        counts = self.value_counts()
+        missing = numeric = 0
+        for cell, count in counts.items():
+            if value_helpers.is_missing(cell):
+                missing += count
+            if value_helpers.is_numeric(cell):
+                numeric += count
+        self._missing = missing
+        self._numeric = numeric
+        present = len(self) - missing
+        if len(self) == 0 or present == 0:
+            self._kind = self.KIND_EMPTY
+        elif numeric >= present:
+            self._kind = self.KIND_NUMERIC
+        else:
+            self._kind = self.KIND_TEXT
+
+    def missing_count(self) -> int:
+        """Number of cells holding a missing-value token."""
+        if self._missing is None:
+            self._classify()
+        return self._missing
+
+    def numeric_count(self) -> int:
+        """Number of cells that parse as numbers."""
+        if self._numeric is None:
+            self._classify()
+        return self._numeric
+
+    @property
+    def kind(self) -> str:
+        """Inferred type: ``"numeric"`` when every present cell parses as a
+        number, ``"empty"`` when no cell is present, ``"text"`` otherwise."""
+        if self._kind is None:
+            self._classify()
+        return self._kind
+
+    def __repr__(self) -> str:
+        return f"Column({len(self)} cells, kind={self.kind!r})"
 
 
 @dataclass(frozen=True)
@@ -67,12 +203,13 @@ class Table:
         cells.  Cells are coerced to ``str``.
     """
 
-    __slots__ = ("_schema", "_columns", "_n_rows")
+    __slots__ = ("_schema", "_columns", "_n_rows", "_frozen")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[object]] = ()):
         self._schema = schema
-        self._columns: List[List[str]] = [[] for _ in schema]
+        self._columns: List[Column] = [Column() for _ in schema]
         self._n_rows = 0
+        self._frozen = False
         self.extend(rows)
 
     # ------------------------------------------------------------------ #
@@ -106,9 +243,28 @@ class Table:
     def copy(self) -> "Table":
         """A deep copy sharing no column storage with the original."""
         clone = Table(self._schema)
-        clone._columns = [list(column) for column in self._columns]
+        clone._columns = [Column(column) for column in self._columns]
         clone._n_rows = self._n_rows
         return clone
+
+    # ------------------------------------------------------------------ #
+    # freezing
+    # ------------------------------------------------------------------ #
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` was called; frozen tables reject mutation."""
+        return self._frozen
+
+    def freeze(self) -> "Table":
+        """Forbid further mutation (idempotent; returns ``self``).
+
+        Freezing is what makes zero-copy column sharing safe: projections of
+        a frozen table reference the original :class:`Column` objects instead
+        of copying them, and callers holding a :meth:`column_view` know the
+        storage can no longer change underneath them.
+        """
+        self._frozen = True
+        return self
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -148,6 +304,8 @@ class Table:
     # ------------------------------------------------------------------ #
     def append(self, row: Sequence[object]) -> int:
         """Append one row and return its row identifier (position)."""
+        if self._frozen:
+            raise TableError("cannot append to a frozen table")
         if len(row) != len(self._schema):
             raise TableError(
                 f"row has {len(row)} cells but schema has {len(self._schema)} attributes"
@@ -188,9 +346,15 @@ class Table:
         """A copy of the column named *attribute*."""
         return list(self._columns[self._schema.index_of(attribute)])
 
-    def column_view(self, attribute: str) -> Sequence[str]:
-        """Read-only (by convention) direct reference to a column's storage."""
+    def column_view(self, attribute: str) -> Column:
+        """Zero-copy reference to the typed :class:`Column` storage.
+
+        Read-only by convention (enforced once the table is frozen)."""
         return self._columns[self._schema.index_of(attribute)]
+
+    def columns(self) -> Dict[str, Column]:
+        """Zero-copy views of every column, keyed by attribute name."""
+        return dict(zip(self._schema.attributes, self._columns))
 
     def row_dict(self, index: int) -> Dict[str, str]:
         """The row at *index* as an attribute-name keyed dict."""
@@ -200,11 +364,21 @@ class Table:
     # relational-style operations
     # ------------------------------------------------------------------ #
     def project(self, attributes: Sequence[str]) -> "Table":
-        """A new table restricted to *attributes* (projection, keeps duplicates)."""
+        """A new table restricted to *attributes* (projection, keeps duplicates).
+
+        On a frozen table this is zero-copy: the projection shares the frozen
+        :class:`Column` objects (and their cached statistics) and is itself
+        frozen.  Mutable tables still copy, as the projection must not change
+        when the original grows.
+        """
         sub_schema = self._schema.subset(attributes)
         positions = self._schema.positions_of(attributes)
         projected = Table(sub_schema)
-        projected._columns = [list(self._columns[p]) for p in positions]
+        if self._frozen:
+            projected._columns = [self._columns[p] for p in positions]
+            projected._frozen = True
+        else:
+            projected._columns = [Column(self._columns[p]) for p in positions]
         projected._n_rows = self._n_rows
         return projected
 
@@ -217,7 +391,7 @@ class Table:
         """A new table containing the rows at *indices*, in that order."""
         result = Table(self._schema)
         for position, column in enumerate(self._columns):
-            result._columns[position] = [column[i] for i in indices]
+            result._columns[position] = Column(column[i] for i in indices)
         result._n_rows = len(indices)
         return result
 
@@ -241,8 +415,8 @@ class Table:
         new_schema = self._schema.extended(attribute, position)
         insert_at = len(self._schema) if position is None else position
         result = Table(new_schema)
-        new_columns = [list(column) for column in self._columns]
-        new_columns.insert(insert_at, [str(value) for value in values])
+        new_columns = [Column(column) for column in self._columns]
+        new_columns.insert(insert_at, Column(str(value) for value in values))
         result._columns = new_columns
         result._n_rows = self._n_rows
         return result
@@ -251,7 +425,9 @@ class Table:
         """A new table with *function* applied to every cell of *attribute*."""
         position = self._schema.index_of(attribute)
         result = self.copy()
-        result._columns[position] = [function(cell) for cell in result._columns[position]]
+        result._columns[position] = Column(
+            function(cell) for cell in result._columns[position]
+        )
         return result
 
     def concat(self, other: "Table") -> "Table":
@@ -268,22 +444,18 @@ class Table:
     # statistics
     # ------------------------------------------------------------------ #
     def value_counts(self, attribute: str) -> Counter:
-        """Value histogram of one column."""
-        return Counter(self.column_view(attribute))
+        """Value histogram of one column (a copy of the cached histogram)."""
+        return Counter(self.column_view(attribute).value_counts())
 
     def column_stats(self, attribute: str) -> ColumnStats:
-        """Summary statistics of one column."""
-        from . import values as value_helpers
-
+        """Summary statistics of one column (served from the column's cache)."""
         column = self.column_view(attribute)
-        missing = sum(1 for cell in column if value_helpers.is_missing(cell))
-        numeric = sum(1 for cell in column if value_helpers.is_numeric(cell))
         return ColumnStats(
             attribute=attribute,
             total=len(column),
-            distinct=len(set(column)),
-            missing=missing,
-            numeric=numeric,
+            distinct=column.distinct_count(),
+            missing=column.missing_count(),
+            numeric=column.numeric_count(),
         )
 
     def stats(self) -> Dict[str, ColumnStats]:

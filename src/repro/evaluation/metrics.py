@@ -15,7 +15,7 @@ that generated the problem instance, the paper reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
 from typing import Dict, Iterable, List, Optional, Sequence
 

@@ -13,9 +13,8 @@ view of Figure 6 (runtime per record versus attribute count).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.affidavit import Affidavit
 from ..core.config import AffidavitConfig, identity_configuration, overlap_configuration

@@ -8,7 +8,7 @@ text so it renders in CI logs and the EXPERIMENTS.md appendix.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from .protocol import ScalabilityPoint, Table2Cell
 

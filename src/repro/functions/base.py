@@ -22,7 +22,7 @@ Two properties drive the search:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 class AttributeFunction(abc.ABC):
@@ -35,10 +35,26 @@ class AttributeFunction(abc.ABC):
     #: Name of the meta function this instantiation belongs to.
     meta_name: str = "abstract"
 
+    #: Whether :class:`~repro.core.colcache.ColumnCache` may memoize whole-column
+    #: applications of this function.  Families whose instantiations are almost
+    #: never looked up twice (value mappings induced from per-state alignments)
+    #: opt out to keep the cache free of one-shot entries.
+    cacheable: bool = True
+
     @abc.abstractmethod
     def apply(self, value: str) -> Optional[str]:
         """Transform *value*, or return ``None`` when the function is not
         applicable to it (e.g. numeric addition on a non-numeric cell)."""
+
+    def apply_column(self, values: Sequence[str]) -> List[Optional[str]]:
+        """Apply to a whole column at once; inapplicable cells become ``None``.
+
+        The default is the row-wise fallback ``[self.apply(v) for v in values]``
+        so every existing function family works unchanged; families with a
+        cheaper bulk form (identity, value mappings) override this.
+        """
+        apply = self.apply
+        return [apply(value) for value in values]
 
     @property
     @abc.abstractmethod

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .base import AttributeFunction, MetaFunction
 
@@ -14,6 +14,9 @@ class Identity(AttributeFunction):
 
     def apply(self, value: str) -> Optional[str]:
         return value
+
+    def apply_column(self, values: Sequence[str]) -> List[Optional[str]]:
+        return list(values)
 
     @property
     def description_length(self) -> int:

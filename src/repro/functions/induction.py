@@ -18,8 +18,55 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .base import AttributeFunction, MetaFunction
+from .base import AttributeFunction
 from .registry import FunctionRegistry
+
+
+class InductionMemo:
+    """Memo of per-example induction results, keyed by value pair.
+
+    ``meta.induce(source_value, target_value)`` is deterministic and the same
+    value pairs recur across blocks, examples and — most importantly — search
+    states, so the flattened candidate list of a pair can be reused wherever
+    the same registry is in play.  One memo must therefore only ever be used
+    with a single registry; the state expander owns one per search.
+
+    The memo is cleared wholesale once it exceeds *max_entries* — simpler
+    than LRU bookkeeping and good enough for a structure that exists for the
+    lifetime of one search.
+    """
+
+    __slots__ = ("_entries", "_max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 262_144):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: Dict[Tuple[str, str], List[AttributeFunction]] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def induced(self, registry: FunctionRegistry, source_value: str,
+                target_value: str) -> List[AttributeFunction]:
+        """All candidates of *registry* for one example, in registry order."""
+        key = (source_value, target_value)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        induced = [
+            function
+            for meta in registry
+            for function in meta.induce(source_value, target_value)
+        ]
+        if len(self._entries) >= self._max_entries:
+            self._entries.clear()
+        self._entries[key] = induced
+        return induced
 
 
 @dataclass
@@ -60,26 +107,35 @@ class CandidatePool:
         return Counter({f: s.generation_count for f, s in self._stats.items()})
 
     def add_example(self, registry: FunctionRegistry, source_values: Sequence[str],
-                    target_value: str) -> None:
+                    target_value: str,
+                    memo: Optional[InductionMemo] = None) -> None:
         """Induce candidates for one sampled target value.
 
         Every source value of the target's block is tried as the input half of
         the example, but each candidate is counted at most once per example so
-        that large blocks do not dominate the significance statistics.
+        that large blocks do not dominate the significance statistics.  When a
+        *memo* is given, the per-value-pair induction is served from it.
         """
         self._examples_seen += 1
         generated_here = set()
         for source_value in source_values:
-            for meta in registry:
-                for function in meta.induce(source_value, target_value):
-                    if function in generated_here:
-                        continue
-                    generated_here.add(function)
-                    stats = self._stats.get(function)
-                    if stats is None:
-                        stats = CandidateStats(function)
-                        self._stats[function] = stats
-                    stats.record(source_value, target_value)
+            if memo is not None:
+                induced = memo.induced(registry, source_value, target_value)
+            else:
+                induced = [
+                    function
+                    for meta in registry
+                    for function in meta.induce(source_value, target_value)
+                ]
+            for function in induced:
+                if function in generated_here:
+                    continue
+                generated_here.add(function)
+                stats = self._stats.get(function)
+                if stats is None:
+                    stats = CandidateStats(function)
+                    self._stats[function] = stats
+                stats.record(source_value, target_value)
 
     def filtered(self, min_generation_count: int) -> List[AttributeFunction]:
         """Candidates generated at least *min_generation_count* times."""

@@ -15,7 +15,7 @@ from a block-respecting record alignment.
 from __future__ import annotations
 
 from types import MappingProxyType
-from typing import Iterable, Mapping, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .base import AttributeFunction, MetaFunction
 
@@ -32,11 +32,17 @@ class ValueMapping(AttributeFunction):
 
     meta_name = "value_mapping"
 
-    __slots__ = ("_entries",)
+    #: Greedy maps are induced from a per-state record alignment, so the same
+    #: mapping object is essentially never looked up twice — memoizing them
+    #: would only evict reusable entries from the column cache.
+    cacheable = False
+
+    __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Mapping[str, str]):
         frozen = {str(key): str(value) for key, value in entries.items()}
         self._entries = MappingProxyType(frozen)
+        self._hash: Optional[int] = None
 
     @property
     def entries(self) -> Mapping[str, str]:
@@ -49,6 +55,17 @@ class ValueMapping(AttributeFunction):
 
     def apply(self, value: str) -> Optional[str]:
         return self._entries.get(value)
+
+    def apply_column(self, values: Sequence[str]) -> List[Optional[str]]:
+        return list(map(self._entries.get, values))
+
+    def __hash__(self) -> int:
+        # The parameter tuple of a large mapping costs O(n log n) to build;
+        # mappings are immutable and used as dict keys constantly, so hash
+        # exactly once.
+        if self._hash is None:
+            self._hash = super().__hash__()
+        return self._hash
 
     @property
     def description_length(self) -> int:

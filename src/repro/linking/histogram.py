@@ -14,6 +14,21 @@ from typing import Iterable, Mapping, Optional, Sequence
 from ..functions import AttributeFunction
 
 
+def indexed_histogram(column: Sequence[str], ids: Sequence[int],
+                      skip: Optional[str] = None) -> Counter:
+    """Histogram of ``column[i] for i in ids``, optionally dropping *skip*.
+
+    The columnar counterpart of :func:`transformed_histogram`: instead of
+    applying a function per cell, the caller passes a whole pre-transformed
+    column (usually served by the column cache) plus the row ids of one
+    block; *skip* removes the not-applicable sentinel in O(1) after counting.
+    """
+    histogram = Counter([column[i] for i in ids])
+    if skip is not None:
+        histogram.pop(skip, None)
+    return histogram
+
+
 def value_histogram(values: Iterable[str]) -> Counter:
     """Frequency histogram of an iterable of cell values."""
     return Counter(values)
@@ -26,9 +41,18 @@ def histogram_overlap(left: Mapping[str, int], right: Mapping[str, int]) -> int:
     block κᵢ, the division candidate ``x ↦ x/1000`` overlaps the target
     histogram in 2 values whereas the constant ``x ↦ '9.8'`` only overlaps 1.
     """
-    if len(left) > len(right):
-        left, right = right, left
-    return sum(min(count, right[value]) for value, count in left.items() if value in right)
+    if len(left) == 1:
+        # Very common in the search (single-valued blocks, constant-like
+        # candidates); skip the set machinery.
+        ((value, count),) = left.items()
+        other = right.get(value, 0)
+        return count if count < other else other
+    # The C-level key intersection restricts the Python loop to the shared
+    # values, which for most candidate functions are few or none.
+    common = left.keys() & right.keys()
+    if not common:
+        return 0
+    return sum(min(left[value], right[value]) for value in common)
 
 
 def transformed_histogram(function: AttributeFunction,

@@ -21,6 +21,7 @@ from ..export import explanation_to_dict
 CONFIG_OVERRIDE_FIELDS = (
     "alpha", "beta", "queue_width", "theta", "confidence", "start_strategy",
     "max_block_size", "min_generation_successes", "max_expansions", "seed",
+    "columnar_cache", "column_cache_entries",
 )
 
 _BASE_CONFIGS = {
@@ -201,6 +202,9 @@ class JobView:
                 "generated_states": progress.generated_states,
                 "queue_size": progress.queue_size,
                 "best_cost": progress.best_cost,
+                "cache_hits": progress.cache_hits,
+                "cache_misses": progress.cache_misses,
+                "cache_hit_rate": round(progress.cache_hit_rate, 4),
             },
         )
 
@@ -234,6 +238,7 @@ class ResultView:
     generated_states: int
     runtime_seconds: float
     explanation: Dict[str, Any]
+    column_cache: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_job(cls, job) -> "ResultView":
@@ -252,6 +257,9 @@ class ResultView:
             generated_states=result.generated_states,
             runtime_seconds=result.runtime_seconds,
             explanation=explanation_to_dict(result.explanation),
+            column_cache=(
+                None if result.cache_stats is None else result.cache_stats.as_dict()
+            ),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -267,4 +275,5 @@ class ResultView:
             "generated_states": self.generated_states,
             "runtime_seconds": self.runtime_seconds,
             "explanation": self.explanation,
+            "column_cache": self.column_cache,
         }

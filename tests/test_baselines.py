@@ -3,13 +3,10 @@
 import pytest
 
 from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
-from repro.core import ProblemInstance
 from repro.dataio import Schema, Table
 from repro.datagen.running_example import (
     reference_alignment,
     running_example_instance,
-    source_table,
-    target_table,
 )
 
 

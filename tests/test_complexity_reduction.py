@@ -2,10 +2,7 @@
 
 import random
 
-import pytest
-
 from repro.complexity import (
-    CLAUSE_ATTRIBUTE,
     example_formula,
     extract_interpretation,
     formula,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    Affidavit,
     AffidavitConfig,
     ProblemInstance,
     explain_snapshots,

@@ -1,0 +1,234 @@
+"""Tests of the column cache and the columnar evaluation engine.
+
+Covers the unit behaviour of :class:`repro.core.ColumnCache` (value-map
+reuse, LRU eviction, statistics, the identity fast path, non-cacheable
+functions) and the headline guarantee of the engine: columnar evaluation
+with cross-state memoization returns **bit-identical** costs and
+explanations to the row-wise fallback on randomized snapshot pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Affidavit,
+    ColumnCache,
+    ColumnCacheStats,
+    NOT_APPLICABLE,
+    identity_configuration,
+    overlap_configuration,
+)
+from repro.core.blocking import transformed_column
+from repro.dataio import Schema, Table
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.functions import IDENTITY, ValueMapping
+from repro.functions.affix import Prefixing
+from repro.functions.arithmetic import Addition
+from repro.linking.histogram import histogram_overlap, value_histogram
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = Schema(["num", "text"])
+    return Table(schema, [
+        ["1", "a"], ["2", "b"], ["1", "a"], ["3", "c"], ["2", "a"],
+    ])
+
+
+class TestColumnCache:
+    def test_identity_is_zero_copy_and_counts_as_hit(self, table):
+        cache = ColumnCache(table)
+        transformed = cache.transformed("num", IDENTITY)
+        assert transformed is table.column_view("num")
+        assert cache.stats().hits == 1
+        assert cache.stats().applications == 0
+
+    def test_transformed_matches_rowwise_column(self, table):
+        cache = ColumnCache(table)
+        function = Addition(5)
+        assert list(cache.transformed("num", function)) == transformed_column(
+            table, "num", function
+        )
+
+    def test_inapplicable_cells_become_sentinel(self, table):
+        cache = ColumnCache(table)
+        transformed = cache.transformed("text", Addition(5))
+        assert all(cell == NOT_APPLICABLE for cell in transformed)
+
+    def test_value_map_is_reused_across_lookups(self, table):
+        cache = ColumnCache(table)
+        function = Addition(5)
+        cache.transformed("num", function)
+        first_applications = cache.stats().applications
+        # Three distinct values -> three applications, not five.
+        assert first_applications == 3
+        cache.transformed("num", function)
+        stats = cache.stats()
+        assert stats.applications == first_applications  # nothing recomputed
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_lru_eviction_and_stats(self, table):
+        cache = ColumnCache(table, max_entries=1)
+        cache.transformed("num", Addition(1))
+        cache.transformed("num", Addition(2))   # evicts Addition(1)
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.entries == 1
+        assert stats.max_entries == 1
+        # Re-requesting the evicted entry is a miss again.
+        cache.transformed("num", Addition(1))
+        assert cache.stats().misses == 3
+        assert cache.stats().hits == 0
+
+    def test_lru_order_is_by_recency(self, table):
+        cache = ColumnCache(table, max_entries=2)
+        cache.transformed("num", Addition(1))
+        cache.transformed("num", Addition(2))
+        cache.transformed("num", Addition(1))   # refresh Addition(1)
+        cache.transformed("num", Addition(3))   # evicts Addition(2)
+        assert cache.stats().evictions == 1
+        cache.transformed("num", Addition(1))
+        assert cache.stats().hits == 2          # still cached
+
+    def test_value_mappings_are_not_cached(self, table):
+        cache = ColumnCache(table)
+        mapping = ValueMapping({"1": "x", "2": "y"})
+        transformed = cache.transformed("num", mapping)
+        assert transformed == ["x", "y", "x", NOT_APPLICABLE, "y"]
+        assert len(cache) == 0
+
+    def test_disabled_cache_is_rowwise(self, table):
+        cache = ColumnCache(table, enabled=False)
+        function = Addition(5)
+        first = cache.transformed("num", function)
+        second = cache.transformed("num", function)
+        assert first == second == transformed_column(table, "num", function)
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 2
+        assert stats.applications == 2 * table.n_rows
+        assert len(cache) == 0
+
+    def test_clear_drops_entries_keeps_counters(self, table):
+        cache = ColumnCache(table)
+        cache.transformed("num", Addition(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 1
+
+    def test_max_entries_must_be_positive(self, table):
+        with pytest.raises(ValueError):
+            ColumnCache(table, max_entries=0)
+
+    def test_stats_as_dict_round_trip(self, table):
+        cache = ColumnCache(table)
+        cache.transformed("num", Addition(1))
+        payload = cache.stats().as_dict()
+        assert payload["misses"] == 1
+        assert payload["entries"] == 1
+        assert 0.0 <= payload["hit_rate"] <= 1.0
+        assert payload["applications"] == 3
+
+    def test_hit_rate_of_empty_stats_is_zero(self):
+        assert ColumnCacheStats().hit_rate == 0.0
+
+
+class TestTransformedHistograms:
+    def test_matches_per_cell_histograms(self, table):
+        cache = ColumnCache(table)
+        function = Prefixing("p")
+        column = table.column_view("text")
+        slices = [value_histogram(column[:3]), value_histogram(column[3:])]
+        results = cache.transformed_histograms("text", function, slices)
+        for value_counts, histogram in zip(slices, results):
+            expected = value_histogram(
+                function.apply(value)
+                for value, count in value_counts.items()
+                for _ in range(count)
+            )
+            assert histogram == expected
+
+    def test_restriction_preserves_overlap(self, table):
+        cache = ColumnCache(table)
+        function = Prefixing("p")
+        column = table.column_view("text")
+        source_slices = [value_histogram(column)]
+        target_histogram = value_histogram(["pa", "pa", "pz"])
+        unrestricted = cache.transformed_histograms("text", function, source_slices)
+        restricted = cache.transformed_histograms(
+            "text", function, source_slices,
+            restrict_to=[target_histogram.keys()],
+        )
+        assert histogram_overlap(unrestricted[0], target_histogram) == \
+            histogram_overlap(restricted[0], target_histogram)
+
+    def test_identity_histograms_equal_slices(self, table):
+        cache = ColumnCache(table)
+        slices = [value_histogram(table.column_view("text"))]
+        results = cache.transformed_histograms("text", IDENTITY, slices)
+        assert results[0] == slices[0]
+
+
+def _random_instances():
+    """Small randomized snapshot pairs covering several datasets and noise
+    levels (kept laptop-fast; the benchmark exercises the large ones)."""
+    cases = []
+    for dataset, records, eta, tau, seed in [
+        ("flight-500k", 160, 0.3, 0.3, 1),
+        ("flight-500k", 200, 0.1, 0.5, 2),
+        ("iris", 150, 0.2, 0.2, 3),
+        ("abalone", 180, 0.4, 0.1, 4),
+    ]:
+        table = load_dataset(dataset, records, seed=seed)
+        generated = generate_problem_instance(table, eta=eta, tau=tau, seed=seed)
+        cases.append(pytest.param(generated.instance, id=f"{dataset}-s{seed}"))
+    return cases
+
+
+class TestColumnarEquivalence:
+    """The columnar engine must be a pure optimisation: same explanations,
+    same costs, same search trajectory as the row-wise fallback."""
+
+    @pytest.mark.parametrize("instance", _random_instances())
+    def test_full_search_is_bit_identical(self, instance):
+        columnar = Affidavit(identity_configuration()).explain(instance)
+        rowwise = Affidavit(
+            identity_configuration(columnar_cache=False)
+        ).explain(instance)
+        assert columnar.cost == rowwise.cost
+        assert columnar.explanation.functions == rowwise.explanation.functions
+        assert columnar.explanation.n_inserted == rowwise.explanation.n_inserted
+        assert columnar.explanation.n_deleted == rowwise.explanation.n_deleted
+        assert columnar.explanation.core_source_ids == rowwise.explanation.core_source_ids
+        assert columnar.expansions == rowwise.expansions
+        assert columnar.generated_states == rowwise.generated_states
+
+    def test_overlap_configuration_is_bit_identical(self):
+        table = load_dataset("flight-500k", 160, seed=5)
+        instance = generate_problem_instance(table, eta=0.2, tau=0.3, seed=5).instance
+        columnar = Affidavit(overlap_configuration()).explain(instance)
+        rowwise = Affidavit(
+            overlap_configuration(columnar_cache=False)
+        ).explain(instance)
+        assert columnar.cost == rowwise.cost
+        assert columnar.explanation.functions == rowwise.explanation.functions
+
+    def test_result_and_progress_carry_cache_stats(self, running_example):
+        snapshots = []
+        config = identity_configuration(progress_callback=snapshots.append)
+        result = Affidavit(config).explain(running_example)
+        assert result.cache_stats is not None
+        assert result.cache_stats.lookups > 0
+        assert result.cache_stats.hit_rate > 0.0
+        assert snapshots, "progress callback never fired"
+        last = snapshots[-1]
+        assert last.cache_hits + last.cache_misses > 0
+        assert 0.0 <= last.cache_hit_rate <= 1.0
+
+    def test_rowwise_engine_reports_no_cached_entries(self, running_example):
+        config = identity_configuration(columnar_cache=False)
+        result = Affidavit(config).explain(running_example)
+        assert result.cache_stats is not None
+        assert result.cache_stats.entries == 0

@@ -9,7 +9,6 @@ from repro.core import (
     SearchState,
     StateEvaluator,
     StateExpander,
-    build_blocking,
     identity_configuration,
 )
 from repro.core.search_state import MAP_MARKER

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import BoundedLevelQueue, SearchState
 from repro.dataio import Schema
-from repro.functions import ConstantValue, IDENTITY
+from repro.functions import ConstantValue
 
 
 @pytest.fixture

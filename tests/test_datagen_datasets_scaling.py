@@ -10,7 +10,6 @@ from repro.datagen.datasets import (
     load_dataset,
 )
 from repro.datagen.datasets.base import (
-    CategoricalColumn,
     DatasetSpec,
     DecimalColumn,
     IntegerColumn,

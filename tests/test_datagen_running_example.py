@@ -5,7 +5,6 @@ alignment labels and the reference functions must stay mutually consistent,
 because several other test modules and the examples build on them.
 """
 
-import pytest
 
 from repro.datagen.running_example import (
     REFERENCE_ALIGNMENT_LABELS,

@@ -194,3 +194,88 @@ class TestEquality:
 
     def test_different_rows_not_equal(self, schema):
         assert Table(schema, [("1", "a", "2")]) != Table(schema, [("1", "a", "3")])
+
+
+class TestColumnType:
+    def test_column_view_is_typed_and_zero_copy(self, table):
+        column = table.column_view("id")
+        from repro.dataio import Column
+        assert isinstance(column, Column)
+        assert table.column_view("id") is column
+
+    def test_kind_inference(self):
+        schema = Schema(["num", "text", "empty"])
+        t = Table(schema, [("1", "a", ""), ("2.5", "b", ""), ("3", "1", "")])
+        assert t.column_view("num").kind == "numeric"
+        assert t.column_view("text").kind == "text"
+        assert t.column_view("empty").kind == "empty"
+
+    def test_value_counts_cached_and_invalidated_on_append(self):
+        t = Table(Schema(["a"]), [("x",), ("x",), ("y",)])
+        column = t.column_view("a")
+        first = column.value_counts()
+        assert first["x"] == 2
+        assert column.value_counts() is first        # cached
+        t.append(("x",))
+        assert column.value_counts()["x"] == 3       # cache invalidated
+
+    def test_table_value_counts_returns_a_safe_copy(self):
+        t = Table(Schema(["a"]), [("x",), ("y",)])
+        counts = t.value_counts("a")
+        counts["x"] += 10
+        assert t.value_counts("a")["x"] == 1
+
+    def test_column_stats_served_from_cache(self):
+        t = Table(Schema(["a"]), [("1",), ("",), ("2",), ("2",)])
+        stats = t.column_stats("a")
+        assert stats.total == 4
+        assert stats.distinct == 3
+        assert stats.missing == 1
+        assert stats.numeric == 3
+
+    def test_columns_returns_zero_copy_views_for_all_attributes(self, table):
+        views = table.columns()
+        assert set(views) == {"id", "name", "value"}
+        assert views["id"] is table.column_view("id")
+
+    def test_table_pickle_round_trip(self, table):
+        import pickle
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert clone.value_counts("name") == table.value_counts("name")
+
+    def test_inplace_repeat_invalidates_cache(self):
+        from repro.dataio import Column
+        column = Column(["1", "2"])
+        assert column.value_counts()["1"] == 1
+        column *= 2
+        assert column.value_counts()["1"] == 2
+
+
+class TestFreezing:
+    def test_freeze_forbids_append(self, table):
+        table.freeze()
+        with pytest.raises(TableError):
+            table.append(("9", "z", "1"))
+
+    def test_freeze_is_idempotent_and_returns_self(self, table):
+        assert table.freeze() is table
+        assert table.freeze().frozen
+
+    def test_frozen_projection_shares_column_storage(self, table):
+        table.freeze()
+        projected = table.project(["id", "name"])
+        assert projected.frozen
+        assert projected.column_view("id") is table.column_view("id")
+
+    def test_mutable_projection_copies_column_storage(self, table):
+        projected = table.project(["id"])
+        assert projected.column_view("id") is not table.column_view("id")
+        assert projected.column_view("id") == list(table.column_view("id"))
+
+    def test_problem_instance_freezes_snapshots(self):
+        from repro.core import ProblemInstance
+        schema = Schema(["a"])
+        source, target = Table(schema, [("1",)]), Table(schema, [("2",)])
+        ProblemInstance(source=source, target=target)
+        assert source.frozen and target.frozen

@@ -36,7 +36,6 @@ from repro.functions import (
     PrefixReplacement,
     Uppercasing,
     ValueMapping,
-    default_registry,
 )
 
 

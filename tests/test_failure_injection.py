@@ -7,7 +7,6 @@ missing-value floods — and require that it still terminates with a *valid*
 explanation that is never worse than the trivial one.
 """
 
-import pytest
 
 from repro.core import (
     Affidavit,

@@ -142,3 +142,28 @@ class TestInduceCandidatesHelper:
         registry = default_registry()
         survivors = induce_candidates(registry, [(["5"], "50")], min_generation_count=1)
         assert len(survivors) >= 2  # multiplication and constant at least
+
+
+class TestInductionMemo:
+    def test_memoized_pool_matches_unmemoized_pool(self):
+        from repro.functions.induction import InductionMemo
+
+        registry = default_registry()
+        examples = [(["80000", "abc"], "80"), (["80000"], "80"), (["abc"], "xabc")]
+        memo = InductionMemo()
+        memoized, plain = CandidatePool(), CandidatePool()
+        for values, target in examples:
+            memoized.add_example(registry, values, target, memo=memo)
+            plain.add_example(registry, values, target)
+        assert memoized.candidates == plain.candidates
+        assert memoized.generation_counts() == plain.generation_counts()
+        assert memo.hits > 0  # the repeated value pair was served from the memo
+
+    def test_memo_clears_when_full(self):
+        from repro.functions.induction import InductionMemo
+
+        memo = InductionMemo(max_entries=2)
+        registry = default_registry()
+        for value in ("1", "2", "3"):
+            memo.induced(registry, value, "9")
+        assert len(memo) <= 2

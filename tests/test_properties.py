@@ -4,7 +4,6 @@ import random
 import string
 from decimal import Decimal
 
-import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
@@ -279,3 +278,102 @@ class TestHistogramProperties:
     def test_overlap_with_self_is_total(self, values):
         histogram = value_histogram(values)
         assert histogram_overlap(histogram, histogram) == len(values)
+
+
+# --------------------------------------------------------------------------- #
+# columnar evaluation engine
+# --------------------------------------------------------------------------- #
+class TestColumnarEngineProperties:
+    """The columnar engine must be indistinguishable from row-wise evaluation."""
+
+    functions = st.one_of(
+        st.just(IDENTITY),
+        st.integers(min_value=-1000, max_value=1000).map(Addition),
+        non_empty_values.map(Prefixing),
+        non_empty_values.map(Suffixing),
+        st.builds(ValueMapping, st.dictionaries(non_empty_values, non_empty_values, max_size=5)),
+    )
+
+    @given(values=st.lists(cell_values, min_size=1, max_size=30), function=functions)
+    @settings(max_examples=60, deadline=None)
+    def test_cached_transform_equals_rowwise_transform(self, values, function):
+        from repro.core import ColumnCache
+        from repro.core.blocking import transformed_column
+
+        table = Table(Schema(["a"]), [[value] for value in values])
+        cached = ColumnCache(table)
+        rowwise = ColumnCache(table, enabled=False)
+        expected = transformed_column(table, "a", function)
+        assert list(cached.transformed("a", function)) == expected
+        assert list(rowwise.transformed("a", function)) == expected
+        # Second lookup must serve the identical column from the value map.
+        assert list(cached.transformed("a", function)) == expected
+
+    @given(values=st.lists(cell_values, min_size=1, max_size=30), function=functions)
+    @settings(max_examples=60, deadline=None)
+    def test_transformed_histograms_match_per_cell_application(self, values, function):
+        from repro.core import ColumnCache
+
+        table = Table(Schema(["a"]), [[value] for value in values])
+        cache = ColumnCache(table)
+        half = len(values) // 2
+        slices = [value_histogram(values[:half]), value_histogram(values[half:])]
+        results = cache.transformed_histograms("a", function, slices)
+        for slice_values, histogram in zip((values[:half], values[half:]), results):
+            expected = value_histogram(
+                transformed
+                for transformed in (function.apply(v) for v in slice_values)
+                if transformed is not None
+            )
+            assert histogram == expected
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=10),
+        budget=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sample_concatenated_is_bit_compatible_with_eager_sampling(
+            self, sizes, budget, seed):
+        from repro.core import sample_concatenated
+
+        population = [
+            (group, offset) for group, size in enumerate(sizes) for offset in range(size)
+        ]
+        budget = min(budget, len(population))
+        eager_rng, lazy_rng = random.Random(seed), random.Random(seed)
+        if budget == len(population):
+            eager = population
+        else:
+            eager = eager_rng.sample(population, budget)
+        assert sample_concatenated(lazy_rng, sizes, budget) == eager
+        # Both generators must have consumed identical amounts of randomness.
+        assert eager_rng.random() == lazy_rng.random()
+
+    @given(
+        lengths=st.lists(st.integers(min_value=0, max_value=100), min_size=0, max_size=8),
+        bounds=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50)),
+            min_size=0, max_size=8,
+        ),
+        n_attributes=st.integers(min_value=1, max_value=10),
+        delta=st.integers(min_value=-10, max_value=10),
+        alpha=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_costs_equal_scalar_costs(self, lengths, bounds, n_attributes, delta, alpha):
+        from repro.core.cost import batch_partial_state_costs, partial_state_cost
+
+        size = min(len(lengths), len(bounds))
+        lengths, bounds = lengths[:size], bounds[:size]
+        batch = batch_partial_state_costs(
+            n_attributes=n_attributes, function_lengths=lengths,
+            bounds=bounds, delta=delta, alpha=alpha,
+        )
+        for cost, length, (target_bound, source_bound) in zip(batch, lengths, bounds):
+            assert cost == partial_state_cost(
+                n_attributes=n_attributes, function_lengths=length,
+                unaligned_target_bound=target_bound,
+                unaligned_source_bound=source_bound,
+                delta=delta, alpha=alpha,
+            )
