@@ -21,7 +21,8 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
-from repro.core import Affidavit, identity_configuration, overlap_configuration
+from repro.api import ExplainSession
+from repro.core import identity_configuration, overlap_configuration
 from repro.core.config import AffidavitConfig
 from repro.datagen import ARTIFICIAL_KEY_ATTRIBUTE, generate_problem_instance
 from repro.datagen.datasets import load_dataset
@@ -53,10 +54,11 @@ def generated():
 @pytest.mark.parametrize("variant", list(ABLATION_CONFIGS), ids=list(ABLATION_CONFIGS))
 def test_ablation_search_variants(benchmark, generated, variant, report_sink):
     config = ABLATION_CONFIGS[variant]
-    engine = Affidavit(config)
+    session = ExplainSession(config=config)
 
     result = benchmark.pedantic(
-        lambda: engine.explain(generated.instance), rounds=1, iterations=1
+        lambda: session.explain_instance(generated.instance).result,
+        rounds=1, iterations=1,
     )
     metrics = evaluate_result(generated, result, alpha=0.5)
     _rows.append((variant, metrics))

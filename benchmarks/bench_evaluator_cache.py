@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import time
 
-from repro.core import Affidavit, identity_configuration
+from repro.api import ExplainSession
+from repro.core import identity_configuration
 from repro.datagen.datasets import load_dataset
 from repro.datagen.scaling import generate_scaled_family
 
@@ -42,7 +43,7 @@ QUICK_THRESHOLD = 1.5
 
 def _explain_timed(instance, config):
     started = time.perf_counter()
-    result = Affidavit(config).explain(instance)
+    result = ExplainSession(config=config).explain_instance(instance).result
     return result, time.perf_counter() - started
 
 
@@ -144,9 +145,9 @@ def test_cache_hit_rate_grows_with_search_depth(bench_seed, quick_mode):
         table, eta=0.3, tau=0.3, fractions=(1.0,), seed=bench_seed,
         name="flight-500k",
     )
-    result = Affidavit(identity_configuration(seed=bench_seed)).explain(
-        family.instance_at(1.0).instance
-    )
+    result = ExplainSession(
+        config=identity_configuration(seed=bench_seed)
+    ).explain_instance(family.instance_at(1.0).instance).result
     stats = result.cache_stats
     assert stats is not None
     assert stats.lookups > 0

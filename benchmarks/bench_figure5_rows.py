@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Affidavit, identity_configuration
+from repro.api import ExplainSession
+from repro.core import identity_configuration
 from repro.datagen.datasets import load_dataset
 from repro.datagen.scaling import generate_scaled_family
 from repro.evaluation import evaluate_result, format_row_scalability, linear_fit
@@ -39,10 +40,11 @@ def scaled_family():
 @pytest.mark.parametrize("fraction", FRACTIONS, ids=lambda f: f"{int(f * 100)}pct")
 def test_row_scalability(benchmark, scaled_family, fraction, report_sink):
     generated = scaled_family.instance_at(fraction)
-    engine = Affidavit(identity_configuration())
+    session = ExplainSession(config=identity_configuration())
 
     result = benchmark.pedantic(
-        lambda: engine.explain(generated.instance), rounds=1, iterations=1
+        lambda: session.explain_instance(generated.instance).result,
+        rounds=1, iterations=1,
     )
     metrics = evaluate_result(generated, result)
     point = ScalabilityPoint(

@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Affidavit, identity_configuration, overlap_configuration
+from repro import Session, identity_configuration, overlap_configuration
 from repro.datagen import generate_problem_instance
 from repro.datagen.datasets import load_dataset
 from repro.evaluation import evaluate_result
@@ -44,7 +44,7 @@ def main() -> None:
         ("Hid (robust search)", identity_configuration()),
         ("Hs  (overlap start state)", overlap_configuration()),
     ):
-        result = Affidavit(config).explain(instance)
+        result = Session(config=config).explain_instance(instance).result
         metrics = evaluate_result(generated, result)
         print(f"--- {label} ---")
         print(
@@ -65,7 +65,7 @@ def main() -> None:
 
     # Use the Hid explanation to convert records that never appeared in the
     # snapshots (here: rows from a freshly generated batch of the same table).
-    result = Affidavit(identity_configuration()).explain(instance)
+    result = Session(config=identity_configuration()).explain_instance(instance).result
     new_batch = load_dataset("adult", 5, seed=99)
     print("=== Converting an unseen batch with the learned explanation ===")
     attributes = [a for a in instance.schema if a != generated.key_attribute]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-from repro import Affidavit, identity_configuration
+from repro import Session, identity_configuration
 from repro.datagen.running_example import running_example_instance
 from repro.export import (
     explanation_to_json,
@@ -35,7 +35,7 @@ def main() -> None:
     output_dir.mkdir(parents=True, exist_ok=True)
 
     instance = running_example_instance()
-    result = Affidavit(identity_configuration()).explain(instance)
+    result = Session(config=identity_configuration()).explain_instance(instance).result
 
     print(render_report(instance, result.explanation, title="ERP items"))
 

@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Affidavit, identity_configuration
+from repro import Session, identity_configuration
 from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
 from repro.datagen import ARTIFICIAL_KEY_ATTRIBUTE, generate_problem_instance
 from repro.datagen.datasets import load_dataset
@@ -64,7 +64,7 @@ def main() -> None:
     print()
 
     # 3. Affidavit.
-    result = Affidavit(identity_configuration()).explain(instance)
+    result = Session(config=identity_configuration()).explain_instance(instance).result
     scores = alignment_precision_recall(generated, result.explanation)
     trivial = run_trivial_baseline(instance)
     print("--- Affidavit ---")

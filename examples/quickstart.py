@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Affidavit, identity_configuration
+from repro import Session, identity_configuration
 from repro.core import trivial_explanation_cost
 from repro.datagen.running_example import running_example_instance
 
@@ -28,8 +28,8 @@ def main() -> None:
     print(instance.target.pretty())
     print()
 
-    engine = Affidavit(identity_configuration())
-    result = engine.explain(instance)
+    session = Session(config=identity_configuration())
+    result = session.explain_instance(instance).result
 
     print("=== Explanation found by Affidavit ===")
     print(result.summary())

@@ -7,18 +7,58 @@ A from-scratch Python reproduction of
 
 Public API overview
 -------------------
-* :class:`~repro.core.affidavit.Affidavit` /
-  :func:`~repro.core.affidavit.explain_snapshots` — run the search on two
-  snapshots and obtain an :class:`~repro.core.explanation.Explanation`.
-* :class:`~repro.core.instance.ProblemInstance` — two snapshots plus the
-  meta-function pool.
-* :mod:`repro.functions` — the transformation-function language (Table 1).
-* :mod:`repro.dataio` — schemas, tables and CSV I/O.
-* :mod:`repro.datagen` — the evaluation protocol's problem-instance generator.
-* :mod:`repro.baselines` — keyed diff / similarity-linking comparators.
-* :mod:`repro.complexity` — the 3-SAT reduction behind the NP-hardness proof.
-* :mod:`repro.evaluation` — quality metrics and the experiment harness.
+Work enters the engine through :mod:`repro.api`, the one request/session
+layer shared by the library, the CLI, the HTTP service and the batch runner:
+
+* :class:`~repro.api.ExplainRequest` — a frozen, versioned description of
+  one run (snapshots inline or by path, configuration overrides, registry
+  subset, engine choice) with ``to_dict``/``from_dict`` round-trips and a
+  canonical hash that the service's idempotency keys derive from.
+* :class:`~repro.api.ExplainSession` (alias :class:`~repro.api.Session`) —
+  the fluent facade owning registry resolution, engine dispatch and
+  progress/cancellation wiring::
+
+      from repro import ExplainRequest, Session
+
+      outcome = (
+          Session()
+          .with_config("hid", seed=7)
+          .with_functions("identity", "division")
+          .explain(ExplainRequest(source_path="old.csv", target_path="new.csv"))
+      )
+      print(outcome.summary())
+
+* :class:`~repro.api.ExplainOutcome` — the typed result: explanation,
+  costs, timings, cache statistics and provenance, serializable like the
+  request.
+* :meth:`~repro.api.ExplainSession.explain_iter` — the same run streamed as
+  typed :class:`~repro.api.SearchEvent` objects.
+
+Supporting layers
+-----------------
+* :mod:`repro.core` — the search engine itself
+  (:class:`~repro.core.Affidavit`, Algorithm 1) and the cost model.
+* :mod:`repro.functions` — the transformation-function language (Table 1);
+  :class:`~repro.functions.FunctionRegistry` is how the pool is extended.
+* :mod:`repro.dataio` — schemas, column-oriented tables and CSV I/O.
+* :mod:`repro.datagen` — the evaluation protocol's problem-instance
+  generator.
+* :mod:`repro.service` — the HTTP job service and the batch runner, both
+  thin adapters over :mod:`repro.api`.
+* :mod:`repro.baselines`, :mod:`repro.complexity`, :mod:`repro.evaluation`,
+  :mod:`repro.export` — comparators, the 3-SAT reduction, the experiment
+  harness and report/SQL/JSON exporters.
+
+Deprecated
+----------
+* :func:`repro.explain_snapshots` still works but emits a
+  :class:`DeprecationWarning`; use
+  ``Session().explain_tables(source, target)`` (or build an
+  :class:`~repro.api.ExplainRequest`) instead.
 """
+
+import warnings as _warnings
+from typing import Optional as _Optional
 
 from .dataio import Schema, Table, read_csv, read_snapshot_pair, write_csv
 from .functions import FunctionRegistry, default_registry
@@ -28,7 +68,6 @@ from .core import (
     AffidavitResult,
     Explanation,
     ProblemInstance,
-    explain_snapshots,
     explanation_cost,
     explanation_from_functions,
     identity_configuration,
@@ -36,8 +75,41 @@ from .core import (
     trivial_explanation,
     trivial_explanation_cost,
 )
+from .api import (
+    ExplainOutcome,
+    ExplainRequest,
+    ExplainSession,
+    RequestValidationError,
+    SearchCompleted,
+    SearchEvent,
+    SearchProgressed,
+    SearchStarted,
+    Session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def explain_snapshots(source: Table, target: Table, *,
+                      config: _Optional[AffidavitConfig] = None,
+                      registry: _Optional[FunctionRegistry] = None,
+                      name: str = "instance") -> AffidavitResult:
+    """Deprecated one-call API; use :class:`repro.api.ExplainSession`.
+
+    Equivalent to ``ExplainSession(config=config, registry=registry)
+    .explain_tables(source, target, name=name).result``.  Kept as a thin
+    shim for existing callers; both snapshots are frozen in place exactly
+    as before.
+    """
+    _warnings.warn(
+        "repro.explain_snapshots is deprecated; use "
+        "repro.api.ExplainSession (e.g. Session().explain_tables(source, target))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    session = ExplainSession(config=config, registry=registry)
+    return session.explain_tables(source, target, name=name).result
+
 
 __all__ = [
     "Schema",
@@ -59,5 +131,14 @@ __all__ = [
     "overlap_configuration",
     "trivial_explanation",
     "trivial_explanation_cost",
+    "ExplainRequest",
+    "ExplainOutcome",
+    "ExplainSession",
+    "Session",
+    "RequestValidationError",
+    "SearchEvent",
+    "SearchStarted",
+    "SearchProgressed",
+    "SearchCompleted",
     "__version__",
 ]

@@ -1,0 +1,59 @@
+"""repro.api — the one explanation API for library, CLI, service and batch.
+
+Every front door of the reproduction funnels work through this package:
+
+* :class:`ExplainRequest` — a frozen, versioned description of one run
+  (snapshots inline or by path, configuration overrides, registry subset,
+  engine choice) with ``to_dict`` / ``from_dict`` round-trips and a
+  canonical content hash that idempotency keys derive from.
+* :class:`ExplainSession` (alias :class:`Session`) — the fluent facade that
+  owns registry resolution, engine dispatch and progress/cancellation
+  wiring: ``Session().with_config("hid", seed=7).explain(request)``.
+* :class:`ExplainOutcome` — the typed result: explanation + costs +
+  timings + cache statistics + provenance, serializable like the request.
+* :meth:`ExplainSession.explain_iter` — the same run as a stream of typed
+  :class:`SearchEvent` objects (started / progressed / completed).
+
+The HTTP service, the batch runner and the CLI are thin adapters over these
+types; future backends (sharding, multi-engine dispatch) plug in here.
+"""
+
+from .errors import RequestValidationError, UnsupportedSchemaVersion
+from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
+from .outcome import OUTCOME_SCHEMA_VERSION, ExplainOutcome, Provenance, Timings
+from .request import (
+    BASE_CONFIGS,
+    CONFIG_OVERRIDE_FIELDS,
+    ENGINE_COLUMNAR,
+    ENGINE_ROWWISE,
+    ENGINES,
+    SCHEMA_VERSION,
+    ExplainRequest,
+    resolve_config,
+    resolve_registry,
+)
+from .session import ExplainSession, Session
+
+__all__ = [
+    "RequestValidationError",
+    "UnsupportedSchemaVersion",
+    "SearchEvent",
+    "SearchStarted",
+    "SearchProgressed",
+    "SearchCompleted",
+    "ExplainOutcome",
+    "Provenance",
+    "Timings",
+    "OUTCOME_SCHEMA_VERSION",
+    "ExplainRequest",
+    "resolve_config",
+    "resolve_registry",
+    "BASE_CONFIGS",
+    "CONFIG_OVERRIDE_FIELDS",
+    "ENGINES",
+    "ENGINE_COLUMNAR",
+    "ENGINE_ROWWISE",
+    "SCHEMA_VERSION",
+    "ExplainSession",
+    "Session",
+]

@@ -1,0 +1,20 @@
+"""Error types of the public API layer.
+
+Every front door (library, CLI, HTTP service, batch) funnels malformed input
+through :class:`RequestValidationError`, so callers need exactly one except
+clause regardless of how the request arrived.
+"""
+
+from __future__ import annotations
+
+
+class RequestValidationError(ValueError):
+    """Raised for malformed or inconsistent :class:`~repro.api.ExplainRequest`
+    payloads — wrong field types, missing snapshots, unknown configuration
+    overrides, out-of-range search parameters, or an unsupported schema
+    version.  The HTTP service maps it to ``400 Bad Request``."""
+
+
+class UnsupportedSchemaVersion(RequestValidationError):
+    """Raised when a serialized request or outcome carries a schema version
+    tag this build does not understand."""

@@ -1,0 +1,94 @@
+"""Typed streaming events of :meth:`~repro.api.ExplainSession.explain_iter`.
+
+The core search reports liveness through the
+:attr:`~repro.core.AffidavitConfig.progress_callback` hook; the session turns
+that callback stream into a typed iterator so interactive callers (TUIs,
+server-sent events, notebooks) can consume progress without wiring callbacks
+themselves:
+
+    started  ->  progressed*  ->  completed
+
+Every event carries ``kind`` for payload-style dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core import SearchProgress
+from .outcome import ExplainOutcome
+
+
+@dataclass(frozen=True)
+class SearchEvent:
+    """Base class of all streaming events."""
+
+    kind = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class SearchStarted(SearchEvent):
+    """Emitted once, before the first expansion."""
+
+    name: str
+    n_source_records: int
+    n_target_records: int
+    n_attributes: int
+    engine: str
+
+    kind = "started"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "n_source_records": self.n_source_records,
+            "n_target_records": self.n_target_records,
+            "n_attributes": self.n_attributes,
+            "engine": self.engine,
+        }
+
+
+@dataclass(frozen=True)
+class SearchProgressed(SearchEvent):
+    """Emitted once per state expansion, wrapping the core's progress
+    snapshot."""
+
+    progress: SearchProgress
+
+    kind = "progressed"
+
+    @property
+    def expansions(self) -> int:
+        return self.progress.expansions
+
+    @property
+    def best_cost(self) -> Optional[float]:
+        return self.progress.best_cost
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "expansions": self.progress.expansions,
+            "generated_states": self.progress.generated_states,
+            "queue_size": self.progress.queue_size,
+            "best_cost": self.progress.best_cost,
+            "cache_hit_rate": round(self.progress.cache_hit_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SearchCompleted(SearchEvent):
+    """Emitted once, after the search finished (or was cancelled — check
+    ``outcome.cancelled``)."""
+
+    outcome: ExplainOutcome
+
+    kind = "completed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "outcome": self.outcome.to_dict()}

@@ -1,0 +1,251 @@
+"""Typed results of an explanation run.
+
+:class:`ExplainOutcome` is what every front door returns: the explanation and
+its costs, wall-clock timings, column-cache statistics, and provenance (which
+engine, which base configuration, which function pool).  Like the request it
+round-trips through a versioned dict (:meth:`ExplainOutcome.to_dict` /
+:meth:`ExplainOutcome.from_dict`), which is what the HTTP service and the
+batch runner serialize.  The raw :class:`~repro.core.AffidavitResult` (and
+the problem instance) stay attached as non-compared references for callers
+that need the full search state or want to render reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core import AffidavitResult, ColumnCacheStats, Explanation, ProblemInstance
+from ..export import explanation_from_dict, explanation_to_dict
+from .errors import RequestValidationError, UnsupportedSchemaVersion
+from .request import SCHEMA_VERSION, ExplainRequest
+
+#: Version tag of the serialized outcome format.
+OUTCOME_SCHEMA_VERSION = "affidavit.outcome/v1"
+
+
+@dataclass(frozen=True)
+class Timings:
+    """Wall-clock breakdown of one run."""
+
+    load_seconds: float
+    search_seconds: float
+    total_seconds: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "load_seconds": self.load_seconds,
+            "search_seconds": self.search_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Timings":
+        return cls(
+            load_seconds=float(payload.get("load_seconds", 0.0)),
+            search_seconds=float(payload.get("search_seconds", 0.0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an outcome came from: engine, configuration and function pool."""
+
+    api_version: str
+    engine: str
+    base_config: Optional[str]
+    registry: Tuple[str, ...]
+    instance_name: str
+    n_source_records: int
+    n_target_records: int
+    n_attributes: int
+    seed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "api_version": self.api_version,
+            "engine": self.engine,
+            "base_config": self.base_config,
+            "registry": list(self.registry),
+            "instance_name": self.instance_name,
+            "n_source_records": self.n_source_records,
+            "n_target_records": self.n_target_records,
+            "n_attributes": self.n_attributes,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Provenance":
+        return cls(
+            api_version=payload.get("api_version", SCHEMA_VERSION),
+            engine=payload.get("engine", "columnar"),
+            base_config=payload.get("base_config"),
+            registry=tuple(payload.get("registry", ())),
+            instance_name=payload.get("instance_name", "instance"),
+            n_source_records=int(payload.get("n_source_records", 0)),
+            n_target_records=int(payload.get("n_target_records", 0)),
+            n_attributes=int(payload.get("n_attributes", 0)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+def _cache_stats_from_dict(payload: Mapping[str, Any]) -> ColumnCacheStats:
+    known = {spec.name for spec in fields(ColumnCacheStats)}
+    return ColumnCacheStats(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass(frozen=True)
+class ExplainOutcome:
+    """Outcome of one explanation run, as returned by every entry point."""
+
+    explanation: Explanation
+    cost: float
+    trivial_cost: float
+    expansions: int
+    generated_states: int
+    cancelled: bool
+    timings: Timings
+    provenance: Provenance
+    #: Final column-cache counters (``None`` for deserialized legacy results).
+    cache: Optional[ColumnCacheStats] = None
+    #: The canonical request hash this run answers; ``None`` for instance-based
+    #: library runs that never built a request.
+    idempotency_key: Optional[str] = None
+    #: The originating request, when the run was request-driven.
+    request: Optional[ExplainRequest] = None
+    #: The raw search result — full end state, config, everything.  Excluded
+    #: from comparison so a serialization round-trip stays an equality.
+    result: Optional[AffidavitResult] = field(default=None, compare=False, repr=False)
+    #: The materialised problem instance, retained so callers can render
+    #: reports / SQL without re-reading the snapshots.
+    instance: Optional[ProblemInstance] = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def compression_ratio(self) -> float:
+        """Cost relative to the trivial explanation (< 1 means compression)."""
+        if self.trivial_cost == 0:
+            return 1.0
+        return self.cost / self.trivial_cost
+
+    def summary(self) -> str:
+        lines = [
+            f"cost                : {self.cost:.1f} (trivial {self.trivial_cost:.1f}, "
+            f"ratio {self.compression_ratio:.2f})",
+            f"engine              : {self.provenance.engine} "
+            f"(registry: {len(self.provenance.registry)} families)",
+            f"expansions          : {self.expansions} "
+            f"(generated {self.generated_states} states)",
+            f"runtime             : {self.timings.search_seconds:.3f}s search, "
+            f"{self.timings.total_seconds:.3f}s total",
+        ]
+        if self.cache is not None and self.cache.lookups:
+            lines.append(
+                f"column cache        : {self.cache.hits} hits / "
+                f"{self.cache.lookups} lookups ({self.cache.hit_rate:.0%} hit rate)"
+            )
+        lines.append(self.explanation.summary())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(cls, result: AffidavitResult, *,
+                    request: Optional[ExplainRequest] = None,
+                    instance: Optional[ProblemInstance] = None,
+                    registry_names: Tuple[str, ...] = (),
+                    load_seconds: float = 0.0,
+                    idempotency_key: Optional[str] = None) -> "ExplainOutcome":
+        """Wrap a raw :class:`~repro.core.AffidavitResult` into an outcome."""
+        config = result.config
+        provenance = Provenance(
+            api_version=SCHEMA_VERSION,
+            engine="columnar" if config.columnar_cache else "rowwise",
+            base_config=None if request is None else request.config,
+            registry=tuple(registry_names),
+            instance_name=(
+                instance.name if instance is not None
+                else (request.name if request is not None else "instance")
+            ),
+            n_source_records=0 if instance is None else instance.n_source_records,
+            n_target_records=0 if instance is None else instance.n_target_records,
+            n_attributes=0 if instance is None else instance.n_attributes,
+            seed=config.seed,
+        )
+        if idempotency_key is None and request is not None:
+            idempotency_key = request.canonical_key()
+        return cls(
+            explanation=result.explanation,
+            cost=result.cost,
+            trivial_cost=result.trivial_cost,
+            expansions=result.expansions,
+            generated_states=result.generated_states,
+            cancelled=result.cancelled,
+            timings=Timings(
+                load_seconds=load_seconds,
+                search_seconds=result.runtime_seconds,
+                total_seconds=load_seconds + result.runtime_seconds,
+            ),
+            provenance=provenance,
+            cache=result.cache_stats,
+            idempotency_key=idempotency_key,
+            request=request,
+            result=result,
+            instance=instance,
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering, tagged with the outcome schema version."""
+        return {
+            "schema_version": OUTCOME_SCHEMA_VERSION,
+            "explanation": explanation_to_dict(self.explanation),
+            "cost": self.cost,
+            "trivial_cost": self.trivial_cost,
+            "compression_ratio": self.compression_ratio,
+            "expansions": self.expansions,
+            "generated_states": self.generated_states,
+            "cancelled": self.cancelled,
+            "timings": self.timings.to_dict(),
+            "provenance": self.provenance.to_dict(),
+            "column_cache": None if self.cache is None else self.cache.as_dict(),
+            "idempotency_key": self.idempotency_key,
+            "request": None if self.request is None else self.request.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExplainOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output.
+
+        The raw search result and the problem instance are process-local and
+        do not survive serialization — both come back as ``None``.
+        """
+        if not isinstance(payload, Mapping):
+            raise RequestValidationError("outcome payload must be a JSON object")
+        version = payload.get("schema_version", OUTCOME_SCHEMA_VERSION)
+        if version != OUTCOME_SCHEMA_VERSION:
+            raise UnsupportedSchemaVersion(
+                f"unsupported outcome schema_version {version!r} "
+                f"(this build speaks {OUTCOME_SCHEMA_VERSION!r})"
+            )
+        cache = payload.get("column_cache")
+        request = payload.get("request")
+        return cls(
+            explanation=explanation_from_dict(payload["explanation"]),
+            cost=float(payload["cost"]),
+            trivial_cost=float(payload["trivial_cost"]),
+            expansions=int(payload.get("expansions", 0)),
+            generated_states=int(payload.get("generated_states", 0)),
+            cancelled=bool(payload.get("cancelled", False)),
+            timings=Timings.from_dict(payload.get("timings", {})),
+            provenance=Provenance.from_dict(payload.get("provenance", {})),
+            cache=None if cache is None else _cache_stats_from_dict(cache),
+            idempotency_key=payload.get("idempotency_key"),
+            request=None if request is None else ExplainRequest.from_dict(request),
+        )

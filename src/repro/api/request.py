@@ -1,0 +1,382 @@
+"""The canonical explanation request: one typed object for every front door.
+
+:class:`ExplainRequest` is how work enters the engine — the library facade
+(:class:`~repro.api.session.ExplainSession`), the CLI, the HTTP service and
+the batch runner all construct one and hand it to the same resolution code
+(:func:`resolve_config` / :func:`resolve_registry`).  The request is a frozen
+dataclass with a versioned JSON round-trip (:meth:`ExplainRequest.to_dict` /
+:meth:`ExplainRequest.from_dict`) and a canonical content hash
+(:meth:`ExplainRequest.canonical_key`) that the service derives its
+idempotency keys from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core import AffidavitConfig, identity_configuration, overlap_configuration
+from ..dataio import Table, TableError, read_csv_text, read_snapshot_pair, to_csv_text
+from ..functions import FunctionRegistry, default_registry
+from .errors import RequestValidationError, UnsupportedSchemaVersion
+
+#: Version tag embedded in every serialized request.  Bump on incompatible
+#: wire-format changes; :meth:`ExplainRequest.from_dict` rejects versions it
+#: does not know.
+SCHEMA_VERSION = "affidavit.request/v1"
+
+ENGINE_COLUMNAR = "columnar"
+ENGINE_ROWWISE = "rowwise"
+ENGINES = (ENGINE_COLUMNAR, ENGINE_ROWWISE)
+
+#: Configuration fields clients may override per request.  Callbacks are
+#: deliberately absent — they are owned by the session / job layer.
+CONFIG_OVERRIDE_FIELDS = (
+    "alpha", "beta", "queue_width", "theta", "confidence", "start_strategy",
+    "max_block_size", "min_generation_successes", "max_expansions", "seed",
+    "columnar_cache", "column_cache_entries",
+)
+
+#: Named base configurations selectable by request (the paper's two setups).
+BASE_CONFIGS = {
+    "hid": identity_configuration,
+    "hs": overlap_configuration,
+}
+
+#: Execution hints that do not influence the explanation and therefore stay
+#: out of the canonical hash (two submissions differing only here must share
+#: an idempotency key).
+_NON_CANONICAL_FIELDS = ("name", "throttle_seconds", "use_cache")
+
+#: The snapshot-transport fields.  ``canonical_key(include_snapshots=False)``
+#: drops them so callers that digest the *materialised* tables themselves
+#: (the service's idempotency keys) are not fragmented by how the same data
+#: arrived — inline vs path, path spelling, or delimiter.
+_SNAPSHOT_FIELDS = (
+    "source_csv", "target_csv", "source_path", "target_path", "delimiter",
+)
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """A versioned, immutable description of one explanation run.
+
+    Snapshots arrive either inline (``source_csv`` / ``target_csv``) or as
+    paths (``source_path`` / ``target_path``) — exactly one of the two
+    transports must be used, for both tables.  Everything else selects *how*
+    the run executes: the named base configuration plus field overrides, an
+    optional registry subset (``functions``) and the evaluation engine.
+
+    Examples
+    --------
+    >>> request = ExplainRequest(
+    ...     source_path="old.csv", target_path="new.csv",
+    ...     config="hid", overrides={"seed": 7},
+    ...     functions=("identity", "division"),
+    ... )
+    >>> ExplainRequest.from_dict(request.to_dict()) == request
+    True
+    """
+
+    source_csv: Optional[str] = None
+    target_csv: Optional[str] = None
+    source_path: Optional[str] = None
+    target_path: Optional[str] = None
+    delimiter: str = ","
+    #: Named base configuration (``"hid"`` or ``"hs"``).
+    config: str = "hid"
+    #: Per-request :class:`~repro.core.AffidavitConfig` field overrides.
+    #: Stored as a key-sorted tuple of pairs so two requests built from
+    #: differently-ordered dicts compare (and hash) equal.
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Restrict the meta-function pool to these registry names (``None``
+    #: keeps the session's full registry).
+    functions: Optional[Tuple[str, ...]] = None
+    #: Evaluation engine: ``"columnar"`` (memoizing, default) or
+    #: ``"rowwise"`` (the bit-identical fallback engine).
+    engine: str = ENGINE_COLUMNAR
+    name: str = "instance"
+    throttle_seconds: float = 0.0
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        self._normalize()
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def inline(cls, source: Table, target: Table, **kwargs) -> "ExplainRequest":
+        """A request carrying the two tables inline as CSV text."""
+        delimiter = kwargs.pop("delimiter", ",")
+        return cls(
+            source_csv=to_csv_text(source, delimiter=delimiter),
+            target_csv=to_csv_text(target, delimiter=delimiter),
+            delimiter=delimiter,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExplainRequest":
+        """Rebuild a request from :meth:`to_dict` output (or a wire payload).
+
+        A missing ``schema_version`` is treated as the current version so
+        pre-versioning clients keep working; an unknown one is rejected.
+        """
+        if not isinstance(payload, Mapping):
+            raise RequestValidationError("request body must be a JSON object")
+        payload = dict(payload)
+        version = payload.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise UnsupportedSchemaVersion(
+                f"unsupported request schema_version {version!r} "
+                f"(this build speaks {SCHEMA_VERSION!r})"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise RequestValidationError(f"unknown request fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def _normalize(self) -> None:
+        """Coerce wire-typed fields into their canonical in-memory shapes
+        (sorted override pairs, tuple of function names, float throttle).
+        Shapes that cannot be coerced are left alone for :meth:`validate`
+        to reject with a proper message."""
+        overrides = self.overrides
+        if isinstance(overrides, Mapping):
+            object.__setattr__(
+                self, "overrides",
+                tuple(sorted(((str(k), v) for k, v in overrides.items()),
+                             key=lambda pair: pair[0])),
+            )
+        elif isinstance(overrides, (list, tuple)):
+            try:
+                pairs = [(str(k), v) for k, v in overrides]
+            except (TypeError, ValueError):
+                pass
+            else:
+                object.__setattr__(
+                    self, "overrides",
+                    tuple(sorted(pairs, key=lambda pair: pair[0])),
+                )
+        functions = self.functions
+        if isinstance(functions, (list, tuple)):
+            object.__setattr__(self, "functions", tuple(functions))
+        try:
+            object.__setattr__(self, "throttle_seconds", float(self.throttle_seconds))
+        except (TypeError, ValueError):
+            pass  # validate() rejects non-numbers with a proper message
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`RequestValidationError` unless the request is
+        well-formed; also resolves the search configuration so out-of-range
+        parameters fail here, at construction, not mid-run."""
+        for attr in ("source_csv", "target_csv", "source_path", "target_path"):
+            value = getattr(self, attr)
+            if value is not None and not isinstance(value, str):
+                raise RequestValidationError(f"'{attr}' must be a string")
+        for attr in ("name", "config", "engine"):
+            if not isinstance(getattr(self, attr), str):
+                raise RequestValidationError(f"'{attr}' must be a string")
+        if not isinstance(self.use_cache, bool):
+            raise RequestValidationError("'use_cache' must be a boolean")
+        inline = self.source_csv is not None or self.target_csv is not None
+        by_path = self.source_path is not None or self.target_path is not None
+        if inline and by_path:
+            raise RequestValidationError(
+                "snapshots must be inline CSV or paths, not both"
+            )
+        if inline and (self.source_csv is None or self.target_csv is None):
+            raise RequestValidationError(
+                "inline submissions need source_csv and target_csv"
+            )
+        if by_path and (self.source_path is None or self.target_path is None):
+            raise RequestValidationError(
+                "path submissions need source_path and target_path"
+            )
+        if not inline and not by_path:
+            raise RequestValidationError(
+                "no snapshots: provide source_csv/target_csv or source_path/target_path"
+            )
+        if self.config not in BASE_CONFIGS:
+            raise RequestValidationError(
+                f"unknown config {self.config!r} (use {sorted(BASE_CONFIGS)})"
+            )
+        if self.engine not in ENGINES:
+            raise RequestValidationError(
+                f"unknown engine {self.engine!r} (use {ENGINES})"
+            )
+        if not isinstance(self.overrides, tuple) or not all(
+            isinstance(pair, tuple) and len(pair) == 2 and isinstance(pair[0], str)
+            for pair in self.overrides
+        ):
+            raise RequestValidationError("'overrides' must be an object")
+        bad = {key for key, _ in self.overrides} - set(CONFIG_OVERRIDE_FIELDS)
+        if bad:
+            raise RequestValidationError(f"unknown config overrides: {sorted(bad)}")
+        if self.functions is not None:
+            if not isinstance(self.functions, tuple) or not self.functions or not all(
+                isinstance(name, str) and name for name in self.functions
+            ):
+                raise RequestValidationError(
+                    "'functions' must be a non-empty list of registry names"
+                )
+            if len(set(self.functions)) != len(self.functions):
+                raise RequestValidationError("'functions' must not repeat names")
+        if not isinstance(self.delimiter, str) or len(self.delimiter) != 1:
+            raise RequestValidationError("'delimiter' must be a single character")
+        if not isinstance(self.throttle_seconds, float):
+            raise RequestValidationError("'throttle_seconds' must be a number")
+        if self.throttle_seconds < 0:
+            raise RequestValidationError("'throttle_seconds' must be >= 0")
+        # Resolving the configuration runs AffidavitConfig.validate() on the
+        # base-plus-overrides combination, so α/β/θ/ϱ range errors surface
+        # at request construction.
+        resolve_config(self)
+
+    # ------------------------------------------------------------------ #
+    # serialization and identity
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering, tagged with the request schema version."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "source_csv": self.source_csv,
+            "target_csv": self.target_csv,
+            "source_path": self.source_path,
+            "target_path": self.target_path,
+            "delimiter": self.delimiter,
+            "config": self.config,
+            "overrides": dict(self.overrides),
+            "functions": None if self.functions is None else list(self.functions),
+            "engine": self.engine,
+            "name": self.name,
+            "throttle_seconds": self.throttle_seconds,
+            "use_cache": self.use_cache,
+        }
+
+    def canonical_dict(self, *, include_snapshots: bool = True) -> Dict[str, Any]:
+        """The result-determining fields only — presentation metadata and
+        execution hints (``name``, ``throttle_seconds``, ``use_cache``) are
+        excluded so they cannot split the idempotency cache.  With
+        ``include_snapshots=False`` the snapshot-transport fields are dropped
+        too, leaving just the execution fields (config, overrides, functions,
+        engine) for callers that hash the materialised tables separately."""
+        payload = self.to_dict()
+        for field_name in _NON_CANONICAL_FIELDS:
+            payload.pop(field_name)
+        if not include_snapshots:
+            for field_name in _SNAPSHOT_FIELDS:
+                payload.pop(field_name)
+        return payload
+
+    def canonical_json(self, *, include_snapshots: bool = True) -> str:
+        """Key-sorted, whitespace-free JSON of :meth:`canonical_dict`."""
+        return json.dumps(
+            self.canonical_dict(include_snapshots=include_snapshots),
+            sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        )
+
+    def canonical_key(self, *, include_snapshots: bool = True) -> str:
+        """SHA-256 over :meth:`canonical_json` — stable across dict key order
+        and across the execution-hint fields.  The service's idempotency keys
+        are derived from this hash (with ``include_snapshots=False``, plus
+        content digests of the materialised tables)."""
+        return hashlib.sha256(
+            self.canonical_json(include_snapshots=include_snapshots).encode("utf-8")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def load_tables(self, data_root: Optional[Path] = None) -> Tuple[Table, Table]:
+        """Materialise the two snapshots described by the request.
+
+        When *data_root* is set, paths are resolved inside it and escaping it
+        (``..``, absolute paths) is rejected — the confinement the HTTP
+        service relies on.
+        """
+        try:
+            if self.source_csv is not None:
+                source = read_csv_text(self.source_csv, delimiter=self.delimiter)
+                target = read_csv_text(self.target_csv, delimiter=self.delimiter)
+                if source.schema != target.schema:
+                    raise RequestValidationError(
+                        "snapshots have different schemas: "
+                        f"{list(source.schema)} vs {list(target.schema)}"
+                    )
+                return source, target
+            source_path = self._resolve(self.source_path, data_root)
+            target_path = self._resolve(self.target_path, data_root)
+            return read_snapshot_pair(source_path, target_path, delimiter=self.delimiter)
+        except TableError as error:
+            raise RequestValidationError(str(error)) from error
+        except OSError as error:
+            raise RequestValidationError(f"cannot read snapshot: {error}") from error
+
+    @staticmethod
+    def _resolve(raw: str, data_root: Optional[Path]) -> Path:
+        path = Path(raw)
+        if data_root is None:
+            return path
+        resolved = (data_root / path).resolve()
+        root = data_root.resolve()
+        if root not in resolved.parents and resolved != root:
+            raise RequestValidationError(f"path escapes the served data root: {raw!r}")
+        return resolved
+
+
+def resolve_config(request: Optional[ExplainRequest]) -> AffidavitConfig:
+    """The search configuration a request asks for: its named base with its
+    overrides and engine choice applied on top.  An explicit
+    ``columnar_cache`` override wins over the ``engine`` field, which keeps
+    pre-``engine`` clients working.
+    """
+    if request is None:
+        return identity_configuration()
+    factory = BASE_CONFIGS.get(request.config)
+    if factory is None:
+        raise RequestValidationError(
+            f"unknown config {request.config!r} (use {sorted(BASE_CONFIGS)})"
+        )
+    base = factory()
+    overrides = dict(request.overrides)
+    if overrides.get("max_expansions") is not None and "max_expansions" in overrides:
+        try:
+            overrides["max_expansions"] = int(overrides["max_expansions"])
+        except (TypeError, ValueError) as error:
+            raise RequestValidationError(
+                f"invalid config overrides: {error}"
+            ) from None
+    if "columnar_cache" not in overrides:
+        overrides["columnar_cache"] = request.engine == ENGINE_COLUMNAR
+    try:
+        config = base.with_overrides(**overrides)
+    except (TypeError, ValueError) as error:
+        raise RequestValidationError(f"invalid config overrides: {error}") from error
+    config.validate()
+    return config
+
+
+def resolve_registry(request: Optional[ExplainRequest],
+                     base: Optional[FunctionRegistry] = None) -> FunctionRegistry:
+    """The meta-function pool a request asks for: the *base* registry (the
+    session's, or the default pool) restricted to ``request.functions``."""
+    registry = base if base is not None else default_registry()
+    if request is None or request.functions is None:
+        return registry
+    try:
+        return registry.subset(request.functions)
+    except KeyError as error:
+        raise RequestValidationError(
+            f"unknown meta functions {list(set(request.functions) - set(registry.names))} "
+            f"(available: {registry.names})"
+        ) from error

@@ -1,0 +1,319 @@
+"""The session facade: the one place where work enters the search engine.
+
+:class:`ExplainSession` owns everything between a request and an outcome —
+registry resolution, configuration resolution, engine dispatch, progress and
+cancellation wiring — so the CLI, the HTTP service, the batch runner and
+library callers all behave identically.  Sessions are immutable; the fluent
+builder methods return new sessions:
+
+    >>> from repro.api import ExplainRequest, Session
+    >>> outcome = (
+    ...     Session()
+    ...     .with_config("hid", seed=7)
+    ...     .with_functions("identity", "division")
+    ...     .explain(ExplainRequest(source_path="old.csv", target_path="new.csv"))
+    ... )                                                      # doctest: +SKIP
+    >>> outcome.explanation.functions["Val"]                   # doctest: +SKIP
+    Division(1000)
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Tuple, Union
+
+from ..core import (
+    Affidavit,
+    AffidavitConfig,
+    ProblemInstance,
+    SearchProgress,
+)
+from ..dataio import Table
+from ..functions import FunctionRegistry, default_registry
+from .errors import RequestValidationError
+from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
+from .outcome import ExplainOutcome
+from .request import BASE_CONFIGS, ExplainRequest, resolve_registry
+from .request import resolve_config as _resolve_request_config
+
+ProgressCallback = Callable[[SearchProgress], None]
+StopCallback = Callable[[], bool]
+
+
+def _chain_progress(first: Optional[ProgressCallback],
+                    second: Optional[ProgressCallback]) -> Optional[ProgressCallback]:
+    if first is None:
+        return second
+    if second is None:
+        return first
+
+    def chained(progress: SearchProgress) -> None:
+        first(progress)
+        second(progress)
+
+    return chained
+
+
+def _chain_stop(first: Optional[StopCallback],
+                second: Optional[StopCallback]) -> Optional[StopCallback]:
+    if first is None:
+        return second
+    if second is None:
+        return first
+
+    def chained() -> bool:
+        return first() or second()
+
+    return chained
+
+
+class ExplainSession:
+    """Facade over the Affidavit engine for request-driven explanation runs.
+
+    Parameters
+    ----------
+    config:
+        Session-level search configuration.  When set it is authoritative:
+        requests executed through this session run with exactly this
+        configuration, and their ``config`` / ``overrides`` / ``engine``
+        fields only contribute provenance.  When unset (the default) the
+        configuration is resolved from each request.
+    registry:
+        Session-level meta-function pool; requests may subset it by name.
+        Defaults to :func:`repro.functions.default_registry`.
+    progress_callback / should_stop:
+        Observers chained *after* whatever the configuration already carries.
+    data_root:
+        Directory that request snapshot paths are confined to (``None``
+        resolves paths as given).
+    """
+
+    def __init__(self, *,
+                 config: Optional[AffidavitConfig] = None,
+                 registry: Optional[FunctionRegistry] = None,
+                 progress_callback: Optional[ProgressCallback] = None,
+                 should_stop: Optional[StopCallback] = None,
+                 data_root: Optional[Path] = None):
+        self._config = config
+        self._registry = registry
+        self._progress_callback = progress_callback
+        self._should_stop = should_stop
+        self._data_root = data_root
+
+    # ------------------------------------------------------------------ #
+    # fluent builder
+    # ------------------------------------------------------------------ #
+    def _clone(self, **changes) -> "ExplainSession":
+        state = {
+            "config": self._config,
+            "registry": self._registry,
+            "progress_callback": self._progress_callback,
+            "should_stop": self._should_stop,
+            "data_root": self._data_root,
+        }
+        state.update(changes)
+        return ExplainSession(**state)
+
+    def with_config(self, config: Union[AffidavitConfig, str, None] = None,
+                    **overrides) -> "ExplainSession":
+        """A session pinned to *config* — an :class:`AffidavitConfig`, a base
+        name (``"hid"`` / ``"hs"``), or ``None`` to keep the current one —
+        with *overrides* applied on top."""
+        if isinstance(config, str):
+            factory = BASE_CONFIGS.get(config)
+            if factory is None:
+                raise RequestValidationError(
+                    f"unknown config {config!r} (use {sorted(BASE_CONFIGS)})"
+                )
+            config = factory()
+        elif config is None:
+            config = self._config
+        if overrides:
+            base = config if config is not None else BASE_CONFIGS["hid"]()
+            try:
+                config = base.with_overrides(**overrides)
+            except (TypeError, ValueError) as error:
+                raise RequestValidationError(
+                    f"invalid config overrides: {error}"
+                ) from error
+        return self._clone(config=config)
+
+    def with_registry(self, registry: FunctionRegistry) -> "ExplainSession":
+        """A session using *registry* as its meta-function pool."""
+        return self._clone(registry=registry)
+
+    def with_functions(self, *names: str) -> "ExplainSession":
+        """A session whose pool is restricted to the named families.
+
+        Accepts either ``with_functions("identity", "division")`` or a single
+        iterable ``with_functions(["identity", "division"])``.
+        """
+        if len(names) == 1 and not isinstance(names[0], str):
+            names = tuple(names[0])
+        base = self._registry if self._registry is not None else default_registry()
+        try:
+            subset = base.subset(names)
+        except KeyError as error:
+            raise RequestValidationError(
+                f"unknown meta functions {sorted(set(names) - set(base.names))} "
+                f"(available: {base.names})"
+            ) from error
+        return self._clone(registry=subset)
+
+    def with_progress(self, callback: ProgressCallback) -> "ExplainSession":
+        """A session that also reports progress to *callback*."""
+        return self._clone(
+            progress_callback=_chain_progress(self._progress_callback, callback)
+        )
+
+    def with_cancellation(self, should_stop: StopCallback) -> "ExplainSession":
+        """A session that also polls *should_stop* once per expansion."""
+        return self._clone(should_stop=_chain_stop(self._should_stop, should_stop))
+
+    def with_data_root(self, data_root: Optional[Path]) -> "ExplainSession":
+        """A session confining request snapshot paths to *data_root*."""
+        return self._clone(data_root=data_root)
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> Optional[AffidavitConfig]:
+        return self._config
+
+    @property
+    def registry(self) -> Optional[FunctionRegistry]:
+        return self._registry
+
+    def resolve_config(self, request: Optional[ExplainRequest] = None) -> AffidavitConfig:
+        """The configuration a run of *request* would use, fully validated:
+        the session's pinned configuration when one is set, otherwise the
+        request's named base plus its overrides and engine choice."""
+        if self._config is not None:
+            self._config.validate()
+            return self._config
+        config = _resolve_request_config(request)
+        config.validate()
+        return config
+
+    def resolve_registry(self, request: Optional[ExplainRequest] = None) -> FunctionRegistry:
+        """The meta-function pool a run of *request* would use."""
+        return resolve_registry(request, self._registry)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _materialise(self, request: ExplainRequest) -> Tuple[ProblemInstance, float]:
+        """Load the request's snapshots into a problem instance, timing it."""
+        started = time.perf_counter()
+        source, target = request.load_tables(self._data_root)
+        registry = self.resolve_registry(request)
+        instance = ProblemInstance(
+            source=source, target=target, registry=registry, name=request.name
+        )
+        return instance, time.perf_counter() - started
+
+    def explain(self, request: ExplainRequest) -> ExplainOutcome:
+        """Load the request's snapshots, run the search, return the outcome."""
+        instance, load_seconds = self._materialise(request)
+        return self._execute(instance, request, load_seconds)
+
+    def explain_instance(self, instance: ProblemInstance,
+                         request: Optional[ExplainRequest] = None,
+                         *, load_seconds: float = 0.0) -> ExplainOutcome:
+        """Run the search on a pre-built instance (the instance's registry
+        wins over any ``request.functions`` subset).  *load_seconds* lets
+        callers that materialised the instance themselves report the real
+        loading cost in the outcome's timings."""
+        return self._execute(instance, request, load_seconds)
+
+    def explain_tables(self, source: Table, target: Table, *,
+                       name: str = "instance") -> ExplainOutcome:
+        """Convenience wrapper for two in-memory tables.
+
+        Both snapshots are frozen in place (the search memoizes column
+        transforms); pass ``table.copy()`` to keep a mutable original.
+        """
+        registry = self.resolve_registry(None)
+        instance = ProblemInstance(
+            source=source, target=target, registry=registry, name=name
+        )
+        return self.explain_instance(instance)
+
+    def explain_iter(self, request: ExplainRequest) -> Iterator[SearchEvent]:
+        """Stream the run as typed events: one :class:`SearchStarted`, one
+        :class:`SearchProgressed` per expansion, one :class:`SearchCompleted`
+        carrying the outcome.  Closing the iterator early cancels the search
+        cooperatively (within one expansion)."""
+        instance, load_seconds = self._materialise(request)
+        config = self.resolve_config(request)
+
+        events: "queue.Queue[object]" = queue.Queue()
+        abandoned = threading.Event()
+        failure: list = []
+
+        streaming = (
+            self.with_progress(lambda progress: events.put(SearchProgressed(progress)))
+            .with_cancellation(abandoned.is_set)
+        )
+
+        def run() -> None:
+            try:
+                outcome = streaming._execute(instance, request, load_seconds)
+                events.put(SearchCompleted(outcome))
+            except BaseException as error:  # noqa: BLE001 - re-raised in consumer
+                failure.append(error)
+                events.put(None)
+
+        worker = threading.Thread(
+            target=run, name="affidavit-explain-iter", daemon=True
+        )
+        try:
+            yield SearchStarted(
+                name=instance.name,
+                n_source_records=instance.n_source_records,
+                n_target_records=instance.n_target_records,
+                n_attributes=instance.n_attributes,
+                engine="columnar" if config.columnar_cache else "rowwise",
+            )
+            worker.start()
+            while True:
+                event = events.get()
+                if event is None:
+                    raise failure[0]
+                yield event
+                if isinstance(event, SearchCompleted):
+                    return
+        finally:
+            abandoned.set()
+            if worker.is_alive():
+                worker.join()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _execute(self, instance: ProblemInstance,
+                 request: Optional[ExplainRequest],
+                 load_seconds: float) -> ExplainOutcome:
+        config = self.resolve_config(request)
+        config = config.with_overrides(
+            progress_callback=_chain_progress(
+                config.progress_callback, self._progress_callback
+            ),
+            should_stop=_chain_stop(config.should_stop, self._should_stop),
+        )
+        result = Affidavit(config).explain(instance)
+        return ExplainOutcome.from_result(
+            result,
+            request=request,
+            instance=instance,
+            registry_names=tuple(instance.registry.names),
+            load_seconds=load_seconds,
+        )
+
+
+#: Short alias for the fluent style: ``Session().with_config(...).explain(...)``.
+Session = ExplainSession

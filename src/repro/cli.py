@@ -35,19 +35,27 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from . import __version__
-from .core import Affidavit, ProblemInstance, identity_configuration, overlap_configuration
-from .dataio import read_snapshot_pair, write_csv
+from .api import (
+    ENGINE_COLUMNAR,
+    ENGINES,
+    ExplainRequest,
+    ExplainSession,
+    RequestValidationError,
+)
+from .dataio import write_csv
 from .datagen import generate_problem_instance
 from .datagen.datasets import DATASETS, get_dataset_entry
 from .export import explanation_to_json, explanation_to_sql, render_report
 
 
-def _configuration(name: str, seed: int):
-    if name == "hid":
-        return identity_configuration(seed=seed)
-    if name == "hs":
-        return overlap_configuration(seed=seed)
-    raise argparse.ArgumentTypeError(f"unknown configuration: {name!r} (use 'hid' or 'hs')")
+def _function_names(raw: Optional[str]) -> Optional[tuple]:
+    """Parse a ``--functions name1,name2`` flag into a tuple of names."""
+    if raw is None:
+        return None
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("--functions needs at least one name")
+    return names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("--delimiter", default=",", help="CSV field delimiter")
     explain.add_argument("--seed", type=int, default=0, help="random seed of the search")
+    explain.add_argument("--functions", default=None, metavar="NAME1,NAME2",
+                         help="restrict the meta-function pool to these registry "
+                              "names (comma-separated; default: the full pool)")
+    explain.add_argument("--engine", choices=ENGINES, default=ENGINE_COLUMNAR,
+                         help="evaluation engine: columnar (memoizing, default) "
+                              "or rowwise (the fallback baseline)")
     explain.add_argument("--json", type=Path, default=None,
                          help="write the explanation as JSON to this path")
     explain.add_argument("--sql", type=Path, default=None,
@@ -119,6 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--config", choices=("hid", "hs"), default="hid",
                        help="search configuration for every pair")
     batch.add_argument("--seed", type=int, default=0, help="random seed of the search")
+    batch.add_argument("--functions", default=None, metavar="NAME1,NAME2",
+                       help="restrict the meta-function pool to these registry "
+                            "names (comma-separated; default: the full pool)")
     batch.add_argument("--workers", type=int, default=2,
                        help="concurrent explain workers")
     batch.add_argument("--delimiter", default=",", help="CSV field delimiter")
@@ -131,21 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_explain(args: argparse.Namespace) -> int:
-    source, target = read_snapshot_pair(args.source, args.target, delimiter=args.delimiter)
-    instance = ProblemInstance(source=source, target=target, name=args.source.stem)
-    config = _configuration(args.config, args.seed)
-    result = Affidavit(config).explain(instance)
+    # Missing snapshot files keep raising FileNotFoundError (the pre-api CLI
+    # contract); only request-level problems take the clean exit-code-2 path.
+    for path in (args.source, args.target):
+        if not path.exists():
+            raise FileNotFoundError(path)
+    try:
+        request = ExplainRequest(
+            source_path=str(args.source),
+            target_path=str(args.target),
+            delimiter=args.delimiter,
+            config=args.config,
+            overrides={"seed": args.seed},
+            functions=_function_names(args.functions),
+            engine=args.engine,
+            name=args.source.stem,
+        )
+        outcome = ExplainSession().explain(request)
+    except RequestValidationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
-    report = render_report(instance, result.explanation, title=instance.name)
+    report = render_report(outcome.instance, outcome.explanation, title=request.name)
     if not args.quiet:
         print(report)
-        print(f"(search: {result.runtime_seconds:.2f}s, {result.expansions} expansions)")
+        print(f"(search: {outcome.timings.search_seconds:.2f}s, "
+              f"{outcome.expansions} expansions)")
     if args.report is not None:
         args.report.write_text(report + "\n", encoding="utf-8")
     if args.json is not None:
-        args.json.write_text(explanation_to_json(result.explanation) + "\n", encoding="utf-8")
+        args.json.write_text(explanation_to_json(outcome.explanation) + "\n", encoding="utf-8")
     if args.sql is not None:
-        script = explanation_to_sql(instance, result.explanation, table_name=args.table_name)
+        script = explanation_to_sql(outcome.instance, outcome.explanation,
+                                    table_name=args.table_name)
         args.sql.write_text(script, encoding="utf-8")
     return 0
 
@@ -189,18 +224,21 @@ def run_serve(args: argparse.Namespace) -> int:
 def run_batch_command(args: argparse.Namespace) -> int:
     from .service import run_batch
 
-    config = _configuration(args.config, args.seed)
-
     def on_progress(name: str, state: str) -> None:
         if not args.quiet:
             print(f"{name:<24s} {state}")
 
     try:
+        # Pass the base-configuration *name* so every pair's ExplainRequest
+        # (and thus its outcome provenance and idempotency key) records the
+        # configuration actually used.
         outcomes = run_batch(
             args.directory,
             workers=args.workers,
-            config=config,
+            config=args.config,
+            overrides={"seed": args.seed},
             delimiter=args.delimiter,
+            functions=_function_names(args.functions),
             output_dir=args.output_dir,
             on_progress=on_progress,
         )

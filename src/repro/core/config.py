@@ -82,6 +82,13 @@ class AffidavitConfig:
     )
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` unless every search parameter is in its
+        legal range.  Runs automatically on construction; exposed separately
+        so the request layer (:mod:`repro.api`) can re-check a configuration
+        assembled from wire-format overrides."""
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
         if self.beta < 1:
@@ -105,6 +112,8 @@ class AffidavitConfig:
             )
         if self.max_expansions is not None and self.max_expansions < 1:
             raise ValueError(f"max_expansions must be >= 1 or None, got {self.max_expansions}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
         if self.column_cache_entries < 1:
             raise ValueError(
                 f"column_cache_entries must be >= 1, got {self.column_cache_entries}"

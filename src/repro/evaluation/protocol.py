@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.affidavit import Affidavit
+from ..api import ExplainSession
 from ..core.config import AffidavitConfig, identity_configuration, overlap_configuration
 from ..dataio import Table
 from ..datagen.datasets import get_dataset_entry
@@ -88,9 +88,9 @@ def run_configuration(instances: Sequence[GeneratedInstance], config: AffidavitC
                       dataset: str = "dataset") -> List[InstanceMetrics]:
     """Run one configuration on a list of generated instances."""
     metrics: List[InstanceMetrics] = []
-    engine = Affidavit(config)
+    session = ExplainSession(config=config)
     for generated in instances:
-        result = engine.explain(generated.instance)
+        result = session.explain_instance(generated.instance).result
         metrics.append(
             evaluate_result(generated, result, alpha=config.alpha)
         )
@@ -181,10 +181,10 @@ def run_row_scalability(*, dataset: str = "flight-500k", eta: float = 0.3, tau: 
     family = generate_scaled_family(
         table, eta=eta, tau=tau, fractions=fractions, seed=seed, name=dataset,
     )
-    engine = Affidavit(config)
+    session = ExplainSession(config=config)
     points: List[ScalabilityPoint] = []
     for fraction, generated in family:
-        result = engine.explain(generated.instance)
+        result = session.explain_instance(generated.instance).result
         metrics = evaluate_result(generated, result, alpha=config.alpha)
         points.append(
             ScalabilityPoint(

@@ -15,7 +15,7 @@ This package provides that serving layer with stdlib means only:
   through the same job manager.
 """
 
-from .cache import CacheStats, ResultCache, idempotency_key
+from .cache import CacheStats, ResultCache, idempotency_key, request_idempotency_key
 from .jobs import (
     Job,
     JobManager,
@@ -36,6 +36,7 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "idempotency_key",
+    "request_idempotency_key",
     "Job",
     "JobManager",
     "JobNotFound",

@@ -13,10 +13,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..api import ExplainRequest, RequestValidationError
 from ..core import AffidavitConfig
-from ..dataio import TableError, read_snapshot_pair
 from ..export import explanation_to_dict
 from .jobs import Job, JobManager, JobState
 
@@ -82,9 +82,11 @@ def _outcome(job: Job) -> BatchOutcome:
 
 def run_batch(directory: Path, *,
               workers: int = 2,
-              config: Optional[AffidavitConfig] = None,
+              config: Union[AffidavitConfig, str, None] = None,
+              overrides: Optional[Mapping[str, object]] = None,
               manager: Optional[JobManager] = None,
               delimiter: str = ",",
+              functions: Optional[Sequence[str]] = None,
               output_dir: Optional[Path] = None,
               timeout: Optional[float] = None,
               on_progress: Optional[Callable[[str, str], None]] = None
@@ -93,10 +95,22 @@ def run_batch(directory: Path, *,
 
     Parameters
     ----------
+    config:
+        Either a base-configuration name (``"hid"`` / ``"hs"``) that goes
+        into every pair's :class:`~repro.api.ExplainRequest` (preferred —
+        outcomes then carry accurate provenance), or a pre-built
+        :class:`AffidavitConfig` applied verbatim to every pair, or ``None``
+        for the default.
+    overrides:
+        Per-request configuration overrides (e.g. ``{"seed": 7}``); only
+        meaningful with a named or default *config*.
     manager:
         Reuse an existing manager (e.g. the HTTP service's, sharing its
         cache); otherwise a private pool of *workers* threads is created and
         torn down around the batch.
+    functions:
+        Restrict the meta-function pool to these registry names for every
+        pair (``None`` keeps the full default pool).
     output_dir:
         When given, a ``<name>.explanation.json`` file is written per
         successful pair plus a ``batch_summary.json`` of all outcomes.
@@ -104,6 +118,10 @@ def run_batch(directory: Path, *,
         Called with ``(name, state)`` as each job finishes — lets the CLI
         stream a line per pair.
     """
+    if isinstance(config, str):
+        base_name, explicit_config = config, None
+    else:
+        base_name, explicit_config = "hid", config
     directory = Path(directory)
     pairs = discover_pairs(directory)
     if not pairs:
@@ -116,19 +134,25 @@ def run_batch(directory: Path, *,
         manager = JobManager(workers=workers)
     try:
         # One unreadable pair must not sink the batch: record it as failed
-        # and keep going.
+        # and keep going.  Every pair becomes an ExplainRequest submitted
+        # through the repro.api layer (same path as the HTTP service).
         entries: List[Tuple[str, Optional[Job], Optional[str]]] = []
         for name, source_path, target_path in pairs:
             try:
-                source, target = read_snapshot_pair(
-                    source_path, target_path, delimiter=delimiter
+                request = ExplainRequest(
+                    source_path=str(source_path),
+                    target_path=str(target_path),
+                    delimiter=delimiter,
+                    config=base_name,
+                    overrides={} if overrides is None else dict(overrides),
+                    functions=None if functions is None else tuple(functions),
+                    name=name,
                 )
-            except (TableError, OSError, ValueError) as error:
+                job = manager.submit_request(request, config=explicit_config)
+            except (RequestValidationError, OSError, ValueError) as error:
                 entries.append((name, None, str(error)))
                 continue
-            entries.append(
-                (name, manager.submit(source, target, config=config, name=name), None)
-            )
+            entries.append((name, job, None))
         outcomes: List[BatchOutcome] = []
         for name, job, error in entries:
             if job is None:

@@ -42,6 +42,14 @@ def _digest_table(digest: "hashlib._Hash", table: Table) -> None:
         _digest_cells(digest, row)
 
 
+def _digest_config(digest: "hashlib._Hash", config: AffidavitConfig) -> None:
+    for spec in fields(config):
+        if not spec.compare:  # observer hooks do not change the result
+            continue
+        value = getattr(config, spec.name)
+        digest.update(f"{spec.name}={value!r}\x1e".encode("utf-8"))
+
+
 def idempotency_key(source: Table, target: Table, config: AffidavitConfig,
                     registry_names: Optional[tuple] = None) -> str:
     """Deterministic content key of a (source, target, config) submission.
@@ -55,11 +63,38 @@ def idempotency_key(source: Table, target: Table, config: AffidavitConfig,
     digest.update(b"\x00")
     _digest_table(digest, target)
     digest.update(b"\x00")
-    for spec in fields(config):
-        if not spec.compare:  # observer hooks do not change the result
-            continue
-        value = getattr(config, spec.name)
-        digest.update(f"{spec.name}={value!r}\x1e".encode("utf-8"))
+    _digest_config(digest, config)
+    if registry_names is not None:
+        digest.update(("\x1f".join(registry_names)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def request_idempotency_key(request, source: Table, target: Table, *,
+                            config: Optional[AffidavitConfig] = None,
+                            registry_names: Optional[tuple] = None) -> str:
+    """Idempotency key of a request-driven submission.
+
+    Derived from the request's canonical execution hash
+    (:meth:`repro.api.ExplainRequest.canonical_key` with
+    ``include_snapshots=False`` — key-order independent, execution hints
+    excluded) plus content digests of the *materialised* snapshots.  Keying
+    on parsed content rather than the transport strings means the same data
+    hits the same entry whether it arrived inline or by path (and however
+    the path was spelled), while a path-based request whose files changed on
+    disk still misses.  *config* / *registry_names* fold in an explicitly
+    supplied configuration or function pool that bypassed the request's own
+    fields (the batch runner does this).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"affidavit-req-v1\x00")
+    digest.update(request.canonical_key(include_snapshots=False).encode("ascii"))
+    digest.update(b"\x00")
+    _digest_table(digest, source)
+    digest.update(b"\x00")
+    _digest_table(digest, target)
+    digest.update(b"\x00")
+    if config is not None:
+        _digest_config(digest, config)
     if registry_names is not None:
         digest.update(("\x1f".join(registry_names)).encode("utf-8"))
     return digest.hexdigest()

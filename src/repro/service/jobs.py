@@ -34,10 +34,17 @@ import traceback
 import uuid
 from dataclasses import replace
 from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..api import (
+    ExplainOutcome,
+    ExplainRequest,
+    ExplainSession,
+    resolve_config,
+    resolve_registry,
+)
 from ..core import (
-    Affidavit,
     AffidavitConfig,
     AffidavitResult,
     ProblemInstance,
@@ -46,7 +53,17 @@ from ..core import (
 )
 from ..dataio import Table
 from ..functions import FunctionRegistry
-from .cache import ResultCache, idempotency_key
+from .cache import ResultCache, idempotency_key, request_idempotency_key
+
+
+def _without_base_config(outcome: ExplainOutcome) -> ExplainOutcome:
+    """Clear ``provenance.base_config`` on outcomes whose configuration was
+    supplied explicitly rather than resolved from the request."""
+    if outcome.provenance.base_config is None:
+        return outcome
+    return replace(
+        outcome, provenance=replace(outcome.provenance, base_config=None)
+    )
 
 
 class JobState(enum.Enum):
@@ -76,13 +93,17 @@ class Job:
     """
 
     def __init__(self, job_id: str, name: str, key: str,
-                 instance: Optional[ProblemInstance] = None):
+                 instance: Optional[ProblemInstance] = None,
+                 request: Optional[ExplainRequest] = None):
         self.id = job_id
         self.name = name
         self.key = key
         #: Retained for result rendering (SQL scripts and reports need the
         #: snapshots, not just the explanation).
         self.instance = instance
+        #: The originating :class:`repro.api.ExplainRequest` for request-driven
+        #: submissions (``None`` for the table-level ``submit`` path).
+        self.request = request
         self.submitted_at = time.time()
         self._lock = threading.Lock()
         self._state = JobState.QUEUED
@@ -90,6 +111,7 @@ class Job:
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
         self._result: Optional[AffidavitResult] = None
+        self._outcome: Optional[ExplainOutcome] = None
         self._error: Optional[str] = None
         self._progress: Optional[SearchProgress] = None
         self._cancel_event = threading.Event()
@@ -122,6 +144,12 @@ class Job:
             return self._result
 
     @property
+    def outcome(self) -> Optional[ExplainOutcome]:
+        """The typed :class:`repro.api.ExplainOutcome` of a finished run."""
+        with self._lock:
+            return self._outcome
+
+    @property
     def error(self) -> Optional[str]:
         with self._lock:
             return self._error
@@ -142,6 +170,7 @@ class Job:
 
     def _transition(self, state: JobState, *,
                     result: Optional[AffidavitResult] = None,
+                    outcome: Optional[ExplainOutcome] = None,
                     error: Optional[str] = None,
                     cache_hit: bool = False) -> None:
         with self._lock:
@@ -153,6 +182,8 @@ class Job:
                 return
             if result is not None:
                 self._result = result
+            if outcome is not None:
+                self._outcome = outcome
             if error is not None:
                 self._error = error
             self._cache_hit = self._cache_hit or cache_hit
@@ -236,20 +267,78 @@ class JobManager:
             instance = ProblemInstance(source=source, target=target, name=name)
             key = idempotency_key(source, target, config)
         job = Job(self._next_id(), name, key, instance)
+        return self._enqueue(job, instance, config, throttle_seconds, use_cache)
 
+    def submit_request(self, request: ExplainRequest, *,
+                       data_root: Optional[Path] = None,
+                       config: Optional[AffidavitConfig] = None,
+                       registry: Optional[FunctionRegistry] = None) -> Job:
+        """Queue one explain job described by a :class:`repro.api.ExplainRequest`.
+
+        This is the canonical entry point used by the HTTP service and the
+        batch runner: the request's snapshots are materialised (confined to
+        *data_root* when given), its configuration and registry subset are
+        resolved through :mod:`repro.api`, and the idempotency key is derived
+        from the canonical request hash.  An explicit *config* / *registry*
+        replaces the request's named base (the batch runner passes its
+        already-resolved configuration this way).
+
+        Raises :class:`repro.api.RequestValidationError` for malformed
+        requests, unreadable snapshots or unknown function names.
+        """
+        if self._closed:
+            raise RuntimeError("JobManager is shut down")
+        started = time.perf_counter()
+        source, target = request.load_tables(data_root)
+        resolved_config = config if config is not None else resolve_config(request)
+        resolved_registry = resolve_registry(request, registry)
+        instance = ProblemInstance(
+            source=source, target=target, registry=resolved_registry,
+            name=request.name,
+        )
+        load_seconds = time.perf_counter() - started
+        key = request_idempotency_key(
+            request, source, target,
+            config=config,
+            registry_names=None if registry is None else tuple(resolved_registry.names),
+        )
+        job = Job(self._next_id(), request.name, key, instance, request=request)
+        return self._enqueue(
+            job, instance, resolved_config,
+            request.throttle_seconds, request.use_cache,
+            config_overridden=config is not None,
+            load_seconds=load_seconds,
+        )
+
+    def _enqueue(self, job: Job, instance: ProblemInstance,
+                 config: AffidavitConfig, throttle_seconds: float,
+                 use_cache: bool, config_overridden: bool = False,
+                 load_seconds: float = 0.0) -> Job:
         if use_cache:
-            cached = self.cache.get(key)
+            cached = self.cache.get(job.key)
             if cached is not None:
                 with self._lock:
                     self._jobs[job.id] = job
                     self._prune_locked()
-                job._transition(JobState.DONE, result=cached, cache_hit=True)
+                outcome = ExplainOutcome.from_result(
+                    cached,
+                    request=job.request,
+                    instance=instance,
+                    registry_names=tuple(instance.registry.names),
+                    load_seconds=load_seconds,
+                    idempotency_key=job.key,
+                )
+                if config_overridden:
+                    outcome = _without_base_config(outcome)
+                job._transition(JobState.DONE, result=cached, outcome=outcome,
+                                cache_hit=True)
                 return job
 
         with self._lock:
             self._jobs[job.id] = job
             self._futures[job.id] = self._executor.submit(
-                self._run, job, instance, config, throttle_seconds, use_cache
+                self._run, job, instance, config, throttle_seconds, use_cache,
+                config_overridden, load_seconds,
             )
             self._prune_locked()
         return job
@@ -272,7 +361,8 @@ class JobManager:
     # ------------------------------------------------------------------ #
     def _run(self, job: Job, instance: ProblemInstance,
              config: AffidavitConfig, throttle_seconds: float,
-             use_cache: bool) -> None:
+             use_cache: bool, config_overridden: bool = False,
+             load_seconds: float = 0.0) -> None:
         if job._cancel_event.is_set():
             job._transition(JobState.CANCELLED, error="cancelled before start")
             return
@@ -293,24 +383,40 @@ class JobManager:
             if throttle_seconds > 0:
                 time.sleep(throttle_seconds)
 
-        run_config = config.with_overrides(
-            should_stop=should_stop, progress_callback=on_progress
+        # All execution flows through the repro.api session facade — the
+        # worker's closures replace the config's own observers (they already
+        # chain the user's callbacks captured above).
+        session = (
+            ExplainSession(
+                config=config.with_overrides(
+                    should_stop=None, progress_callback=None
+                )
+            )
+            .with_progress(on_progress)
+            .with_cancellation(should_stop)
         )
         try:
-            result = Affidavit(run_config).explain(instance)
+            outcome = session.explain_instance(
+                instance, request=job.request, load_seconds=load_seconds
+            )
         except Exception:  # noqa: BLE001 - a job failure must not kill the worker
             job._transition(JobState.FAILED, error=traceback.format_exc(limit=20))
             return
         # Publish the result with the caller's config: the run config's
         # observer closures capture this job (and so both snapshot tables),
         # which must not be pinned by the cache or handed back to clients.
-        result = replace(result, config=config)
+        result = replace(outcome.result, config=config)
+        outcome = replace(outcome, result=result, idempotency_key=job.key)
+        if config_overridden:
+            # The run's configuration was supplied explicitly, so the
+            # request's named base did not determine it — don't claim it did.
+            outcome = _without_base_config(outcome)
         if result.cancelled or job._cancel_event.is_set():
-            job._transition(JobState.CANCELLED, result=result)
+            job._transition(JobState.CANCELLED, result=result, outcome=outcome)
             return
         if use_cache:
             self.cache.put(job.key, result)
-        job._transition(JobState.DONE, result=result)
+        job._transition(JobState.DONE, result=result, outcome=outcome)
 
     # ------------------------------------------------------------------ #
     # queries and control

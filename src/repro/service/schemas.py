@@ -1,172 +1,44 @@
 """Typed request/response payloads of the service API.
 
-Everything crossing the HTTP boundary goes through the dataclasses here, so
-the wire format is defined in exactly one place and the JSON round-trips reuse
-:mod:`repro.export` for the explanation itself.  Validation failures raise
-:class:`ValidationError`, which the server maps to ``400 Bad Request``.
+Since the ``repro.api`` redesign the request side *is* the public
+:class:`repro.api.ExplainRequest` — the service re-exports it (plus its
+validation error) so the wire format is defined in exactly one place and
+shared with the CLI, the batch runner and library callers.  What remains
+here are the service-specific response shapes: :class:`JobView` for job
+status and :class:`ResultView` for finished results, the latter wrapping the
+job's typed :class:`repro.api.ExplainOutcome`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
-from ..core import AffidavitConfig, identity_configuration, overlap_configuration
-from ..dataio import Table, TableError, read_csv_text, read_snapshot_pair
+from ..api import (
+    CONFIG_OVERRIDE_FIELDS,
+    ExplainRequest,
+    RequestValidationError,
+    resolve_config,
+)
+from ..core import AffidavitConfig
 from ..export import explanation_to_dict
 
-#: Configuration fields clients may override per request.  Callbacks are
-#: deliberately absent — they are owned by the job layer.
-CONFIG_OVERRIDE_FIELDS = (
-    "alpha", "beta", "queue_width", "theta", "confidence", "start_strategy",
-    "max_block_size", "min_generation_successes", "max_expansions", "seed",
-    "columnar_cache", "column_cache_entries",
-)
+#: Backwards-compatible alias: the server still catches ``ValidationError``.
+ValidationError = RequestValidationError
 
-_BASE_CONFIGS = {
-    "hid": identity_configuration,
-    "hs": overlap_configuration,
-}
-
-
-class ValidationError(ValueError):
-    """Raised for malformed or inconsistent request payloads."""
-
-
-@dataclass
-class ExplainRequest:
-    """Body of ``POST /v1/explain``.
-
-    Snapshots arrive either inline (``source_csv`` / ``target_csv``) or as
-    server-side paths (``source_path`` / ``target_path``) — exactly one of
-    the two transports must be used, for both tables.
-    """
-
-    source_csv: Optional[str] = None
-    target_csv: Optional[str] = None
-    source_path: Optional[str] = None
-    target_path: Optional[str] = None
-    delimiter: str = ","
-    config: str = "hid"
-    overrides: Dict[str, Any] = field(default_factory=dict)
-    name: str = "instance"
-    throttle_seconds: float = 0.0
-    use_cache: bool = True
-
-    @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "ExplainRequest":
-        if not isinstance(payload, Mapping):
-            raise ValidationError("request body must be a JSON object")
-        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
-        if unknown:
-            raise ValidationError(f"unknown request fields: {sorted(unknown)}")
-        request = cls(**dict(payload))
-        request.validate()
-        return request
-
-    def validate(self) -> None:
-        for attr in ("source_csv", "target_csv", "source_path", "target_path"):
-            value = getattr(self, attr)
-            if value is not None and not isinstance(value, str):
-                raise ValidationError(f"'{attr}' must be a string")
-        for attr in ("name", "config"):
-            if not isinstance(getattr(self, attr), str):
-                raise ValidationError(f"'{attr}' must be a string")
-        if not isinstance(self.use_cache, bool):
-            raise ValidationError("'use_cache' must be a boolean")
-        inline = self.source_csv is not None or self.target_csv is not None
-        by_path = self.source_path is not None or self.target_path is not None
-        if inline and by_path:
-            raise ValidationError(
-                "snapshots must be inline CSV or server-side paths, not both"
-            )
-        if inline and (self.source_csv is None or self.target_csv is None):
-            raise ValidationError("inline submissions need source_csv and target_csv")
-        if by_path and (self.source_path is None or self.target_path is None):
-            raise ValidationError("path submissions need source_path and target_path")
-        if not inline and not by_path:
-            raise ValidationError(
-                "no snapshots: provide source_csv/target_csv or source_path/target_path"
-            )
-        if self.config not in _BASE_CONFIGS:
-            raise ValidationError(
-                f"unknown config {self.config!r} (use {sorted(_BASE_CONFIGS)})"
-            )
-        if not isinstance(self.overrides, Mapping):
-            raise ValidationError("'overrides' must be an object")
-        bad = set(self.overrides) - set(CONFIG_OVERRIDE_FIELDS)
-        if bad:
-            raise ValidationError(f"unknown config overrides: {sorted(bad)}")
-        if not isinstance(self.delimiter, str) or len(self.delimiter) != 1:
-            raise ValidationError("'delimiter' must be a single character")
-        try:
-            self.throttle_seconds = float(self.throttle_seconds)
-        except (TypeError, ValueError):
-            raise ValidationError("'throttle_seconds' must be a number") from None
-        if self.throttle_seconds < 0:
-            raise ValidationError("'throttle_seconds' must be >= 0")
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "source_csv": self.source_csv,
-            "target_csv": self.target_csv,
-            "source_path": self.source_path,
-            "target_path": self.target_path,
-            "delimiter": self.delimiter,
-            "config": self.config,
-            "overrides": dict(self.overrides),
-            "name": self.name,
-            "throttle_seconds": self.throttle_seconds,
-            "use_cache": self.use_cache,
-        }
-
-    def load_tables(self, data_root: Optional[Path] = None) -> Tuple[Table, Table]:
-        """Materialise the two snapshots described by the request.
-
-        When *data_root* is set, server-side paths are resolved inside it and
-        escaping it (``..``, absolute paths) is rejected.
-        """
-        try:
-            if self.source_csv is not None:
-                source = read_csv_text(self.source_csv, delimiter=self.delimiter)
-                target = read_csv_text(self.target_csv, delimiter=self.delimiter)
-                if source.schema != target.schema:
-                    raise ValidationError(
-                        "snapshots have different schemas: "
-                        f"{list(source.schema)} vs {list(target.schema)}"
-                    )
-                return source, target
-            source_path = self._resolve(self.source_path, data_root)
-            target_path = self._resolve(self.target_path, data_root)
-            return read_snapshot_pair(source_path, target_path, delimiter=self.delimiter)
-        except TableError as error:
-            raise ValidationError(str(error)) from error
-        except OSError as error:
-            raise ValidationError(f"cannot read snapshot: {error}") from error
-
-    @staticmethod
-    def _resolve(raw: str, data_root: Optional[Path]) -> Path:
-        path = Path(raw)
-        if data_root is None:
-            return path
-        resolved = (data_root / path).resolve()
-        root = data_root.resolve()
-        if root not in resolved.parents and resolved != root:
-            raise ValidationError(f"path escapes the served data root: {raw!r}")
-        return resolved
+__all__ = [
+    "CONFIG_OVERRIDE_FIELDS",
+    "ExplainRequest",
+    "JobView",
+    "ResultView",
+    "ValidationError",
+    "config_from_request",
+]
 
 
 def config_from_request(request: ExplainRequest) -> AffidavitConfig:
     """Build the search configuration named by the request plus overrides."""
-    base = _BASE_CONFIGS[request.config]
-    overrides = dict(request.overrides)
-    if "max_expansions" in overrides and overrides["max_expansions"] is not None:
-        overrides["max_expansions"] = int(overrides["max_expansions"])
-    try:
-        return base(**overrides)
-    except (TypeError, ValueError) as error:
-        raise ValidationError(f"invalid config overrides: {error}") from error
+    return resolve_config(request)
 
 
 @dataclass(frozen=True)
@@ -225,7 +97,11 @@ class JobView:
 
 @dataclass(frozen=True)
 class ResultView:
-    """JSON body of ``GET /v1/jobs/<id>/result`` (``format=json``)."""
+    """JSON body of ``GET /v1/jobs/<id>/result`` (``format=json``).
+
+    The flat legacy fields stay for existing clients; ``timings`` and
+    ``provenance`` come from the job's :class:`repro.api.ExplainOutcome`.
+    """
 
     job_id: str
     name: str
@@ -239,12 +115,15 @@ class ResultView:
     runtime_seconds: float
     explanation: Dict[str, Any]
     column_cache: Optional[Dict[str, Any]] = None
+    timings: Optional[Dict[str, Any]] = None
+    provenance: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_job(cls, job) -> "ResultView":
         result = job.result
         if result is None:
             raise ValueError(f"job {job.id} has no result")
+        outcome = job.outcome
         return cls(
             job_id=job.id,
             name=job.name,
@@ -260,6 +139,8 @@ class ResultView:
             column_cache=(
                 None if result.cache_stats is None else result.cache_stats.as_dict()
             ),
+            timings=None if outcome is None else outcome.timings.to_dict(),
+            provenance=None if outcome is None else outcome.provenance.to_dict(),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -276,4 +157,6 @@ class ResultView:
             "runtime_seconds": self.runtime_seconds,
             "explanation": self.explanation,
             "column_cache": self.column_cache,
+            "timings": self.timings,
+            "provenance": self.provenance,
         }

@@ -42,7 +42,6 @@ from .schemas import (
     JobView,
     ResultView,
     ValidationError,
-    config_from_request,
 )
 
 MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd inline payloads
@@ -128,18 +127,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json_body()
             request = ExplainRequest.from_dict(payload)
-            source, target = request.load_tables(self.server.data_root)
-            config = config_from_request(request)
+            # Everything enters the engine through repro.api: the manager
+            # resolves config/registry and derives the idempotency key from
+            # the canonical request hash.
+            job = self.server.manager.submit_request(
+                request, data_root=self.server.data_root
+            )
         except ValidationError as error:
             self._send_json(400, {"error": str(error)})
             return
-        job = self.server.manager.submit(
-            source, target,
-            config=config,
-            name=request.name,
-            throttle_seconds=request.throttle_seconds,
-            use_cache=request.use_cache,
-        )
         status = 200 if job.state is JobState.DONE else 202
         self._send_json(status, JobView.from_job(job).to_dict())
 

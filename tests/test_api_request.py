@@ -1,0 +1,270 @@
+"""Tests of the canonical request type (repro.api.ExplainRequest)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    BASE_CONFIGS,
+    ExplainRequest,
+    RequestValidationError,
+    SCHEMA_VERSION,
+    UnsupportedSchemaVersion,
+    resolve_config,
+    resolve_registry,
+)
+from repro.core import AffidavitConfig
+from repro.functions import default_registry
+
+SOURCE_CSV = "id,val\n1,100\n2,200\n"
+TARGET_CSV = "id,val\n1,1\n2,2\n"
+
+
+def inline_request(**kwargs):
+    return ExplainRequest(source_csv=SOURCE_CSV, target_csv=TARGET_CSV, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# construction and validation
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_minimal_inline_request(self):
+        request = inline_request()
+        assert request.config == "hid"
+        assert request.engine == "columnar"
+
+    def test_needs_some_snapshots(self):
+        with pytest.raises(RequestValidationError, match="no snapshots"):
+            ExplainRequest()
+
+    def test_rejects_mixed_transports(self):
+        with pytest.raises(RequestValidationError, match="not both"):
+            ExplainRequest(source_csv=SOURCE_CSV, target_csv=TARGET_CSV,
+                           source_path="a.csv", target_path="b.csv")
+
+    def test_rejects_half_inline(self):
+        with pytest.raises(RequestValidationError):
+            ExplainRequest(source_csv=SOURCE_CSV)
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(RequestValidationError, match="unknown config"):
+            inline_request(config="bogus")
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(RequestValidationError, match="unknown engine"):
+            inline_request(engine="gpu")
+
+    def test_rejects_unknown_override_names(self):
+        with pytest.raises(RequestValidationError, match="unknown config overrides"):
+            inline_request(overrides={"gamma": 1})
+
+    def test_rejects_empty_or_duplicate_functions(self):
+        with pytest.raises(RequestValidationError, match="functions"):
+            inline_request(functions=())
+        with pytest.raises(RequestValidationError, match="repeat"):
+            inline_request(functions=("identity", "identity"))
+
+    def test_rejects_bad_delimiter_and_throttle(self):
+        with pytest.raises(RequestValidationError, match="delimiter"):
+            inline_request(delimiter=";;")
+        with pytest.raises(RequestValidationError, match="throttle_seconds"):
+            inline_request(throttle_seconds="soon")
+        with pytest.raises(RequestValidationError, match="throttle_seconds"):
+            inline_request(throttle_seconds=-1)
+
+    @pytest.mark.parametrize("overrides", [
+        {"alpha": 7.0},
+        {"alpha": -0.1},
+        {"beta": 0},
+        {"queue_width": 0},
+        {"theta": 0.0},
+        {"theta": 1.5},
+        {"confidence": 1.0},
+        {"start_strategy": "sideways"},
+        {"max_block_size": 0},
+        {"column_cache_entries": 0},
+    ])
+    def test_out_of_range_search_parameters_fail_at_construction(self, overrides):
+        # AffidavitConfig.validate() runs during request construction, so
+        # wire-format overrides cannot smuggle in an invalid configuration.
+        with pytest.raises(ValueError):
+            inline_request(overrides=overrides)
+
+
+class TestConfigValidate:
+    def test_validate_passes_on_legal_config(self):
+        AffidavitConfig().validate()
+
+    @pytest.mark.parametrize("field, value, match", [
+        ("alpha", 1.5, "alpha must be in"),
+        ("beta", 0, "beta must be >="),
+        ("queue_width", 0, "queue_width must be >="),
+        ("theta", 2.0, "theta must be in"),
+        ("confidence", 0.0, "confidence must be in"),
+        ("start_strategy", "diagonal", "start_strategy must be one of"),
+    ])
+    def test_constructor_rejects_out_of_range(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            AffidavitConfig(**{field: value})
+
+
+# --------------------------------------------------------------------- #
+# resolution
+# --------------------------------------------------------------------- #
+class TestResolution:
+    def test_engine_selects_columnar_cache(self):
+        assert resolve_config(inline_request(engine="columnar")).columnar_cache is True
+        assert resolve_config(inline_request(engine="rowwise")).columnar_cache is False
+
+    def test_explicit_columnar_cache_override_wins(self):
+        request = inline_request(engine="columnar",
+                                 overrides={"columnar_cache": False})
+        assert resolve_config(request).columnar_cache is False
+
+    def test_base_config_and_overrides(self):
+        request = inline_request(config="hs", overrides={"seed": 9, "beta": 3})
+        config = resolve_config(request)
+        assert config.start_strategy == "overlap"
+        assert config.seed == 9 and config.beta == 3
+
+    def test_registry_subset(self):
+        request = inline_request(functions=("identity", "division"))
+        registry = resolve_registry(request)
+        assert registry.names == ["identity", "division"]
+
+    def test_unknown_function_names_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown meta functions"):
+            resolve_registry(inline_request(functions=("identity", "teleport")))
+
+    def test_no_subset_keeps_full_pool(self):
+        assert resolve_registry(inline_request()).names == default_registry().names
+
+
+# --------------------------------------------------------------------- #
+# serialization round-trips
+# --------------------------------------------------------------------- #
+_names = sorted(default_registry().names)
+
+_override_values = {
+    "alpha": st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    "beta": st.integers(min_value=1, max_value=4),
+    "queue_width": st.integers(min_value=1, max_value=8),
+    "theta": st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    "seed": st.integers(min_value=0, max_value=2**31),
+    "max_expansions": st.one_of(st.none(), st.integers(min_value=1, max_value=10_000)),
+    "columnar_cache": st.booleans(),
+}
+
+request_strategy = st.builds(
+    inline_request,
+    config=st.sampled_from(sorted(BASE_CONFIGS)),
+    overrides=st.dictionaries(
+        st.sampled_from(sorted(_override_values)), st.none(), max_size=4
+    ).flatmap(
+        lambda keys: st.fixed_dictionaries(
+            {key: _override_values[key] for key in keys}
+        )
+    ),
+    functions=st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(_names), min_size=1, max_size=5, unique=True),
+    ),
+    engine=st.sampled_from(("columnar", "rowwise")),
+    name=st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=20
+    ),
+    throttle_seconds=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    use_cache=st.booleans(),
+)
+
+
+class TestSerialization:
+    @settings(max_examples=60, deadline=None)
+    @given(request=request_strategy)
+    def test_dict_round_trip_is_identity(self, request):
+        assert ExplainRequest.from_dict(request.to_dict()) == request
+
+    @settings(max_examples=60, deadline=None)
+    @given(request=request_strategy)
+    def test_json_round_trip_is_identity(self, request):
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert ExplainRequest.from_dict(payload) == request
+
+    def test_to_dict_carries_schema_version(self):
+        assert inline_request().to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_missing_schema_version_is_accepted(self):
+        payload = inline_request().to_dict()
+        del payload["schema_version"]
+        assert ExplainRequest.from_dict(payload) == inline_request()
+
+    def test_unknown_schema_version_is_rejected(self):
+        payload = inline_request().to_dict()
+        payload["schema_version"] = "affidavit.request/v99"
+        with pytest.raises(UnsupportedSchemaVersion, match="v99"):
+            ExplainRequest.from_dict(payload)
+        # ... and the rejection is catchable as a plain validation error.
+        with pytest.raises(RequestValidationError):
+            ExplainRequest.from_dict(payload)
+
+    def test_unknown_fields_are_rejected(self):
+        payload = inline_request().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(RequestValidationError, match="surprise"):
+            ExplainRequest.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# canonical identity (idempotency-key base)
+# --------------------------------------------------------------------- #
+class TestCanonicalKey:
+    def test_stable_across_dict_key_order(self):
+        payload = inline_request(overrides={"seed": 3, "beta": 2}).to_dict()
+        shuffled = dict(reversed(list(payload.items())))
+        shuffled["overrides"] = dict(reversed(list(payload["overrides"].items())))
+        first = ExplainRequest.from_dict(payload)
+        second = ExplainRequest.from_dict(shuffled)
+        assert first == second
+        assert first.canonical_key() == second.canonical_key()
+
+    def test_execution_hints_do_not_change_the_key(self):
+        base = inline_request().canonical_key()
+        assert inline_request(name="other").canonical_key() == base
+        assert inline_request(use_cache=False).canonical_key() == base
+        assert inline_request(throttle_seconds=2.0).canonical_key() == base
+
+    @pytest.mark.parametrize("kwargs", [
+        {"overrides": {"seed": 99}},
+        {"config": "hs"},
+        {"engine": "rowwise"},
+        {"functions": ("identity", "division")},
+    ])
+    def test_result_determining_fields_change_the_key(self, kwargs):
+        assert inline_request(**kwargs).canonical_key() != inline_request().canonical_key()
+
+    def test_snapshot_content_changes_the_key(self):
+        changed = ExplainRequest(source_csv=SOURCE_CSV,
+                                 target_csv=TARGET_CSV + "3,3\n")
+        assert changed.canonical_key() != inline_request().canonical_key()
+
+    @settings(max_examples=40, deadline=None)
+    @given(request=request_strategy)
+    def test_key_survives_serialization(self, request):
+        rebuilt = ExplainRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert rebuilt.canonical_key() == request.canonical_key()
+
+
+class TestWireLeniency:
+    def test_override_pairs_with_unorderable_values_fail_cleanly(self):
+        # Duplicate keys with unorderable values must become a validation
+        # error (HTTP 400), not a TypeError from sorting (HTTP 500).
+        payload = inline_request().to_dict()
+        payload["overrides"] = [["seed", 1], ["seed", {}]]
+        with pytest.raises(RequestValidationError):
+            ExplainRequest.from_dict(payload)
+
+    def test_numeric_string_throttle_is_coerced(self):
+        request = inline_request(throttle_seconds="0.5")
+        assert request.throttle_seconds == 0.5

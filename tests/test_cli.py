@@ -128,3 +128,58 @@ class TestEndToEndViaCli:
         assert exit_code == 0
         payload = json.loads(json_path.read_text())
         assert "functions" in payload and "alignment" in payload
+
+
+class TestFunctionsAndEngineFlags:
+    @pytest.fixture
+    def division_files(self, tmp_path):
+        from repro.dataio import Schema, Table
+
+        schema = Schema(("id", "val"))
+        source = Table(schema, [(str(i), str(i * 700)) for i in range(1, 9)])
+        target = Table(schema, [(str(i), str(i * 7)) for i in range(1, 9)])
+        source_path = tmp_path / "pair_source.csv"
+        target_path = tmp_path / "pair_target.csv"
+        write_csv(source, source_path)
+        write_csv(target, target_path)
+        return source_path, target_path
+
+    def test_functions_flag_restricts_the_pool(self, division_files, tmp_path, capsys):
+        source_path, target_path = division_files
+        json_path = tmp_path / "explanation.json"
+        exit_code = main([
+            "explain", str(source_path), str(target_path),
+            "--functions", "identity,division", "--quiet",
+            "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        explanation = explanation_from_json(json_path.read_text())
+        assert explanation.functions["val"].meta_name == "division"
+
+    def test_unknown_function_name_fails_cleanly(self, division_files, capsys):
+        source_path, target_path = division_files
+        exit_code = main([
+            "explain", str(source_path), str(target_path),
+            "--functions", "warp", "--quiet",
+        ])
+        assert exit_code == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_rowwise_engine_flag(self, division_files, capsys):
+        source_path, target_path = division_files
+        exit_code = main([
+            "explain", str(source_path), str(target_path),
+            "--engine", "rowwise",
+        ])
+        assert exit_code == 0
+        assert "snapshot difference report" in capsys.readouterr().out
+
+    def test_batch_accepts_functions_flag(self, division_files, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        exit_code = main([
+            "batch", str(tmp_path), "--functions", "identity,division",
+            "--output-dir", str(out_dir), "--quiet",
+        ])
+        assert exit_code == 0
+        summary = json.loads((out_dir / "batch_summary.json").read_text())
+        assert summary[0]["state"] == "done"

@@ -110,3 +110,30 @@ def test_cli_version_flag(capsys):
         main(["--version"])
     assert excinfo.value.code == 0
     assert __version__ in capsys.readouterr().out
+
+
+def test_named_config_flows_into_request_provenance(pair_dir):
+    from repro.core import START_OVERLAP
+
+    with JobManager(workers=2) as manager:
+        outcomes = run_batch(pair_dir, manager=manager, config="hs",
+                             overrides={"seed": 3})
+        assert all(o.state == "done" for o in outcomes)
+        for job in manager.jobs():
+            assert job.request.config == "hs"
+            assert job.result.config.start_strategy == START_OVERLAP
+            assert job.result.config.seed == 3
+            assert job.outcome.provenance.base_config == "hs"
+
+
+def test_explicit_config_object_does_not_claim_a_base_name(pair_dir):
+    from repro.core import overlap_configuration
+
+    with JobManager(workers=2) as manager:
+        outcomes = run_batch(pair_dir, manager=manager,
+                             config=overlap_configuration(seed=3))
+        assert all(o.state == "done" for o in outcomes)
+        for job in manager.jobs():
+            # The request's default name ("hid") did not determine the run.
+            assert job.outcome.provenance.base_config is None
+            assert job.result.config.start_strategy == "overlap"

@@ -281,3 +281,73 @@ def test_unknown_result_format_is_400(base_url):
     status, _ = request(base_url, "GET",
                         f"/v1/jobs/{view['id']}/result?format=yaml")
     assert status == 400
+
+
+# --------------------------------------------------------------------- #
+# the repro.api wire format
+# --------------------------------------------------------------------- #
+def test_unknown_schema_version_is_400(base_url):
+    body = explain_body(2, schema_version="affidavit.request/v99")
+    status, payload = request(base_url, "POST", "/v1/explain", body)
+    assert status == 400
+    assert "schema_version" in payload["error"]
+
+
+def test_declared_schema_version_is_accepted(base_url):
+    body = explain_body(4, schema_version="affidavit.request/v1")
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    assert status in (200, 202)
+    wait_for_state(base_url, view["id"], {"done"})
+
+
+def test_functions_field_restricts_the_pool(base_url):
+    body = explain_body(25, functions=["identity", "division"])
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    assert status in (200, 202)
+    wait_for_state(base_url, view["id"], {"done"})
+    status, result = request(base_url, "GET", f"/v1/jobs/{view['id']}/result")
+    assert status == 200
+    assert result["provenance"]["registry"] == ["identity", "division"]
+    assert result["explanation"]["functions"]["val"]["meta"] == "division"
+
+
+def test_unknown_function_name_is_400(base_url):
+    status, payload = request(
+        base_url, "POST", "/v1/explain", explain_body(2, functions=["warp"])
+    )
+    assert status == 400
+    assert "warp" in payload["error"]
+
+
+def test_unknown_engine_is_400(base_url):
+    status, _ = request(
+        base_url, "POST", "/v1/explain", explain_body(2, engine="quantum")
+    )
+    assert status == 400
+
+
+def test_cache_hit_is_key_order_independent(base_url):
+    body = explain_body(75, overrides={"seed": 4, "beta": 2})
+    status, first = request(base_url, "POST", "/v1/explain", body)
+    assert status in (200, 202)
+    wait_for_state(base_url, first["id"], {"done"})
+
+    shuffled = dict(reversed(list(body.items())))
+    shuffled["overrides"] = dict(reversed(list(body["overrides"].items())))
+    status, second = request(base_url, "POST", "/v1/explain", shuffled)
+    assert status == 200
+    assert second["cache_hit"] is True
+    assert second["idempotency_key"] == first["idempotency_key"]
+
+
+def test_result_payload_carries_timings_and_provenance(base_url):
+    status, view = request(base_url, "POST", "/v1/explain", explain_body(30))
+    wait_for_state(base_url, view["id"], {"done"})
+    status, result = request(base_url, "GET", f"/v1/jobs/{view['id']}/result")
+    assert status == 200
+    assert result["timings"]["search_seconds"] >= 0
+    assert result["timings"]["total_seconds"] >= result["timings"]["search_seconds"]
+    provenance = result["provenance"]
+    assert provenance["engine"] == "columnar"
+    assert provenance["base_config"] == "hid"
+    assert provenance["n_source_records"] == 6

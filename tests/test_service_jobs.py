@@ -291,3 +291,137 @@ def test_four_concurrent_jobs_complete_correctly():
             function = job.result.explanation.functions["val"]
             assert function.meta_name == "division"
             assert float(function.parameters[0]) == pytest.approx(d)
+
+
+# --------------------------------------------------------------------- #
+# request-driven submissions (the repro.api path)
+# --------------------------------------------------------------------- #
+class TestSubmitRequest:
+    @pytest.fixture
+    def request_files(self, tmp_path, pair):
+        from repro.dataio import write_csv
+
+        source, target = pair
+        write_csv(source, tmp_path / "s.csv")
+        write_csv(target, tmp_path / "t.csv")
+        return tmp_path
+
+    def test_path_request_completes_with_outcome(self, request_files):
+        from repro.api import ExplainRequest
+
+        request = ExplainRequest(source_path="s.csv", target_path="t.csv",
+                                 name="by-path")
+        with JobManager(workers=1) as manager:
+            job = manager.submit_request(request, data_root=request_files)
+            assert job.wait(60.0)
+            assert job.state is JobState.DONE, job.error
+            assert job.request is request
+            outcome = job.outcome
+            assert outcome is not None
+            assert outcome.idempotency_key == job.key
+            assert outcome.request is request
+            assert outcome.explanation == job.result.explanation
+            # The published result must not pin the job's observer closures.
+            assert job.result.config.should_stop is None
+            assert job.result.config.progress_callback is None
+
+    def test_key_is_derived_from_the_canonical_request_hash(self, request_files, pair):
+        from repro.api import ExplainRequest
+        from repro.service import request_idempotency_key
+
+        source, target = pair
+        request = ExplainRequest(source_path="s.csv", target_path="t.csv")
+        with JobManager(workers=1) as manager:
+            job = manager.submit_request(request, data_root=request_files)
+            assert job.key == request_idempotency_key(request, source, target)
+            assert request.canonical_key() != job.key  # table contents folded in
+
+    def test_repeat_request_is_a_cache_hit(self, request_files):
+        from repro.api import ExplainRequest
+
+        def make_request(**kwargs):
+            return ExplainRequest(source_path="s.csv", target_path="t.csv", **kwargs)
+
+        with JobManager(workers=1) as manager:
+            first = manager.submit_request(make_request(), data_root=request_files)
+            assert first.wait(60.0)
+            # Same canonical content, different execution hints: still a hit.
+            second = manager.submit_request(
+                make_request(name="renamed", use_cache=True),
+                data_root=request_files,
+            )
+            assert second.state is JobState.DONE
+            assert second.cache_hit is True
+            assert second.key == first.key
+            assert second.outcome is not None
+            assert second.outcome.explanation == first.outcome.explanation
+            # A different engine is different canonical content: a miss.
+            third = manager.submit_request(
+                make_request(engine="rowwise"), data_root=request_files
+            )
+            assert third.key != first.key
+            assert third.wait(60.0) and third.cache_hit is False
+
+    def test_request_functions_subset_reaches_the_search(self, request_files):
+        from repro.api import ExplainRequest
+
+        request = ExplainRequest(source_path="s.csv", target_path="t.csv",
+                                 functions=("identity", "division"))
+        with JobManager(workers=1) as manager:
+            job = manager.submit_request(request, data_root=request_files)
+            assert job.wait(60.0)
+            assert job.state is JobState.DONE, job.error
+            assert job.outcome.provenance.registry == ("identity", "division")
+            assert job.instance.registry.names == ["identity", "division"]
+
+    def test_invalid_requests_are_rejected_before_queueing(self, request_files):
+        from repro.api import ExplainRequest, RequestValidationError
+
+        with JobManager(workers=1) as manager:
+            with pytest.raises(RequestValidationError):
+                manager.submit_request(
+                    ExplainRequest(source_path="nope.csv", target_path="t.csv"),
+                    data_root=request_files,
+                )
+            with pytest.raises(RequestValidationError):
+                manager.submit_request(
+                    ExplainRequest(source_path="s.csv", target_path="t.csv",
+                                   functions=("warp",)),
+                    data_root=request_files,
+                )
+            assert manager.jobs() == []
+
+    def test_key_ignores_snapshot_transport(self, request_files, pair):
+        from repro.api import ExplainRequest
+        from repro.dataio import to_csv_text
+
+        source, target = pair
+        by_path = ExplainRequest(source_path="s.csv", target_path="t.csv")
+        by_dotted_path = ExplainRequest(source_path="./s.csv", target_path="./t.csv")
+        inline = ExplainRequest(source_csv=to_csv_text(source),
+                                target_csv=to_csv_text(target))
+        with JobManager(workers=1) as manager:
+            first = manager.submit_request(by_path, data_root=request_files)
+            assert first.wait(60.0)
+            # Same parsed content through a different transport: a cache hit.
+            second = manager.submit_request(by_dotted_path, data_root=request_files)
+            third = manager.submit_request(inline)
+            assert second.cache_hit is True and second.key == first.key
+            assert third.cache_hit is True and third.key == first.key
+
+    def test_outcome_reports_real_load_time(self, request_files):
+        from repro.api import ExplainRequest
+
+        request = ExplainRequest(source_path="s.csv", target_path="t.csv")
+        with JobManager(workers=1) as manager:
+            job = manager.submit_request(request, data_root=request_files)
+            assert job.wait(60.0)
+            timings = job.outcome.timings
+            assert timings.load_seconds > 0.0
+            assert timings.total_seconds == pytest.approx(
+                timings.load_seconds + timings.search_seconds
+            )
+            # The cache-hit job reports its own (fresh) load time too.
+            repeat = manager.submit_request(request, data_root=request_files)
+            assert repeat.cache_hit is True
+            assert repeat.outcome.timings.load_seconds > 0.0
