@@ -15,7 +15,10 @@ Every front door of the reproduction funnels work through this package:
   :class:`SearchEvent` objects (started / progressed / completed).
 
 The HTTP service, the batch runner and the CLI are thin adapters over these
-types; future backends (sharding, multi-engine dispatch) plug in here.
+types.  Engine dispatch lives here too: ``engine="columnar"`` (default),
+``engine="rowwise"`` (the single-process baseline) and ``engine="parallel"``
+(the sharded multi-process engine of :mod:`repro.core.parallel`) all produce
+bit-identical explanations and differ only in how the hardware is used.
 """
 
 from .errors import RequestValidationError, UnsupportedSchemaVersion
@@ -25,6 +28,7 @@ from .request import (
     BASE_CONFIGS,
     CONFIG_OVERRIDE_FIELDS,
     ENGINE_COLUMNAR,
+    ENGINE_PARALLEL,
     ENGINE_ROWWISE,
     ENGINES,
     SCHEMA_VERSION,
@@ -52,6 +56,7 @@ __all__ = [
     "CONFIG_OVERRIDE_FIELDS",
     "ENGINES",
     "ENGINE_COLUMNAR",
+    "ENGINE_PARALLEL",
     "ENGINE_ROWWISE",
     "SCHEMA_VERSION",
     "ExplainSession",

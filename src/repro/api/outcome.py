@@ -18,7 +18,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..core import AffidavitResult, ColumnCacheStats, Explanation, ProblemInstance
 from ..export import explanation_from_dict, explanation_to_dict
 from .errors import RequestValidationError, UnsupportedSchemaVersion
-from .request import SCHEMA_VERSION, ExplainRequest
+from .request import ENGINES, SCHEMA_VERSION, ExplainRequest
 
 #: Version tag of the serialized outcome format.
 OUTCOME_SCHEMA_VERSION = "affidavit.outcome/v1"
@@ -77,9 +77,17 @@ class Provenance:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Provenance":
+        # The engine string is provenance, not preference: a missing or
+        # unknown value must fail loudly instead of silently relabelling the
+        # run as columnar.
+        engine = payload.get("engine")
+        if engine not in ENGINES:
+            raise RequestValidationError(
+                f"provenance engine must be one of {ENGINES}, got {engine!r}"
+            )
         return cls(
             api_version=payload.get("api_version", SCHEMA_VERSION),
-            engine=payload.get("engine", "columnar"),
+            engine=engine,
             base_config=payload.get("base_config"),
             registry=tuple(payload.get("registry", ())),
             instance_name=payload.get("instance_name", "instance"),
@@ -164,7 +172,9 @@ class ExplainOutcome:
         config = result.config
         provenance = Provenance(
             api_version=SCHEMA_VERSION,
-            engine="columnar" if config.columnar_cache else "rowwise",
+            # The engine that actually ran — a parallel request that fell
+            # back (workers <= 1, pool unavailable) reports the fallback.
+            engine=result.engine,
             base_config=None if request is None else request.config,
             registry=tuple(registry_names),
             instance_name=(

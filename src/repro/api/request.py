@@ -18,7 +18,12 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..core import AffidavitConfig, identity_configuration, overlap_configuration
+from ..core import (
+    AffidavitConfig,
+    default_parallel_workers,
+    identity_configuration,
+    overlap_configuration,
+)
 from ..dataio import Table, TableError, read_csv_text, read_snapshot_pair, to_csv_text
 from ..functions import FunctionRegistry, default_registry
 from .errors import RequestValidationError, UnsupportedSchemaVersion
@@ -30,14 +35,15 @@ SCHEMA_VERSION = "affidavit.request/v1"
 
 ENGINE_COLUMNAR = "columnar"
 ENGINE_ROWWISE = "rowwise"
-ENGINES = (ENGINE_COLUMNAR, ENGINE_ROWWISE)
+ENGINE_PARALLEL = "parallel"
+ENGINES = (ENGINE_COLUMNAR, ENGINE_ROWWISE, ENGINE_PARALLEL)
 
 #: Configuration fields clients may override per request.  Callbacks are
 #: deliberately absent — they are owned by the session / job layer.
 CONFIG_OVERRIDE_FIELDS = (
     "alpha", "beta", "queue_width", "theta", "confidence", "start_strategy",
     "max_block_size", "min_generation_successes", "max_expansions", "seed",
-    "columnar_cache", "column_cache_entries",
+    "columnar_cache", "column_cache_entries", "parallel_workers",
 )
 
 #: Named base configurations selectable by request (the paper's two setups).
@@ -95,8 +101,11 @@ class ExplainRequest:
     #: Restrict the meta-function pool to these registry names (``None``
     #: keeps the session's full registry).
     functions: Optional[Tuple[str, ...]] = None
-    #: Evaluation engine: ``"columnar"`` (memoizing, default) or
-    #: ``"rowwise"`` (the bit-identical fallback engine).
+    #: Evaluation engine: ``"columnar"`` (memoizing, default), ``"rowwise"``
+    #: (the bit-identical fallback engine) or ``"parallel"`` (the sharded
+    #: multi-process engine, also bit-identical; worker count via the
+    #: ``parallel_workers`` override, defaulting to the machine's cores,
+    #: capped at four).
     engine: str = ENGINE_COLUMNAR
     name: str = "instance"
     throttle_seconds: float = 0.0
@@ -338,7 +347,10 @@ def resolve_config(request: Optional[ExplainRequest]) -> AffidavitConfig:
     """The search configuration a request asks for: its named base with its
     overrides and engine choice applied on top.  An explicit
     ``columnar_cache`` override wins over the ``engine`` field, which keeps
-    pre-``engine`` clients working.
+    pre-``engine`` clients working.  ``engine="parallel"`` turns into a
+    ``parallel_workers`` setting (the override when given, otherwise the
+    machine default); a ``parallel_workers`` override above 1 on any other
+    engine is rejected rather than silently ignored.
     """
     if request is None:
         return identity_configuration()
@@ -357,7 +369,28 @@ def resolve_config(request: Optional[ExplainRequest]) -> AffidavitConfig:
                 f"invalid config overrides: {error}"
             ) from None
     if "columnar_cache" not in overrides:
-        overrides["columnar_cache"] = request.engine == ENGINE_COLUMNAR
+        overrides["columnar_cache"] = request.engine != ENGINE_ROWWISE
+    if request.engine == ENGINE_PARALLEL:
+        workers = overrides.get("parallel_workers")
+        if workers is None:
+            overrides["parallel_workers"] = default_parallel_workers()
+        elif isinstance(workers, bool) or not isinstance(workers, int):
+            # Strict: int("2.9")-style coercion would silently truncate what
+            # every other path (AffidavitConfig.validate) rejects.
+            raise RequestValidationError(
+                f"'parallel_workers' must be an integer, got {workers!r}"
+            )
+    else:
+        requested_workers = overrides.get("parallel_workers")
+        if (isinstance(requested_workers, int)
+                and not isinstance(requested_workers, bool)
+                and requested_workers > 1):
+            raise RequestValidationError(
+                "the 'parallel_workers' override needs engine='parallel' "
+                f"(requested engine {request.engine!r})"
+            )
+        # Non-integers fall through to config.validate(), which rejects them
+        # with a proper message.
     try:
         config = base.with_overrides(**overrides)
     except (TypeError, ValueError) as error:

@@ -30,6 +30,8 @@ from ..core import (
     AffidavitConfig,
     ProblemInstance,
     SearchProgress,
+    ShardPool,
+    engine_name,
 )
 from ..dataio import Table
 from ..functions import FunctionRegistry, default_registry
@@ -70,6 +72,42 @@ def _chain_stop(first: Optional[StopCallback],
     return chained
 
 
+class _SharedPoolBox:
+    """Holder of the shard pool a family of session clones shares.
+
+    The fluent builder methods return new :class:`ExplainSession` objects;
+    the box travels with them by reference so that a pool started by one
+    clone (e.g. inside ``explain_iter``'s streaming clone) is reused — and
+    eventually closed — by all of them.  The pool is created lazily on the
+    first parallel run and recreated only when a later run asks for a
+    different worker count.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ShardPool] = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self, workers: int) -> Optional[ShardPool]:
+        with self._lock:
+            if self._closed:
+                return None
+            pool = self._pool
+            if pool is not None and (not pool.available() or pool.workers != workers):
+                pool.close()
+                pool = None
+            if pool is None:
+                pool = self._pool = ShardPool(workers)
+            return pool
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.close()
+
+
 class ExplainSession:
     """Facade over the Affidavit engine for request-driven explanation runs.
 
@@ -89,6 +127,12 @@ class ExplainSession:
     data_root:
         Directory that request snapshot paths are confined to (``None``
         resolves paths as given).
+    shard_pool:
+        An externally owned :class:`~repro.core.ShardPool` for parallel
+        runs (the service's job manager shares one across jobs).  When
+        unset, the session lazily creates its own on the first parallel
+        run, reuses it across ``explain()`` calls, and shuts it down on
+        :meth:`close` — external pools are never closed by the session.
     """
 
     def __init__(self, *,
@@ -96,12 +140,16 @@ class ExplainSession:
                  registry: Optional[FunctionRegistry] = None,
                  progress_callback: Optional[ProgressCallback] = None,
                  should_stop: Optional[StopCallback] = None,
-                 data_root: Optional[Path] = None):
+                 data_root: Optional[Path] = None,
+                 shard_pool: Optional[ShardPool] = None,
+                 _pool_box: Optional[_SharedPoolBox] = None):
         self._config = config
         self._registry = registry
         self._progress_callback = progress_callback
         self._should_stop = should_stop
         self._data_root = data_root
+        self._shard_pool = shard_pool
+        self._pool_box = _pool_box if _pool_box is not None else _SharedPoolBox()
 
     # ------------------------------------------------------------------ #
     # fluent builder
@@ -113,6 +161,8 @@ class ExplainSession:
             "progress_callback": self._progress_callback,
             "should_stop": self._should_stop,
             "data_root": self._data_root,
+            "shard_pool": self._shard_pool,
+            "_pool_box": self._pool_box,
         }
         state.update(changes)
         return ExplainSession(**state)
@@ -277,7 +327,7 @@ class ExplainSession:
                 n_source_records=instance.n_source_records,
                 n_target_records=instance.n_target_records,
                 n_attributes=instance.n_attributes,
-                engine="columnar" if config.columnar_cache else "rowwise",
+                engine=engine_name(config),
             )
             worker.start()
             while True:
@@ -305,7 +355,18 @@ class ExplainSession:
             ),
             should_stop=_chain_stop(config.should_stop, self._should_stop),
         )
-        result = Affidavit(config).explain(instance)
+        pool = None
+        if config.columnar_cache and config.parallel_workers > 1:
+            pool = self._shard_pool
+            if pool is None:
+                pool = self._pool_box.acquire(config.parallel_workers)
+            if pool is None or not pool.available():
+                # The session was closed (or the shared pool broke): run the
+                # bit-identical columnar engine instead of spinning up an
+                # ephemeral pool per call.
+                config = config.with_overrides(parallel_workers=0)
+                pool = None
+        result = Affidavit(config, shard_pool=pool).explain(instance)
         return ExplainOutcome.from_result(
             result,
             request=request,
@@ -313,6 +374,26 @@ class ExplainSession:
             registry_names=tuple(instance.registry.names),
             load_seconds=load_seconds,
         )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the session-owned shard pool (if one was ever started).
+
+        The pool is shared by every clone this session spawned, so closing
+        any of them closes it for all; externally supplied pools are left
+        running (their owner closes them).  After ``close()`` the session
+        remains usable — parallel requests simply fall back to the columnar
+        engine.
+        """
+        self._pool_box.close()
+
+    def __enter__(self) -> "ExplainSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 #: Short alias for the fluent style: ``Session().with_config(...).explain(...)``.

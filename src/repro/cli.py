@@ -83,8 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict the meta-function pool to these registry "
                               "names (comma-separated; default: the full pool)")
     explain.add_argument("--engine", choices=ENGINES, default=ENGINE_COLUMNAR,
-                         help="evaluation engine: columnar (memoizing, default) "
-                              "or rowwise (the fallback baseline)")
+                         help="evaluation engine: columnar (memoizing, default), "
+                              "rowwise (the fallback baseline) or parallel "
+                              "(sharded across worker processes; bit-identical "
+                              "results)")
+    explain.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes for --engine parallel "
+                              "(default: the machine's cores, capped at 4)")
     explain.add_argument("--json", type=Path, default=None,
                          help="write the explanation as JSON to this path")
     explain.add_argument("--sql", type=Path, default=None,
@@ -117,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks an ephemeral port)")
     serve.add_argument("--workers", type=int, default=2,
                        help="concurrent explain workers")
+    serve.add_argument("--search-workers", type=int, default=None, metavar="N",
+                       help="size of the shared process pool serving "
+                            "engine=parallel jobs (0 disables it; default: "
+                            "the machine's cores, capped at 4)")
     serve.add_argument("--cache-entries", type=int, default=128,
                        help="capacity of the idempotency result cache")
     serve.add_argument("--cache-ttl", type=float, default=None,
@@ -137,7 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict the meta-function pool to these registry "
                             "names (comma-separated; default: the full pool)")
     batch.add_argument("--workers", type=int, default=2,
-                       help="concurrent explain workers")
+                       help="concurrent explain workers (threads, or one "
+                            "process per pair with --engine parallel)")
+    batch.add_argument("--engine", choices=ENGINES, default=None,
+                       help="evaluation engine; 'parallel' shards the batch "
+                            "across worker processes, one pair per process")
     batch.add_argument("--delimiter", default=",", help="CSV field delimiter")
     batch.add_argument("--output-dir", type=Path, default=None,
                        help="write per-pair explanation JSON and a batch summary here")
@@ -153,18 +166,22 @@ def run_explain(args: argparse.Namespace) -> int:
     for path in (args.source, args.target):
         if not path.exists():
             raise FileNotFoundError(path)
+    overrides = {"seed": args.seed}
+    if args.workers is not None:
+        overrides["parallel_workers"] = args.workers
     try:
         request = ExplainRequest(
             source_path=str(args.source),
             target_path=str(args.target),
             delimiter=args.delimiter,
             config=args.config,
-            overrides={"seed": args.seed},
+            overrides=overrides,
             functions=_function_names(args.functions),
             engine=args.engine,
             name=args.source.stem,
         )
-        outcome = ExplainSession().explain(request)
+        with ExplainSession() as session:
+            outcome = session.explain(request)
     except RequestValidationError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -217,6 +234,7 @@ def run_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
+        search_workers=args.search_workers,
         data_root=args.data_root,
     )
 
@@ -239,6 +257,7 @@ def run_batch_command(args: argparse.Namespace) -> int:
             overrides={"seed": args.seed},
             delimiter=args.delimiter,
             functions=_function_names(args.functions),
+            engine=args.engine,
             output_dir=args.output_dir,
             on_progress=on_progress,
         )

@@ -5,6 +5,7 @@ from .config import (
     START_IDENTITY,
     START_OVERLAP,
     AffidavitConfig,
+    engine_name,
     identity_configuration,
     overlap_configuration,
 )
@@ -44,6 +45,12 @@ from .initialization import (
 )
 from .extension import Extension, StateExpander
 from .affidavit import Affidavit, AffidavitResult, SearchProgress, explain_snapshots
+from .parallel import (
+    ParallelStateExpander,
+    PoolUnavailable,
+    ShardPool,
+    default_parallel_workers,
+)
 
 __all__ = [
     "AffidavitConfig",
@@ -88,6 +95,11 @@ __all__ = [
     "overlap_start_states",
     "Extension",
     "StateExpander",
+    "ParallelStateExpander",
+    "ShardPool",
+    "PoolUnavailable",
+    "default_parallel_workers",
+    "engine_name",
     "Affidavit",
     "AffidavitResult",
     "SearchProgress",

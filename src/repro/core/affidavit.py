@@ -11,7 +11,10 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .parallel import ShardPool
 
 from ..dataio import Table
 from ..functions import FunctionRegistry
@@ -70,6 +73,10 @@ class AffidavitResult:
     #: Final column-cache counters of the run (``None`` for results built
     #: before the columnar engine existed, e.g. unpickled ones).
     cache_stats: Optional[ColumnCacheStats] = None
+    #: The evaluation engine that actually ran: ``"columnar"``, ``"rowwise"``
+    #: or ``"parallel"``.  A parallel request that fell back (workers <= 1,
+    #: or the pool could not start) reports the engine it fell back to.
+    engine: str = "columnar"
 
     @property
     def compression_ratio(self) -> float:
@@ -108,8 +115,15 @@ class Affidavit:
     Division(1000)
     """
 
-    def __init__(self, config: Optional[AffidavitConfig] = None):
+    def __init__(self, config: Optional[AffidavitConfig] = None, *,
+                 shard_pool: Optional["ShardPool"] = None):
         self._config = config if config is not None else identity_configuration()
+        #: External shard pool for the parallel engine.  When the config asks
+        #: for ``parallel_workers > 1`` and no pool is supplied, an ephemeral
+        #: one is created per :meth:`explain` call and torn down afterwards;
+        #: long-lived callers (sessions, the service) pass their own so the
+        #: worker processes survive across searches.
+        self._shard_pool = shard_pool
 
     @property
     def config(self) -> AffidavitConfig:
@@ -130,7 +144,45 @@ class Affidavit:
             column_cache_entries=config.column_cache_entries,
         )
         rng = random.Random(config.seed)
-        expander = StateExpander(instance, config, evaluator, rng)
+        expander, engine, owned_pool = self._build_expander(
+            instance, config, evaluator, rng
+        )
+        try:
+            return self._search(
+                instance, config, evaluator, expander, engine, started
+            )
+        finally:
+            if owned_pool is not None:
+                owned_pool.close()
+
+    def _build_expander(self, instance: ProblemInstance, config: AffidavitConfig,
+                        evaluator: StateEvaluator, rng: random.Random):
+        """The expander, the engine label, and an ephemeral pool to close.
+
+        The parallel engine degrades gracefully: ``parallel_workers <= 1``,
+        a closed/broken external pool, or the row-wise engine all yield the
+        plain sequential expander (results are bit-identical either way).
+        """
+        if config.columnar_cache and config.parallel_workers > 1:
+            from .parallel import ParallelStateExpander, ShardPool
+
+            pool = self._shard_pool
+            owned_pool = None
+            if pool is None:
+                pool = owned_pool = ShardPool(config.parallel_workers)
+            if pool.available():
+                expander = ParallelStateExpander(
+                    instance, config, evaluator, rng, pool=pool
+                )
+                return expander, "parallel", owned_pool
+            if owned_pool is not None:
+                owned_pool.close()
+        engine = "columnar" if config.columnar_cache else "rowwise"
+        return StateExpander(instance, config, evaluator, rng), engine, None
+
+    def _search(self, instance: ProblemInstance, config: AffidavitConfig,
+                evaluator: StateEvaluator, expander: StateExpander,
+                engine: str, started: float) -> AffidavitResult:
         queue = BoundedLevelQueue(config.queue_width)
 
         generated = 0
@@ -218,6 +270,9 @@ class Affidavit:
             )
 
         runtime = time.perf_counter() - started
+        # The parallel expander downgrades its own label when the pool never
+        # managed to run anything (e.g. the host forbids process spawning).
+        engine = getattr(expander, "engine_used", engine)
         return AffidavitResult(
             explanation=explanation,
             cost=final_cost,
@@ -229,6 +284,7 @@ class Affidavit:
             config=config,
             cancelled=cancelled,
             cache_stats=evaluator.cache_stats(),
+            engine=engine,
         )
 
 

@@ -67,6 +67,12 @@ class AffidavitConfig:
     #: ``(function, attribute)`` value maps (each at most one entry per
     #: distinct value of the column).
     column_cache_entries: int = 4096
+    #: Worker-process count of the sharded parallel engine
+    #: (:mod:`repro.core.parallel`).  ``0`` and ``1`` run the search in
+    #: process — the columnar engine; values above ``1`` shard the candidate
+    #: evaluation across that many worker processes, with bit-identical
+    #: results.  Requires ``columnar_cache=True``.
+    parallel_workers: int = 0
     #: Called once per state expansion with a
     #: :class:`~repro.core.affidavit.SearchProgress` snapshot.  Excluded from
     #: equality/hashing so configs that differ only in observers compare equal
@@ -118,10 +124,33 @@ class AffidavitConfig:
             raise ValueError(
                 f"column_cache_entries must be >= 1, got {self.column_cache_entries}"
             )
+        if not isinstance(self.parallel_workers, int) or self.parallel_workers < 0:
+            raise ValueError(
+                f"parallel_workers must be an integer >= 0, got {self.parallel_workers!r}"
+            )
+        if self.parallel_workers > 1 and not self.columnar_cache:
+            raise ValueError(
+                "parallel_workers > 1 requires the columnar engine "
+                "(columnar_cache=True); the row-wise fallback is single-process"
+            )
 
     def with_overrides(self, **changes) -> "AffidavitConfig":
         """A copy with selected fields replaced."""
         return replace(self, **changes)
+
+
+def engine_name(config: AffidavitConfig) -> str:
+    """The evaluation engine a configuration selects: ``"rowwise"`` when the
+    columnar cache is off, ``"parallel"`` when a shard pool is requested,
+    ``"columnar"`` otherwise.  This is the *requested* engine; the search
+    records the engine that actually ran in
+    :attr:`~repro.core.affidavit.AffidavitResult.engine` (the parallel
+    request falls back to columnar when no pool can start)."""
+    if not config.columnar_cache:
+        return "rowwise"
+    if config.parallel_workers > 1:
+        return "parallel"
+    return "columnar"
 
 
 def identity_configuration(**overrides) -> AffidavitConfig:

@@ -176,27 +176,54 @@ class StateExpander:
         )
         functions: List[AttributeFunction] = [greedy_map] + candidates
 
-        cache = self._evaluator.column_cache
-        refined_blockings = [
-            refine_blocking(self._instance, blocking, attribute, function, cache)
-            for function in functions
-        ]
+        bounds, refined_blockings = self._refinement_bounds(blocking, attribute, functions)
         base_length = state.function_description_length
         costs = self._evaluator.batch_costs_from_bounds(
             [base_length + function.description_length for function in functions],
-            [refined.unaligned_bounds() for refined in refined_blockings],
+            bounds,
         )
 
         greedy_cost = costs[0]
+        cache = self._evaluator.column_cache
         extensions: List[Extension] = []
-        for function, refined, cost in zip(functions[1:], refined_blockings[1:], costs[1:]):
+        for position in range(1, len(functions)):
+            cost = costs[position]
             if cost < greedy_cost:
+                function = functions[position]
+                if refined_blockings is not None:
+                    refined = refined_blockings[position]
+                else:
+                    # The bounds came without materialised blockings (the
+                    # sharded engine ships back integers only); rebuild the
+                    # winner's refined blocking locally — winners are rare.
+                    refined = refine_blocking(
+                        self._instance, blocking, attribute, function, cache
+                    )
                 successor = state.extend(attribute, function)
                 self._evaluator.remember_blocking(successor, refined)
                 extensions.append(
                     Extension(state=successor, cost=cost, blocking=refined, attribute=attribute)
                 )
         return extensions
+
+    def _refinement_bounds(
+            self, blocking: BlockingResult, attribute: str,
+            functions: Sequence[AttributeFunction],
+    ) -> Tuple[List[Tuple[int, int]], Optional[List[BlockingResult]]]:
+        """Unaligned bounds of *blocking* refined by each candidate function.
+
+        Returns the per-function ``(c_t, c_s)`` pairs plus the refined
+        blockings they came from, so successor states can reuse them.  The
+        sharded engine overrides this to compute the bounds remotely and
+        returns ``None`` for the blockings (they are rebuilt on demand for
+        the few candidates that beat the greedy benchmark).
+        """
+        cache = self._evaluator.column_cache
+        refined_blockings = [
+            refine_blocking(self._instance, blocking, attribute, function, cache)
+            for function in functions
+        ]
+        return [refined.unaligned_bounds() for refined in refined_blockings], refined_blockings
 
     # ------------------------------------------------------------------ #
     # candidate induction and ranking (Section 4.4)
@@ -221,9 +248,6 @@ class StateExpander:
         target-record counts (no flattened population list), and per-example
         induction is memoized across states by value pair.
         """
-        source_column = self._instance.source.column_view(attribute)
-        target_column = self._instance.target.column_view(attribute)
-
         sizes = [len(block.target_ids) for block in mixed_blocks]
         total = sum(sizes)
         budget = min(self._example_budget, total)
@@ -231,6 +255,29 @@ class StateExpander:
             return []
         sampled = sample_concatenated(self._rng, sizes, budget)
 
+        counts, examples_seen = self._generation_counts(mixed_blocks, attribute, sampled)
+        threshold = generation_threshold(
+            self._example_budget, examples_seen,
+            min_successes=self._config.min_generation_successes,
+        )
+        return [
+            function for function, count in counts.items() if count >= threshold
+        ]
+
+    def _generation_counts(
+            self, mixed_blocks: Sequence[Block], attribute: str,
+            sampled: Sequence[Tuple[int, int]],
+    ) -> Tuple[Dict[AttributeFunction, int], int]:
+        """Per-candidate generation counts over the sampled examples.
+
+        The returned mapping iterates in first-generation order — the order
+        :meth:`CandidatePool.filtered` would produce — which downstream
+        ranking relies on for stable tie-breaking.  The sharded engine
+        overrides this to induce example shards remotely and merge the
+        per-shard pools in shard order (which preserves exactly this order).
+        """
+        source_column = self._instance.source.column_view(attribute)
+        target_column = self._instance.target.column_view(attribute)
         pool = CandidatePool()
         block_values: Dict[int, List[str]] = {}
         for block_index, offset in sampled:
@@ -244,12 +291,7 @@ class StateExpander:
                 target_column[block.target_ids[offset]],
                 memo=self._induction_memo,
             )
-
-        threshold = generation_threshold(
-            self._example_budget, pool.examples_seen,
-            min_successes=self._config.min_generation_successes,
-        )
-        return pool.filtered(threshold)
+        return pool.generation_counts(), pool.examples_seen
 
     def _rank_candidates(self, candidates: Sequence[AttributeFunction],
                          mixed_blocks: Sequence[Block],

@@ -1,0 +1,661 @@
+"""Sharded parallel search engine (``engine="parallel"``).
+
+The columnar engine evaluates one candidate extension at a time; on a
+multi-core machine most of the hardware idles while one core walks blocks.
+This module shards the three pure phases of the per-attribute candidate
+evaluation across a persistent :class:`concurrent.futures.ProcessPoolExecutor`:
+
+1. **Candidate induction** — the sampled ``(block, target value)`` examples
+   are split into contiguous shards; each worker runs its shard through a
+   private :class:`~repro.functions.induction.CandidatePool` (memoized by a
+   worker-local :class:`~repro.functions.induction.InductionMemo`) and ships
+   back ``(function, generation count)`` pairs in first-generation order.
+2. **Candidate ranking** — the sampled blocks are split into weight-balanced
+   contiguous shards; each worker scores *every* candidate on its shard
+   through a worker-local :class:`~repro.core.colcache.ColumnCache` and ships
+   back per-candidate integer overlaps.
+3. **Refinement bounds** — the state's blocking partitions (the shard unit)
+   are split into weight-balanced contiguous shards; each worker refines its
+   partitions under every candidate function and ships back the per-function
+   ``(c_t, c_s)`` bound contributions.
+
+All three phases are deterministic given their inputs, and every merge is
+order-stable (ordered first-seen merge for induction, integer sums for
+ranking and bounds), so the parallel engine is **bit-identical** to the
+columnar engine: every random draw stays in the coordinator, in the same
+order, and the merged shard results equal what the sequential loops produce.
+The equivalence is property-tested the same way rowwise-vs-columnar already
+is.
+
+The pool itself (:class:`ShardPool`) is owned by the caller — typically an
+:class:`~repro.api.session.ExplainSession` or the service's
+:class:`~repro.service.jobs.JobManager` — created lazily, reused across
+searches, and shut down on ``close()``.  Workers cache problem instances by
+token (shipped once, on demand, via a retry-on-miss protocol) together with
+their per-shard column caches and induction memos, so repeated searches over
+the same snapshots pay the serialisation cost once per worker.
+
+When the pool cannot start, breaks mid-search, or a phase is too small to
+amortise the IPC, every phase falls back to the sequential code path on the
+already-drawn samples — results are unchanged, only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import signal
+import threading
+import uuid
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..functions import AttributeFunction
+from ..functions.induction import CandidatePool, InductionMemo
+from ..linking.histogram import indexed_histogram
+from .blocking import Block, BlockingResult, refine_blocking
+from .colcache import ColumnCache
+from .extension import StateExpander
+from .instance import ProblemInstance
+
+#: Below these work sizes a phase stays in the coordinator: the IPC round trip
+#: costs more than the sequential loop.  The thresholds only steer *where* a
+#: phase runs, never *what* it returns, so they are safe to tune (tests pin
+#: them to 0 to force every phase through the pool).
+MIN_REMOTE_EXAMPLES = 16
+MIN_REMOTE_RECORDS = 512
+
+#: How many problem instances each worker process (and the coordinator-side
+#: blob registry) retains; older entries are re-shipped on demand.
+INSTANCE_CACHE_LIMIT = 4
+
+
+def default_parallel_workers() -> int:
+    """Worker count used when ``engine="parallel"`` is requested without an
+    explicit ``parallel_workers`` override: every core up to four.  On a
+    single-core machine this is 1, which the engine dispatch treats as "no
+    pool" — the graceful fallback to the columnar engine."""
+    return min(4, multiprocessing.cpu_count() or 1)
+
+
+class PoolUnavailable(RuntimeError):
+    """The shard pool cannot run tasks (failed to start, broken, or closed)."""
+
+
+class _InstanceMissing(Exception):
+    """Worker-side signal: the task referenced an instance token the worker
+    has not seen yet; the coordinator retries with the pickled instance."""
+
+    def __init__(self, token: str):
+        super().__init__(token)
+        self.token = token
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+class _WorkerContext:
+    """Per-instance state a worker keeps between tasks: the instance itself,
+    the per-shard column cache and the induction memo."""
+
+    __slots__ = ("instance", "cache", "memo")
+
+    def __init__(self, instance: ProblemInstance, cache_entries: int):
+        self.instance = instance
+        self.cache = ColumnCache(
+            instance.source, max_entries=cache_entries, enabled=True
+        )
+        self.memo = InductionMemo()
+
+
+_WORKER_CONTEXTS: "OrderedDict[str, _WorkerContext]" = OrderedDict()
+
+
+def _init_worker() -> None:
+    """Run once per worker process: leave interrupt handling to the owner.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process group;
+    without this the idle workers die mid-``queue.get`` with noisy
+    KeyboardInterrupt tracebacks while the coordinator is already shutting
+    the pool down cleanly."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _worker_context(token: str, blob: Optional[bytes]) -> _WorkerContext:
+    context = _WORKER_CONTEXTS.get(token)
+    if context is not None:
+        _WORKER_CONTEXTS.move_to_end(token)
+        return context
+    if blob is None:
+        raise _InstanceMissing(token)
+    instance, cache_entries = pickle.loads(blob)
+    context = _WorkerContext(instance, cache_entries)
+    _WORKER_CONTEXTS[token] = context
+    while len(_WORKER_CONTEXTS) > INSTANCE_CACHE_LIMIT:
+        _WORKER_CONTEXTS.popitem(last=False)
+    return context
+
+
+def _induce_shard(token: str, blob: Optional[bytes], attribute: str,
+                  block_sources: Dict[int, List[int]],
+                  examples: Sequence[Tuple[int, str]],
+                  ) -> Tuple[List[Tuple[AttributeFunction, int]], int]:
+    """Induce one contiguous shard of sampled examples.
+
+    *examples* holds ``(block id, target value)`` pairs in sample order;
+    *block_sources* maps each referenced block id to its source row ids.
+    Returns the ``(candidate, generation count)`` pairs in first-generation
+    order plus the number of examples processed.
+    """
+    context = _worker_context(token, blob)
+    source_column = context.instance.source.column_view(attribute)
+    registry = context.instance.registry
+    pool = CandidatePool()
+    values_by_block: Dict[int, List[str]] = {}
+    for block_id, target_value in examples:
+        values = values_by_block.get(block_id)
+        if values is None:
+            values = sorted({
+                source_column[source_id] for source_id in block_sources[block_id]
+            })
+            values_by_block[block_id] = values
+        pool.add_example(registry, values, target_value, memo=context.memo)
+    return list(pool.generation_counts().items()), pool.examples_seen
+
+
+def _score_shard(token: str, blob: Optional[bytes], attribute: str,
+                 functions: Sequence[AttributeFunction],
+                 blocks: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                 ) -> List[int]:
+    """Overlap contributions of one contiguous shard of sampled blocks.
+
+    Mirrors the inner loop of ``StateExpander._score_candidates_columnar``
+    restricted to the shard's blocks; overlaps are integers and additive
+    across shards.
+    """
+    context = _worker_context(token, blob)
+    source_column = context.instance.source.column_view(attribute)
+    target_column = context.instance.target.column_view(attribute)
+    target_histograms = [
+        indexed_histogram(target_column, target_ids) for _, target_ids in blocks
+    ]
+    source_histograms = [
+        indexed_histogram(source_column, source_ids) for source_ids, _ in blocks
+    ]
+    distinct_values = list(dict.fromkeys(
+        value for histogram in source_histograms for value in histogram
+    ))
+    target_keys = [histogram.keys() for histogram in target_histograms]
+    overlaps: List[int] = []
+    for function in functions:
+        transformed = context.cache.transformed_histograms(
+            attribute, function, source_histograms, distinct_values,
+            restrict_to=target_keys,
+        )
+        overlap = 0
+        for histogram, target_histogram in zip(transformed, target_histograms):
+            for value, count in histogram.items():
+                target_count = target_histogram[value]
+                overlap += count if count < target_count else target_count
+        overlaps.append(overlap)
+    return overlaps
+
+
+def _bounds_shard(token: str, blob: Optional[bytes], attribute: str,
+                  functions: Sequence[AttributeFunction],
+                  blocks: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                  ) -> List[Tuple[int, int]]:
+    """Refinement-bound contributions of one shard of blocking partitions.
+
+    For each function, every partition is split by the transformed source
+    component (the target component for target rows) and the per-split
+    surpluses are summed — exactly the ``(c_t, c_s)`` contribution the
+    partition makes to ``BlockingResult.unaligned_bounds()`` after a
+    ``refine_blocking`` call, without materialising the refined blocking.
+    """
+    context = _worker_context(token, blob)
+    target_column = context.instance.target.column_view(attribute)
+    results: List[Tuple[int, int]] = []
+    for function in functions:
+        source_components = context.cache.transformed(attribute, function)
+        target_bound = 0
+        source_bound = 0
+        for source_ids, target_ids in blocks:
+            groups: Dict[str, List[int]] = {}
+            for source_id in source_ids:
+                component = source_components[source_id]
+                group = groups.get(component)
+                if group is None:
+                    groups[component] = group = [0, 0]
+                group[0] += 1
+            for target_id in target_ids:
+                component = target_column[target_id]
+                group = groups.get(component)
+                if group is None:
+                    groups[component] = group = [0, 0]
+                group[1] += 1
+            for n_sources, n_targets in groups.values():
+                if n_targets > n_sources:
+                    target_bound += n_targets - n_sources
+                elif n_sources > n_targets:
+                    source_bound += n_sources - n_targets
+        results.append((target_bound, source_bound))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------------- #
+class _RegisteredInstance:
+    __slots__ = ("instance", "blob")
+
+    def __init__(self, instance: ProblemInstance, blob: bytes):
+        self.instance = instance
+        self.blob = blob
+
+
+class ShardPool:
+    """A persistent, bounded process pool for sharded search phases.
+
+    The executor is created lazily on first use (so requesting the parallel
+    engine costs nothing until a phase is actually big enough to shard) and
+    survives across searches — worker-side instance caches make the second
+    search over the same snapshots start warm.  ``close()`` shuts the
+    workers down; a closed or broken pool reports ``available() == False``
+    and every later use raises :class:`PoolUnavailable`, which callers treat
+    as "run this phase sequentially".
+
+    The default ``spawn`` start method keeps the pool safe to use from
+    threaded hosts (the HTTP service's worker threads); *executor_factory*
+    exists for tests that need to simulate pools that cannot start.
+    """
+
+    def __init__(self, workers: int, *, start_method: str = "spawn",
+                 executor_factory: Optional[Callable[[int], ProcessPoolExecutor]] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._start_method = start_method
+        self._executor_factory = executor_factory
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._registered: "OrderedDict[str, _RegisteredInstance]" = OrderedDict()
+        self._tokens: Dict[int, str] = {}
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def started(self) -> bool:
+        """True once the executor exists (it is created lazily)."""
+        with self._lock:
+            return self._executor is not None
+
+    def available(self) -> bool:
+        """True while the pool can (still) run tasks."""
+        with self._lock:
+            return not self._broken and not self._closed
+
+    # -- executor and instance registry -------------------------------- #
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailable("shard pool is closed")
+            if self._broken:
+                raise PoolUnavailable("shard pool is broken")
+            if self._executor is None:
+                try:
+                    if self._executor_factory is not None:
+                        self._executor = self._executor_factory(self._workers)
+                    else:
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self._workers,
+                            mp_context=multiprocessing.get_context(self._start_method),
+                            initializer=_init_worker,
+                        )
+                except Exception as error:
+                    self._broken = True
+                    raise PoolUnavailable(f"cannot start worker pool: {error}") from error
+            return self._executor
+
+    def _token_for(self, instance: ProblemInstance,
+                   cache_entries: int) -> Tuple[str, Optional[bytes]]:
+        """The instance's token, plus its pickled blob when the registration
+        is new — a fresh instance is unknown to every worker, so the first
+        dispatch ships the blob proactively instead of paying a guaranteed
+        miss-and-retry round trip per shard."""
+        with self._lock:
+            token = self._tokens.get(id(instance))
+            if token is not None:
+                self._registered.move_to_end(token)
+                return token, None
+            token = uuid.uuid4().hex
+            blob = pickle.dumps(
+                (instance, cache_entries), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            # Pinning the instance keeps ``id(instance)`` unambiguous for the
+            # registry's lifetime.
+            self._registered[token] = _RegisteredInstance(instance, blob)
+            self._tokens[id(instance)] = token
+            while len(self._registered) > INSTANCE_CACHE_LIMIT:
+                evicted_token, registered = self._registered.popitem(last=False)
+                self._tokens.pop(id(registered.instance), None)
+            return token, blob
+
+    def _mark_broken(self, error: BaseException) -> PoolUnavailable:
+        with self._lock:
+            self._broken = True
+        return PoolUnavailable(f"shard pool broke: {error}")
+
+    # -- task execution ------------------------------------------------- #
+    def start_shards(self, task: Callable, instance: ProblemInstance,
+                     cache_entries: int, payloads: Sequence[tuple]) -> tuple:
+        """Submit *task* once per payload; returns an opaque handle for
+        :meth:`collect_shards`.  Splitting submission from collection lets the
+        coordinator overlap its own work with the workers'."""
+        executor = self._ensure_executor()
+        token, fresh_blob = self._token_for(instance, cache_entries)
+        try:
+            futures = [
+                executor.submit(task, token, fresh_blob, *payload)
+                for payload in payloads
+            ]
+        except RuntimeError as error:  # shut down between _ensure and submit
+            raise PoolUnavailable(str(error)) from error
+        return (task, token, payloads, futures)
+
+    def collect_shards(self, handle: tuple) -> List[object]:
+        """Results of :meth:`start_shards`, in payload order.
+
+        Shards whose worker had not cached the instance token yet raised
+        :class:`_InstanceMissing`; those are retried once with the pickled
+        instance attached, so an instance crosses each process boundary at
+        most once per worker."""
+        task, token, payloads, futures = handle
+        results: List[object] = [None] * len(payloads)
+        misses: List[int] = []
+        for position, future in enumerate(futures):
+            try:
+                results[position] = future.result()
+            except _InstanceMissing:
+                misses.append(position)
+            except BrokenExecutor as error:
+                raise self._mark_broken(error) from error
+        if misses:
+            with self._lock:
+                registered = self._registered.get(token)
+                executor = self._executor
+            if registered is None or executor is None:
+                raise PoolUnavailable("instance evicted during shard dispatch")
+            try:
+                retries = [
+                    executor.submit(task, token, registered.blob, *payloads[position])
+                    for position in misses
+                ]
+            except RuntimeError as error:
+                raise PoolUnavailable(str(error)) from error
+            for position, future in zip(misses, retries):
+                try:
+                    results[position] = future.result()
+                except BrokenExecutor as error:
+                    raise self._mark_broken(error) from error
+        return results
+
+    def map_shards(self, task: Callable, instance: ProblemInstance,
+                   cache_entries: int, payloads: Sequence[tuple]) -> List[object]:
+        """Run *task* once per payload and return the results in payload order
+        (``collect_shards(start_shards(...))``)."""
+        return self.collect_shards(
+            self.start_shards(task, instance, cache_entries, payloads)
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the workers down and mark the pool unusable.  Idempotent."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+            self._registered.clear()
+            self._tokens.clear()
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "closed" if self._closed else
+            "broken" if self._broken else
+            "started" if self._executor is not None else "idle"
+        )
+        return f"ShardPool({self._workers} workers, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# shard splitting
+# --------------------------------------------------------------------------- #
+def split_contiguous(items: Sequence, parts: int) -> List[List]:
+    """Split *items* into at most *parts* contiguous, near-even chunks.
+
+    Empty chunks are dropped; concatenating the chunks reproduces *items* —
+    the property every order-stable merge in this module relies on.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    total = len(items)
+    if total == 0:
+        return []
+    parts = min(parts, total)
+    base, extra = divmod(total, parts)
+    chunks: List[List] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start:start + size]))
+        start += size
+    return chunks
+
+
+def split_weighted(items: Sequence, weights: Sequence[int],
+                   parts: int) -> List[List]:
+    """Split *items* into at most *parts* contiguous chunks of similar weight.
+
+    A greedy scan cuts whenever the running chunk reaches the ideal share of
+    the remaining weight; like :func:`split_contiguous` the concatenation of
+    the chunks reproduces *items*.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if len(items) == 0:
+        return []
+    if parts == 1 or len(items) <= parts:
+        return split_contiguous(items, parts)
+    remaining_weight = sum(weights)
+    chunks: List[List] = []
+    current: List = []
+    current_weight = 0
+    for position, (item, weight) in enumerate(zip(items, weights)):
+        current.append(item)
+        current_weight += weight
+        parts_left = parts - len(chunks)
+        items_left = len(items) - position - 1
+        if parts_left > 1 and items_left >= parts_left - 1:
+            share = remaining_weight / parts_left
+            if current_weight >= share:
+                chunks.append(current)
+                remaining_weight -= current_weight
+                current = []
+                current_weight = 0
+        elif parts_left <= 1:
+            break
+    tail_start = sum(len(chunk) for chunk in chunks) + len(current)
+    current.extend(items[tail_start:])
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# --------------------------------------------------------------------------- #
+# the sharded expander
+# --------------------------------------------------------------------------- #
+class ParallelStateExpander(StateExpander):
+    """A :class:`StateExpander` that runs its pure phases on a shard pool.
+
+    Every random draw happens in the base class, in the coordinator, in the
+    sequential order; only the deterministic per-sample work is sharded.
+    Each overridden hook falls back to the sequential implementation — on
+    the *already drawn* samples, so the trajectory cannot fork — when the
+    pool is unavailable or the phase is too small to amortise the IPC.
+    """
+
+    def __init__(self, instance, config, evaluator, rng=None, *, pool: ShardPool):
+        super().__init__(instance, config, evaluator, rng)
+        self._pool = pool
+        self._cache_entries = config.column_cache_entries
+        self._ran_remote = False
+
+    @property
+    def engine_used(self) -> str:
+        """The engine this run truthfully was: ``"parallel"`` while the pool
+        is usable (or has done remote work), ``"columnar"`` once every phase
+        had to fall back because the pool never managed to run anything —
+        e.g. process spawning is forbidden on the host."""
+        if self._ran_remote or self._pool.available():
+            return "parallel"
+        return "columnar"
+
+    # -- phase 1: candidate induction ----------------------------------- #
+    def _generation_counts(self, mixed_blocks, attribute, sampled):
+        if len(sampled) < MIN_REMOTE_EXAMPLES or not self._pool.available():
+            return super()._generation_counts(mixed_blocks, attribute, sampled)
+        target_column = self._instance.target.column_view(attribute)
+        payloads = []
+        for chunk in split_contiguous(sampled, self._pool.workers):
+            block_sources: Dict[int, List[int]] = {}
+            examples: List[Tuple[int, str]] = []
+            for block_index, offset in chunk:
+                block = mixed_blocks[block_index]
+                if block_index not in block_sources:
+                    block_sources[block_index] = block.source_ids
+                examples.append(
+                    (block_index, target_column[block.target_ids[offset]])
+                )
+            payloads.append((attribute, block_sources, examples))
+        try:
+            shard_results = self._pool.map_shards(
+                _induce_shard, self._instance, self._cache_entries, payloads
+            )
+        except PoolUnavailable:
+            return super()._generation_counts(mixed_blocks, attribute, sampled)
+        self._ran_remote = True
+        # Ordered first-seen merge: contiguous example shards merged in shard
+        # order reproduce the sequential pool's first-generation order.
+        merged: Dict[AttributeFunction, int] = {}
+        examples_seen = 0
+        for pairs, seen in shard_results:
+            examples_seen += seen
+            for function, count in pairs:
+                merged[function] = merged.get(function, 0) + count
+        return merged, examples_seen
+
+    # -- phase 2: candidate ranking ------------------------------------- #
+    def _score_candidates_columnar(self, candidates, mixed_blocks, block_indices,
+                                   attribute):
+        blocks = [mixed_blocks[index] for index in block_indices]
+        weights = [
+            len(block.source_ids) + len(block.target_ids) for block in blocks
+        ]
+        if sum(weights) < MIN_REMOTE_RECORDS or not self._pool.available():
+            return super()._score_candidates_columnar(
+                candidates, mixed_blocks, block_indices, attribute
+            )
+        functions = list(candidates)
+        payloads = [
+            (
+                attribute,
+                functions,
+                [(block.source_ids, block.target_ids) for block in chunk],
+            )
+            for chunk in split_weighted(blocks, weights, self._pool.workers)
+        ]
+        try:
+            shard_results = self._pool.map_shards(
+                _score_shard, self._instance, self._cache_entries, payloads
+            )
+        except PoolUnavailable:
+            return super()._score_candidates_columnar(
+                candidates, mixed_blocks, block_indices, attribute
+            )
+        self._ran_remote = True
+        overlaps = [sum(per_shard) for per_shard in zip(*shard_results)]
+        return [
+            (overlap - candidate.description_length, -order, candidate)
+            for order, (candidate, overlap) in enumerate(zip(candidates, overlaps))
+        ]
+
+    # -- phase 3: refinement bounds ------------------------------------- #
+    def _refinement_bounds(self, blocking: BlockingResult, attribute: str,
+                           functions: Sequence[AttributeFunction]):
+        blocks: List[Block] = list(blocking)
+        weights = [
+            len(block.source_ids) + len(block.target_ids) for block in blocks
+        ]
+        # Non-cacheable functions (the greedy value mapping, unique per state)
+        # stay in the coordinator: their lookup tables can hold an entry per
+        # aligned record, so shipping them to every shard would dwarf the
+        # refinement they pay for.  Their bounds are computed locally while
+        # the workers handle the cacheable candidates — overlapping, not
+        # serialising, the two halves.
+        remote = [
+            position for position, function in enumerate(functions)
+            if function.cacheable
+        ]
+        if not remote or sum(weights) < MIN_REMOTE_RECORDS or not self._pool.available():
+            return super()._refinement_bounds(blocking, attribute, functions)
+        remote_functions = [functions[position] for position in remote]
+        payloads = [
+            (
+                attribute,
+                remote_functions,
+                [(block.source_ids, block.target_ids) for block in chunk],
+            )
+            for chunk in split_weighted(blocks, weights, self._pool.workers)
+        ]
+        try:
+            handle = self._pool.start_shards(
+                _bounds_shard, self._instance, self._cache_entries, payloads
+            )
+        except PoolUnavailable:
+            return super()._refinement_bounds(blocking, attribute, functions)
+        cache = self._evaluator.column_cache
+        local_bounds = {
+            position: refine_blocking(
+                self._instance, blocking, attribute, functions[position], cache
+            ).unaligned_bounds()
+            for position, function in enumerate(functions)
+            if not function.cacheable
+        }
+        try:
+            shard_results = self._pool.collect_shards(handle)
+        except PoolUnavailable:
+            # The local half is already done; finish the remote half locally.
+            for position in remote:
+                local_bounds[position] = refine_blocking(
+                    self._instance, blocking, attribute, functions[position], cache
+                ).unaligned_bounds()
+            return [local_bounds[position] for position in range(len(functions))], None
+        self._ran_remote = True
+        for offset, position in enumerate(remote):
+            local_bounds[position] = (
+                sum(shard[offset][0] for shard in shard_results),
+                sum(shard[offset][1] for shard in shard_results),
+            )
+        return [local_bounds[position] for position in range(len(functions))], None

@@ -67,6 +67,12 @@ class ValueMapping(AttributeFunction):
             self._hash = super().__hash__()
         return self._hash
 
+    def __reduce__(self):
+        # MappingProxyType (and __slots__) defeat the default pickle protocol;
+        # rebuilding through __init__ is required by the sharded engine, which
+        # ships greedy mappings to its worker processes.
+        return (type(self), (dict(self._entries),))
+
     @property
     def description_length(self) -> int:
         return 2 * len(self._entries)

@@ -49,6 +49,8 @@ from ..core import (
     AffidavitResult,
     ProblemInstance,
     SearchProgress,
+    ShardPool,
+    default_parallel_workers,
     identity_configuration,
 )
 from ..dataio import Table
@@ -207,6 +209,15 @@ class JobManager:
         Sizing of the private cache (ignored when *cache* is given).
     default_config:
         Configuration used for submissions that do not bring their own.
+    search_workers:
+        Size of the manager's shared :class:`~repro.core.ShardPool` for
+        jobs that request ``engine="parallel"``.  One bounded pool serves
+        every job, so *workers* HTTP threads times N search workers can
+        never fork-bomb the machine — concurrent parallel jobs share the
+        same ``search_workers`` processes.  ``0`` disables the parallel
+        engine service-side (such jobs run columnar, bit-identically);
+        ``None`` picks the machine default
+        (:func:`repro.core.default_parallel_workers`).
     max_retained_jobs:
         Upper bound on the job registry.  When a submission would exceed it,
         the oldest *terminal* jobs (and their snapshots/results) are dropped;
@@ -220,12 +231,18 @@ class JobManager:
                  cache_entries: int = 128,
                  cache_ttl: Optional[float] = None,
                  default_config: Optional[AffidavitConfig] = None,
+                 search_workers: Optional[int] = None,
                  max_retained_jobs: int = 1024):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_retained_jobs < 1:
             raise ValueError(f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
+        if search_workers is not None and search_workers < 0:
+            raise ValueError(f"search_workers must be >= 0, got {search_workers}")
         self.workers = workers
+        self.search_workers = (
+            default_parallel_workers() if search_workers is None else search_workers
+        )
         self.max_retained_jobs = max_retained_jobs
         self.cache = cache if cache is not None else ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl
@@ -234,6 +251,7 @@ class JobManager:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="affidavit-worker"
         )
+        self._shard_pool: Optional[ShardPool] = None
         self._jobs: Dict[str, Job] = {}
         self._futures: Dict[str, Future] = {}
         self._lock = threading.Lock()
@@ -356,6 +374,29 @@ class JobManager:
     def _next_id(self) -> str:
         return f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
 
+    def _acquire_shard_pool(self) -> Optional[ShardPool]:
+        """The manager's shared shard pool, created lazily; ``None`` when the
+        service disabled parallel search (``search_workers=0``).
+
+        A pool that broke (e.g. a worker was OOM-killed) is discarded and
+        replaced, so one transient failure degrades the jobs in flight to
+        the columnar engine but does not disable ``engine="parallel"`` for
+        the rest of the service's lifetime."""
+        if self.search_workers <= 1:
+            return None
+        stale = None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._shard_pool is not None and not self._shard_pool.available():
+                stale, self._shard_pool = self._shard_pool, None
+            if self._shard_pool is None:
+                self._shard_pool = ShardPool(self.search_workers)
+            pool = self._shard_pool
+        if stale is not None:
+            stale.close()
+        return pool
+
     # ------------------------------------------------------------------ #
     # worker body
     # ------------------------------------------------------------------ #
@@ -385,12 +426,20 @@ class JobManager:
 
         # All execution flows through the repro.api session facade — the
         # worker's closures replace the config's own observers (they already
-        # chain the user's callbacks captured above).
+        # chain the user's callbacks captured above).  Parallel jobs run on
+        # the manager's single bounded shard pool; when the service disables
+        # it, the config degrades to the bit-identical columnar engine.
+        shard_pool = None
+        if config.columnar_cache and config.parallel_workers > 1:
+            shard_pool = self._acquire_shard_pool()
+            if shard_pool is None:
+                config = config.with_overrides(parallel_workers=0)
         session = (
             ExplainSession(
                 config=config.with_overrides(
                     should_stop=None, progress_callback=None
-                )
+                ),
+                shard_pool=shard_pool,
             )
             .with_progress(on_progress)
             .with_cancellation(should_stop)
@@ -472,6 +521,10 @@ class JobManager:
                 if not job.state.is_terminal:
                     self.cancel(job.id)
         self._executor.shutdown(wait=wait)
+        with self._lock:
+            shard_pool, self._shard_pool = self._shard_pool, None
+        if shard_pool is not None:
+            shard_pool.close()
 
     def __enter__(self) -> "JobManager":
         return self

@@ -252,12 +252,13 @@ def create_server(host: str = "127.0.0.1", port: int = 0, *,
                   workers: int = 2,
                   cache_entries: int = 128,
                   cache_ttl: Optional[float] = None,
+                  search_workers: Optional[int] = None,
                   data_root: Optional[Path] = None,
                   verbose: bool = False) -> AffidavitHTTPServer:
     """Build a ready-to-serve HTTP server (port 0 picks an ephemeral port)."""
     if manager is None:
         manager = JobManager(workers=workers, cache_entries=cache_entries,
-                             cache_ttl=cache_ttl)
+                             cache_ttl=cache_ttl, search_workers=search_workers)
     return AffidavitHTTPServer((host, port), manager,
                                data_root=data_root, verbose=verbose)
 
@@ -266,15 +267,18 @@ def serve_forever(host: str = "127.0.0.1", port: int = 8080, *,
                   workers: int = 2,
                   cache_entries: int = 128,
                   cache_ttl: Optional[float] = None,
+                  search_workers: Optional[int] = None,
                   data_root: Optional[Path] = None,
                   verbose: bool = True) -> int:
     """Blocking entry point used by ``repro-affidavit serve``."""
     server = create_server(host, port, workers=workers,
                            cache_entries=cache_entries, cache_ttl=cache_ttl,
+                           search_workers=search_workers,
                            data_root=data_root, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"affidavit service listening on http://{bound_host}:{bound_port} "
-          f"({workers} workers, cache {cache_entries} entries"
+          f"({workers} workers, {server.manager.search_workers} search workers, "
+          f"cache {cache_entries} entries"
           f"{'' if cache_ttl is None else f', ttl {cache_ttl:g}s'})")
     try:
         server.serve_forever()

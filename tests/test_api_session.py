@@ -179,6 +179,26 @@ class TestOutcomeSerialization:
         with pytest.raises(UnsupportedSchemaVersion):
             ExplainOutcome.from_dict(payload)
 
+    def test_engine_round_trips_verbatim(self):
+        payload = Session().explain(division_request(engine="rowwise")).to_dict()
+        rebuilt = ExplainOutcome.from_dict(payload)
+        assert rebuilt.provenance.engine == "rowwise"
+
+    def test_unknown_provenance_engine_is_rejected(self):
+        payload = Session().explain(division_request()).to_dict()
+        payload["provenance"]["engine"] = "quantum"
+        with pytest.raises(RequestValidationError):
+            ExplainOutcome.from_dict(payload)
+
+    def test_missing_provenance_engine_is_rejected(self):
+        # Pre-fix builds defaulted a missing engine to "columnar", silently
+        # mislabelling provenance; the wire format always writes it, so a
+        # payload without it is malformed, not legacy.
+        payload = Session().explain(division_request()).to_dict()
+        del payload["provenance"]["engine"]
+        with pytest.raises(RequestValidationError):
+            ExplainOutcome.from_dict(payload)
+
     def test_summary_mentions_engine_and_cost(self):
         outcome = Session().explain(division_request())
         summary = outcome.summary()

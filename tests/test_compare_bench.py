@@ -1,0 +1,122 @@
+"""Tests of the bench-trend comparison script (``benchmarks/compare_bench.py``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _run(baseline: Path, fresh: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT),
+         "--baseline", str(baseline), "--fresh", str(fresh), *extra],
+        capture_output=True, text=True,
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baseline", tmp_path / "fresh"
+
+
+def test_matching_results_pass(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 2.9})
+    result = _run(baseline, fresh)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "| ok |" in result.stdout
+
+
+def test_regression_beyond_threshold_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 2.0})
+    result = _run(baseline, fresh)
+    assert result.returncode == 1
+    assert "REGRESSED" in result.stdout
+
+
+def test_regression_within_custom_threshold_passes(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 2.0})
+    result = _run(baseline, fresh, "--max-regression", "0.5")
+    assert result.returncode == 0
+
+
+def test_missing_fresh_result_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    fresh.mkdir()
+    result = _run(baseline, fresh)
+    assert result.returncode == 2
+    assert "MISSING" in result.stdout
+
+
+def test_ungated_parallel_metric_never_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_parallel.json",
+           {"speedup_at_max": 2.1, "gated": True})
+    _write(fresh, "BENCH_parallel.json",
+           {"speedup_at_max": 0.7, "gated": False})
+    result = _run(baseline, fresh)
+    assert result.returncode == 0
+    assert "ungated" in result.stdout
+
+
+def test_small_host_baseline_flags_promotion_instead_of_fake_gating(dirs):
+    # A baseline committed from a 1-core box ("gated": false) cannot anchor
+    # a meaningful trend comparison; a gate-worthy fresh run is surfaced as
+    # PROMOTE-BASELINE (the in-bench threshold still enforces the absolute
+    # floor) rather than silently passing or failing against a bogus anchor.
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_parallel.json",
+           {"speedup_at_max": 0.7, "gated": False})
+    _write(fresh, "BENCH_parallel.json",
+           {"speedup_at_max": 1.5, "gated": True})
+    result = _run(baseline, fresh)
+    assert result.returncode == 0
+    assert "PROMOTE-BASELINE" in result.stdout
+
+
+def test_gated_parallel_regression_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_parallel.json",
+           {"speedup_at_max": 2.1, "gated": True})
+    _write(fresh, "BENCH_parallel.json",
+           {"speedup_at_max": 1.0, "gated": True})
+    result = _run(baseline, fresh)
+    assert result.returncode == 1
+
+
+def test_new_benchmark_without_baseline_passes(dirs):
+    baseline, fresh = dirs
+    baseline.mkdir()
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 3.0})
+    result = _run(baseline, fresh)
+    assert result.returncode == 0
+    assert "| new |" in result.stdout
+
+
+def test_summary_file_receives_the_table(dirs, tmp_path):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 3.2})
+    summary = tmp_path / "summary.md"
+    result = _run(baseline, fresh, "--summary", str(summary))
+    assert result.returncode == 0
+    text = summary.read_text(encoding="utf-8")
+    assert "Benchmark trend" in text
+    assert "| metric | baseline | fresh |" in text

@@ -1,0 +1,429 @@
+"""Tests of the sharded parallel engine (``repro.core.parallel``).
+
+The contract under test: ``engine="parallel"`` is a pure wall-clock
+optimisation — bit-identical explanations, costs and search trajectories to
+the columnar engine, across every front door; pools are bounded, reused, and
+torn down on ``close()``.
+
+Process pools are expensive to start, so the module shares one two-worker
+pool across all tests that need a real pool, and pins the remote-dispatch
+thresholds to 0 so even the paper's 13-record running example exercises the
+worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    ENGINE_PARALLEL,
+    ENGINES,
+    ExplainRequest,
+    RequestValidationError,
+    Session,
+    resolve_config,
+)
+from repro.core import (
+    Affidavit,
+    PoolUnavailable,
+    ShardPool,
+    default_parallel_workers,
+    engine_name,
+    identity_configuration,
+)
+from repro.core import parallel as parallel_module
+from repro.core.parallel import split_contiguous, split_weighted
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    pool = ShardPool(2)
+    yield pool
+    pool.close()
+
+
+@pytest.fixture
+def remote_everything(monkeypatch):
+    """Force every phase through the pool, however small the workload."""
+    monkeypatch.setattr(parallel_module, "MIN_REMOTE_EXAMPLES", 0)
+    monkeypatch.setattr(parallel_module, "MIN_REMOTE_RECORDS", 0)
+
+
+def _assert_bit_identical(result, reference):
+    assert result.cost == reference.cost
+    assert result.explanation.functions == reference.explanation.functions
+    assert result.explanation.n_inserted == reference.explanation.n_inserted
+    assert result.explanation.n_deleted == reference.explanation.n_deleted
+    assert result.end_state == reference.end_state
+    assert result.expansions == reference.expansions
+    assert result.generated_states == reference.generated_states
+
+
+# --------------------------------------------------------------------------- #
+# shard splitting
+# --------------------------------------------------------------------------- #
+class TestShardSplitting:
+    @pytest.mark.parametrize("total,parts", [(0, 1), (1, 1), (5, 2), (7, 3), (3, 8)])
+    def test_contiguous_concatenation_invariant(self, total, parts):
+        items = list(range(total))
+        chunks = split_contiguous(items, parts)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) <= parts
+        assert all(chunks)
+
+    def test_contiguous_is_near_even(self):
+        sizes = [len(chunk) for chunk in split_contiguous(list(range(10)), 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("weights,parts", [
+        ([1] * 12, 4),
+        ([100, 1, 1, 1, 1, 1], 3),
+        ([1, 1, 1, 1, 1, 100], 3),
+        ([5], 4),
+        ([], 2),
+    ])
+    def test_weighted_concatenation_invariant(self, weights, parts):
+        items = list(range(len(weights)))
+        chunks = split_weighted(items, weights, parts)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) <= parts
+        assert all(chunks)
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_contiguous([1], 0)
+        with pytest.raises(ValueError):
+            split_weighted([1], [1], 0)
+
+
+# --------------------------------------------------------------------------- #
+# the pool
+# --------------------------------------------------------------------------- #
+class TestShardPool:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardPool(0)
+
+    def test_lazy_start_and_close_idempotent(self):
+        pool = ShardPool(2)
+        assert not pool.started
+        assert pool.available()
+        pool.close()
+        pool.close()
+        assert not pool.available()
+
+    def test_unstartable_pool_raises_pool_unavailable(self):
+        def broken_factory(workers):
+            raise OSError("no processes for you")
+
+        pool = ShardPool(2, executor_factory=broken_factory)
+        instance = generate_problem_instance(
+            load_dataset("iris", 30, seed=0), eta=0.2, tau=0.2, seed=0
+        ).instance
+        with pytest.raises(PoolUnavailable):
+            pool.map_shards(parallel_module._bounds_shard, instance, 64, [])
+        assert not pool.available()
+
+    def test_closed_pool_refuses_work(self, running_example):
+        pool = ShardPool(2)
+        pool.close()
+        with pytest.raises(PoolUnavailable):
+            pool.map_shards(
+                parallel_module._bounds_shard, running_example, 64, []
+            )
+
+
+# --------------------------------------------------------------------------- #
+# engine dispatch and fallback
+# --------------------------------------------------------------------------- #
+class TestEngineDispatch:
+    def test_engine_name_mapping(self):
+        assert engine_name(identity_configuration()) == "columnar"
+        assert engine_name(identity_configuration(columnar_cache=False)) == "rowwise"
+        assert engine_name(identity_configuration(parallel_workers=4)) == "parallel"
+
+    def test_workers_below_two_run_columnar(self, running_example):
+        for workers in (0, 1):
+            result = Affidavit(
+                identity_configuration(parallel_workers=workers)
+            ).explain(running_example)
+            assert result.engine == "columnar"
+
+    def test_unavailable_pool_falls_back_to_columnar(self, running_example):
+        pool = ShardPool(2)
+        pool.close()
+        result = Affidavit(
+            identity_configuration(parallel_workers=2), shard_pool=pool
+        ).explain(running_example)
+        assert result.engine == "columnar"
+
+    def test_parallel_requires_columnar_cache(self):
+        with pytest.raises(ValueError):
+            identity_configuration(columnar_cache=False, parallel_workers=4)
+
+    def test_broken_pool_mid_search_still_bit_identical(self, running_example,
+                                                        remote_everything):
+        def broken_factory(workers):
+            raise OSError("fork refused")
+
+        reference = Affidavit(identity_configuration()).explain(running_example)
+        pool = ShardPool(2, executor_factory=broken_factory)
+        result = Affidavit(
+            identity_configuration(parallel_workers=2), shard_pool=pool
+        ).explain(running_example)
+        # Every phase fell back locally on the already-drawn samples — the
+        # trajectory must match, and since the pool never ran anything the
+        # result truthfully reports the engine it degraded to.
+        assert result.engine == "columnar"
+        assert not pool.available()
+        _assert_bit_identical(result, reference)
+
+    def test_resolve_config_defaults_parallel_workers(self, tmp_path):
+        request = ExplainRequest(
+            source_csv="a\n1\n", target_csv="a\n1\n", engine=ENGINE_PARALLEL
+        )
+        config = resolve_config(request)
+        assert config.parallel_workers == default_parallel_workers()
+        assert config.columnar_cache
+
+    def test_resolve_config_honours_workers_override(self):
+        request = ExplainRequest(
+            source_csv="a\n1\n", target_csv="a\n1\n", engine=ENGINE_PARALLEL,
+            overrides={"parallel_workers": 3},
+        )
+        assert resolve_config(request).parallel_workers == 3
+
+    def test_workers_override_requires_parallel_engine(self):
+        with pytest.raises(RequestValidationError):
+            ExplainRequest(
+                source_csv="a\n1\n", target_csv="a\n1\n",
+                overrides={"parallel_workers": 4},
+            )
+
+    @pytest.mark.parametrize("workers", [2.9, "4", True])
+    def test_non_integer_workers_rejected_not_truncated(self, workers):
+        with pytest.raises(RequestValidationError):
+            ExplainRequest(
+                source_csv="a\n1\n", target_csv="a\n1\n",
+                engine=ENGINE_PARALLEL,
+                overrides={"parallel_workers": workers},
+            )
+
+    def test_non_integer_workers_rejected_on_other_engines_too(self):
+        with pytest.raises(RequestValidationError):
+            ExplainRequest(
+                source_csv="a\n1\n", target_csv="a\n1\n",
+                overrides={"parallel_workers": 4.0},
+            )
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity across engines (the dispatch matrix)
+# --------------------------------------------------------------------------- #
+class TestEngineMatrix:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_engines_agree_on_the_running_example(
+            self, engine, running_source, running_target, tmp_path,
+            shared_pool, remote_everything):
+        source_path = tmp_path / "s.csv"
+        target_path = tmp_path / "t.csv"
+        from repro.dataio import write_csv
+
+        write_csv(running_source, source_path)
+        write_csv(running_target, target_path)
+        reference = Session().explain(ExplainRequest(
+            source_path=str(source_path), target_path=str(target_path),
+        ))
+        outcome = Session(shard_pool=shared_pool).explain(ExplainRequest(
+            source_path=str(source_path), target_path=str(target_path),
+            engine=engine,
+            overrides={"parallel_workers": 2} if engine == ENGINE_PARALLEL else {},
+        ))
+        assert outcome.cost == reference.cost
+        assert outcome.explanation.functions == reference.explanation.functions
+        assert outcome.expansions == reference.expansions
+        assert outcome.provenance.engine == engine
+        # The serialized payloads must agree except for provenance/timings.
+        reference_payload = reference.to_dict()
+        payload = outcome.to_dict()
+        for volatile in ("timings", "provenance", "request", "column_cache",
+                         "idempotency_key"):
+            reference_payload.pop(volatile)
+            payload.pop(volatile)
+        assert payload == reference_payload
+
+    @pytest.mark.parametrize("instance_seed", [1, 2, 3])
+    def test_parallel_agrees_on_generated_snapshots(self, instance_seed,
+                                                    shared_pool,
+                                                    remote_everything):
+        table = load_dataset("flight-500k", 150 + 10 * instance_seed,
+                             seed=instance_seed)
+        instance = generate_problem_instance(
+            table, eta=0.3, tau=0.3, seed=instance_seed
+        ).instance
+        reference = Affidavit(
+            identity_configuration(seed=instance_seed)
+        ).explain(instance)
+        result = Affidavit(
+            identity_configuration(seed=instance_seed, parallel_workers=2),
+            shard_pool=shared_pool,
+        ).explain(instance)
+        assert result.engine == "parallel"
+        _assert_bit_identical(result, reference)
+
+
+class TestParallelProperty:
+    """Hypothesis: on arbitrary generated snapshot pairs the parallel engine
+    and the columnar engine return identical results (the same property the
+    rowwise-vs-columnar suite pins, one engine further out)."""
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture, HealthCheck.too_slow,
+        ],
+    )
+    @given(
+        dataset=st.sampled_from(["iris", "abalone", "flight-500k"]),
+        records=st.integers(min_value=60, max_value=140),
+        eta=st.sampled_from([0.1, 0.3, 0.5]),
+        tau=st.sampled_from([0.1, 0.3, 0.5]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_parallel_equals_columnar(self, dataset, records, eta, tau, seed,
+                                      shared_pool, remote_everything):
+        table = load_dataset(dataset, records, seed=seed)
+        instance = generate_problem_instance(
+            table, eta=eta, tau=tau, seed=seed
+        ).instance
+        reference = Affidavit(identity_configuration(seed=seed)).explain(instance)
+        result = Affidavit(
+            identity_configuration(seed=seed, parallel_workers=2),
+            shard_pool=shared_pool,
+        ).explain(instance)
+        _assert_bit_identical(result, reference)
+
+
+# --------------------------------------------------------------------------- #
+# pool lifecycle through the session
+# --------------------------------------------------------------------------- #
+class TestSessionPoolLifecycle:
+    def test_session_close_tears_the_pool_down(self, running_source,
+                                               running_target,
+                                               remote_everything):
+        before = set(multiprocessing.active_children())
+        session = Session(config=identity_configuration(parallel_workers=2))
+        outcome = session.explain_tables(
+            running_source.copy(), running_target.copy()
+        )
+        assert outcome.provenance.engine == "parallel"
+        spawned = [
+            process for process in multiprocessing.active_children()
+            if process not in before
+        ]
+        assert spawned, "the parallel run never started worker processes"
+        session.close()
+        leaked = [
+            process for process in multiprocessing.active_children()
+            if process in spawned and process.is_alive()
+        ]
+        assert not leaked, f"leaked worker processes: {leaked}"
+
+    def test_closed_session_falls_back_to_columnar(self, running_source,
+                                                   running_target,
+                                                   remote_everything):
+        session = Session(config=identity_configuration(parallel_workers=2))
+        session.close()
+        outcome = session.explain_tables(
+            running_source.copy(), running_target.copy()
+        )
+        assert outcome.provenance.engine == "columnar"
+
+    def test_session_reuses_its_pool_across_explains(self, running_source,
+                                                     running_target,
+                                                     remote_everything):
+        with Session(config=identity_configuration(parallel_workers=2)) as session:
+            session.explain_tables(running_source.copy(), running_target.copy())
+            children_after_first = set(multiprocessing.active_children())
+            session.explain_tables(running_source.copy(), running_target.copy())
+            children_after_second = set(multiprocessing.active_children())
+        assert children_after_second <= children_after_first
+
+    def test_external_pool_is_not_closed_by_session(self, running_source,
+                                                    running_target,
+                                                    shared_pool,
+                                                    remote_everything):
+        session = Session(
+            config=identity_configuration(parallel_workers=2),
+            shard_pool=shared_pool,
+        )
+        outcome = session.explain_tables(
+            running_source.copy(), running_target.copy()
+        )
+        assert outcome.provenance.engine == "parallel"
+        session.close()
+        assert shared_pool.available()
+
+
+# --------------------------------------------------------------------------- #
+# the service's bounded pool
+# --------------------------------------------------------------------------- #
+class TestJobManagerPool:
+    def test_parallel_jobs_share_one_bounded_pool(self, running_source,
+                                                  running_target, tmp_path,
+                                                  remote_everything):
+        from repro.dataio import write_csv
+        from repro.service import JobManager
+
+        write_csv(running_source, tmp_path / "s.csv")
+        write_csv(running_target, tmp_path / "t.csv")
+        request = ExplainRequest(
+            source_path="s.csv", target_path="t.csv", engine=ENGINE_PARALLEL,
+            overrides={"parallel_workers": 2}, use_cache=False,
+        )
+        before = set(multiprocessing.active_children())
+        manager = JobManager(workers=2, search_workers=2)
+        try:
+            jobs = [
+                manager.submit_request(request, data_root=tmp_path)
+                for _ in range(2)
+            ]
+            assert manager.wait_all(60.0)
+            for job in jobs:
+                assert job.error is None
+                assert job.outcome.provenance.engine == "parallel"
+            spawned = [
+                process for process in multiprocessing.active_children()
+                if process not in before
+            ]
+            assert len(spawned) <= manager.search_workers
+        finally:
+            manager.shutdown(wait=True, cancel_pending=True)
+        leaked = [
+            process for process in multiprocessing.active_children()
+            if process not in before and process.is_alive()
+        ]
+        assert not leaked
+
+    def test_search_workers_zero_degrades_to_columnar(self, running_source,
+                                                      running_target, tmp_path,
+                                                      remote_everything):
+        from repro.dataio import write_csv
+        from repro.service import JobManager
+
+        write_csv(running_source, tmp_path / "s.csv")
+        write_csv(running_target, tmp_path / "t.csv")
+        request = ExplainRequest(
+            source_path="s.csv", target_path="t.csv", engine=ENGINE_PARALLEL,
+        )
+        with JobManager(workers=1, search_workers=0) as manager:
+            job = manager.submit_request(request, data_root=tmp_path)
+            assert job.wait(60.0)
+            assert job.error is None
+            assert job.outcome.provenance.engine == "columnar"
