@@ -1,0 +1,184 @@
+"""Benchmark of dictionary-encoded blocking and incremental refinement.
+
+The workload is refine-heavy, mirroring the hot loop of the search on a
+Figure-5-style instance (a *flight-500k* surrogate at (η=0.3, τ=0.3)): walk a
+chain of search states — one more attribute decided per step — and at every
+step evaluate a batch of candidate functions against the current blocking,
+exactly what the greedy-map benchmark of ``Extensions`` does.  Two engines
+run the identical schedule:
+
+* **string keys** — ``ColumnCache(codes=False)``: blocking keys are tuples of
+  transformed cell values, and every candidate is scored by *materialising*
+  its refined blocking (``refine_blocking`` + ``unaligned_bounds``), as the
+  pre-encoding engine did;
+* **encoded** — the default engine: per-attribute integer code dictionaries,
+  blocking built by zipping code arrays, and candidates scored through the
+  bounds-only incremental path (``refine_blocking_bounds`` — no child blocks
+  are ever built).
+
+Both engines must produce identical ``(c_t, c_s)`` bounds for every
+(state, candidate) pair (asserted), and the headline speedup is gated at
+≥ 2x in the full run and ≥ 1.3x under ``--quick``.
+
+Results are written to ``benchmarks/BENCH_blocking.json``:
+
+``series``     per-round runtimes of both engines
+``speedup``    aggregate (summed string / summed encoded) runtime ratio
+``threshold``  the gate the run was checked against
+``checks``     number of (state, candidate) bound pairs cross-checked
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SearchState, build_blocking, refine_blocking, refine_blocking_bounds
+from repro.core.colcache import ColumnCache
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.functions import (
+    IDENTITY,
+    Addition,
+    BackCharTrimming,
+    ConstantValue,
+    Division,
+    Prefixing,
+    Suffixing,
+)
+
+from conftest import scaled
+
+FULL_RECORDS = scaled(6_000)
+QUICK_RECORDS = 1_200
+FULL_ROUNDS = 3
+QUICK_ROUNDS = 2
+FULL_THRESHOLD = 2.0
+QUICK_THRESHOLD = 1.3
+
+
+def _candidate_pool(instance, attribute):
+    """A deterministic per-attribute candidate batch with a realistic
+    applicability mix (numeric-only families fail on text cells)."""
+    target_counts = instance.target.column_view(attribute).value_counts()
+    most_common = min(
+        (value for value, count in target_counts.items()
+         if count == max(target_counts.values())),
+        default="",
+    )
+    return [
+        IDENTITY,
+        Addition(1),
+        Addition(42),
+        Division(1000),
+        Prefixing("P-"),
+        Suffixing("-s"),
+        BackCharTrimming("0"),
+        ConstantValue(most_common),
+    ]
+
+
+def _run_schedule(instance, *, codes: bool):
+    """One full pass of the refine-heavy schedule under one engine.
+
+    Returns ``(seconds, bounds)`` where *bounds* lists the ``(c_t, c_s)``
+    pair of every (state, candidate) evaluation in schedule order — the
+    cross-engine correctness anchor.
+    """
+    cache = ColumnCache(instance.source, max_entries=4096, codes=codes)
+    attributes = list(instance.schema)
+    candidates = {
+        attribute: _candidate_pool(instance, attribute) for attribute in attributes
+    }
+    bounds = []
+    started = time.perf_counter()
+    state = SearchState.empty(instance.schema).extend(attributes[0], IDENTITY)
+    blocking = build_blocking(instance, state, cache)
+    bounds.append(blocking.unaligned_bounds())
+    for attribute in attributes[1:]:
+        for function in candidates[attribute]:
+            if codes:
+                bounds.append(
+                    refine_blocking_bounds(instance, blocking, attribute, function, cache)
+                )
+            else:
+                refined = refine_blocking(instance, blocking, attribute, function, cache)
+                bounds.append(refined.unaligned_bounds())
+        # The identity "wins" every step: materialise its refinement as the
+        # next base blocking, exactly like the search keeps a winner's blocks.
+        state = state.extend(attribute, IDENTITY)
+        blocking = refine_blocking(instance, blocking, attribute, IDENTITY, cache)
+        bounds.append(blocking.unaligned_bounds())
+    return time.perf_counter() - started, bounds
+
+
+def test_encoded_blocking_speedup(bench_seed, quick_mode, bench_json, report_sink):
+    records = QUICK_RECORDS if quick_mode else FULL_RECORDS
+    rounds = QUICK_ROUNDS if quick_mode else FULL_ROUNDS
+    threshold = QUICK_THRESHOLD if quick_mode else FULL_THRESHOLD
+
+    table = load_dataset("flight-500k", records, seed=bench_seed)
+    instance = generate_problem_instance(
+        table, eta=0.3, tau=0.3, seed=bench_seed, name="flight-500k"
+    ).instance
+
+    # Warm-up: fills the per-column dictionaries and value maps of neither
+    # timed cache (each schedule owns a fresh one) but pages the snapshots in.
+    _run_schedule(instance, codes=False)
+
+    series = []
+    string_total = 0.0
+    encoded_total = 0.0
+    checks = 0
+    for round_index in range(rounds):
+        string_seconds, string_bounds = _run_schedule(instance, codes=False)
+        encoded_seconds, encoded_bounds = _run_schedule(instance, codes=True)
+        assert encoded_bounds == string_bounds, (
+            "encoded blocking disagrees with string-key blocking"
+        )
+        checks += len(string_bounds)
+        string_total += string_seconds
+        encoded_total += encoded_seconds
+        series.append({
+            "round": round_index,
+            "string_seconds": round(string_seconds, 4),
+            "encoded_seconds": round(encoded_seconds, 4),
+            "speedup": round(string_seconds / max(encoded_seconds, 1e-9), 2),
+        })
+
+    speedup = string_total / max(encoded_total, 1e-9)
+    bench_json["blocking"] = {
+        "benchmark": "blocking_codes",
+        "workload": "figure5-refine-heavy",
+        "dataset": "flight-500k",
+        "eta": 0.3,
+        "tau": 0.3,
+        "records": instance.n_source_records,
+        "seed": bench_seed,
+        "quick": quick_mode,
+        "series": series,
+        "string_total_seconds": round(string_total, 4),
+        "encoded_total_seconds": round(encoded_total, 4),
+        "speedup": round(speedup, 2),
+        "threshold": threshold,
+        "checks": checks,
+    }
+
+    lines = [
+        "BLOCKING CODES (encoded + bounds-only refinement vs string keys, "
+        f"flight-500k surrogate, {instance.n_source_records} records, "
+        f"seed={bench_seed}, {'quick' if quick_mode else 'full'})",
+    ]
+    for point in series:
+        lines.append(
+            f"  round {point['round']}: strings {point['string_seconds']:.3f}s vs "
+            f"encoded {point['encoded_seconds']:.3f}s ({point['speedup']:.2f}x)"
+        )
+    lines.append(
+        f"  aggregate: {string_total:.3f}s vs {encoded_total:.3f}s "
+        f"= {speedup:.2f}x (gate: >= {threshold}x, {checks} bound checks)"
+    )
+    report_sink.append("\n".join(lines))
+
+    assert speedup >= threshold, (
+        f"encoded blocking speedup {speedup:.2f}x fell below the {threshold}x gate"
+    )

@@ -15,7 +15,11 @@ Usage::
 ``--summary`` appends a markdown trend table — point it at
 ``$GITHUB_STEP_SUMMARY`` to surface the trend on the job page.  Exit code 0
 means no gated regression; 1 means at least one gated metric regressed; 2
-means a fresh result file that has a baseline is missing entirely.
+means an expected fresh result file is missing entirely — every
+``BENCH_*.json`` committed under the baseline directory must have a fresh
+counterpart, whether or not a gated metric reads it, so a benchmark that
+silently drops out of the CI invocation fails the job instead of vanishing
+from the trend.
 
 Conditionally gated metrics (the parallel-scaling speedup) only anchor a
 comparison when the *committed baseline* was itself measured on a
@@ -76,6 +80,8 @@ GATED_METRICS: Sequence[Metric] = (
            ("cache_hit", "speedup")),
     Metric("parallel speedup @ max workers", "BENCH_parallel.json",
            ("speedup_at_max",), gate_key="gated"),
+    Metric("encoded-vs-string blocking speedup", "BENCH_blocking.json",
+           ("speedup",)),
 )
 
 
@@ -128,6 +134,21 @@ def compare(baseline_dir: Path, fresh_dir: Path,
             else:
                 row["status"] = "ok"
         rows.append(row)
+
+    # Every committed baseline file is *expected*: a BENCH_*.json under the
+    # baseline directory whose fresh counterpart is absent means the CI job
+    # stopped producing (or running) that benchmark — fail instead of
+    # silently dropping it from the trend, even when no gated metric reads
+    # the file.
+    covered = {metric.file for metric in GATED_METRICS}
+    for path in sorted(baseline_dir.glob("BENCH_*.json")):
+        if path.name in covered:
+            continue
+        if not (fresh_dir / path.name).exists():
+            rows.append({"metric": f"(file) {path.name}", "file": path.name,
+                         "baseline": None, "fresh": None, "delta": None,
+                         "status": "MISSING"})
+            exit_code = max(exit_code, 2)
     return rows, exit_code
 
 

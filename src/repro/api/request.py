@@ -44,6 +44,7 @@ CONFIG_OVERRIDE_FIELDS = (
     "alpha", "beta", "queue_width", "theta", "confidence", "start_strategy",
     "max_block_size", "min_generation_successes", "max_expansions", "seed",
     "columnar_cache", "column_cache_entries", "parallel_workers",
+    "blocking_codes", "blocking_cache_size",
 )
 
 #: Named base configurations selectable by request (the paper's two setups).

@@ -48,6 +48,25 @@ from .datagen.datasets import DATASETS, get_dataset_entry
 from .export import explanation_to_json, explanation_to_sql, render_report
 
 
+def format_profile(timings) -> str:
+    """Render an :class:`~repro.api.outcome.Timings` breakdown as a table.
+
+    The numbers are the ones already measured by the session (load = snapshot
+    reading, search = the core run); nothing is re-measured here.
+    """
+    total = timings.total_seconds
+    rows = (
+        ("load", timings.load_seconds),
+        ("search", timings.search_seconds),
+        ("total", total),
+    )
+    lines = [f"{'phase':<8s} {'seconds':>9s} {'share':>7s}"]
+    for phase, seconds in rows:
+        share = seconds / total if total else 0.0
+        lines.append(f"{phase:<8s} {seconds:>9.3f} {share:>6.1%}")
+    return "\n".join(lines)
+
+
 def _function_names(raw: Optional[str]) -> Optional[tuple]:
     """Parse a ``--functions name1,name2`` flag into a tuple of names."""
     if raw is None:
@@ -99,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--report", type=Path, default=None,
                          help="write the plain-text report to this path")
     explain.add_argument("--quiet", action="store_true", help="suppress the stdout report")
+    explain.add_argument("--profile", action="store_true",
+                         help="print the per-phase wall-clock breakdown of the run")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic problem instance from a surrogate dataset"
@@ -191,6 +212,8 @@ def run_explain(args: argparse.Namespace) -> int:
         print(report)
         print(f"(search: {outcome.timings.search_seconds:.2f}s, "
               f"{outcome.expansions} expansions)")
+    if args.profile:
+        print(format_profile(outcome.timings))
     if args.report is not None:
         args.report.write_text(report + "\n", encoding="utf-8")
     if args.json is not None:

@@ -25,8 +25,20 @@ from .cost import (
     trivial_explanation_cost,
 )
 from .search_state import MAP_MARKER, UNDECIDED, SearchState
-from .blocking import NOT_APPLICABLE, Block, BlockingResult, build_blocking, refine_blocking
-from .colcache import ColumnCache, ColumnCacheStats
+from .blocking import (
+    NOT_APPLICABLE,
+    Block,
+    BlockingResult,
+    build_blocking,
+    refine_blocking,
+    refine_blocking_bounds,
+)
+from .colcache import (
+    NOT_APPLICABLE_CODE,
+    AttributeCodec,
+    ColumnCache,
+    ColumnCacheStats,
+)
 from .queue import BoundedLevelQueue, QueueEntry
 from .sampling import (
     binomial_pmf,
@@ -77,7 +89,10 @@ __all__ = [
     "BlockingResult",
     "build_blocking",
     "refine_blocking",
+    "refine_blocking_bounds",
     "NOT_APPLICABLE",
+    "NOT_APPLICABLE_CODE",
+    "AttributeCodec",
     "ColumnCache",
     "ColumnCacheStats",
     "BoundedLevelQueue",

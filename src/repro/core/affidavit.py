@@ -142,6 +142,8 @@ class Affidavit:
             alpha=config.alpha,
             columnar=config.columnar_cache,
             column_cache_entries=config.column_cache_entries,
+            blocking_codes=config.blocking_codes,
+            cache_size=config.blocking_cache_size,
         )
         rng = random.Random(config.seed)
         expander, engine, owned_pool = self._build_expander(

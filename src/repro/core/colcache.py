@@ -24,6 +24,18 @@ columns can be used directly as blocking-key components: the sentinel never
 equals a target value, which keeps such records unaligned exactly as
 Section 4.5 of the paper requires.
 
+On top of the value maps the cache *dictionary-encodes* each attribute's
+value domain: an :class:`AttributeCodec` assigns dense integer codes to the
+values of an attribute (source values, target values and transformed values
+share one code space per attribute, so equal values always get equal codes),
+and every cached ``(function, attribute)`` transform also yields an integer
+*code array* plus a code-to-code map.  Blocking, refinement and candidate
+ranking then run on small integers instead of strings — key hashing, block
+splitting and histogram counting all get markedly cheaper.
+:data:`NOT_APPLICABLE` owns the reserved code
+:data:`NOT_APPLICABLE_CODE`, which no real value is ever assigned, so
+inapplicable cells keep missing every target code.
+
 The cache is bounded (LRU over ``(function, attribute)`` value maps) and
 keeps hit/miss/eviction counters that the search threads through
 :class:`~repro.core.affidavit.SearchProgress` and the service layer's job
@@ -37,11 +49,65 @@ from dataclasses import dataclass
 from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..dataio import Table
+from ..dataio.table import Column
 from ..functions import AttributeFunction
 
 #: Key component marking a source cell on which the assigned function failed.
 #: (Shared with :mod:`repro.core.blocking`, which re-exports it.)
 NOT_APPLICABLE = "\x00<not-applicable>"
+
+#: The integer code reserved for :data:`NOT_APPLICABLE` in every attribute
+#: codec.  No target value ever encodes to it, so encoded blocking keys keep
+#: the sentinel's never-matches property.
+NOT_APPLICABLE_CODE = 0
+
+
+class AttributeCodec:
+    """Dense integer codes for one attribute's value domain.
+
+    One codec serves *every* column of the attribute — the raw source column,
+    the target column and all transformed source columns — so two cells hold
+    equal values exactly when they hold equal codes.  Codes are assigned on
+    demand in first-need order; :data:`NOT_APPLICABLE` is pre-assigned the
+    reserved :data:`NOT_APPLICABLE_CODE`.
+    """
+
+    __slots__ = ("_codes",)
+
+    def __init__(self):
+        self._codes: Dict[str, int] = {NOT_APPLICABLE: NOT_APPLICABLE_CODE}
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def encode(self, value: str) -> int:
+        """The code of *value*, assigning a fresh one on first sight."""
+        code = self._codes.get(value)
+        if code is None:
+            self._codes[value] = code = len(self._codes)
+        return code
+
+    def code_of(self, value: str) -> Optional[int]:
+        """The code of *value* if it has one already (no assignment)."""
+        return self._codes.get(value)
+
+    def __repr__(self) -> str:
+        return f"AttributeCodec({len(self._codes)} codes)"
+
+
+class _CacheEntry:
+    """One cached ``(function, attribute)`` transform: the lazily-filled
+    value map plus its dictionary-encoded derivatives."""
+
+    __slots__ = ("mapping", "codes", "code_map")
+
+    def __init__(self):
+        #: value map {source value -> transformed value (or NOT_APPLICABLE)}
+        self.mapping: Dict[str, str] = {}
+        #: the transformed column as a code array (one code per source cell)
+        self.codes: Optional[List[int]] = None
+        #: raw-source-value code -> transformed-value code
+        self.code_map: Optional[List[int]] = None
 
 
 def apply_with_sentinel(function: AttributeFunction,
@@ -109,19 +175,37 @@ class ColumnCache:
         lookup recomputes with per-cell ``apply`` calls, exactly like the
         pre-columnar engine.  Used as the benchmark baseline and by the
         equivalence tests.
+    codes:
+        When ``True`` (and the cache is enabled) the dictionary-encoding
+        layer is active: blocking and ranking consumers may request integer
+        code arrays (:meth:`transformed_codes`, :meth:`encoded_column`,
+        :meth:`transformed_code_histograms`).  ``False`` keeps the plain
+        string-keyed columnar engine — the baseline of the blocking-codes
+        benchmark and of the encoded-vs-string equivalence tests.
     """
 
-    __slots__ = ("_table", "_max_entries", "_enabled", "_maps",
+    __slots__ = ("_table", "_max_entries", "_enabled", "_codes_enabled",
+                 "_maps", "_codecs", "_source_codes", "_encoded_columns",
                  "_hits", "_misses", "_evictions", "_applications")
 
     def __init__(self, table: Table, *, max_entries: int = 512,
-                 enabled: bool = True):
+                 enabled: bool = True, codes: bool = True):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._table = table
         self._max_entries = max_entries
         self._enabled = enabled
-        self._maps: "OrderedDict[Tuple[AttributeFunction, str], Dict[str, str]]" = OrderedDict()
+        self._codes_enabled = codes
+        self._maps: "OrderedDict[Tuple[AttributeFunction, str], _CacheEntry]" = OrderedDict()
+        self._codecs: Dict[str, AttributeCodec] = {}
+        #: per attribute: (encoded source column, distinct values in
+        #: first-occurrence order, their codec codes) — built once, the raw
+        #: source column never changes during a search.
+        self._source_codes: Dict[str, Tuple[List[int], List[str], List[int]]] = {}
+        #: encoded external columns (the instance's target columns), keyed by
+        #: ``(attribute, id(column))``; the column object is pinned so the id
+        #: stays unambiguous.
+        self._encoded_columns: Dict[Tuple[str, int], Tuple[Sequence[str], List[int]]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -136,6 +220,11 @@ class ColumnCache:
         return self._enabled
 
     @property
+    def codes_active(self) -> bool:
+        """True when consumers may (and should) work on integer code arrays."""
+        return self._enabled and self._codes_enabled
+
+    @property
     def max_entries(self) -> int:
         return self._max_entries
 
@@ -145,17 +234,18 @@ class ColumnCache:
     # ------------------------------------------------------------------ #
     # value maps
     # ------------------------------------------------------------------ #
-    def _value_map(self, attribute: str,
-                   function: AttributeFunction) -> Dict[str, str]:
-        """The (lazily filled) value map of one ``(function, attribute)`` key.
+    def _entry(self, attribute: str,
+               function: AttributeFunction) -> _CacheEntry:
+        """The (lazily filled) cache entry of one ``(function, attribute)``
+        key: value map plus its encoded derivatives.
 
         Functions flagged non-``cacheable`` (greedy value mappings, which are
-        unique per search state) get a fresh throwaway map so they cannot
-        evict reusable entries.
+        unique per search state) get a fresh throwaway entry so they cannot
+        evict reusable ones.
         """
         if not function.cacheable:
             self._misses += 1
-            return {}
+            return _CacheEntry()
         key = (function, attribute)
         cached = self._maps.get(key)
         if cached is not None:
@@ -163,7 +253,7 @@ class ColumnCache:
             self._maps.move_to_end(key)
             return cached
         self._misses += 1
-        fresh: Dict[str, str] = {}
+        fresh = _CacheEntry()
         self._maps[key] = fresh
         while len(self._maps) > self._max_entries:
             self._maps.popitem(last=False)
@@ -204,9 +294,184 @@ class ColumnCache:
             self._misses += 1
             self._applications += len(column)
             return apply_with_sentinel(function, column)
-        mapping = self._value_map(attribute, function)
+        mapping = self._entry(attribute, function).mapping
         self._extend_map(mapping, function, column.value_counts().keys())
         return [mapping[cell] for cell in column]
+
+    # ------------------------------------------------------------------ #
+    # dictionary-encoded lookups
+    # ------------------------------------------------------------------ #
+    def codec(self, attribute: str) -> AttributeCodec:
+        """The shared code dictionary of *attribute* (created on first use)."""
+        codec = self._codecs.get(attribute)
+        if codec is None:
+            self._codecs[attribute] = codec = AttributeCodec()
+        return codec
+
+    def _source_domain(self, attribute: str) -> Tuple[List[int], List[str], List[int]]:
+        """``(encoded column, distinct values, their codes)`` of the raw
+        source column — computed once per attribute via the column's cached
+        dictionary encoding."""
+        cached = self._source_codes.get(attribute)
+        if cached is None:
+            column = self._table.column_view(attribute)
+            local_codes, codebook = column.dictionary()
+            encode = self.codec(attribute).encode
+            remap = [encode(value) for value in codebook]
+            encoded = [remap[code] for code in local_codes]
+            cached = (encoded, list(codebook), remap)
+            self._source_codes[attribute] = cached
+        return cached
+
+    def source_value_codes(self, attribute: str) -> List[int]:
+        """The raw source column of *attribute* as a code array (read-only).
+
+        This is also the transformed code array of the identity function —
+        the identity never fails and maps every value to itself."""
+        return self._source_domain(attribute)[0]
+
+    def encoded_column(self, attribute: str, column: Sequence[str]) -> List[int]:
+        """*column* encoded through the attribute's codec (cached, read-only).
+
+        Used for the instance's target columns, so blocking compares source
+        codes against target codes within one shared code space.  The column
+        object is pinned by the cache; callers pass stable column views of a
+        frozen table.
+        """
+        key = (attribute, id(column))
+        cached = self._encoded_columns.get(key)
+        if cached is not None:
+            return cached[1]
+        encode = self.codec(attribute).encode
+        if isinstance(column, Column):
+            local_codes, codebook = column.dictionary()
+            remap = [encode(value) for value in codebook]
+            encoded = [remap[code] for code in local_codes]
+        else:
+            encoded = [encode(value) for value in column]
+        self._encoded_columns[key] = (column, encoded)
+        return encoded
+
+    def _code_map(self, attribute: str, function: AttributeFunction,
+                  entry: _CacheEntry) -> List[int]:
+        """The raw-source-code -> transformed-code map of one entry.
+
+        Built once over the attribute's full distinct-value domain (the value
+        map is extended to cover it), then reused by every blocking build,
+        refinement and ranking of the search.  Codes outside the source
+        domain are mapped to :data:`NOT_APPLICABLE_CODE`; consumers only ever
+        look up source codes.
+        """
+        code_map = entry.code_map
+        if code_map is not None:
+            return code_map
+        _, values, source_codes = self._source_domain(attribute)
+        mapping = entry.mapping
+        self._extend_map(mapping, function, values)
+        codec = self.codec(attribute)
+        encode = codec.encode
+        pairs = [
+            (source_codes[position], encode(mapping[value]))
+            for position, value in enumerate(values)
+        ]
+        code_map = [NOT_APPLICABLE_CODE] * len(codec)
+        for source_code, transformed_code in pairs:
+            code_map[source_code] = transformed_code
+        entry.code_map = code_map
+        return code_map
+
+    def transformed_codes(self, attribute: str,
+                          function: AttributeFunction) -> Sequence[int]:
+        """*function* applied to the whole *attribute* column, as a code array.
+
+        The integer counterpart of :meth:`transformed`: element *i* is the
+        code of the transformed value of cell *i* (``NOT_APPLICABLE_CODE``
+        where the function is inapplicable).  Cached alongside the entry's
+        value map, so repeated blocking builds and refinements of any state
+        sharing the assignment reuse one array.
+        """
+        if function.is_identity:
+            self._hits += 1
+            return self.source_value_codes(attribute)
+        if not self.codes_active:
+            # Degraded path (disabled cache): transform as strings, encode
+            # per cell.  Kept for robustness; the engines gate on
+            # ``codes_active`` and never reach it.
+            column = self.transformed(attribute, function)
+            encode = self.codec(attribute).encode
+            return [encode(value) for value in column]
+        entry = self._entry(attribute, function)
+        codes = entry.codes
+        if codes is None:
+            code_map = self._code_map(attribute, function, entry)
+            codes = [code_map[code] for code in self.source_value_codes(attribute)]
+            entry.codes = codes
+        return codes
+
+    def transformed_code_histograms(
+            self, attribute: str, function: AttributeFunction,
+            slices: Sequence[Mapping[int, int]],
+            restrict_to: Optional[Sequence[AbstractSet[int]]] = None,
+    ) -> List[Mapping[int, int]]:
+        """:meth:`transformed_histograms` in code space.
+
+        *slices* are histograms keyed by raw-source-value codes (one per
+        sampled block); the result histograms are keyed by transformed-value
+        codes.  *restrict_to* optionally gives, per slice, the only
+        transformed codes of interest (a block's target codes for overlap
+        scoring).  Counts are identical to the string-space method —
+        codecs are bijections on each attribute's domain — but every lookup
+        is an integer list index instead of a string hash.
+        """
+        if function.is_identity:
+            self._hits += 1
+            if restrict_to is None:
+                return [
+                    value_counts if isinstance(value_counts, Counter)
+                    else Counter(value_counts)
+                    for value_counts in slices
+                ]
+            return [
+                Counter({
+                    code: count
+                    for code, count in value_counts.items()
+                    if code in wanted
+                })
+                for value_counts, wanted in zip(slices, restrict_to)
+            ]
+        if not self.codes_active:
+            raise ValueError(
+                "code-space histograms require the encoded columnar engine"
+            )
+        entry = self._entry(attribute, function)
+        code_map = self._code_map(attribute, function, entry)
+        results: List[Mapping[int, int]] = []
+        for position, value_counts in enumerate(slices):
+            wanted = restrict_to[position] if restrict_to is not None else None
+            if len(value_counts) == 1:
+                # Single-valued blocks dominate deep search states.
+                ((code, count),) = value_counts.items()
+                transformed = code_map[code]
+                if transformed != NOT_APPLICABLE_CODE and (
+                        wanted is None or transformed in wanted):
+                    results.append({transformed: count})
+                else:
+                    results.append({})
+                continue
+            histogram: Dict[int, int] = {}
+            histogram_get = histogram.get
+            if wanted is None:
+                for code, count in value_counts.items():
+                    transformed = code_map[code]
+                    if transformed != NOT_APPLICABLE_CODE:
+                        histogram[transformed] = histogram_get(transformed, 0) + count
+            else:
+                for code, count in value_counts.items():
+                    transformed = code_map[code]
+                    if transformed != NOT_APPLICABLE_CODE and transformed in wanted:
+                        histogram[transformed] = histogram_get(transformed, 0) + count
+            results.append(histogram)
+        return results
 
     def transformed_histogram(self, attribute: str, function: AttributeFunction,
                               value_counts: Mapping[str, int]) -> Counter:
@@ -270,7 +535,7 @@ class ColumnCache:
                 results.append(histogram)
             self._applications += applications
             return results
-        mapping = self._value_map(attribute, function)
+        mapping = self._entry(attribute, function).mapping
         if distinct_values is not None:
             self._extend_map(mapping, function, distinct_values)
         results = []

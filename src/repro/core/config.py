@@ -67,6 +67,18 @@ class AffidavitConfig:
     #: ``(function, attribute)`` value maps (each at most one entry per
     #: distinct value of the column).
     column_cache_entries: int = 4096
+    #: Dictionary-encode blocking keys: every ``(function, attribute)``
+    #: transform also yields an integer code array, and blocking, refinement
+    #: and candidate ranking run on dense int codes instead of strings.
+    #: ``False`` keeps the string-keyed columnar engine — the baseline of the
+    #: blocking-codes benchmark and of the encoded-vs-string equivalence
+    #: tests (results are bit-identical either way).  Ignored by the
+    #: row-wise engine, which never encodes.
+    blocking_codes: bool = True
+    #: LRU bound of the evaluator's state-keyed blocking cache: how many
+    #: recently used blockings are kept so sibling extensions and queue
+    #: re-polls of a state reuse the parent blocking instead of rebuilding.
+    blocking_cache_size: int = 64
     #: Worker-process count of the sharded parallel engine
     #: (:mod:`repro.core.parallel`).  ``0`` and ``1`` run the search in
     #: process — the columnar engine; values above ``1`` shard the candidate
@@ -123,6 +135,10 @@ class AffidavitConfig:
         if self.column_cache_entries < 1:
             raise ValueError(
                 f"column_cache_entries must be >= 1, got {self.column_cache_entries}"
+            )
+        if self.blocking_cache_size < 1:
+            raise ValueError(
+                f"blocking_cache_size must be >= 1, got {self.blocking_cache_size}"
             )
         if not isinstance(self.parallel_workers, int) or self.parallel_workers < 0:
             raise ValueError(

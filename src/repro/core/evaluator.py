@@ -16,7 +16,7 @@ allows the best-first search to stop as soon as it polls an end state.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .blocking import BlockingResult, build_blocking
 from .colcache import ColumnCache, ColumnCacheStats
@@ -33,20 +33,30 @@ class StateEvaluator:
     per-attribute application work is shared across all states of one search.
     ``columnar=False`` switches to the row-wise fallback engine (identical
     results, no memoization) — the baseline of the evaluator benchmark and of
-    the equivalence tests.
+    the equivalence tests; ``blocking_codes=False`` keeps the columnar engine
+    on string blocking keys (the baseline of the blocking-codes benchmark).
+
+    It also owns the search's *state-keyed blocking LRU*: sibling extensions
+    of one parent and re-polls of a queued state ask for the same blocking
+    many times, and the LRU answers all but the first from memory
+    (``cache_size`` states, with hit/miss counters in
+    :meth:`blocking_cache_info`).
     """
 
     def __init__(self, instance: ProblemInstance, *, alpha: float = 0.5,
-                 cache_size: int = 16, columnar: bool = True,
-                 column_cache_entries: int = 4096):
+                 cache_size: int = 64, columnar: bool = True,
+                 column_cache_entries: int = 4096, blocking_codes: bool = True):
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         self._instance = instance
         self._alpha = alpha
         self._cache_size = max(1, cache_size)
         self._blocking_cache: "OrderedDict[SearchState, BlockingResult]" = OrderedDict()
+        self._blocking_hits = 0
+        self._blocking_misses = 0
         self._column_cache = ColumnCache(
-            instance.source, max_entries=column_cache_entries, enabled=columnar
+            instance.source, max_entries=column_cache_entries, enabled=columnar,
+            codes=blocking_codes,
         )
 
     @property
@@ -78,11 +88,22 @@ class StateEvaluator:
         """The blocking result of *state*, cached across repeated lookups."""
         cached = self._blocking_cache.get(state)
         if cached is not None:
+            self._blocking_hits += 1
             self._blocking_cache.move_to_end(state)
             return cached
+        self._blocking_misses += 1
         blocking = build_blocking(self._instance, state, self._column_cache)
         self.remember_blocking(state, blocking)
         return blocking
+
+    def blocking_cache_info(self) -> Dict[str, int]:
+        """Counters of the state-keyed blocking LRU (hits, misses, size)."""
+        return {
+            "hits": self._blocking_hits,
+            "misses": self._blocking_misses,
+            "entries": len(self._blocking_cache),
+            "max_entries": self._cache_size,
+        }
 
     def remember_blocking(self, state: SearchState, blocking: BlockingResult) -> None:
         """Store an externally computed blocking (e.g. produced by refinement)."""

@@ -32,8 +32,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..functions import AttributeFunction
 from ..functions.induction import CandidatePool, InductionMemo
 from ..linking.alignment import AlignmentPairs, induce_greedy_mapping, sample_random_alignment
-from ..linking.histogram import block_overlap, indexed_histogram
-from .blocking import Block, BlockingResult, build_blocking, refine_blocking
+from ..linking.histogram import block_overlap, indexed_histogram, restricted_overlap
+from .blocking import (
+    Block,
+    BlockingResult,
+    build_blocking,
+    refine_blocking,
+    refine_blocking_bounds,
+)
 from .config import AffidavitConfig
 from .evaluator import StateEvaluator
 from .instance import ProblemInstance
@@ -193,9 +199,10 @@ class StateExpander:
                 if refined_blockings is not None:
                     refined = refined_blockings[position]
                 else:
-                    # The bounds came without materialised blockings (the
-                    # sharded engine ships back integers only); rebuild the
-                    # winner's refined blocking locally — winners are rare.
+                    # The bounds came without materialised blockings (both
+                    # the bounds-only path and the sharded engine ship back
+                    # integers only); rebuild the winner's refined blocking
+                    # locally — winners are rare.
                     refined = refine_blocking(
                         self._instance, blocking, attribute, function, cache
                     )
@@ -212,18 +219,20 @@ class StateExpander:
     ) -> Tuple[List[Tuple[int, int]], Optional[List[BlockingResult]]]:
         """Unaligned bounds of *blocking* refined by each candidate function.
 
-        Returns the per-function ``(c_t, c_s)`` pairs plus the refined
-        blockings they came from, so successor states can reuse them.  The
-        sharded engine overrides this to compute the bounds remotely and
-        returns ``None`` for the blockings (they are rebuilt on demand for
-        the few candidates that beat the greedy benchmark).
+        Bounds only: almost every candidate loses to the greedy benchmark, so
+        no refined blocking is materialised here — ``None`` is returned in
+        place of the blockings and the few winners are rebuilt on demand.
+        The sharded engine overrides this to compute the same integer bounds
+        remotely.
         """
         cache = self._evaluator.column_cache
-        refined_blockings = [
-            refine_blocking(self._instance, blocking, attribute, function, cache)
+        bounds = [
+            refine_blocking_bounds(
+                self._instance, blocking, attribute, function, cache
+            )
             for function in functions
         ]
-        return [refined.unaligned_bounds() for refined in refined_blockings], refined_blockings
+        return bounds, None
 
     # ------------------------------------------------------------------ #
     # candidate induction and ranking (Section 4.4)
@@ -340,36 +349,49 @@ class StateExpander:
         earlier candidate-block pair — in this state or a sibling — is never
         pushed through ``apply`` again.  The per-block target histograms are
         likewise computed once and shared by all candidates.
+
+        With dictionary encoding active, the histograms are built over the
+        attribute's *code arrays* and every candidate is scored through its
+        code-to-code map — each per-value step is a list index and an int
+        comparison instead of a string hash.  The counts, and therefore the
+        scores and the ranking, are identical either way.
         """
-        source_column = self._instance.source.column_view(attribute)
-        target_column = self._instance.target.column_view(attribute)
         cache = self._evaluator.column_cache
         blocks = [mixed_blocks[i] for i in block_indices]
+        if cache.codes_active:
+            source_column: Sequence = cache.source_value_codes(attribute)
+            target_column: Sequence = cache.encoded_column(
+                attribute, self._instance.target.column_view(attribute)
+            )
+        else:
+            source_column = self._instance.source.column_view(attribute)
+            target_column = self._instance.target.column_view(attribute)
         target_histograms = [
             indexed_histogram(target_column, block.target_ids) for block in blocks
         ]
         source_histograms = [
             indexed_histogram(source_column, block.source_ids) for block in blocks
         ]
-        distinct_values = list(dict.fromkeys(
-            value for histogram in source_histograms for value in histogram
-        ))
         target_keys = [histogram.keys() for histogram in target_histograms]
+        if cache.codes_active:
+            def transform(candidate: AttributeFunction):
+                return cache.transformed_code_histograms(
+                    attribute, candidate, source_histograms,
+                    restrict_to=target_keys,
+                )
+        else:
+            distinct_values = list(dict.fromkeys(
+                value for histogram in source_histograms for value in histogram
+            ))
+
+            def transform(candidate: AttributeFunction):
+                return cache.transformed_histograms(
+                    attribute, candidate, source_histograms, distinct_values,
+                    restrict_to=target_keys,
+                )
         scored: List[Tuple[float, int, AttributeFunction]] = []
         for order, candidate in enumerate(candidates):
-            transformed = cache.transformed_histograms(
-                attribute, candidate, source_histograms, distinct_values,
-                restrict_to=target_keys,
-            )
-            # Inline overlap: the restricted histograms only hold values the
-            # target histogram also has, so the min-sum needs no key
-            # intersection (Counter lookups return 0 for the identity path's
-            # unrestricted histograms).
-            overlap = 0
-            for histogram, target_histogram in zip(transformed, target_histograms):
-                for value, count in histogram.items():
-                    target_count = target_histogram[value]
-                    overlap += count if count < target_count else target_count
+            overlap = restricted_overlap(transform(candidate), target_histograms)
             scored.append((overlap - candidate.description_length, -order, candidate))
         return scored
 

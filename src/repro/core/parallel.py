@@ -53,8 +53,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..functions import AttributeFunction
 from ..functions.induction import CandidatePool, InductionMemo
-from ..linking.histogram import indexed_histogram
-from .blocking import Block, BlockingResult, refine_blocking
+from ..linking.histogram import indexed_histogram, restricted_overlap
+from .blocking import (
+    Block,
+    BlockingResult,
+    partition_refined_bounds,
+    refine_blocking_bounds,
+)
 from .colcache import ColumnCache
 from .extension import StateExpander
 from .instance import ProblemInstance
@@ -97,7 +102,15 @@ class _InstanceMissing(Exception):
 # --------------------------------------------------------------------------- #
 class _WorkerContext:
     """Per-instance state a worker keeps between tasks: the instance itself,
-    the per-shard column cache and the induction memo."""
+    the per-shard column cache and the induction memo.
+
+    The cache runs with dictionary encoding on, so each worker builds its
+    attribute code dictionaries exactly once per shipped instance and every
+    later shard over that instance works on integer code arrays.  Codes are
+    worker-local (assignment order may differ between processes); only
+    code-independent integers — generation counts, overlaps, bounds — ever
+    cross back to the coordinator, so the merge stays bit-identical.
+    """
 
     __slots__ = ("instance", "cache", "memo")
 
@@ -171,34 +184,30 @@ def _score_shard(token: str, blob: Optional[bytes], attribute: str,
     """Overlap contributions of one contiguous shard of sampled blocks.
 
     Mirrors the inner loop of ``StateExpander._score_candidates_columnar``
-    restricted to the shard's blocks; overlaps are integers and additive
-    across shards.
+    restricted to the shard's blocks — including its code-space form: the
+    histograms are keyed by the worker's dictionary codes and every function
+    is scored through its code-to-code map.  Overlaps are code-independent
+    integers and additive across shards.
     """
     context = _worker_context(token, blob)
-    source_column = context.instance.source.column_view(attribute)
-    target_column = context.instance.target.column_view(attribute)
+    cache = context.cache
+    source_column = cache.source_value_codes(attribute)
+    target_column = cache.encoded_column(
+        attribute, context.instance.target.column_view(attribute)
+    )
     target_histograms = [
         indexed_histogram(target_column, target_ids) for _, target_ids in blocks
     ]
     source_histograms = [
         indexed_histogram(source_column, source_ids) for source_ids, _ in blocks
     ]
-    distinct_values = list(dict.fromkeys(
-        value for histogram in source_histograms for value in histogram
-    ))
     target_keys = [histogram.keys() for histogram in target_histograms]
     overlaps: List[int] = []
     for function in functions:
-        transformed = context.cache.transformed_histograms(
-            attribute, function, source_histograms, distinct_values,
-            restrict_to=target_keys,
+        transformed = cache.transformed_code_histograms(
+            attribute, function, source_histograms, restrict_to=target_keys,
         )
-        overlap = 0
-        for histogram, target_histogram in zip(transformed, target_histograms):
-            for value, count in histogram.items():
-                target_count = target_histogram[value]
-                overlap += count if count < target_count else target_count
-        overlaps.append(overlap)
+        overlaps.append(restricted_overlap(transformed, target_histograms))
     return overlaps
 
 
@@ -209,39 +218,23 @@ def _bounds_shard(token: str, blob: Optional[bytes], attribute: str,
     """Refinement-bound contributions of one shard of blocking partitions.
 
     For each function, every partition is split by the transformed source
-    component (the target component for target rows) and the per-split
-    surpluses are summed — exactly the ``(c_t, c_s)`` contribution the
-    partition makes to ``BlockingResult.unaligned_bounds()`` after a
-    ``refine_blocking`` call, without materialising the refined blocking.
+    code (the target code for target rows) and the per-split surpluses are
+    summed — exactly the ``(c_t, c_s)`` contribution the partition makes to
+    ``BlockingResult.unaligned_bounds()`` after a ``refine_blocking`` call,
+    without materialising the refined blocking.  The shard-local form of
+    ``BlockingResult.refined_bounds``, on the worker's code arrays.
     """
     context = _worker_context(token, blob)
-    target_column = context.instance.target.column_view(attribute)
-    results: List[Tuple[int, int]] = []
-    for function in functions:
-        source_components = context.cache.transformed(attribute, function)
-        target_bound = 0
-        source_bound = 0
-        for source_ids, target_ids in blocks:
-            groups: Dict[str, List[int]] = {}
-            for source_id in source_ids:
-                component = source_components[source_id]
-                group = groups.get(component)
-                if group is None:
-                    groups[component] = group = [0, 0]
-                group[0] += 1
-            for target_id in target_ids:
-                component = target_column[target_id]
-                group = groups.get(component)
-                if group is None:
-                    groups[component] = group = [0, 0]
-                group[1] += 1
-            for n_sources, n_targets in groups.values():
-                if n_targets > n_sources:
-                    target_bound += n_targets - n_sources
-                elif n_sources > n_targets:
-                    source_bound += n_sources - n_targets
-        results.append((target_bound, source_bound))
-    return results
+    cache = context.cache
+    target_components = cache.encoded_column(
+        attribute, context.instance.target.column_view(attribute)
+    )
+    return [
+        partition_refined_bounds(
+            blocks, cache.transformed_codes(attribute, function), target_components
+        )
+        for function in functions
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -637,9 +630,9 @@ class ParallelStateExpander(StateExpander):
             return super()._refinement_bounds(blocking, attribute, functions)
         cache = self._evaluator.column_cache
         local_bounds = {
-            position: refine_blocking(
+            position: refine_blocking_bounds(
                 self._instance, blocking, attribute, functions[position], cache
-            ).unaligned_bounds()
+            )
             for position, function in enumerate(functions)
             if not function.cacheable
         }
@@ -648,9 +641,9 @@ class ParallelStateExpander(StateExpander):
         except PoolUnavailable:
             # The local half is already done; finish the remote half locally.
             for position in remote:
-                local_bounds[position] = refine_blocking(
+                local_bounds[position] = refine_blocking_bounds(
                     self._instance, blocking, attribute, functions[position], cache
-                ).unaligned_bounds()
+                )
             return [local_bounds[position] for position in range(len(functions))], None
         self._ran_remote = True
         for offset, position in enumerate(remote):

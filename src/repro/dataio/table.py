@@ -43,7 +43,7 @@ class Column(List[str]):
     first call.
     """
 
-    __slots__ = ("_counts", "_kind", "_missing", "_numeric")
+    __slots__ = ("_counts", "_kind", "_missing", "_numeric", "_dictionary")
 
     #: Inferred column kinds.
     KIND_EMPTY = "empty"
@@ -59,15 +59,16 @@ class Column(List[str]):
         self._kind: Optional[str] = None
         self._missing: Optional[int] = None
         self._numeric: Optional[int] = None
+        self._dictionary: Optional[Tuple[List[int], Dict[str, int]]] = None
 
     # -- mutating list methods drop the cache --------------------------- #
     def append(self, cell: str) -> None:
-        if self._counts is not None or self._kind is not None:
+        if self._counts is not None or self._kind is not None or self._dictionary is not None:
             self._invalidate()
         super().append(cell)
 
     def extend(self, cells: Iterable[str]) -> None:
-        if self._counts is not None or self._kind is not None:
+        if self._counts is not None or self._kind is not None or self._dictionary is not None:
             self._invalidate()
         super().extend(cells)
 
@@ -119,6 +120,29 @@ class Column(List[str]):
     def distinct_count(self) -> int:
         """Number of distinct cell values."""
         return len(self.value_counts())
+
+    def dictionary(self) -> Tuple[List[int], Dict[str, int]]:
+        """Dense dictionary encoding of the column (cached; treat as read-only).
+
+        Returns a ``(codes, codebook)`` pair: ``codebook`` maps each distinct
+        value to a dense integer code in first-occurrence order, and ``codes``
+        holds one code per cell, so ``codes[i]`` identifies ``self[i]``.
+        Downstream consumers (blocking, candidate ranking) remap the
+        column-local codes into a shared per-attribute code space once and
+        then work on integers instead of strings.
+        """
+        if self._dictionary is None:
+            codebook: Dict[str, int] = {}
+            codes: List[int] = []
+            codebook_get = codebook.get
+            append = codes.append
+            for cell in self:
+                code = codebook_get(cell)
+                if code is None:
+                    codebook[cell] = code = len(codebook)
+                append(code)
+            self._dictionary = (codes, codebook)
+        return self._dictionary
 
     def _classify(self) -> None:
         from . import values as value_helpers

@@ -7,7 +7,14 @@ from .alignment import (
     induce_greedy_mapping,
     sample_random_alignment,
 )
-from .histogram import block_overlap, histogram_overlap, transformed_histogram, value_histogram
+from .histogram import (
+    block_overlap,
+    histogram_overlap,
+    indexed_histogram,
+    restricted_overlap,
+    transformed_histogram,
+    value_histogram,
+)
 from .overlap import OverlapAnalysis, OverlapMatch, analyse_overlap
 
 __all__ = [
@@ -18,6 +25,8 @@ __all__ = [
     "alignment_accuracy",
     "value_histogram",
     "histogram_overlap",
+    "indexed_histogram",
+    "restricted_overlap",
     "transformed_histogram",
     "block_overlap",
     "OverlapAnalysis",

@@ -4,29 +4,55 @@ To rank a candidate function on a block, Affidavit applies it to every source
 value of the block, builds the histogram of the results and measures how much
 of the block's target-value histogram it covers.  Summed over the sampled
 blocks, this *overlap* estimates how many records the function would align.
+
+The helpers are agnostic to what a "value" is: the encoded columnar engine
+passes dictionary-encoded *code arrays* (histograms keyed by dense ints, the
+cheapest thing to hash and compare), the string engines pass cell values.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
 
 from ..functions import AttributeFunction
 
 
-def indexed_histogram(column: Sequence[str], ids: Sequence[int],
-                      skip: Optional[str] = None) -> Counter:
+def indexed_histogram(column: Sequence[Hashable], ids: Sequence[int],
+                      skip: Optional[Hashable] = None) -> Counter:
     """Histogram of ``column[i] for i in ids``, optionally dropping *skip*.
 
     The columnar counterpart of :func:`transformed_histogram`: instead of
     applying a function per cell, the caller passes a whole pre-transformed
-    column (usually served by the column cache) plus the row ids of one
-    block; *skip* removes the not-applicable sentinel in O(1) after counting.
+    column — a string column or a code array, both usually served by the
+    column cache — plus the row ids of one block; *skip* removes the
+    not-applicable sentinel (or its reserved code) in O(1) after counting.
     """
     histogram = Counter([column[i] for i in ids])
     if skip is not None:
         histogram.pop(skip, None)
     return histogram
+
+
+def restricted_overlap(histograms: Sequence[Mapping[Hashable, int]],
+                       target_histograms: Sequence[Counter]) -> int:
+    """Summed min-frequency overlap of per-block histogram pairs.
+
+    The fused scoring loop of candidate ranking: *histograms* holds one
+    (already transformed, possibly target-restricted) histogram per sampled
+    block, *target_histograms* the matching block target histograms.  When
+    the transformed histograms were restricted to the target's keys, every
+    entry contributes; the identity path's unrestricted histograms rely on
+    the Counters returning 0 for unseen keys, so no key intersection is
+    needed either way.  Works identically on value-keyed and code-keyed
+    histograms.
+    """
+    overlap = 0
+    for histogram, target_histogram in zip(histograms, target_histograms):
+        for value, count in histogram.items():
+            target_count = target_histogram[value]
+            overlap += count if count < target_count else target_count
+    return overlap
 
 
 def value_histogram(values: Iterable[str]) -> Counter:

@@ -70,6 +70,20 @@ class TestExplainCommand:
 
         assert "record-level changes" in report_path.read_text()
 
+    def test_profile_flag_prints_phase_table(self, snapshot_files, capsys):
+        source_path, target_path = snapshot_files
+        exit_code = main([
+            "explain", str(source_path), str(target_path), "--quiet", "--profile",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "phase" in output and "share" in output
+        for phase in ("load", "search", "total"):
+            assert phase in output
+        # --quiet suppresses the report but not the explicitly requested
+        # profile; the table is the only output.
+        assert "snapshot difference report" not in output
+
     def test_overlap_configuration_flag(self, snapshot_files, capsys):
         source_path, target_path = snapshot_files
         exit_code = main([

@@ -101,6 +101,36 @@ def test_gated_parallel_regression_fails(dirs):
     assert result.returncode == 1
 
 
+def test_blocking_metric_is_gated(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_blocking.json", {"speedup": 5.0})
+    _write(fresh, "BENCH_blocking.json", {"speedup": 3.0})
+    result = _run(baseline, fresh)
+    assert result.returncode == 1
+    assert "encoded-vs-string blocking speedup" in result.stdout
+
+
+def test_unregistered_baseline_file_without_fresh_counterpart_fails(dirs):
+    # Every committed baseline is expected fresh — even one no gated metric
+    # reads; a benchmark silently dropped from the CI invocation must fail
+    # the job instead of vanishing from the trend.
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_custom.json", {"anything": 1})
+    fresh.mkdir()
+    result = _run(baseline, fresh)
+    assert result.returncode == 2
+    assert "BENCH_custom.json" in result.stdout
+    assert "MISSING" in result.stdout
+
+
+def test_unregistered_baseline_file_with_fresh_counterpart_passes(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_custom.json", {"anything": 1})
+    _write(fresh, "BENCH_custom.json", {"anything": 2})
+    result = _run(baseline, fresh)
+    assert result.returncode == 0
+
+
 def test_new_benchmark_without_baseline_passes(dirs):
     baseline, fresh = dirs
     baseline.mkdir()

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.core import ProblemInstance, SearchState, build_blocking, refine_blocking
+from repro.core import (
+    NOT_APPLICABLE_CODE,
+    ColumnCache,
+    ProblemInstance,
+    SearchState,
+    build_blocking,
+    refine_blocking,
+    refine_blocking_bounds,
+)
 from repro.core.blocking import NOT_APPLICABLE, transformed_column
 from repro.dataio import Schema, Table
 from repro.datagen.running_example import running_example_instance
@@ -95,6 +103,102 @@ class TestRefinement:
         rebuilt = build_blocking(instance, state2)
         assert refined.unaligned_source_bound() == rebuilt.unaligned_source_bound()
         assert refined.unaligned_target_bound() == rebuilt.unaligned_target_bound()
+
+
+def _block_contents(blocking):
+    """The blocks as ``(source_ids, target_ids)`` pairs in first-seen order —
+    the representation every engine must agree on exactly (the search's RNG
+    consumption depends on the order)."""
+    return [(block.source_ids, block.target_ids) for block in blocking]
+
+
+class TestEncodedBlocking:
+    def _caches(self, instance):
+        return (
+            ColumnCache(instance.source),               # encoded (codes on)
+            ColumnCache(instance.source, codes=False),  # string-keyed baseline
+        )
+
+    def test_encoded_build_matches_string_build(self):
+        instance = running_example_instance()
+        encoded_cache, string_cache = self._caches(instance)
+        state = (
+            SearchState.empty(instance.schema)
+            .extend("Type", IDENTITY)
+            .extend("Unit", ConstantValue("k $"))
+            .extend("Org", IDENTITY)
+        )
+        encoded = build_blocking(instance, state, encoded_cache)
+        strings = build_blocking(instance, state, string_cache)
+        assert _block_contents(encoded) == _block_contents(strings)
+        assert encoded.unaligned_bounds() == strings.unaligned_bounds()
+
+    def test_encoded_keys_are_integer_tuples(self, instance):
+        cache = ColumnCache(instance.source)
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state, cache)
+        for key in blocking.blocks:
+            assert all(isinstance(component, int) for component in key)
+
+    def test_encoded_refine_matches_string_refine(self, instance):
+        encoded_cache, string_cache = self._caches(instance)
+        base_state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        encoded = refine_blocking(
+            instance, build_blocking(instance, base_state, encoded_cache),
+            "amount", Division(1000), encoded_cache,
+        )
+        strings = refine_blocking(
+            instance, build_blocking(instance, base_state, string_cache),
+            "amount", Division(1000), string_cache,
+        )
+        assert _block_contents(encoded) == _block_contents(strings)
+
+    @pytest.mark.parametrize("codes", [True, False])
+    def test_bounds_only_refinement_matches_materialised(self, instance, codes):
+        cache = ColumnCache(instance.source, codes=codes)
+        base = build_blocking(
+            instance, SearchState.empty(instance.schema).extend("kind", IDENTITY),
+            cache,
+        )
+        for function in (IDENTITY, Division(1000), ConstantValue("1"),
+                         ValueMapping({"1000": "1"})):
+            materialised = refine_blocking(
+                instance, base, "amount", function, cache
+            ).unaligned_bounds()
+            bounds_only = refine_blocking_bounds(
+                instance, base, "amount", function, cache
+            )
+            assert bounds_only == materialised
+
+    def test_not_applicable_code_never_matches_targets(self, instance):
+        cache = ColumnCache(instance.source)
+        state = SearchState.empty(instance.schema).extend("amount", ValueMapping({}))
+        blocking = build_blocking(instance, state, cache)
+        assert blocking.unaligned_source_bound() == 3
+        assert blocking.unaligned_target_bound() == 4
+        # The inapplicable cells carry the reserved code, which the target
+        # encoding never assigns to a real value.
+        codes = cache.transformed_codes("amount", ValueMapping({}))
+        assert set(codes) == {NOT_APPLICABLE_CODE}
+        target_codes = cache.encoded_column(
+            "amount", instance.target.column_view("amount")
+        )
+        assert NOT_APPLICABLE_CODE not in target_codes
+
+
+class TestMemoizedViews:
+    def test_unaligned_bounds_are_computed_once(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state)
+        first = blocking.unaligned_bounds()
+        assert blocking.unaligned_bounds() is first
+
+    def test_mixed_blocks_are_computed_once(self, instance):
+        state = SearchState.empty(instance.schema).extend("kind", IDENTITY)
+        blocking = build_blocking(instance, state)
+        first = blocking.mixed_blocks()
+        assert blocking.mixed_blocks() is first
+        assert len(first) == 2
 
 
 class TestIndeterminacy:

@@ -16,6 +16,8 @@ from repro.core import (
     ColumnCache,
     ColumnCacheStats,
     NOT_APPLICABLE,
+    NOT_APPLICABLE_CODE,
+    StateEvaluator,
     identity_configuration,
     overlap_configuration,
 )
@@ -133,6 +135,118 @@ class TestColumnCache:
 
     def test_hit_rate_of_empty_stats_is_zero(self):
         assert ColumnCacheStats().hit_rate == 0.0
+
+
+class TestDictionaryEncoding:
+    def test_codec_is_shared_across_columns_of_one_attribute(self, table):
+        cache = ColumnCache(table)
+        source_codes = cache.source_value_codes("num")
+        other = ["1", "3", "9"]
+        other_codes = cache.encoded_column("num", other)
+        column = table.column_view("num")
+        # Equal values <-> equal codes, across the source column and the
+        # externally encoded one.
+        for i, value in enumerate(column):
+            for j, other_value in enumerate(other):
+                assert (value == other_value) == (source_codes[i] == other_codes[j])
+
+    def test_transformed_codes_mirror_transformed_strings(self, table):
+        cache = ColumnCache(table)
+        function = Addition(5)
+        strings = list(cache.transformed("num", function))
+        codes = list(cache.transformed_codes("num", function))
+        assert len(strings) == len(codes)
+        seen = {}
+        for value, code in zip(strings, codes):
+            assert seen.setdefault(value, code) == code
+            assert (value == NOT_APPLICABLE) == (code == NOT_APPLICABLE_CODE)
+
+    def test_inapplicable_cells_get_the_reserved_code(self, table):
+        cache = ColumnCache(table)
+        codes = cache.transformed_codes("text", Addition(1))  # fails on text
+        assert set(codes) == {NOT_APPLICABLE_CODE}
+        assert cache.codec("text").code_of(NOT_APPLICABLE) == NOT_APPLICABLE_CODE
+
+    def test_identity_codes_are_the_source_codes(self, table):
+        cache = ColumnCache(table)
+        assert cache.transformed_codes("num", IDENTITY) is cache.source_value_codes("num")
+
+    def test_code_arrays_are_cached_per_entry(self, table):
+        cache = ColumnCache(table)
+        function = Addition(5)
+        first = cache.transformed_codes("num", function)
+        assert cache.transformed_codes("num", function) is first
+
+    def test_eviction_drops_code_arrays(self, table):
+        cache = ColumnCache(table, max_entries=1)
+        first = cache.transformed_codes("num", Addition(1))
+        cache.transformed_codes("num", Addition(2))  # evicts Addition(1)
+        assert cache.stats().evictions == 1
+        rebuilt = cache.transformed_codes("num", Addition(1))
+        assert rebuilt is not first
+        assert list(rebuilt) == list(first)
+
+    def test_encoded_column_is_cached_by_column_object(self, table):
+        cache = ColumnCache(table)
+        column = table.column_view("num")
+        first = cache.encoded_column("num", column)
+        assert cache.encoded_column("num", column) is first
+
+    def test_code_histograms_match_string_histograms(self, table):
+        cache = ColumnCache(table)
+        function = Prefixing("p-")
+        column = table.column_view("text")
+        string_slices = [value_histogram(column[:3]), value_histogram(column[3:])]
+        string_result = cache.transformed_histograms("text", function, string_slices)
+
+        source_codes = cache.source_value_codes("text")
+        code_slices = [value_histogram(source_codes[:3]), value_histogram(source_codes[3:])]
+        code_result = cache.transformed_code_histograms("text", function, code_slices)
+        # Same multiset of counts per slice (codes are a bijection on values).
+        for strings, codes in zip(string_result, code_result):
+            assert sorted(strings.values()) == sorted(codes.values())
+            assert len(strings) == len(codes)
+
+    def test_code_histograms_respect_restriction(self, table):
+        cache = ColumnCache(table)
+        source_codes = cache.source_value_codes("num")
+        slices = [value_histogram(source_codes)]
+        unrestricted = cache.transformed_code_histograms("num", IDENTITY, slices)
+        wanted = {source_codes[0]}
+        restricted = cache.transformed_code_histograms(
+            "num", IDENTITY, slices, restrict_to=[wanted]
+        )
+        assert set(restricted[0]) == wanted
+        assert restricted[0][source_codes[0]] == unrestricted[0][source_codes[0]]
+
+    def test_codes_inactive_when_disabled_or_switched_off(self, table):
+        assert ColumnCache(table).codes_active
+        assert not ColumnCache(table, codes=False).codes_active
+        assert not ColumnCache(table, enabled=False).codes_active
+
+    def test_evaluator_threads_the_codes_flag(self, table):
+        schema = Schema(["num", "text"])
+        from repro.core import ProblemInstance
+        instance = ProblemInstance(source=table, target=Table(schema, [["1", "a"]]))
+        assert StateEvaluator(instance).column_cache.codes_active
+        assert not StateEvaluator(
+            instance, blocking_codes=False
+        ).column_cache.codes_active
+        assert not StateEvaluator(instance, columnar=False).column_cache.codes_active
+
+    def test_blocking_cache_info_counts_hits_and_misses(self, table):
+        from repro.core import ProblemInstance, SearchState
+        schema = Schema(["num", "text"])
+        instance = ProblemInstance(source=table, target=Table(schema, [["1", "a"]]))
+        evaluator = StateEvaluator(instance)
+        state = SearchState.empty(instance.schema).extend("num", IDENTITY)
+        evaluator.blocking(state)
+        evaluator.blocking(state)
+        info = evaluator.blocking_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["entries"] == 1
+        assert info["max_entries"] == 64
 
 
 class TestTransformedHistograms:

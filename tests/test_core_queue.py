@@ -110,6 +110,48 @@ class TestLevelBounding:
         assert queue.push(state_with(schema, "y"), 5.0)
         assert len(queue) == 1
 
+    def test_equal_cost_eviction_drops_the_oldest_worst(self, schema):
+        # Level 1 of a width=2 queue holds two states; when several stored
+        # states tie for worst, an equal-cost insertion evicts the earliest
+        # stored one — the max() scan keeps the first maximum it sees.
+        queue = BoundedLevelQueue(width=2)
+        first = state_with(schema, "a")
+        second = state_with(schema, "b")
+        newcomer = state_with(schema, "c")
+        queue.push(first, 5.0)
+        queue.push(second, 5.0)
+        assert queue.push(newcomer, 5.0)
+        remaining = {entry.state for entry in queue.states_on_level(1)}
+        assert remaining == {second, newcomer}
+
+    def test_width_one_level_capacity_edge(self, schema):
+        # ``max(1, width - level + 1)`` at width 1: the root level still has
+        # capacity 2, every deeper level exactly 1.
+        queue = BoundedLevelQueue(width=1)
+        assert queue.level_capacity(0) == 2
+        assert queue.level_capacity(1) == 1
+        assert queue.level_capacity(7) == 1
+        # Functional check on level 2: the single slot only turns over for
+        # states that are not worse.
+        assert queue.push(state_with(schema, "a", "b"), 4.0)
+        assert not queue.push(state_with(schema, "c", "d"), 4.5)
+        assert queue.push(state_with(schema, "e", "f"), 4.0)
+        assert len(queue.states_on_level(2)) == 1
+
+    def test_poll_prefers_deeper_states_across_levels(self, schema):
+        # On a three-way cost tie the deepest state is polled first, then the
+        # next-deepest — the search reaches end states as early as possible.
+        queue = BoundedLevelQueue(width=3)
+        depth1 = state_with(schema, "x")
+        depth2 = state_with(schema, "x", "y")
+        depth3 = state_with(schema, "x", "y", "z")
+        queue.push(depth1, 5.0)
+        queue.push(depth3, 5.0)
+        queue.push(depth2, 5.0)
+        assert queue.poll().state == depth3
+        assert queue.poll().state == depth2
+        assert queue.poll().state == depth1
+
 
 class TestRepr:
     def test_repr_shows_level_occupancy(self, schema):

@@ -151,6 +151,33 @@ class TestRelationalOperations:
         assert table.head(10).n_rows == 3
 
 
+class TestDictionaryEncoding:
+    def test_dictionary_round_trips_the_column(self, table):
+        column = table.column_view("name")
+        codes, codebook = column.dictionary()
+        assert len(codes) == len(column)
+        decode = list(codebook)
+        assert [decode[code] for code in codes] == list(column)
+
+    def test_dictionary_codes_are_dense_first_occurrence(self, table):
+        codes, codebook = table.column_view("name").dictionary()
+        assert codes == [0, 1, 0]              # a, b, a
+        assert codebook == {"a": 0, "b": 1}
+
+    def test_dictionary_is_cached(self, table):
+        column = table.column_view("name")
+        assert column.dictionary() is column.dictionary()
+
+    def test_dictionary_invalidated_on_mutation(self, table):
+        column = table.column_view("name")
+        first = column.dictionary()
+        column.append("z")
+        codes, codebook = column.dictionary()
+        assert column.dictionary() is not first
+        assert codes == [0, 1, 0, 2]
+        assert codebook["z"] == 2
+
+
 class TestStatistics:
     def test_value_counts(self, table):
         counts = table.value_counts("name")

@@ -8,12 +8,14 @@ from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    Affidavit,
     BoundedLevelQueue,
     ProblemInstance,
     SearchState,
     build_blocking,
     explanation_cost,
     explanation_from_functions,
+    identity_configuration,
     trivial_explanation_cost,
 )
 from repro.core.sampling import binomial_tail, example_sample_size
@@ -349,6 +351,50 @@ class TestColumnarEngineProperties:
         assert sample_concatenated(lazy_rng, sizes, budget) == eager
         # Both generators must have consumed identical amounts of randomness.
         assert eager_rng.random() == lazy_rng.random()
+
+    # Mixed numeric/text cells so the searches exercise arithmetic candidates,
+    # affixes and the not-applicable sentinel alike.
+    engine_rows = st.lists(
+        st.tuples(
+            st.sampled_from(["x", "y", "1000", "2000", ""]),
+            st.sampled_from(["1", "2", "3"]),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+
+    @given(source_rows=engine_rows, target_rows=engine_rows,
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_encoded_string_and_rowwise_engines_are_bit_identical(
+            self, source_rows, target_rows, seed):
+        """The acceptance property of dictionary-encoded blocking: the
+        encoded engine (the default), the string-keyed columnar engine and
+        the row-wise fallback return bit-identical results — cost, function
+        assignments and the end state's blocking bounds."""
+        configs = [
+            identity_configuration(seed=seed),                        # encoded
+            identity_configuration(seed=seed, blocking_codes=False),  # strings
+            identity_configuration(seed=seed, columnar_cache=False),  # row-wise
+        ]
+        results = []
+        bounds = []
+        for config in configs:
+            instance = build_instance(source_rows, target_rows)
+            result = Affidavit(config).explain(instance)
+            results.append(result)
+            bounds.append(
+                build_blocking(instance, result.end_state).unaligned_bounds()
+            )
+        encoded = results[0]
+        for other in results[1:]:
+            assert other.cost == encoded.cost
+            assert other.explanation.functions == encoded.explanation.functions
+            assert other.end_state == encoded.end_state
+            assert other.expansions == encoded.expansions
+            assert other.generated_states == encoded.generated_states
+        assert bounds[0] == bounds[1] == bounds[2]
 
     @given(
         lengths=st.lists(st.integers(min_value=0, max_value=100), min_size=0, max_size=8),
