@@ -1,0 +1,167 @@
+"""Benchmark of the observability overhead: traced vs untraced searches.
+
+The ``repro.obs`` tracer promises two things:
+
+* **enabled tracing is cheap** — running the full Figure-5-style search with
+  per-phase spans recording must not slow it down by more than 5 % (full
+  run; the quick CI smoke relaxes the gate because sub-second searches are
+  dominated by timer noise), and must be *bit-identical* to the untraced
+  run (tracing never draws randomness or reorders work);
+* **the default no-op tracer is free** — the shared ``_NullSpan`` singleton
+  makes ``with NULL_TRACER.span(...)`` allocation-free, so the per-span cost
+  (microbenchmarked here) times the number of spans a real search opens must
+  stay under 1 % of the search runtime.
+
+Both claims are measured on the same (η=0.3, τ=0.3) *flight-500k* surrogate
+as the other search benchmarks and the result is written to
+``benchmarks/BENCH_obs.json``:
+
+``series``        per-round untraced/traced runtimes
+``efficiency``    min(untraced) / min(traced) — the trend-gated ratio
+                  (1.0 = tracing is free; gated higher-is-better)
+``noop``          the no-op microbenchmark (per-span cost, projected share)
+``spans``         number of spans the traced search recorded
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Affidavit, identity_configuration
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+from repro.obs import NULL_TRACER, Tracer
+
+from conftest import scaled
+
+FULL_RECORDS = scaled(3_000)
+QUICK_RECORDS = 900
+FULL_ROUNDS = 3
+QUICK_ROUNDS = 2
+#: Tolerated fractional slow-down of the traced run (min-of-rounds).
+FULL_MAX_OVERHEAD = 0.05
+QUICK_MAX_OVERHEAD = 0.15
+#: Tolerated projected share of the search spent in no-op span calls.
+FULL_MAX_NOOP_SHARE = 0.01
+QUICK_MAX_NOOP_SHARE = 0.02
+NOOP_ITERATIONS = 200_000
+
+
+def _assert_bit_identical(result, reference):
+    assert result.cost == reference.cost
+    assert result.explanation.functions == reference.explanation.functions
+    assert result.explanation.n_inserted == reference.explanation.n_inserted
+    assert result.explanation.n_deleted == reference.explanation.n_deleted
+    assert result.end_state == reference.end_state
+    assert result.expansions == reference.expansions
+    assert result.generated_states == reference.generated_states
+
+
+def _run(instance, seed, tracer=None):
+    """One full search; returns ``(seconds, result, span_count)``."""
+    affidavit = Affidavit(identity_configuration(seed=seed), tracer=tracer)
+    started = time.perf_counter()
+    result = affidavit.explain(instance)
+    seconds = time.perf_counter() - started
+    spans = 0
+    if tracer is not None:
+        spans = sum(1 for root in tracer.roots() for _ in root.walk())
+    return seconds, result, spans
+
+
+def _noop_span_seconds() -> float:
+    """Per-span cost of the default no-op tracer (best of 3 batches)."""
+    span = NULL_TRACER.span  # the hot-path call sites hold the tracer
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(NOOP_ITERATIONS):
+            with span("phase"):
+                pass
+        best = min(best, time.perf_counter() - started)
+    return best / NOOP_ITERATIONS
+
+
+def test_tracing_overhead(bench_seed, quick_mode, bench_json, report_sink):
+    records = QUICK_RECORDS if quick_mode else FULL_RECORDS
+    rounds = QUICK_ROUNDS if quick_mode else FULL_ROUNDS
+    max_overhead = QUICK_MAX_OVERHEAD if quick_mode else FULL_MAX_OVERHEAD
+    max_noop_share = QUICK_MAX_NOOP_SHARE if quick_mode else FULL_MAX_NOOP_SHARE
+
+    table = load_dataset("flight-500k", records, seed=bench_seed)
+    instance = generate_problem_instance(
+        table, eta=0.3, tau=0.3, seed=bench_seed, name="flight-500k"
+    ).instance
+
+    # Warm-up run pages the snapshots in and warms the function registry.
+    _, reference, _ = _run(instance, bench_seed)
+
+    series = []
+    untraced_best = float("inf")
+    traced_best = float("inf")
+    span_count = 0
+    for round_index in range(rounds):
+        untraced_seconds, untraced_result, _ = _run(instance, bench_seed)
+        traced_seconds, traced_result, spans = _run(
+            instance, bench_seed, tracer=Tracer()
+        )
+        _assert_bit_identical(untraced_result, reference)
+        _assert_bit_identical(traced_result, reference)
+        untraced_best = min(untraced_best, untraced_seconds)
+        traced_best = min(traced_best, traced_seconds)
+        span_count = spans
+        series.append({
+            "round": round_index,
+            "untraced_seconds": round(untraced_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+        })
+
+    # Min-of-rounds is the standard noise-robust estimator for "how fast can
+    # this code go"; the ratio of the two minima is the gated efficiency.
+    efficiency = untraced_best / max(traced_best, 1e-9)
+    overhead = traced_best / max(untraced_best, 1e-9) - 1.0
+
+    per_span = _noop_span_seconds()
+    noop_share = (per_span * span_count) / max(untraced_best, 1e-9)
+
+    bench_json["obs"] = {
+        "benchmark": "obs_overhead",
+        "workload": "figure5-search",
+        "dataset": "flight-500k",
+        "eta": 0.3,
+        "tau": 0.3,
+        "records": instance.n_source_records,
+        "seed": bench_seed,
+        "quick": quick_mode,
+        "series": series,
+        "untraced_seconds": round(untraced_best, 4),
+        "traced_seconds": round(traced_best, 4),
+        "overhead": round(overhead, 4),
+        "efficiency": round(efficiency, 3),
+        "max_overhead": max_overhead,
+        "spans": span_count,
+        "noop": {
+            "per_span_seconds": per_span,
+            "projected_share": round(noop_share, 6),
+            "max_share": max_noop_share,
+        },
+    }
+
+    report_sink.append("\n".join([
+        "OBS OVERHEAD (traced vs untraced Figure-5 search, flight-500k "
+        f"surrogate, {instance.n_source_records} records, seed={bench_seed}, "
+        f"{'quick' if quick_mode else 'full'})",
+        f"  untraced {untraced_best:.3f}s vs traced {traced_best:.3f}s "
+        f"({overhead:+.1%} overhead, gate <= {max_overhead:.0%}; "
+        f"{span_count} spans)",
+        f"  no-op span: {per_span * 1e9:.0f} ns/span -> projected "
+        f"{noop_share:.3%} of the untraced runtime (gate <= {max_noop_share:.0%})",
+    ]))
+
+    assert overhead <= max_overhead, (
+        f"tracing overhead {overhead:.1%} exceeds the {max_overhead:.0%} gate"
+    )
+    assert noop_share <= max_noop_share, (
+        f"projected no-op share {noop_share:.2%} exceeds the "
+        f"{max_noop_share:.0%} gate"
+    )

@@ -82,6 +82,8 @@ GATED_METRICS: Sequence[Metric] = (
            ("speedup_at_max",), gate_key="gated"),
     Metric("encoded-vs-string blocking speedup", "BENCH_blocking.json",
            ("speedup",)),
+    Metric("tracing efficiency (untraced/traced)", "BENCH_obs.json",
+           ("efficiency",)),
 )
 
 

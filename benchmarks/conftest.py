@@ -96,8 +96,8 @@ def _parallel_engine_override(request: "pytest.FixtureRequest"):
     pool = ShardPool(workers)
     original_init = Affidavit.__init__
 
-    def patched_init(self, config=None, *, shard_pool=None):
-        original_init(self, config, shard_pool=shard_pool)
+    def patched_init(self, config=None, *, shard_pool=None, **kwargs):
+        original_init(self, config, shard_pool=shard_pool, **kwargs)
         config = self._config
         if config.columnar_cache and config.parallel_workers == 0:
             self._config = config.with_overrides(parallel_workers=workers)

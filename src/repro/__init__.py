@@ -45,6 +45,9 @@ Supporting layers
   generator.
 * :mod:`repro.service` — the HTTP job service and the batch runner, both
   thin adapters over :mod:`repro.api`.
+* :mod:`repro.obs` — structured tracing (:class:`~repro.obs.Tracer`,
+  :class:`~repro.obs.Span`), the process-wide metrics registry, and the
+  Prometheus/Chrome-trace renderers behind ``/metrics`` and ``--trace``.
 * :mod:`repro.baselines`, :mod:`repro.complexity`, :mod:`repro.evaluation`,
   :mod:`repro.export` — comparators, the 3-SAT reduction, the experiment
   harness and report/SQL/JSON exporters.
@@ -75,6 +78,7 @@ from .core import (
     trivial_explanation,
     trivial_explanation_cost,
 )
+from .obs import NULL_TRACER, Span, Tracer
 from .api import (
     ExplainOutcome,
     ExplainRequest,
@@ -140,5 +144,8 @@ __all__ = [
     "SearchStarted",
     "SearchProgressed",
     "SearchCompleted",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
     "__version__",
 ]

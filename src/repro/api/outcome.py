@@ -12,11 +12,13 @@ that need the full search state or want to render reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..core import AffidavitResult, ColumnCacheStats, Explanation, ProblemInstance
 from ..export import explanation_from_dict, explanation_to_dict
+from ..obs import Span, phase_totals
 from .errors import RequestValidationError, UnsupportedSchemaVersion
 from .request import ENGINES, SCHEMA_VERSION, ExplainRequest
 
@@ -24,28 +26,72 @@ from .request import ENGINES, SCHEMA_VERSION, ExplainRequest
 OUTCOME_SCHEMA_VERSION = "affidavit.outcome/v1"
 
 
+def _seconds_field(value: Any, label: str) -> float:
+    """A wall-clock duration off the wire: a finite, non-negative number.
+
+    Anything else — missing, a string, NaN, infinity, a negative — is a
+    malformed payload, not a zero; silently coercing used to mislabel
+    corrupt timings as instant runs.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestValidationError(f"{label} must be a number, got {value!r}")
+    number = float(value)
+    if not math.isfinite(number) or number < 0.0:
+        raise RequestValidationError(
+            f"{label} must be finite and non-negative, got {value!r}"
+        )
+    return number
+
+
 @dataclass(frozen=True)
 class Timings:
-    """Wall-clock breakdown of one run."""
+    """Wall-clock breakdown of one run.
+
+    ``phases`` is the optional fine-grained breakdown derived from the span
+    trace when the run was traced: total seconds per phase name (inclusive —
+    a phase's total covers its sub-phases), stored as a sorted tuple so
+    equal timings stay equal through serialization.
+    """
 
     load_seconds: float
     search_seconds: float
     total_seconds: float
+    phases: Tuple[Tuple[str, float], ...] = ()
 
-    def to_dict(self) -> Dict[str, float]:
-        return {
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """The per-phase breakdown as a plain dict (empty when untraced)."""
+        return dict(self.phases)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
             "load_seconds": self.load_seconds,
             "search_seconds": self.search_seconds,
             "total_seconds": self.total_seconds,
         }
+        if self.phases:
+            payload["phases"] = {name: seconds for name, seconds in self.phases}
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Timings":
-        return cls(
-            load_seconds=float(payload.get("load_seconds", 0.0)),
-            search_seconds=float(payload.get("search_seconds", 0.0)),
-            total_seconds=float(payload.get("total_seconds", 0.0)),
-        )
+        if not isinstance(payload, Mapping):
+            raise RequestValidationError(
+                f"timings payload must be a JSON object, got {type(payload).__name__}"
+            )
+        values = {}
+        for key in ("load_seconds", "search_seconds", "total_seconds"):
+            if key not in payload:
+                raise RequestValidationError(f"timings payload is missing {key!r}")
+            values[key] = _seconds_field(payload[key], f"timings {key}")
+        raw_phases = payload.get("phases", {})
+        if not isinstance(raw_phases, Mapping):
+            raise RequestValidationError("timings phases must be a JSON object")
+        phases = tuple(sorted(
+            (str(name), _seconds_field(seconds, f"timings phase {name!r}"))
+            for name, seconds in raw_phases.items()
+        ))
+        return cls(phases=phases, **values)
 
 
 @dataclass(frozen=True)
@@ -117,6 +163,12 @@ class ExplainOutcome:
     provenance: Provenance
     #: Final column-cache counters (``None`` for deserialized legacy results).
     cache: Optional[ColumnCacheStats] = None
+    #: Final blocking-LRU counters of the run (hits / misses / entries /
+    #: max_entries); ``None`` for legacy payloads that never carried them.
+    blocking_cache: Optional[Dict[str, int]] = None
+    #: Root span of the run when tracing was enabled (the per-phase tree the
+    #: CLI ``--trace`` flag exports); ``None`` for untraced runs.
+    trace: Optional[Span] = field(default=None, repr=False)
     #: The canonical request hash this run answers; ``None`` for instance-based
     #: library runs that never built a request.
     idempotency_key: Optional[str] = None
@@ -155,6 +207,14 @@ class ExplainOutcome:
                 f"column cache        : {self.cache.hits} hits / "
                 f"{self.cache.lookups} lookups ({self.cache.hit_rate:.0%} hit rate)"
             )
+        if self.blocking_cache:
+            hits = self.blocking_cache.get("hits", 0)
+            lookups = hits + self.blocking_cache.get("misses", 0)
+            if lookups:
+                lines.append(
+                    f"blocking cache      : {hits} hits / {lookups} lookups "
+                    f"({hits / lookups:.0%} hit rate)"
+                )
         lines.append(self.explanation.summary())
         return "\n".join(lines)
 
@@ -167,7 +227,8 @@ class ExplainOutcome:
                     instance: Optional[ProblemInstance] = None,
                     registry_names: Tuple[str, ...] = (),
                     load_seconds: float = 0.0,
-                    idempotency_key: Optional[str] = None) -> "ExplainOutcome":
+                    idempotency_key: Optional[str] = None,
+                    trace: Optional[Span] = None) -> "ExplainOutcome":
         """Wrap a raw :class:`~repro.core.AffidavitResult` into an outcome."""
         config = result.config
         provenance = Provenance(
@@ -188,6 +249,10 @@ class ExplainOutcome:
         )
         if idempotency_key is None and request is not None:
             idempotency_key = request.canonical_key()
+        phases = tuple(sorted(phase_totals(trace).items())) if trace is not None else ()
+        blocking_cache = (
+            dict(result.blocking_cache) if result.blocking_cache is not None else None
+        )
         return cls(
             explanation=result.explanation,
             cost=result.cost,
@@ -199,9 +264,12 @@ class ExplainOutcome:
                 load_seconds=load_seconds,
                 search_seconds=result.runtime_seconds,
                 total_seconds=load_seconds + result.runtime_seconds,
+                phases=phases,
             ),
             provenance=provenance,
             cache=result.cache_stats,
+            blocking_cache=blocking_cache,
+            trace=trace,
             idempotency_key=idempotency_key,
             request=request,
             result=result,
@@ -225,6 +293,10 @@ class ExplainOutcome:
             "timings": self.timings.to_dict(),
             "provenance": self.provenance.to_dict(),
             "column_cache": None if self.cache is None else self.cache.as_dict(),
+            "blocking_cache": (
+                None if self.blocking_cache is None else dict(self.blocking_cache)
+            ),
+            "trace": None if self.trace is None else self.trace.to_dict(),
             "idempotency_key": self.idempotency_key,
             "request": None if self.request is None else self.request.to_dict(),
         }
@@ -246,6 +318,22 @@ class ExplainOutcome:
             )
         cache = payload.get("column_cache")
         request = payload.get("request")
+        blocking_cache = payload.get("blocking_cache")
+        if blocking_cache is not None:
+            if not isinstance(blocking_cache, Mapping):
+                raise RequestValidationError("blocking_cache must be a JSON object")
+            blocking_cache = {
+                str(key): int(value) for key, value in blocking_cache.items()
+            }
+        raw_trace = payload.get("trace")
+        trace = None
+        if raw_trace is not None:
+            try:
+                trace = Span.from_dict(raw_trace)
+            except ValueError as error:
+                raise RequestValidationError(
+                    f"invalid trace payload: {error}"
+                ) from None
         return cls(
             explanation=explanation_from_dict(payload["explanation"]),
             cost=float(payload["cost"]),
@@ -256,6 +344,8 @@ class ExplainOutcome:
             timings=Timings.from_dict(payload.get("timings", {})),
             provenance=Provenance.from_dict(payload.get("provenance", {})),
             cache=None if cache is None else _cache_stats_from_dict(cache),
+            blocking_cache=blocking_cache,
+            trace=trace,
             idempotency_key=payload.get("idempotency_key"),
             request=None if request is None else ExplainRequest.from_dict(request),
         )

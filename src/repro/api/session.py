@@ -35,6 +35,7 @@ from ..core import (
 )
 from ..dataio import Table
 from ..functions import FunctionRegistry, default_registry
+from ..obs import NULL_TRACER, Span, Tracer, ensure_tracer, get_registry
 from .errors import RequestValidationError
 from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
 from .outcome import ExplainOutcome
@@ -43,6 +44,23 @@ from .request import resolve_config as _resolve_request_config
 
 ProgressCallback = Callable[[SearchProgress], None]
 StopCallback = Callable[[], bool]
+
+# Library-level metrics: every completed run, whichever front door it came
+# through (the CLI, the service's jobs and the batch runner all execute here).
+_api_metrics = get_registry()
+_EXPLAINS_TOTAL = _api_metrics.counter(
+    "repro_explains_total",
+    "Explanation runs completed through repro.api",
+    ("engine",),
+)
+_EXPLAINS_CANCELLED_TOTAL = _api_metrics.counter(
+    "repro_explains_cancelled_total",
+    "Explanation runs that were cancelled cooperatively",
+)
+_EXPLAIN_LATENCY = _api_metrics.histogram(
+    "repro_explain_seconds",
+    "End-to-end explanation latency (snapshot loading plus search)",
+)
 
 
 def _chain_progress(first: Optional[ProgressCallback],
@@ -133,6 +151,10 @@ class ExplainSession:
         unset, the session lazily creates its own on the first parallel
         run, reuses it across ``explain()`` calls, and shuts it down on
         :meth:`close` — external pools are never closed by the session.
+    tracer:
+        A :class:`repro.obs.Tracer` recording per-phase spans of every run
+        (see :meth:`with_tracer`).  ``None`` (the default) uses the no-op
+        tracer: zero overhead, no ``outcome.trace``.
     """
 
     def __init__(self, *,
@@ -142,6 +164,7 @@ class ExplainSession:
                  should_stop: Optional[StopCallback] = None,
                  data_root: Optional[Path] = None,
                  shard_pool: Optional[ShardPool] = None,
+                 tracer: Optional[Tracer] = None,
                  _pool_box: Optional[_SharedPoolBox] = None):
         self._config = config
         self._registry = registry
@@ -149,6 +172,7 @@ class ExplainSession:
         self._should_stop = should_stop
         self._data_root = data_root
         self._shard_pool = shard_pool
+        self._tracer = tracer
         self._pool_box = _pool_box if _pool_box is not None else _SharedPoolBox()
 
     # ------------------------------------------------------------------ #
@@ -162,6 +186,7 @@ class ExplainSession:
             "should_stop": self._should_stop,
             "data_root": self._data_root,
             "shard_pool": self._shard_pool,
+            "tracer": self._tracer,
             "_pool_box": self._pool_box,
         }
         state.update(changes)
@@ -226,6 +251,18 @@ class ExplainSession:
     def with_data_root(self, data_root: Optional[Path]) -> "ExplainSession":
         """A session confining request snapshot paths to *data_root*."""
         return self._clone(data_root=data_root)
+
+    def with_tracer(self, tracer: Optional[Tracer]) -> "ExplainSession":
+        """A session whose runs record per-phase spans into *tracer*.
+
+        Each run becomes one ``explain`` root span (snapshot loading, the
+        search, and — under the parallel engine — per-shard ship/compute
+        events) and the finished tree is attached to the outcome as
+        ``outcome.trace``.  Tracing never changes results: runs stay
+        bit-identical with tracing on or off.  ``None`` reverts to the
+        zero-overhead no-op tracer.
+        """
+        return self._clone(tracer=tracer)
 
     # ------------------------------------------------------------------ #
     # resolution
@@ -366,13 +403,29 @@ class ExplainSession:
                 # ephemeral pool per call.
                 config = config.with_overrides(parallel_workers=0)
                 pool = None
-        result = Affidavit(config, shard_pool=pool).explain(instance)
+        tracer = ensure_tracer(self._tracer)
+        with tracer.span("explain") as root:
+            if tracer.enabled and load_seconds > 0.0:
+                # Loading happened before the root span opened; attach it as
+                # a synthetic child so the tree covers the whole run.
+                root.attach(Span(
+                    name="load",
+                    start=max(0.0, tracer.now() - load_seconds),
+                    duration=load_seconds,
+                ))
+            result = Affidavit(config, shard_pool=pool, tracer=tracer).explain(instance)
+        trace = root.snapshot() if tracer is not NULL_TRACER else None
+        _EXPLAINS_TOTAL.inc(engine=result.engine)
+        if result.cancelled:
+            _EXPLAINS_CANCELLED_TOTAL.inc()
+        _EXPLAIN_LATENCY.observe(load_seconds + result.runtime_seconds)
         return ExplainOutcome.from_result(
             result,
             request=request,
             instance=instance,
             registry_names=tuple(instance.registry.names),
             load_seconds=load_seconds,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------ #

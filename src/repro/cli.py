@@ -46,6 +46,7 @@ from .dataio import write_csv
 from .datagen import generate_problem_instance
 from .datagen.datasets import DATASETS, get_dataset_entry
 from .export import explanation_to_json, explanation_to_sql, render_report
+from .obs import Tracer, render_span_tree, write_chrome_trace
 
 
 def format_profile(timings) -> str:
@@ -120,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--quiet", action="store_true", help="suppress the stdout report")
     explain.add_argument("--profile", action="store_true",
                          help="print the per-phase wall-clock breakdown of the run")
+    explain.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                         help="write a Chrome-trace JSON of the run to this path "
+                              "(open in Perfetto / chrome://tracing)")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic problem instance from a surrogate dataset"
@@ -154,6 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data-root", type=Path, default=Path("."),
                        help="directory that server-side snapshot paths are confined "
                             "to (default: the working directory)")
+    serve.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                       default="info",
+                       help="verbosity of the repro.service logger (default: info)")
 
     batch = subparsers.add_parser(
         "batch", help="explain every *_source.csv / *_target.csv pair in a directory"
@@ -201,7 +208,13 @@ def run_explain(args: argparse.Namespace) -> int:
             engine=args.engine,
             name=args.source.stem,
         )
-        with ExplainSession() as session:
+        # Tracing never alters the search (all randomness stays in the
+        # coordinator); it only records per-phase spans for --trace/--profile.
+        tracer = Tracer() if (args.trace is not None or args.profile) else None
+        session = ExplainSession()
+        if tracer is not None:
+            session = session.with_tracer(tracer)
+        with session:
             outcome = session.explain(request)
     except RequestValidationError as error:
         print(str(error), file=sys.stderr)
@@ -213,7 +226,14 @@ def run_explain(args: argparse.Namespace) -> int:
         print(f"(search: {outcome.timings.search_seconds:.2f}s, "
               f"{outcome.expansions} expansions)")
     if args.profile:
-        print(format_profile(outcome.timings))
+        if outcome.trace is not None:
+            print(render_span_tree(outcome.trace))
+        else:
+            print(format_profile(outcome.timings))
+    if args.trace is not None and tracer is not None:
+        write_chrome_trace(args.trace, tracer.roots())
+        if not args.quiet:
+            print(f"wrote trace to {args.trace}")
     if args.report is not None:
         args.report.write_text(report + "\n", encoding="utf-8")
     if args.json is not None:
@@ -259,6 +279,7 @@ def run_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         search_workers=args.search_workers,
         data_root=args.data_root,
+        log_level=args.log_level,
     )
 
 

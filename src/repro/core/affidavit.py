@@ -11,13 +11,14 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .parallel import ShardPool
 
 from ..dataio import Table
 from ..functions import FunctionRegistry
+from ..obs import Tracer, ensure_tracer
 from .colcache import ColumnCacheStats
 from .config import AffidavitConfig, identity_configuration
 from .cost import explanation_cost, trivial_explanation_cost
@@ -77,6 +78,10 @@ class AffidavitResult:
     #: or ``"parallel"``.  A parallel request that fell back (workers <= 1,
     #: or the pool could not start) reports the engine it fell back to.
     engine: str = "columnar"
+    #: Final blocking-LRU counters (``hits`` / ``misses`` / ``entries`` /
+    #: ``max_entries``) of the run's evaluator; ``None`` on results built by
+    #: older code paths.
+    blocking_cache: Optional[Dict[str, int]] = None
 
     @property
     def compression_ratio(self) -> float:
@@ -99,6 +104,14 @@ class AffidavitResult:
                 f"{self.cache_stats.lookups} lookups "
                 f"({self.cache_stats.hit_rate:.0%} hit rate)"
             )
+        if self.blocking_cache:
+            hits = self.blocking_cache.get("hits", 0)
+            lookups = hits + self.blocking_cache.get("misses", 0)
+            if lookups:
+                lines.append(
+                    f"blocking cache      : {hits} hits / {lookups} lookups "
+                    f"({hits / lookups:.0%} hit rate)"
+                )
         lines.append(self.explanation.summary())
         return "\n".join(lines)
 
@@ -116,7 +129,8 @@ class Affidavit:
     """
 
     def __init__(self, config: Optional[AffidavitConfig] = None, *,
-                 shard_pool: Optional["ShardPool"] = None):
+                 shard_pool: Optional["ShardPool"] = None,
+                 tracer: Optional[Tracer] = None):
         self._config = config if config is not None else identity_configuration()
         #: External shard pool for the parallel engine.  When the config asks
         #: for ``parallel_workers > 1`` and no pool is supplied, an ephemeral
@@ -124,6 +138,11 @@ class Affidavit:
         #: long-lived callers (sessions, the service) pass their own so the
         #: worker processes survive across searches.
         self._shard_pool = shard_pool
+        #: Span sink for per-phase timings; defaults to the no-op tracer so
+        #: the hot path pays nothing unless somebody is listening.  Tracing
+        #: never influences the search trajectory — results stay bit-identical
+        #: with tracing on or off.
+        self._tracer = ensure_tracer(tracer)
 
     @property
     def config(self) -> AffidavitConfig:
@@ -150,9 +169,13 @@ class Affidavit:
             instance, config, evaluator, rng
         )
         try:
-            return self._search(
-                instance, config, evaluator, expander, engine, started
-            )
+            with self._tracer.span("search") as span:
+                result = self._search(
+                    instance, config, evaluator, expander, engine, started
+                )
+                span.add("expansions", result.expansions)
+                span.add("generated_states", result.generated_states)
+            return result
         finally:
             if owned_pool is not None:
                 owned_pool.close()
@@ -174,13 +197,16 @@ class Affidavit:
                 pool = owned_pool = ShardPool(config.parallel_workers)
             if pool.available():
                 expander = ParallelStateExpander(
-                    instance, config, evaluator, rng, pool=pool
+                    instance, config, evaluator, rng, pool=pool,
+                    tracer=self._tracer,
                 )
                 return expander, "parallel", owned_pool
             if owned_pool is not None:
                 owned_pool.close()
         engine = "columnar" if config.columnar_cache else "rowwise"
-        return StateExpander(instance, config, evaluator, rng), engine, None
+        expander = StateExpander(instance, config, evaluator, rng,
+                                 tracer=self._tracer)
+        return expander, engine, None
 
     def _search(self, instance: ProblemInstance, config: AffidavitConfig,
                 evaluator: StateEvaluator, expander: StateExpander,
@@ -222,7 +248,8 @@ class Affidavit:
                 break
             expanded.add(entry.state)
             expansions += 1
-            blocking = evaluator.blocking(entry.state)
+            with self._tracer.span("blocking"):
+                blocking = evaluator.blocking(entry.state)
             for extension in expander.expand(entry.state, blocking):
                 if extension.state in expanded:
                     continue
@@ -287,6 +314,7 @@ class Affidavit:
             cancelled=cancelled,
             cache_stats=evaluator.cache_stats(),
             engine=engine,
+            blocking_cache=evaluator.blocking_cache_info(),
         )
 
 

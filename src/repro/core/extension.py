@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..functions import AttributeFunction
 from ..functions.induction import CandidatePool, InductionMemo
+from ..obs import Tracer, ensure_tracer
 from ..linking.alignment import AlignmentPairs, induce_greedy_mapping, sample_random_alignment
 from ..linking.histogram import block_overlap, indexed_histogram, restricted_overlap
 from .blocking import (
@@ -70,11 +71,14 @@ class StateExpander:
     """Produces the successor states of a search state (Algorithm 1)."""
 
     def __init__(self, instance: ProblemInstance, config: AffidavitConfig,
-                 evaluator: StateEvaluator, rng: Optional[random.Random] = None):
+                 evaluator: StateEvaluator, rng: Optional[random.Random] = None,
+                 *, tracer: Optional[Tracer] = None):
         self._instance = instance
         self._config = config
         self._evaluator = evaluator
         self._rng = rng if rng is not None else random.Random(config.seed)
+        # Per-phase span sink; the no-op default keeps the hot path free.
+        self._tracer = ensure_tracer(tracer)
         self._example_budget = example_sample_size(
             config.theta, config.confidence,
             min_successes=config.min_generation_successes,
@@ -177,12 +181,15 @@ class StateExpander:
             # Nothing to compare against the greedy benchmark; skip building
             # it (no RNG is involved, so the search trajectory is unchanged).
             return []
-        greedy_map = induce_greedy_mapping(
-            alignment, self._instance.source, self._instance.target, attribute
-        )
+        with self._tracer.span("greedy_map"):
+            greedy_map = induce_greedy_mapping(
+                alignment, self._instance.source, self._instance.target, attribute
+            )
         functions: List[AttributeFunction] = [greedy_map] + candidates
 
-        bounds, refined_blockings = self._refinement_bounds(blocking, attribute, functions)
+        with self._tracer.span("refine_bounds") as span:
+            span.add("functions", len(functions))
+            bounds, refined_blockings = self._refinement_bounds(blocking, attribute, functions)
         base_length = state.function_description_length
         costs = self._evaluator.batch_costs_from_bounds(
             [base_length + function.description_length for function in functions],
@@ -203,9 +210,10 @@ class StateExpander:
                     # the bounds-only path and the sharded engine ship back
                     # integers only); rebuild the winner's refined blocking
                     # locally — winners are rare.
-                    refined = refine_blocking(
-                        self._instance, blocking, attribute, function, cache
-                    )
+                    with self._tracer.span("blocking_refine"):
+                        refined = refine_blocking(
+                            self._instance, blocking, attribute, function, cache
+                        )
                 successor = state.extend(attribute, function)
                 self._evaluator.remember_blocking(successor, refined)
                 extensions.append(
@@ -243,10 +251,14 @@ class StateExpander:
         mixed_blocks = blocking.mixed_blocks()
         if not mixed_blocks:
             return []
-        candidates = self._induce_candidates(mixed_blocks, attribute)
+        with self._tracer.span("induction") as span:
+            candidates = self._induce_candidates(mixed_blocks, attribute)
+            span.add("candidates", len(candidates))
         if not candidates:
             return []
-        ranked = self._rank_candidates(candidates, mixed_blocks, attribute)
+        with self._tracer.span("ranking") as span:
+            span.add("candidates", len(candidates))
+            ranked = self._rank_candidates(candidates, mixed_blocks, attribute)
         return ranked[: self._config.beta]
 
     def _induce_candidates(self, mixed_blocks: Sequence[Block],
@@ -423,6 +435,10 @@ class StateExpander:
     # ------------------------------------------------------------------ #
     def _finalize(self, state: SearchState) -> Extension:
         """Resolve every ``MAP_MARKER`` with a greedy map, one at a time."""
+        with self._tracer.span("finalize"):
+            return self._finalize_impl(state)
+
+    def _finalize_impl(self, state: SearchState) -> Extension:
         cache = self._evaluator.column_cache
         current = state
         while True:

@@ -46,6 +46,7 @@ import multiprocessing
 import pickle
 import signal
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -53,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..functions import AttributeFunction
 from ..functions.induction import CandidatePool, InductionMemo
+from ..obs import get_registry
 from ..linking.histogram import indexed_histogram, restricted_overlap
 from .blocking import (
     Block,
@@ -74,6 +76,29 @@ MIN_REMOTE_RECORDS = 512
 #: How many problem instances each worker process (and the coordinator-side
 #: blob registry) retains; older entries are re-shipped on demand.
 INSTANCE_CACHE_LIMIT = 4
+
+# Coordinator-side shard accounting.  ``compute`` is time measured inside the
+# worker around the actual task; ``ship`` is everything else the coordinator
+# waited for — pickling, queueing, transport, the retry-on-miss round trip.
+# The split is the diagnostic the ROADMAP's binary-columnar-store item needs:
+# it says whether more workers or a cheaper wire format is the next win.
+_shard_registry = get_registry()
+_SHARD_TASKS = _shard_registry.counter(
+    "repro_shard_tasks_total",
+    "Shard tasks completed across all parallel-engine phases",
+    ("phase",),
+)
+_SHARD_COMPUTE_SECONDS = _shard_registry.counter(
+    "repro_shard_compute_seconds_total",
+    "In-worker compute time of completed shard tasks",
+    ("phase",),
+)
+_SHARD_SHIP_SECONDS = _shard_registry.counter(
+    "repro_shard_ship_seconds_total",
+    "Shipping overhead (coordinator wall time minus in-worker compute) of "
+    "completed shard tasks",
+    ("phase",),
+)
 
 
 def default_parallel_workers() -> int:
@@ -148,6 +173,20 @@ def _worker_context(token: str, blob: Optional[bytes]) -> _WorkerContext:
     while len(_WORKER_CONTEXTS) > INSTANCE_CACHE_LIMIT:
         _WORKER_CONTEXTS.popitem(last=False)
     return context
+
+
+def _timed(task: Callable, token: str, blob: Optional[bytes],
+           *payload) -> Tuple[object, float]:
+    """Run *task* in the worker and return ``(result, compute_seconds)``.
+
+    Every shard task is dispatched through this wrapper, so the coordinator
+    can split its observed wall time into in-worker compute and shipping
+    overhead.  :class:`_InstanceMissing` propagates untouched — the
+    retry-on-miss protocol is unaffected.
+    """
+    started = time.perf_counter()
+    result = task(token, blob, *payload)
+    return result, time.perf_counter() - started
 
 
 def _induce_shard(token: str, blob: Optional[bytes], attribute: str,
@@ -352,28 +391,37 @@ class ShardPool:
         coordinator overlap its own work with the workers'."""
         executor = self._ensure_executor()
         token, fresh_blob = self._token_for(instance, cache_entries)
+        dispatched = time.perf_counter()
         try:
             futures = [
-                executor.submit(task, token, fresh_blob, *payload)
+                executor.submit(_timed, task, token, fresh_blob, *payload)
                 for payload in payloads
             ]
         except RuntimeError as error:  # shut down between _ensure and submit
             raise PoolUnavailable(str(error)) from error
-        return (task, token, payloads, futures)
+        return (task, token, payloads, futures, dispatched)
 
-    def collect_shards(self, handle: tuple) -> List[object]:
+    def collect_shards(self, handle: tuple,
+                       record: Optional[Callable[[int, float, float], None]] = None,
+                       ) -> List[object]:
         """Results of :meth:`start_shards`, in payload order.
 
         Shards whose worker had not cached the instance token yet raised
         :class:`_InstanceMissing`; those are retried once with the pickled
         instance attached, so an instance crosses each process boundary at
-        most once per worker."""
-        task, token, payloads, futures = handle
+        most once per worker.
+
+        *record*, when given, is called once per shard with ``(position,
+        wall_seconds, compute_seconds)`` — wall time from dispatch to result
+        receipt (retries included) against time spent inside the worker."""
+        task, token, payloads, futures, dispatched = handle
         results: List[object] = [None] * len(payloads)
+        received: List[float] = [0.0] * len(payloads)
         misses: List[int] = []
         for position, future in enumerate(futures):
             try:
                 results[position] = future.result()
+                received[position] = time.perf_counter()
             except _InstanceMissing:
                 misses.append(position)
             except BrokenExecutor as error:
@@ -386,7 +434,9 @@ class ShardPool:
                 raise PoolUnavailable("instance evicted during shard dispatch")
             try:
                 retries = [
-                    executor.submit(task, token, registered.blob, *payloads[position])
+                    executor.submit(
+                        _timed, task, token, registered.blob, *payloads[position]
+                    )
                     for position in misses
                 ]
             except RuntimeError as error:
@@ -394,16 +444,25 @@ class ShardPool:
             for position, future in zip(misses, retries):
                 try:
                     results[position] = future.result()
+                    received[position] = time.perf_counter()
                 except BrokenExecutor as error:
                     raise self._mark_broken(error) from error
-        return results
+        unwrapped: List[object] = [None] * len(payloads)
+        for position, entry in enumerate(results):
+            result, compute_seconds = entry
+            unwrapped[position] = result
+            if record is not None:
+                record(position, received[position] - dispatched, compute_seconds)
+        return unwrapped
 
     def map_shards(self, task: Callable, instance: ProblemInstance,
-                   cache_entries: int, payloads: Sequence[tuple]) -> List[object]:
+                   cache_entries: int, payloads: Sequence[tuple],
+                   record: Optional[Callable[[int, float, float], None]] = None,
+                   ) -> List[object]:
         """Run *task* once per payload and return the results in payload order
         (``collect_shards(start_shards(...))``)."""
         return self.collect_shards(
-            self.start_shards(task, instance, cache_entries, payloads)
+            self.start_shards(task, instance, cache_entries, payloads), record
         )
 
     # -- lifecycle ------------------------------------------------------ #
@@ -509,11 +568,35 @@ class ParallelStateExpander(StateExpander):
     pool is unavailable or the phase is too small to amortise the IPC.
     """
 
-    def __init__(self, instance, config, evaluator, rng=None, *, pool: ShardPool):
-        super().__init__(instance, config, evaluator, rng)
+    def __init__(self, instance, config, evaluator, rng=None, *, pool: ShardPool,
+                 tracer=None):
+        super().__init__(instance, config, evaluator, rng, tracer=tracer)
         self._pool = pool
         self._cache_entries = config.column_cache_entries
         self._ran_remote = False
+
+    def _shard_recorder(self, phase: str) -> Callable[[int, float, float], None]:
+        """A per-shard accounting hook for :meth:`ShardPool.collect_shards`.
+
+        Always feeds the process-wide ship/compute counters; with a live
+        tracer each shard additionally becomes a ``shard`` span (child of
+        the currently open phase span) carrying its ship-vs-compute split.
+        """
+        tracer = self._tracer
+
+        def record(position: int, wall_seconds: float, compute_seconds: float) -> None:
+            ship_seconds = max(0.0, wall_seconds - compute_seconds)
+            _SHARD_TASKS.inc(phase=phase)
+            _SHARD_COMPUTE_SECONDS.inc(compute_seconds, phase=phase)
+            _SHARD_SHIP_SECONDS.inc(ship_seconds, phase=phase)
+            if tracer.enabled:
+                tracer.event("shard", wall_seconds, counters={
+                    "shard": float(position),
+                    "compute_seconds": compute_seconds,
+                    "ship_seconds": ship_seconds,
+                })
+
+        return record
 
     @property
     def engine_used(self) -> str:
@@ -544,7 +627,8 @@ class ParallelStateExpander(StateExpander):
             payloads.append((attribute, block_sources, examples))
         try:
             shard_results = self._pool.map_shards(
-                _induce_shard, self._instance, self._cache_entries, payloads
+                _induce_shard, self._instance, self._cache_entries, payloads,
+                self._shard_recorder("induction"),
             )
         except PoolUnavailable:
             return super()._generation_counts(mixed_blocks, attribute, sampled)
@@ -581,7 +665,8 @@ class ParallelStateExpander(StateExpander):
         ]
         try:
             shard_results = self._pool.map_shards(
-                _score_shard, self._instance, self._cache_entries, payloads
+                _score_shard, self._instance, self._cache_entries, payloads,
+                self._shard_recorder("ranking"),
             )
         except PoolUnavailable:
             return super()._score_candidates_columnar(
@@ -637,7 +722,9 @@ class ParallelStateExpander(StateExpander):
             if not function.cacheable
         }
         try:
-            shard_results = self._pool.collect_shards(handle)
+            shard_results = self._pool.collect_shards(
+                handle, self._shard_recorder("refine_bounds")
+            )
         except PoolUnavailable:
             # The local half is already done; finish the remote half locally.
             for position in remote:

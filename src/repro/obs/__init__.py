@@ -1,0 +1,50 @@
+"""repro.obs — dependency-free observability for the whole stack.
+
+Three pieces, all stdlib-only:
+
+- :mod:`repro.obs.trace` — nested, thread-safe spans with a zero-overhead
+  no-op default (:data:`NULL_TRACER`); the engine's per-phase timings.
+- :mod:`repro.obs.metrics` — process-wide registry of counters, gauges and
+  histograms with labeled series; what the service aggregates.
+- :mod:`repro.obs.prom` / :mod:`repro.obs.export` — Prometheus text
+  exposition for ``GET /metrics`` and Chrome trace-event JSON for Perfetto.
+"""
+
+from .export import chrome_trace, render_span_tree, write_chrome_trace
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .prom import PROM_CONTENT_TYPE, render_prometheus
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    phase_totals,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROM_CONTENT_TYPE",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "ensure_tracer",
+    "get_registry",
+    "phase_totals",
+    "render_prometheus",
+    "render_span_tree",
+    "write_chrome_trace",
+]

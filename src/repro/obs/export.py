@@ -1,0 +1,113 @@
+"""Trace exports: Chrome trace-event JSON (Perfetto) and a text tree.
+
+``write_chrome_trace()`` emits the Trace Event Format JSON that
+https://ui.perfetto.dev and ``chrome://tracing`` open directly — every span
+becomes a complete ("X") event with microsecond timestamps and its counters
+in ``args``.  ``render_span_tree()`` is the terminal-friendly view the CLI
+``--profile`` flag prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from .trace import Span
+
+__all__ = ["chrome_trace", "render_span_tree", "write_chrome_trace"]
+
+
+def _as_spans(spans: Union[Span, Iterable[Span]]) -> List[Span]:
+    return [spans] if isinstance(spans, Span) else list(spans)
+
+
+def chrome_trace(spans: Union[Span, Iterable[Span]], *,
+                 pid: int = 1) -> Dict[str, Any]:
+    """The span forest as a Trace Event Format document."""
+    events: List[Dict[str, Any]] = []
+
+    def emit(span: Span, tid: int) -> None:
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if span.counters:
+            event["args"] = {name: value for name, value in span.counters}
+        events.append(event)
+        for child in span.children:
+            emit(child, tid)
+
+    for tid, root in enumerate(_as_spans(spans), start=1):
+        emit(root, tid)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       spans: Union[Span, Iterable[Span]]) -> Path:
+    """Write the Chrome-trace JSON for *spans* and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def render_span_tree(spans: Union[Span, Iterable[Span]],
+                     *, max_depth: int = 6,
+                     max_children: int = 12) -> str:
+    """An aligned text rendering of the span forest.
+
+    Sibling spans that repeat (the per-expansion ``blocking`` /
+    ``induction`` / ... phases) are merged into one aggregate row with a
+    ``xN`` multiplier, so the tree stays terminal-sized for long searches.
+    Shares are relative to the root total.
+    """
+    roots = _as_spans(spans)
+    total = sum(root.duration for root in roots) or 1.0
+    rows: List[tuple] = []  # (label, seconds)
+
+    def group_by_name(spans_at_level: Sequence[Span]) -> List[tuple]:
+        groups: Dict[str, List[Span]] = {}
+        order: List[str] = []
+        for span in spans_at_level:
+            if span.name not in groups:
+                groups[span.name] = []
+                order.append(span.name)
+            groups[span.name].append(span)
+        return [(name, groups[name]) for name in order]
+
+    def emit(name: str, group: Sequence[Span], depth: int) -> None:
+        seconds = sum(span.duration for span in group)
+        label = "  " * depth + name + (f" x{len(group)}" if len(group) > 1 else "")
+        rows.append((label, seconds))
+        if depth >= max_depth:
+            return
+        children = [child for span in group for child in span.children]
+        shown = group_by_name(children)
+        for child_name, child_group in shown[:max_children]:
+            emit(child_name, child_group, depth + 1)
+        if len(shown) > max_children:
+            rest = sum(span.duration
+                       for _, child_group in shown[max_children:]
+                       for span in child_group)
+            rows.append(("  " * (depth + 1) + f"... {len(shown) - max_children} more",
+                         rest))
+
+    for root in roots:
+        emit(root.name, [root], 0)
+
+    width = max([len("phase")] + [len(label) for label, _ in rows]) + 2
+    lines = [f"{'phase':<{width}}{'seconds':>10}  {'share':>6}"]
+    for label, seconds in rows:
+        lines.append(f"{label:<{width}}{seconds:>10.4f}  {seconds / total:>5.1%}")
+    lines.append(f"{'total':<{width}}{total:>10.4f}  {1:>5.1%}")
+    return "\n".join(lines)

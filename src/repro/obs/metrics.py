@@ -1,0 +1,261 @@
+"""Process-wide metrics: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` per process (``get_registry()``); modules
+register their instruments at import time and re-registration with the same
+name, type and label names returns the existing instrument, so library,
+service and tests all see a single coherent view.  Everything is
+thread-safe and dependency-free; :mod:`repro.obs.prom` renders a registry
+in the Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Seconds-scale buckets covering sub-millisecond cache hits up to
+# multi-minute batch searches.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class _Instrument:
+    """Shared machinery: name/label validation and the labeled-series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        label_names = tuple(label_names)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.label_names = label_names
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()):
+        super().__init__(name, help_text, label_names)
+        self._series: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def series(self) -> Dict[LabelValues, float]:
+        with self._lock:
+            return dict(self._series)
+
+
+class Gauge(_Instrument):
+    """Value that can go up and down (queue depth, pool size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()):
+        super().__init__(name, help_text, label_names)
+        self._series: Dict[LabelValues, float] = {}
+        self._functions: Dict[LabelValues, Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], float], **labels: str) -> None:
+        """Sample *fn* at collection time instead of storing a value."""
+        key = self._key(labels)
+        with self._lock:
+            self._functions[key] = fn
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            fn = self._functions.get(key)
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def series(self) -> Dict[LabelValues, float]:
+        with self._lock:
+            out = dict(self._series)
+            functions = list(self._functions.items())
+        for key, fn in functions:
+            try:
+                out[key] = float(fn())
+            except Exception:  # noqa: BLE001 - a broken callback must not kill /metrics
+                out[key] = float("nan")
+        return out
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram of observations (latencies, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help_text, label_names)
+        cleaned = sorted(float(b) for b in buckets)
+        if not cleaned:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(not math.isfinite(b) for b in cleaned):
+            raise ValueError(f"histogram {name!r} buckets must be finite (+Inf is implicit)")
+        self.buckets: Tuple[float, ...] = tuple(cleaned)
+        self._series: Dict[LabelValues, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.total if series else 0.0
+
+    def series(self) -> Dict[LabelValues, Tuple[List[int], float, int]]:
+        with self._lock:
+            return {
+                key: (list(s.bucket_counts), s.total, s.count)
+                for key, s in self._series.items()
+            }
+
+
+class MetricsRegistry:
+    """Named instruments in registration order.  Registration is
+    idempotent: asking again with a matching type and label names returns
+    the existing instrument; a mismatch is a programming error."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Instrument] = {}
+
+    def _register(self, cls, name: str, help_text: str,
+                  label_names: Sequence[str], **kwargs) -> _Instrument:
+        label_names = tuple(label_names)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, label_names)
+
+    def gauge(self, name: str, help_text: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, label_names)
+
+    def histogram(self, name: str, help_text: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help_text, label_names,
+                              buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> List[_Instrument]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._metrics)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every repro layer records into."""
+    return _REGISTRY

@@ -1,0 +1,80 @@
+"""Prometheus text exposition (format version 0.0.4) for a registry.
+
+``render_prometheus()`` turns the process registry into the plain-text
+format every Prometheus-compatible scraper understands: ``# HELP`` /
+``# TYPE`` headers, escaped label values, and cumulative histogram
+``_bucket`` / ``_sum`` / ``_count`` samples with the implicit ``+Inf``
+bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["PROM_CONTENT_TYPE", "render_prometheus"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Tuple[str, ...], values: Tuple[str, ...],
+                 extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(names, values)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry (process-wide by default) in exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help_text)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = metric.series()
+            if not series and not metric.label_names:
+                series = {(): 0.0}
+            for values, sample in sorted(series.items()):
+                labels = _labels_text(metric.label_names, values)
+                lines.append(f"{metric.name}{labels} {_format_value(sample)}")
+        elif isinstance(metric, Histogram):
+            series = metric.series()
+            if not series and not metric.label_names:
+                series = {(): ([0] * len(metric.buckets), 0.0, 0)}
+            for values, (bucket_counts, total, count) in sorted(series.items()):
+                for bound, bucket_count in zip(metric.buckets, bucket_counts):
+                    labels = _labels_text(metric.label_names, values,
+                                          extra=("le", _format_value(bound)))
+                    lines.append(f"{metric.name}_bucket{labels} {bucket_count}")
+                labels = _labels_text(metric.label_names, values,
+                                      extra=("le", "+Inf"))
+                lines.append(f"{metric.name}_bucket{labels} {count}")
+                plain = _labels_text(metric.label_names, values)
+                lines.append(f"{metric.name}_sum{plain} {_format_value(total)}")
+                lines.append(f"{metric.name}_count{plain} {count}")
+    return "\n".join(lines) + "\n"

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import logging
 import threading
 import time
 import traceback
@@ -55,7 +56,35 @@ from ..core import (
 )
 from ..dataio import Table
 from ..functions import FunctionRegistry
+from ..obs import get_registry
 from .cache import ResultCache, idempotency_key, request_idempotency_key
+
+#: One logger for the whole service tier; records carry the job id both in
+#: the message and as ``record.job_id`` (via ``extra``) for structured sinks.
+logger = logging.getLogger("repro.service")
+
+_job_metrics = get_registry()
+_JOBS_SUBMITTED = _job_metrics.counter(
+    "repro_jobs_submitted_total",
+    "Explain jobs accepted by the job manager",
+)
+_JOBS_COMPLETED = _job_metrics.counter(
+    "repro_jobs_completed_total",
+    "Explain jobs that reached a terminal state",
+    ("state",),
+)
+_JOBS_CACHE_HITS = _job_metrics.counter(
+    "repro_jobs_cache_hits_total",
+    "Explain jobs answered from the idempotency cache",
+)
+_JOBS_QUEUE_DEPTH = _job_metrics.gauge(
+    "repro_jobs_queue_depth",
+    "Jobs currently queued or running",
+)
+_JOB_LATENCY = _job_metrics.histogram(
+    "repro_job_latency_seconds",
+    "Submission-to-completion latency of explain jobs",
+)
 
 
 def _without_base_config(outcome: ExplainOutcome) -> ExplainOutcome:
@@ -118,6 +147,10 @@ class Job:
         self._progress: Optional[SearchProgress] = None
         self._cancel_event = threading.Event()
         self._done_event = threading.Event()
+        #: Manager hook fired exactly once, on the terminal transition (the
+        #: transition guard makes terminal states sticky, so the hook cannot
+        #: fire twice however races between worker and cancel resolve).
+        self._on_terminal = None
 
     # -- read side ----------------------------------------------------- #
     @property
@@ -193,6 +226,12 @@ class Job:
                 self._finished_at = time.time()
         if state.is_terminal:
             self._done_event.set()
+            if self._on_terminal is not None:
+                try:
+                    self._on_terminal(self)
+                except Exception:  # noqa: BLE001 - accounting must not kill a worker
+                    logger.exception("job %s terminal hook failed", self.id,
+                                     extra={"job_id": self.id})
 
 
 class JobManager:
@@ -332,6 +371,11 @@ class JobManager:
                  config: AffidavitConfig, throttle_seconds: float,
                  use_cache: bool, config_overridden: bool = False,
                  load_seconds: float = 0.0) -> Job:
+        job._on_terminal = self._on_job_terminal
+        _JOBS_SUBMITTED.inc()
+        _JOBS_QUEUE_DEPTH.inc()
+        logger.info("job %s submitted (%s)", job.id, job.name,
+                    extra={"job_id": job.id})
         if use_cache:
             cached = self.cache.get(job.key)
             if cached is not None:
@@ -373,6 +417,28 @@ class JobManager:
 
     def _next_id(self) -> str:
         return f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
+
+    def _on_job_terminal(self, job: Job) -> None:
+        """Exactly-once accounting when a job reaches a terminal state."""
+        state = job.state
+        _JOBS_QUEUE_DEPTH.dec()
+        _JOBS_COMPLETED.inc(state=state.value)
+        if job.cache_hit:
+            _JOBS_CACHE_HITS.inc()
+        finished_at = job.finished_at
+        latency = None if finished_at is None else max(0.0, finished_at - job.submitted_at)
+        if latency is not None:
+            _JOB_LATENCY.observe(latency)
+        if state is JobState.FAILED:
+            error = (job.error or "").strip().splitlines()
+            logger.warning("job %s failed: %s", job.id,
+                           error[-1] if error else "unknown error",
+                           extra={"job_id": job.id})
+        else:
+            logger.info("job %s %s in %.3fs%s", job.id, state.value,
+                        latency if latency is not None else 0.0,
+                        " (cache hit)" if job.cache_hit else "",
+                        extra={"job_id": job.id})
 
     def _acquire_shard_pool(self) -> Optional[ShardPool]:
         """The manager's shared shard pool, created lazily; ``None`` when the

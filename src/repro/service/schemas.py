@@ -115,6 +115,7 @@ class ResultView:
     runtime_seconds: float
     explanation: Dict[str, Any]
     column_cache: Optional[Dict[str, Any]] = None
+    blocking_cache: Optional[Dict[str, int]] = None
     timings: Optional[Dict[str, Any]] = None
     provenance: Optional[Dict[str, Any]] = None
 
@@ -139,6 +140,10 @@ class ResultView:
             column_cache=(
                 None if result.cache_stats is None else result.cache_stats.as_dict()
             ),
+            blocking_cache=(
+                None if getattr(result, "blocking_cache", None) is None
+                else dict(result.blocking_cache)
+            ),
             timings=None if outcome is None else outcome.timings.to_dict(),
             provenance=None if outcome is None else outcome.provenance.to_dict(),
         )
@@ -157,6 +162,7 @@ class ResultView:
             "runtime_seconds": self.runtime_seconds,
             "explanation": self.explanation,
             "column_cache": self.column_cache,
+            "blocking_cache": self.blocking_cache,
             "timings": self.timings,
             "provenance": self.provenance,
         }

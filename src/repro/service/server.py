@@ -28,6 +28,7 @@ the machine.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -36,7 +37,8 @@ from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
 from ..export import explanation_to_sql, render_report
-from .jobs import JobManager, JobNotFound, JobState
+from ..obs import PROM_CONTENT_TYPE, get_registry, render_prometheus
+from .jobs import JobManager, JobNotFound, JobState, logger
 from .schemas import (
     ExplainRequest,
     JobView,
@@ -47,6 +49,18 @@ from .schemas import (
 MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd inline payloads
 
 RESULT_FORMATS = ("json", "sql", "report")
+
+_http_metrics = get_registry()
+_HTTP_REQUESTS = _http_metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template and status code",
+    ("method", "route", "status"),
+)
+_HTTP_LATENCY = _http_metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency, by method and route template",
+    ("method", "route"),
+)
 
 
 class AffidavitHTTPServer(ThreadingHTTPServer):
@@ -88,23 +102,54 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _guarded(self, route) -> None:
         """Run *route*; an unexpected error becomes a 500 JSON response
-        instead of a dropped connection."""
+        instead of a dropped connection.  Every exchange lands in the
+        request counter and latency histogram under its route template."""
+        started = time.perf_counter()
+        self._status = 0
         try:
             route()
         except BrokenPipeError:  # client went away mid-response
             self.close_connection = True
         except Exception as error:  # noqa: BLE001
             self.close_connection = True
+            logger.exception("unhandled error on %s %s", self.command, self.path)
             try:
                 self._send_json(500, {"error": f"internal error: {error}"})
             except OSError:
                 pass
+        finally:
+            route_label = self._route_label()
+            _HTTP_REQUESTS.inc(method=self.command, route=route_label,
+                               status=str(self._status or 0))
+            _HTTP_LATENCY.observe(time.perf_counter() - started,
+                                  method=self.command, route=route_label)
+
+    def _route_label(self) -> str:
+        """The request path collapsed onto its route template, so the
+        metrics label space stays bounded (no raw job ids)."""
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["healthz"]:
+            return "/healthz"
+        if parts == ["metrics"]:
+            return "/metrics"
+        if parts == ["v1", "explain"]:
+            return "/v1/explain"
+        if parts == ["v1", "jobs"]:
+            return "/v1/jobs"
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return "/v1/jobs/{id}"
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            return "/v1/jobs/{id}/result"
+        return "unmatched"
 
     def _route_get(self) -> None:
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
         if parts == ["healthz"]:
             self._send_json(200, self._health_payload())
+        elif parts == ["metrics"]:
+            self._send_text(200, render_prometheus(),
+                            content_type=PROM_CONTENT_TYPE)
         elif parts == ["v1", "jobs"]:
             views = [JobView.from_job(job).to_dict()
                      for job in self.server.manager.jobs()]
@@ -236,6 +281,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_bytes(status, text.encode("utf-8"), content_type)
 
     def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -243,8 +289,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # http.server writes to stderr by default; route per-request lines
+        # through the service logger instead (INFO when the server was asked
+        # to be verbose, DEBUG otherwise).
+        level = logging.INFO if self.server.verbose else logging.DEBUG
+        logger.log(level, "%s %s", self.address_string(), format % args)
 
 
 def create_server(host: str = "127.0.0.1", port: int = 0, *,
@@ -263,27 +312,49 @@ def create_server(host: str = "127.0.0.1", port: int = 0, *,
                                data_root=data_root, verbose=verbose)
 
 
+def configure_logging(log_level: str = "info") -> None:
+    """Point the ``repro.service`` logger at stderr at *log_level*.
+
+    Only attaches a handler when the logger has none, so hosts that already
+    configured :mod:`logging` (or tests using caplog) keep their setup.
+    """
+    level = getattr(logging, log_level.upper(), None)
+    if not isinstance(level, int):
+        raise ValueError(f"unknown log level: {log_level!r}")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        ))
+        logger.addHandler(handler)
+
+
 def serve_forever(host: str = "127.0.0.1", port: int = 8080, *,
                   workers: int = 2,
                   cache_entries: int = 128,
                   cache_ttl: Optional[float] = None,
                   search_workers: Optional[int] = None,
                   data_root: Optional[Path] = None,
-                  verbose: bool = True) -> int:
+                  verbose: bool = True,
+                  log_level: str = "info") -> int:
     """Blocking entry point used by ``repro-affidavit serve``."""
+    configure_logging(log_level)
     server = create_server(host, port, workers=workers,
                            cache_entries=cache_entries, cache_ttl=cache_ttl,
                            search_workers=search_workers,
                            data_root=data_root, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
-    print(f"affidavit service listening on http://{bound_host}:{bound_port} "
-          f"({workers} workers, {server.manager.search_workers} search workers, "
-          f"cache {cache_entries} entries"
-          f"{'' if cache_ttl is None else f', ttl {cache_ttl:g}s'})")
+    logger.info(
+        "affidavit service listening on http://%s:%s "
+        "(%s workers, %s search workers, cache %s entries%s)",
+        bound_host, bound_port, workers, server.manager.search_workers,
+        cache_entries, "" if cache_ttl is None else f", ttl {cache_ttl:g}s",
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down ...")
+        logger.info("shutting down ...")
     finally:
         server.shutdown_service()
     return 0

@@ -84,6 +84,36 @@ class TestExplainCommand:
         # profile; the table is the only output.
         assert "snapshot difference report" not in output
 
+    def test_trace_flag_writes_chrome_trace_json(self, snapshot_files, tmp_path, capsys):
+        source_path, target_path = snapshot_files
+        trace_path = tmp_path / "trace.json"
+        exit_code = main([
+            "explain", str(source_path), str(target_path), "--quiet",
+            "--trace", str(trace_path),
+        ])
+        assert exit_code == 0
+        # --quiet suppresses the confirmation line but not the file itself.
+        assert capsys.readouterr().out == ""
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert events, "trace file holds no events"
+        names = {event["name"] for event in events}
+        assert {"explain", "search"} <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_profile_renders_the_span_tree(self, snapshot_files, capsys):
+        source_path, target_path = snapshot_files
+        exit_code = main([
+            "explain", str(source_path), str(target_path), "--quiet", "--profile",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # The span-tree profile shows real engine phases, not just the
+        # legacy three-row load/search/total table.
+        assert "induction" in output
+
     def test_overlap_configuration_flag(self, snapshot_files, capsys):
         source_path, target_path = snapshot_files
         exit_code = main([

@@ -1,0 +1,246 @@
+"""Unit tests of :mod:`repro.obs.metrics`, the Prometheus renderer and the
+trace exports (Chrome JSON + text tree)."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    PROM_CONTENT_TYPE,
+    Span,
+    chrome_trace,
+    get_registry,
+    render_prometheus,
+    render_span_tree,
+    write_chrome_trace,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series(self):
+        counter = MetricsRegistry().counter("ops_total", label_names=("kind",))
+        counter.inc(kind="read")
+        counter.inc(3, kind="write")
+        assert counter.value(kind="read") == 1.0
+        assert counter.series() == {("read",): 1.0, ("write",): 3.0}
+
+    def test_rejects_decrease_and_label_mismatch(self):
+        counter = MetricsRegistry().counter("ops_total", label_names=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, kind="read")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the label
+        with pytest.raises(ValueError):
+            counter.inc(kind="read", extra="nope")
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = MetricsRegistry().counter("hits_total")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+    def test_function_gauge_sampled_at_collection(self):
+        gauge = MetricsRegistry().gauge("pool_size")
+        backing = {"n": 3}
+        gauge.set_function(lambda: backing["n"])
+        assert gauge.value() == 3.0
+        backing["n"] = 7
+        assert gauge.series() == {(): 7.0}
+
+    def test_broken_function_gauge_yields_nan_not_crash(self):
+        gauge = MetricsRegistry().gauge("flaky")
+
+        def boom():
+            raise RuntimeError("sensor offline")
+
+        gauge.set_function(boom)
+        (value,) = gauge.series().values()
+        assert math.isnan(value)
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        (bucket_counts, total, count) = histogram.series()[()]
+        assert bucket_counts == [1, 3, 4]  # cumulative: le=0.1, le=1, le=10
+        assert count == 4
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(6.05)
+        assert total == pytest.approx(6.05)
+
+    def test_buckets_are_sorted_and_validated(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(5.0, 1.0))
+        assert histogram.buckets == (1.0, 5.0)
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("empty", buckets=())
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("inf", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs_total", "Jobs.", ("state",))
+        again = registry.counter("jobs_total", "different help", ("state",))
+        assert again is first
+        assert registry.get("jobs_total") is first
+        assert registry.names() == ("jobs_total",)
+
+    def test_type_or_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", label_names=("state",))
+        with pytest.raises(ValueError):
+            registry.gauge("jobs_total", label_names=("state",))
+        with pytest.raises(ValueError):
+            registry.counter("jobs_total", label_names=("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("ok_name", label_names=("bad-label",))
+
+    def test_process_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestPrometheusRendering:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ops_total", "Operations.", ("kind",))
+        counter.inc(2, kind="read")
+        gauge = registry.gauge("repro_depth", "Queue depth.")
+        gauge.set(3)
+        histogram = registry.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.5, 1.0))
+        histogram.observe(0.25)
+        histogram.observe(2.0)
+
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# HELP repro_ops_total Operations." in lines
+        assert "# TYPE repro_ops_total counter" in lines
+        assert 'repro_ops_total{kind="read"} 2' in lines
+        assert "# TYPE repro_depth gauge" in lines
+        assert "repro_depth 3" in lines
+        assert "# TYPE repro_latency_seconds histogram" in lines
+        assert 'repro_latency_seconds_bucket{le="0.5"} 1' in lines
+        assert 'repro_latency_seconds_bucket{le="1"} 1' in lines
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_latency_seconds_sum 2.25" in lines
+        assert "repro_latency_seconds_count 2" in lines
+
+        sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$")
+        for line in lines:
+            assert line.startswith("#") or sample.match(line), line
+
+    def test_unlabeled_zero_samples_and_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_untouched_total", "Never incremented.")
+        counter = registry.counter("repro_weird_total", "", ("path",))
+        counter.inc(path='a"b\\c\nd')
+        text = render_prometheus(registry)
+        assert "repro_untouched_total 0" in text.splitlines()
+        assert 'repro_weird_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestChromeTrace:
+    def _root(self) -> Span:
+        return Span(
+            name="explain", start=0.0, duration=1.0,
+            children=(
+                Span(name="search", start=0.1, duration=0.8,
+                     counters=(("expansions", 12.0),)),
+            ),
+        )
+
+    def test_events_use_microseconds_and_args(self):
+        document = chrome_trace(self._root())
+        assert document["displayTimeUnit"] == "ms"
+        explain, search = document["traceEvents"]
+        assert explain == {"name": "explain", "cat": "repro", "ph": "X",
+                           "ts": 0.0, "dur": 1e6, "pid": 1, "tid": 1}
+        assert search["ts"] == pytest.approx(1e5)
+        assert search["args"] == {"expansions": 12.0}
+
+    def test_roots_get_distinct_tids(self):
+        roots = [Span(name=f"r{i}", start=0.0, duration=0.1) for i in range(3)]
+        tids = [event["tid"] for event in chrome_trace(roots)["traceEvents"]]
+        assert tids == [1, 2, 3]
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", self._root())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["otherData"] == {"producer": "repro.obs"}
+        assert len(document["traceEvents"]) == 2
+
+
+class TestRenderSpanTree:
+    def test_tree_layout_and_aggregation(self):
+        root = Span(
+            name="search", start=0.0, duration=1.0,
+            children=tuple(
+                Span(name="induction", start=0.1 * i, duration=0.1)
+                for i in range(5)
+            ),
+        )
+        text = render_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].split() == ["phase", "seconds", "share"]
+        assert any("induction x5" in line for line in lines)
+        assert lines[-1].startswith("total")
+        assert "100.0%" in lines[-1]
+
+    def test_child_overflow_is_summarised(self):
+        root = Span(
+            name="root", start=0.0, duration=1.0,
+            children=tuple(
+                Span(name=f"phase{i}", start=0.0, duration=0.01)
+                for i in range(20)
+            ),
+        )
+        text = render_span_tree(root, max_children=3)
+        assert "... 17 more" in text

@@ -1,0 +1,222 @@
+"""Unit tests of :mod:`repro.obs.trace`: spans, tracers, the no-op default."""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, ensure_tracer, phase_totals
+from repro.obs.trace import _NullSpan
+
+
+class TestSpanTree:
+    def test_nested_spans_become_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        roots = tracer.roots()
+        assert [root.name for root in roots] == ["outer"]
+        assert [child.name for child in roots[0].children] == ["inner"]
+        inner = roots[0].children[0]
+        assert inner.start >= roots[0].start
+        assert inner.duration <= roots[0].duration
+
+    def test_sequential_roots_keep_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots()] == ["first", "second"]
+
+    def test_counters_accumulate_and_sort(self):
+        tracer = Tracer()
+        with tracer.span("phase") as span:
+            span.add("b", 2.0)
+            span.add("a")
+            span.add("b", 3.0)
+        (root,) = tracer.roots()
+        assert root.counters == (("a", 1.0), ("b", 5.0))
+        assert root.counter_values == {"a": 1.0, "b": 5.0}
+
+    def test_tracer_add_bumps_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add("hits", 2.0)
+        (root,) = tracer.roots()
+        assert root.counters == ()
+        assert root.children[0].counter_values == {"hits": 2.0}
+        # Outside any span the call is a harmless no-op.
+        tracer.add("hits")
+        assert len(tracer.roots()) == 1
+
+    def test_event_attaches_under_current_span(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            tracer.event("shard", 0.25, counters={"shard": 1.0})
+        (root,) = tracer.roots()
+        (event,) = root.children
+        assert event.name == "shard"
+        assert event.duration == 0.25
+        assert event.counter_values == {"shard": 1.0}
+        assert event.start >= 0.0
+
+    def test_event_without_open_span_becomes_root(self):
+        tracer = Tracer()
+        tracer.event("lonely", 0.1)
+        assert [root.name for root in tracer.roots()] == ["lonely"]
+
+    def test_snapshot_is_none_until_exit(self):
+        tracer = Tracer()
+        with tracer.span("phase") as span:
+            assert span.snapshot() is None
+        frozen = span.snapshot()
+        assert isinstance(frozen, Span)
+        assert frozen.name == "phase"
+
+    def test_attach_adopts_foreign_closed_span(self):
+        tracer = Tracer()
+        shipped = Span(name="remote", start=0.0, duration=0.5)
+        with tracer.span("phase") as span:
+            span.attach(shipped)
+        (root,) = tracer.roots()
+        assert root.children == (shipped,)
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            barrier.wait()
+            with tracer.span(name):
+                with tracer.span(f"{name}-child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = tracer.roots()
+        # Each thread contributed one root with its own child — no
+        # cross-thread adoption even though both ran concurrently.
+        assert sorted(root.name for root in roots) == ["t0", "t1"]
+        for root in roots:
+            assert [child.name for child in root.children] == [f"{root.name}-child"]
+
+
+class TestSpanSerialization:
+    def _tree(self) -> Span:
+        return Span(
+            name="explain", start=0.0, duration=2.5,
+            counters=(("expansions", 42.0),),
+            children=(
+                Span(name="search", start=0.5, duration=2.0,
+                     children=(Span(name="induction", start=0.6, duration=0.25),)),
+            ),
+        )
+
+    def test_json_round_trip_is_identity(self):
+        span = self._tree()
+        payload = json.loads(json.dumps(span.to_dict()))
+        assert Span.from_dict(payload) == span
+
+    def test_to_dict_omits_empty_fields(self):
+        payload = Span(name="leaf", start=0.0, duration=0.0).to_dict()
+        assert payload == {"name": "leaf", "start": 0.0, "duration": 0.0}
+
+    def test_walk_is_depth_first(self):
+        names = [span.name for span in self._tree().walk()]
+        assert names == ["explain", "search", "induction"]
+
+    @pytest.mark.parametrize("payload", [
+        "not a mapping",
+        {},
+        {"name": ""},
+        {"name": "x"},  # missing duration
+        {"name": "x", "duration": "fast"},
+        {"name": "x", "duration": -1.0},
+        {"name": "x", "duration": float("nan")},
+        {"name": "x", "duration": float("inf")},
+        {"name": "x", "duration": True},
+        {"name": "x", "duration": 1.0, "start": -0.5},
+        {"name": "x", "duration": 1.0, "counters": ["not", "a", "mapping"]},
+        {"name": "x", "duration": 1.0, "counters": {"k": float("nan")}},
+        {"name": "x", "duration": 1.0, "counters": {"k": "many"}},
+        {"name": "x", "duration": 1.0, "children": "nope"},
+        {"name": "x", "duration": 1.0, "children": [{"name": ""}]},
+    ])
+    def test_from_dict_rejects_malformed_payloads(self, payload):
+        with pytest.raises(ValueError):
+            Span.from_dict(payload)
+
+
+class TestPhaseTotals:
+    def test_totals_are_inclusive_per_name(self):
+        root = Span(
+            name="explain", start=0.0, duration=3.0,
+            children=(
+                Span(name="search", start=0.0, duration=2.0,
+                     children=(Span(name="induction", start=0.0, duration=0.5),)),
+                Span(name="search", start=2.0, duration=0.5),
+            ),
+        )
+        totals = phase_totals(root)
+        assert totals == {"search": 2.5, "induction": 0.5}
+        assert phase_totals(root, include_root=True)["explain"] == 3.0
+
+    def test_none_gives_empty_totals(self):
+        assert phase_totals(None) == {}
+
+
+class TestNullTracer:
+    def test_shared_singleton_span(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert isinstance(NULL_TRACER.span("a"), _NullSpan)
+
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+        with NULL_TRACER.span("phase") as span:
+            span.add("ignored")
+            span.attach(Span(name="x", start=0.0, duration=0.0))
+        assert span.snapshot() is None
+        assert NULL_TRACER.roots() == ()
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.event("x", 1.0) is None
+
+    def test_ensure_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+        null = NullTracer()
+        assert ensure_tracer(null) is null
+
+    @pytest.mark.skipif(not hasattr(sys, "getallocatedblocks"),
+                        reason="needs sys.getallocatedblocks")
+    def test_hot_path_does_not_allocate(self):
+        span = NULL_TRACER.span  # bound method held by the call sites
+
+        def hot_loop(iterations):
+            for _ in range(iterations):
+                with span("phase"):
+                    NULL_TRACER.add("counter")
+
+        hot_loop(1000)  # warm up any lazy interpreter caches
+        gc.disable()
+        try:
+            gc.collect()
+            before = sys.getallocatedblocks()
+            hot_loop(10_000)
+            after = sys.getallocatedblocks()
+        finally:
+            gc.enable()
+        # The shared singleton means the loop itself allocates nothing;
+        # allow a few blocks of interpreter noise (frame caches etc.).
+        assert after - before <= 8
