@@ -1,0 +1,162 @@
+"""Benchmark of the strategy chain: per-tier latency/quality and the budget gate.
+
+The budgeted tiered API promises an answer *by the deadline*, not merely an
+answer: the chain walks cache → greedy → full → baselines under a
+wall-clock budget, enforcement rides the cooperative ``should_stop`` hook
+(polled between expansions, between per-attribute inductions and inside the
+induction example loop), and the chain holds back a finalisation reserve so
+the caller-visible wall time stays inside the caller's budget.  This
+benchmark measures, on the seeded Figure-5 workload (*flight-500k*
+surrogate, η=0.3, τ=0.3):
+
+* **per-tier latency and quality** — p50/p95 wall time plus cost and
+  compression ratio for the full search, the greedy tier, the trivial
+  baseline and the budgeted chain;
+* **the budget gate** — every budgeted run must return a valid outcome
+  whose provenance names the answering tier, and the budgeted p95 must stay
+  within the 50 ms budget (full mode; the quick CI smoke doubles the
+  allowance because sub-100 ms runs are dominated by scheduler noise);
+* **the trend metric** — ``budget.headroom`` = budget / budgeted-p95
+  (higher is better, > 1 means the p95 fits the budget), gated in
+  ``compare_bench.py``.
+
+Results are written to ``benchmarks/BENCH_tiers.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ExplainBudget, Session, identity_configuration
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+
+from conftest import scaled
+
+FULL_RECORDS = scaled(150)
+QUICK_RECORDS = 100
+FULL_ROUNDS = 12
+QUICK_ROUNDS = 8
+BUDGET_MS = 50.0
+#: Quick mode multiplies the p95 allowance: the workload is tiny, so one
+#: scheduler hiccup is a large *relative* excursion.  Full mode enforces
+#: the real promise: p95 within the budget.
+QUICK_GATE_FACTOR = 2.0
+
+
+def _percentile(sorted_values, fraction):
+    index = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _measure(run, rounds):
+    """Latencies (ms, sorted) and the last outcome of *rounds* runs."""
+    run()  # warm-up: pages snapshots in, fills the induction memo
+    latencies = []
+    outcome = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        outcome = run()
+        latencies.append((time.perf_counter() - started) * 1000.0)
+    return sorted(latencies), outcome
+
+
+def test_tier_latency_and_quality(bench_seed, quick_mode, bench_json, report_sink):
+    records = QUICK_RECORDS if quick_mode else FULL_RECORDS
+    rounds = QUICK_ROUNDS if quick_mode else FULL_ROUNDS
+    gate_ms = BUDGET_MS * (QUICK_GATE_FACTOR if quick_mode else 1.0)
+
+    table = load_dataset("flight-500k", records, seed=bench_seed)
+    instance = generate_problem_instance(
+        table, eta=0.3, tau=0.3, seed=bench_seed, name="figure5"
+    ).instance
+    session = Session(config=identity_configuration(seed=bench_seed))
+    budgeted = session.with_budget(ExplainBudget(deadline_ms=BUDGET_MS))
+
+    runs = {
+        "full": lambda: session.explain_instance(instance),
+        "greedy": lambda: session.with_budget(
+            None, strategy=("greedy",)
+        ).explain_instance(instance),
+        "trivial": lambda: session.with_budget(
+            None, strategy=("trivial",)
+        ).explain_instance(instance),
+        "budgeted": lambda: budgeted.explain_instance(instance),
+    }
+
+    tiers = {}
+    outcomes = {}
+    for name, run in runs.items():
+        latencies, outcome = _measure(run, rounds)
+        outcomes[name] = outcome
+        tiers[name] = {
+            "p50_ms": round(_percentile(latencies, 0.50), 2),
+            "p95_ms": round(_percentile(latencies, 0.95), 2),
+            "cost": outcome.cost,
+            "compression_ratio": round(outcome.compression_ratio, 4),
+            "answered_by": outcome.provenance.tier,
+            "confidence": outcome.provenance.confidence,
+        }
+
+    # Soundness across tiers: the full search is the optimum, the greedy
+    # tier is a cost-no-better relaxation of it, and nothing is ever worse
+    # than trivial.
+    full, greedy = outcomes["full"], outcomes["greedy"]
+    assert full.provenance.confidence == "exact"
+    assert greedy.cost >= full.cost
+    for name, outcome in outcomes.items():
+        outcome.explanation.validate(instance)
+        assert outcome.cost <= outcome.trivial_cost, name
+
+    # The acceptance gate: a 50 ms budget returns a non-error outcome whose
+    # provenance names the answering tier, with p95 wall time in budget.
+    budgeted_outcome = outcomes["budgeted"]
+    assert budgeted_outcome.provenance.tier in (
+        "cache", "greedy", "full", "keyed_diff", "similarity_linker", "trivial"
+    )
+    assert budgeted_outcome.tiers is not None
+    p95 = tiers["budgeted"]["p95_ms"]
+    headroom = BUDGET_MS / max(p95, 1e-9)
+
+    bench_json["tiers"] = {
+        "benchmark": "strategy_tiers",
+        "workload": "figure5-search",
+        "dataset": "flight-500k",
+        "eta": 0.3,
+        "tau": 0.3,
+        "records": instance.n_source_records,
+        "seed": bench_seed,
+        "quick": quick_mode,
+        "rounds": rounds,
+        "tiers": tiers,
+        "budget": {
+            "budget_ms": BUDGET_MS,
+            "p95_ms": p95,
+            "gate_ms": gate_ms,
+            "headroom": round(headroom, 3),
+            "answered_by": budgeted_outcome.provenance.tier,
+        },
+    }
+
+    lines = [
+        "STRATEGY TIERS (Figure-5 search, flight-500k surrogate, "
+        f"{instance.n_source_records} records, seed={bench_seed}, "
+        f"{'quick' if quick_mode else 'full'})",
+        f"  {'tier':<10} {'p50':>9} {'p95':>9} {'cost':>9}  ratio",
+    ]
+    for name, row in tiers.items():
+        lines.append(
+            f"  {name:<10} {row['p50_ms']:>7.1f}ms {row['p95_ms']:>7.1f}ms "
+            f"{row['cost']:>9.0f}  {row['compression_ratio']:.3f}"
+        )
+    lines.append(
+        f"  budgeted ({BUDGET_MS:.0f}ms): p95 {p95:.1f}ms vs gate "
+        f"{gate_ms:.0f}ms (headroom {headroom:.2f}x), answered by "
+        f"'{budgeted_outcome.provenance.tier}'"
+    )
+    report_sink.append("\n".join(lines))
+
+    assert p95 <= gate_ms, (
+        f"budgeted p95 {p95:.1f}ms exceeds the {gate_ms:.0f}ms gate "
+        f"({BUDGET_MS:.0f}ms budget, {'quick' if quick_mode else 'full'} mode)"
+    )

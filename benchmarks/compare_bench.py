@@ -84,6 +84,8 @@ GATED_METRICS: Sequence[Metric] = (
            ("speedup",)),
     Metric("tracing efficiency (untraced/traced)", "BENCH_obs.json",
            ("efficiency",)),
+    Metric("budgeted p95 headroom (budget/p95)", "BENCH_tiers.json",
+           ("budget", "headroom")),
 )
 
 

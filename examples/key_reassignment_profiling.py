@@ -15,7 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro import Session, identity_configuration
-from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
+from repro.baselines import KeyedDiffExplainer, SimilarityExplainer, TrivialExplainer
 from repro.datagen import ARTIFICIAL_KEY_ATTRIBUTE, generate_problem_instance
 from repro.datagen.datasets import load_dataset
 from repro.evaluation import alignment_precision_recall
@@ -40,8 +40,9 @@ def main() -> None:
     print(f"ground-truth aligned pairs: {len(reference_pairs)}")
     print()
 
-    # 1. What a key-based diff tool would do.
-    keyed = KeyedDiff([ARTIFICIAL_KEY_ATTRIBUTE]).diff(instance.source, instance.target)
+    # 1. What a key-based diff tool would do (through the Explainer protocol).
+    keyed_explainer = KeyedDiffExplainer([ARTIFICIAL_KEY_ATTRIBUTE])
+    keyed = keyed_explainer.report(instance)
     keyed_correct = correct_pairs(keyed.alignment, reference_pairs)
     print("--- keyed diff (classic comparison tools) ---")
     print(f"  {keyed.summary()}")
@@ -56,17 +57,17 @@ def main() -> None:
     print()
 
     # 2. Unsupervised similarity linking without transformation learning.
-    similarity = SimilarityLinker().link(instance.source, instance.target)
-    similarity_correct = correct_pairs(similarity.alignment, reference_pairs)
+    similarity_alignment = SimilarityExplainer().align(instance)
+    similarity_correct = correct_pairs(similarity_alignment, reference_pairs)
     print("--- similarity linker (no function learning) ---")
-    print(f"  aligned pairs                  : {similarity.n_aligned}")
+    print(f"  aligned pairs                  : {len(similarity_alignment)}")
     print(f"  correctly aligned pairs        : {similarity_correct} / {len(reference_pairs)}")
     print()
 
     # 3. Affidavit.
     result = Session(config=identity_configuration()).explain_instance(instance).result
     scores = alignment_precision_recall(generated, result.explanation)
-    trivial = run_trivial_baseline(instance)
+    trivial = TrivialExplainer().explain(instance)
     print("--- Affidavit ---")
     print(f"  aligned pairs                  : {result.explanation.core_size}")
     print(

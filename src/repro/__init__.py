@@ -33,6 +33,10 @@ layer shared by the library, the CLI, the HTTP service and the batch runner:
   request.
 * :meth:`~repro.api.ExplainSession.explain_iter` — the same run streamed as
   typed :class:`~repro.api.SearchEvent` objects.
+* :class:`~repro.api.ExplainBudget` / ``Session().with_budget(50)`` —
+  budgeted, tiered explanation: the strategy chain walks
+  cache → greedy → full search → baseline fallbacks under a wall-clock
+  deadline and records the answering tier in the outcome's provenance.
 
 Supporting layers
 -----------------
@@ -80,6 +84,9 @@ from .core import (
 )
 from .obs import NULL_TRACER, Span, Tracer
 from .api import (
+    DEFAULT_STRATEGY,
+    TIERS,
+    ExplainBudget,
     ExplainOutcome,
     ExplainRequest,
     ExplainSession,
@@ -89,6 +96,7 @@ from .api import (
     SearchProgressed,
     SearchStarted,
     Session,
+    StrategyChain,
 )
 
 __version__ = "1.1.0"
@@ -139,6 +147,10 @@ __all__ = [
     "ExplainOutcome",
     "ExplainSession",
     "Session",
+    "ExplainBudget",
+    "StrategyChain",
+    "TIERS",
+    "DEFAULT_STRATEGY",
     "RequestValidationError",
     "SearchEvent",
     "SearchStarted",

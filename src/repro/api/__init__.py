@@ -4,15 +4,21 @@ Every front door of the reproduction funnels work through this package:
 
 * :class:`ExplainRequest` — a frozen, versioned description of one run
   (snapshots inline or by path, configuration overrides, registry subset,
-  engine choice) with ``to_dict`` / ``from_dict`` round-trips and a
+  engine choice, and — since schema v2 — an optional latency ``budget``
+  and tier ``strategy``) with ``to_dict`` / ``from_dict`` round-trips and a
   canonical content hash that idempotency keys derive from.
 * :class:`ExplainSession` (alias :class:`Session`) — the fluent facade that
   owns registry resolution, engine dispatch and progress/cancellation
   wiring: ``Session().with_config("hid", seed=7).explain(request)``.
 * :class:`ExplainOutcome` — the typed result: explanation + costs +
-  timings + cache statistics + provenance, serializable like the request.
+  timings + cache statistics + provenance (including which strategy tier
+  answered, at what confidence), serializable like the request.
 * :meth:`ExplainSession.explain_iter` — the same run as a stream of typed
   :class:`SearchEvent` objects (started / progressed / completed).
+* :class:`StrategyChain` / :class:`ExplainBudget` — budgeted, tiered
+  explanation: ``Session().with_budget(50).explain(request)`` walks
+  cache → greedy → full search → baseline fallbacks under a wall-clock
+  deadline and reports the answering tier in the outcome's provenance.
 
 The HTTP service, the batch runner and the CLI are thin adapters over these
 types.  Engine dispatch lives here too: ``engine="columnar"`` (default),
@@ -21,9 +27,25 @@ types.  Engine dispatch lives here too: ``engine="columnar"`` (default),
 bit-identical explanations and differ only in how the hardware is used.
 """
 
+from .budget import (
+    CONFIDENCE_LABELS,
+    DEFAULT_STRATEGY,
+    TIER_STATUSES,
+    TIERS,
+    Deadline,
+    ExplainBudget,
+    TierResult,
+)
 from .errors import RequestValidationError, UnsupportedSchemaVersion
 from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
-from .outcome import OUTCOME_SCHEMA_VERSION, ExplainOutcome, Provenance, Timings
+from .outcome import (
+    ENGINE_BASELINE,
+    OUTCOME_SCHEMA_VERSION,
+    PROVENANCE_ENGINES,
+    ExplainOutcome,
+    Provenance,
+    Timings,
+)
 from .request import (
     BASE_CONFIGS,
     CONFIG_OVERRIDE_FIELDS,
@@ -32,11 +54,14 @@ from .request import (
     ENGINE_ROWWISE,
     ENGINES,
     SCHEMA_VERSION,
+    SCHEMA_VERSION_V2,
+    SUPPORTED_SCHEMA_VERSIONS,
     ExplainRequest,
     resolve_config,
     resolve_registry,
 )
 from .session import ExplainSession, Session
+from .strategies import ChainRun, StrategyChain, TierCache
 
 __all__ = [
     "RequestValidationError",
@@ -49,6 +74,8 @@ __all__ = [
     "Provenance",
     "Timings",
     "OUTCOME_SCHEMA_VERSION",
+    "ENGINE_BASELINE",
+    "PROVENANCE_ENGINES",
     "ExplainRequest",
     "resolve_config",
     "resolve_registry",
@@ -59,6 +86,18 @@ __all__ = [
     "ENGINE_PARALLEL",
     "ENGINE_ROWWISE",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_V2",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ExplainSession",
     "Session",
+    "ExplainBudget",
+    "Deadline",
+    "TierResult",
+    "TIERS",
+    "TIER_STATUSES",
+    "CONFIDENCE_LABELS",
+    "DEFAULT_STRATEGY",
+    "StrategyChain",
+    "ChainRun",
+    "TierCache",
 ]

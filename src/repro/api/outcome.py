@@ -19,11 +19,24 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..core import AffidavitResult, ColumnCacheStats, Explanation, ProblemInstance
 from ..export import explanation_from_dict, explanation_to_dict
 from ..obs import Span, phase_totals
+from .budget import (
+    CONFIDENCE_EXACT,
+    CONFIDENCE_LABELS,
+    CONFIDENCE_PARTIAL,
+    TIER_FULL,
+    TIERS,
+    TierResult,
+)
 from .errors import RequestValidationError, UnsupportedSchemaVersion
 from .request import ENGINES, SCHEMA_VERSION, ExplainRequest
 
 #: Version tag of the serialized outcome format.
 OUTCOME_SCHEMA_VERSION = "affidavit.outcome/v1"
+
+#: Engines a provenance may name: the search engines plus ``"baseline"``,
+#: the pseudo-engine of the non-searching baseline explainers.
+ENGINE_BASELINE = "baseline"
+PROVENANCE_ENGINES = ENGINES + (ENGINE_BASELINE,)
 
 
 def _seconds_field(value: Any, label: str) -> float:
@@ -96,7 +109,8 @@ class Timings:
 
 @dataclass(frozen=True)
 class Provenance:
-    """Where an outcome came from: engine, configuration and function pool."""
+    """Where an outcome came from: engine, configuration and function pool —
+    and, since the strategy chain, which tier answered at what confidence."""
 
     api_version: str
     engine: str
@@ -107,6 +121,12 @@ class Provenance:
     n_target_records: int
     n_attributes: int
     seed: int
+    #: Which strategy tier produced the answer; ``"full"`` for plain
+    #: (unbudgeted) runs, which makes pre-tier payloads round-trip.
+    tier: str = TIER_FULL
+    #: Confidence label of the answer (see
+    #: :data:`repro.api.budget.CONFIDENCE_LABELS`).
+    confidence: str = CONFIDENCE_EXACT
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -119,17 +139,32 @@ class Provenance:
             "n_target_records": self.n_target_records,
             "n_attributes": self.n_attributes,
             "seed": self.seed,
+            "tier": self.tier,
+            "confidence": self.confidence,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Provenance":
         # The engine string is provenance, not preference: a missing or
         # unknown value must fail loudly instead of silently relabelling the
-        # run as columnar.
+        # run as columnar.  The tier and confidence labels get the same
+        # strictness — a payload claiming an unknown tier is corrupt, not a
+        # full-search run.
         engine = payload.get("engine")
-        if engine not in ENGINES:
+        if engine not in PROVENANCE_ENGINES:
             raise RequestValidationError(
-                f"provenance engine must be one of {ENGINES}, got {engine!r}"
+                f"provenance engine must be one of {PROVENANCE_ENGINES}, got {engine!r}"
+            )
+        tier = payload.get("tier", TIER_FULL)
+        if tier not in TIERS:
+            raise RequestValidationError(
+                f"provenance tier must be one of {TIERS}, got {tier!r}"
+            )
+        confidence = payload.get("confidence", CONFIDENCE_EXACT)
+        if confidence not in CONFIDENCE_LABELS:
+            raise RequestValidationError(
+                f"provenance confidence must be one of {CONFIDENCE_LABELS}, "
+                f"got {confidence!r}"
             )
         return cls(
             api_version=payload.get("api_version", SCHEMA_VERSION),
@@ -141,6 +176,8 @@ class Provenance:
             n_target_records=int(payload.get("n_target_records", 0)),
             n_attributes=int(payload.get("n_attributes", 0)),
             seed=int(payload.get("seed", 0)),
+            tier=tier,
+            confidence=confidence,
         )
 
 
@@ -174,6 +211,10 @@ class ExplainOutcome:
     idempotency_key: Optional[str] = None
     #: The originating request, when the run was request-driven.
     request: Optional[ExplainRequest] = None
+    #: The strategy chain's attempt log, when a chain produced this outcome
+    #: (``None`` for plain runs).  The per-attempt candidate outcomes do not
+    #: survive serialization; the verdicts, timings and details do.
+    tiers: Optional[Tuple[TierResult, ...]] = field(default=None, compare=False)
     #: The raw search result — full end state, config, everything.  Excluded
     #: from comparison so a serialization round-trip stays an equality.
     result: Optional[AffidavitResult] = field(default=None, compare=False, repr=False)
@@ -197,11 +238,18 @@ class ExplainOutcome:
             f"ratio {self.compression_ratio:.2f})",
             f"engine              : {self.provenance.engine} "
             f"(registry: {len(self.provenance.registry)} families)",
+            f"tier                : {self.provenance.tier} "
+            f"(confidence: {self.provenance.confidence})",
             f"expansions          : {self.expansions} "
             f"(generated {self.generated_states} states)",
             f"runtime             : {self.timings.search_seconds:.3f}s search, "
             f"{self.timings.total_seconds:.3f}s total",
         ]
+        if self.tiers:
+            walked = ", ".join(
+                f"{attempt.tier}:{attempt.status}" for attempt in self.tiers
+            )
+            lines.append(f"strategy chain      : {walked}")
         if self.cache is not None and self.cache.lookups:
             lines.append(
                 f"column cache        : {self.cache.hits} hits / "
@@ -228,11 +276,20 @@ class ExplainOutcome:
                     registry_names: Tuple[str, ...] = (),
                     load_seconds: float = 0.0,
                     idempotency_key: Optional[str] = None,
-                    trace: Optional[Span] = None) -> "ExplainOutcome":
-        """Wrap a raw :class:`~repro.core.AffidavitResult` into an outcome."""
+                    trace: Optional[Span] = None,
+                    tier: str = TIER_FULL,
+                    confidence: Optional[str] = None) -> "ExplainOutcome":
+        """Wrap a raw :class:`~repro.core.AffidavitResult` into an outcome.
+
+        *tier* and *confidence* label where the result came from when a
+        strategy chain produced it; by default a completed search is
+        ``full``/``exact`` and a cancelled one ``full``/``partial``.
+        """
         config = result.config
+        if confidence is None:
+            confidence = CONFIDENCE_PARTIAL if result.cancelled else CONFIDENCE_EXACT
         provenance = Provenance(
-            api_version=SCHEMA_VERSION,
+            api_version=SCHEMA_VERSION if request is None else request.schema_version,
             # The engine that actually ran — a parallel request that fell
             # back (workers <= 1, pool unavailable) reports the fallback.
             engine=result.engine,
@@ -246,6 +303,8 @@ class ExplainOutcome:
             n_target_records=0 if instance is None else instance.n_target_records,
             n_attributes=0 if instance is None else instance.n_attributes,
             seed=config.seed,
+            tier=tier,
+            confidence=confidence,
         )
         if idempotency_key is None and request is not None:
             idempotency_key = request.canonical_key()
@@ -299,6 +358,10 @@ class ExplainOutcome:
             "trace": None if self.trace is None else self.trace.to_dict(),
             "idempotency_key": self.idempotency_key,
             "request": None if self.request is None else self.request.to_dict(),
+            "tiers": (
+                None if self.tiers is None
+                else [attempt.to_dict() for attempt in self.tiers]
+            ),
         }
 
     @classmethod
@@ -325,6 +388,12 @@ class ExplainOutcome:
             blocking_cache = {
                 str(key): int(value) for key, value in blocking_cache.items()
             }
+        raw_tiers = payload.get("tiers")
+        tiers = None
+        if raw_tiers is not None:
+            if not isinstance(raw_tiers, (list, tuple)):
+                raise RequestValidationError("tiers must be a JSON array")
+            tiers = tuple(TierResult.from_dict(attempt) for attempt in raw_tiers)
         raw_trace = payload.get("trace")
         trace = None
         if raw_trace is not None:
@@ -348,4 +417,5 @@ class ExplainOutcome:
             trace=trace,
             idempotency_key=payload.get("idempotency_key"),
             request=None if request is None else ExplainRequest.from_dict(request),
+            tiers=tiers,
         )

@@ -26,12 +26,25 @@ from ..core import (
 )
 from ..dataio import Table, TableError, read_csv_text, read_snapshot_pair, to_csv_text
 from ..functions import FunctionRegistry, default_registry
+from .budget import ExplainBudget, validate_strategy
 from .errors import RequestValidationError, UnsupportedSchemaVersion
 
-#: Version tag embedded in every serialized request.  Bump on incompatible
-#: wire-format changes; :meth:`ExplainRequest.from_dict` rejects versions it
-#: does not know.
+#: The original request wire format.  A request that uses no v2 feature
+#: still serializes at this version, so its ``canonical_key()`` — and every
+#: idempotency key derived from it — is byte-identical to pre-v2 builds.
 SCHEMA_VERSION = "affidavit.request/v1"
+
+#: The budgeted wire format: v1 plus the ``budget`` and ``strategy`` fields.
+SCHEMA_VERSION_V2 = "affidavit.request/v2"
+
+#: Versions :meth:`ExplainRequest.from_dict` accepts; anything else raises
+#: :class:`UnsupportedSchemaVersion`.
+SUPPORTED_SCHEMA_VERSIONS = (SCHEMA_VERSION, SCHEMA_VERSION_V2)
+
+#: Fields that only exist in the v2 wire format.  A payload tagged v1 must
+#: not carry them, and a request that leaves them at their defaults
+#: serializes without them (under the v1 tag).
+_V2_FIELDS = ("budget", "strategy")
 
 ENGINE_COLUMNAR = "columnar"
 ENGINE_ROWWISE = "rowwise"
@@ -108,6 +121,13 @@ class ExplainRequest:
     #: ``parallel_workers`` override, defaulting to the machine's cores,
     #: capped at four).
     engine: str = ENGINE_COLUMNAR
+    #: Latency budget of the strategy chain (v2).  ``None`` — the default —
+    #: means an unbudgeted, plain full search, exactly as before v2.
+    budget: Optional[ExplainBudget] = None
+    #: Tier list the strategy chain walks (v2); names from
+    #: :data:`repro.api.budget.TIERS`.  ``None`` means the default chain
+    #: when a budget is set, and the plain full search otherwise.
+    strategy: Optional[Tuple[str, ...]] = None
     name: str = "instance"
     throttle_seconds: float = 0.0
     use_cache: bool = True
@@ -134,18 +154,25 @@ class ExplainRequest:
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExplainRequest":
         """Rebuild a request from :meth:`to_dict` output (or a wire payload).
 
-        A missing ``schema_version`` is treated as the current version so
-        pre-versioning clients keep working; an unknown one is rejected.
+        A missing ``schema_version`` is treated as v1 so pre-versioning
+        clients keep working; v1 and v2 payloads are both accepted (v1 fields
+        default to ``None``/full-search); an unknown version is rejected.
         """
         if not isinstance(payload, Mapping):
             raise RequestValidationError("request body must be a JSON object")
         payload = dict(payload)
         version = payload.pop("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise UnsupportedSchemaVersion(
                 f"unsupported request schema_version {version!r} "
-                f"(this build speaks {SCHEMA_VERSION!r})"
+                f"(this build speaks {', '.join(map(repr, SUPPORTED_SCHEMA_VERSIONS))})"
             )
+        if version == SCHEMA_VERSION:
+            smuggled = [name for name in _V2_FIELDS if name in payload]
+            if smuggled:
+                raise RequestValidationError(
+                    f"fields {smuggled} require schema_version {SCHEMA_VERSION_V2!r}"
+                )
         known = {spec.name for spec in fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -177,6 +204,13 @@ class ExplainRequest:
         functions = self.functions
         if isinstance(functions, (list, tuple)):
             object.__setattr__(self, "functions", tuple(functions))
+        budget = self.budget
+        if budget is not None and not isinstance(budget, ExplainBudget):
+            if isinstance(budget, (Mapping, int, float)) and not isinstance(budget, bool):
+                object.__setattr__(self, "budget", ExplainBudget.from_dict(budget))
+        strategy = self.strategy
+        if isinstance(strategy, (list, tuple)):
+            object.__setattr__(self, "strategy", tuple(strategy))
         try:
             object.__setattr__(self, "throttle_seconds", float(self.throttle_seconds))
         except (TypeError, ValueError):
@@ -241,6 +275,12 @@ class ExplainRequest:
                 )
             if len(set(self.functions)) != len(self.functions):
                 raise RequestValidationError("'functions' must not repeat names")
+        if self.budget is not None and not isinstance(self.budget, ExplainBudget):
+            raise RequestValidationError(
+                "'budget' must be a number (deadline_ms), an object or null"
+            )
+        if self.strategy is not None:
+            validate_strategy(self.strategy)
         if not isinstance(self.delimiter, str) or len(self.delimiter) != 1:
             raise RequestValidationError("'delimiter' must be a single character")
         if not isinstance(self.throttle_seconds, float):
@@ -255,10 +295,20 @@ class ExplainRequest:
     # ------------------------------------------------------------------ #
     # serialization and identity
     # ------------------------------------------------------------------ #
+    @property
+    def schema_version(self) -> str:
+        """The version this request serializes at: the *lowest* one that can
+        represent it.  A request using no v2 feature speaks v1, which keeps
+        its canonical key (and the idempotency keys derived from it)
+        byte-identical to pre-v2 builds."""
+        if self.budget is None and self.strategy is None:
+            return SCHEMA_VERSION
+        return SCHEMA_VERSION_V2
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering, tagged with the request schema version."""
-        return {
-            "schema_version": SCHEMA_VERSION,
+        payload = {
+            "schema_version": self.schema_version,
             "source_csv": self.source_csv,
             "target_csv": self.target_csv,
             "source_path": self.source_path,
@@ -272,6 +322,10 @@ class ExplainRequest:
             "throttle_seconds": self.throttle_seconds,
             "use_cache": self.use_cache,
         }
+        if payload["schema_version"] == SCHEMA_VERSION_V2:
+            payload["budget"] = None if self.budget is None else self.budget.to_dict()
+            payload["strategy"] = None if self.strategy is None else list(self.strategy)
+        return payload
 
     def canonical_dict(self, *, include_snapshots: bool = True) -> Dict[str, Any]:
         """The result-determining fields only — presentation metadata and

@@ -36,11 +36,13 @@ from ..core import (
 from ..dataio import Table
 from ..functions import FunctionRegistry, default_registry
 from ..obs import NULL_TRACER, Span, Tracer, ensure_tracer, get_registry
+from .budget import TIER_FULL, ExplainBudget, validate_strategy
 from .errors import RequestValidationError
 from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
 from .outcome import ExplainOutcome
 from .request import BASE_CONFIGS, ExplainRequest, resolve_registry
 from .request import resolve_config as _resolve_request_config
+from .strategies import StrategyChain, TierCache
 
 ProgressCallback = Callable[[SearchProgress], None]
 StopCallback = Callable[[], bool]
@@ -165,7 +167,10 @@ class ExplainSession:
                  data_root: Optional[Path] = None,
                  shard_pool: Optional[ShardPool] = None,
                  tracer: Optional[Tracer] = None,
-                 _pool_box: Optional[_SharedPoolBox] = None):
+                 budget: Optional[ExplainBudget] = None,
+                 strategy: Optional[Tuple[str, ...]] = None,
+                 _pool_box: Optional[_SharedPoolBox] = None,
+                 _tier_cache: Optional[TierCache] = None):
         self._config = config
         self._registry = registry
         self._progress_callback = progress_callback
@@ -173,7 +178,12 @@ class ExplainSession:
         self._data_root = data_root
         self._shard_pool = shard_pool
         self._tracer = tracer
+        self._budget = budget
+        self._strategy = strategy
         self._pool_box = _pool_box if _pool_box is not None else _SharedPoolBox()
+        # Like the pool box: shared by reference across clones, so a cached
+        # exact answer survives with_*() chaining.
+        self._tier_cache = _tier_cache if _tier_cache is not None else TierCache()
 
     # ------------------------------------------------------------------ #
     # fluent builder
@@ -187,7 +197,10 @@ class ExplainSession:
             "data_root": self._data_root,
             "shard_pool": self._shard_pool,
             "tracer": self._tracer,
+            "budget": self._budget,
+            "strategy": self._strategy,
             "_pool_box": self._pool_box,
+            "_tier_cache": self._tier_cache,
         }
         state.update(changes)
         return ExplainSession(**state)
@@ -252,6 +265,30 @@ class ExplainSession:
         """A session confining request snapshot paths to *data_root*."""
         return self._clone(data_root=data_root)
 
+    def with_budget(self, budget: Union[ExplainBudget, float, int, None], *,
+                    strategy: Optional[Tuple[str, ...]] = None) -> "ExplainSession":
+        """A session whose runs go through the strategy chain under *budget*.
+
+        *budget* is an :class:`~repro.api.budget.ExplainBudget` or a bare
+        number of milliseconds (``None`` removes the session budget again).
+        *strategy* optionally pins the tier walk order.  A session budget is
+        authoritative: it wins over whatever ``budget`` a request carries.
+        Runs of a session with neither budget nor strategy (and requests
+        without them) bypass the chain entirely and stay bit-identical to
+        the plain engines.
+        """
+        if budget is not None and not isinstance(budget, ExplainBudget):
+            if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+                raise RequestValidationError(
+                    f"budget must be an ExplainBudget, a number of "
+                    f"milliseconds or None, got {budget!r}"
+                )
+            budget = ExplainBudget(deadline_ms=float(budget))
+        if strategy is not None:
+            strategy = tuple(strategy)
+            validate_strategy(strategy)
+        return self._clone(budget=budget, strategy=strategy)
+
     def with_tracer(self, tracer: Optional[Tracer]) -> "ExplainSession":
         """A session whose runs record per-phase spans into *tracer*.
 
@@ -306,7 +343,7 @@ class ExplainSession:
     def explain(self, request: ExplainRequest) -> ExplainOutcome:
         """Load the request's snapshots, run the search, return the outcome."""
         instance, load_seconds = self._materialise(request)
-        return self._execute(instance, request, load_seconds)
+        return self._execute_routed(instance, request, load_seconds)
 
     def explain_instance(self, instance: ProblemInstance,
                          request: Optional[ExplainRequest] = None,
@@ -315,7 +352,7 @@ class ExplainSession:
         wins over any ``request.functions`` subset).  *load_seconds* lets
         callers that materialised the instance themselves report the real
         loading cost in the outcome's timings."""
-        return self._execute(instance, request, load_seconds)
+        return self._execute_routed(instance, request, load_seconds)
 
     def explain_tables(self, source: Table, target: Table, *,
                        name: str = "instance") -> ExplainOutcome:
@@ -349,7 +386,7 @@ class ExplainSession:
 
         def run() -> None:
             try:
-                outcome = streaming._execute(instance, request, load_seconds)
+                outcome = streaming._execute_routed(instance, request, load_seconds)
                 events.put(SearchCompleted(outcome))
             except BaseException as error:  # noqa: BLE001 - re-raised in consumer
                 failure.append(error)
@@ -382,9 +419,33 @@ class ExplainSession:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _execute_routed(self, instance: ProblemInstance,
+                        request: Optional[ExplainRequest],
+                        load_seconds: float) -> ExplainOutcome:
+        """Dispatch between the plain engine path and the strategy chain.
+
+        The session's budget/strategy win over the request's; when neither
+        sets either, this is exactly :meth:`_execute` — the bit-identical,
+        pre-chain code path.
+        """
+        budget = self._budget
+        if budget is None and request is not None:
+            budget = request.budget
+        strategy = self._strategy
+        if strategy is None and request is not None:
+            strategy = request.strategy
+        if budget is None and strategy is None:
+            return self._execute(instance, request, load_seconds)
+        chain = StrategyChain(
+            self, budget=budget, strategy=strategy, cache=self._tier_cache
+        )
+        return chain.run(instance, request, load_seconds=load_seconds).outcome
+
     def _execute(self, instance: ProblemInstance,
                  request: Optional[ExplainRequest],
-                 load_seconds: float) -> ExplainOutcome:
+                 load_seconds: float,
+                 *, tier: str = TIER_FULL,
+                 confidence: Optional[str] = None) -> ExplainOutcome:
         config = self.resolve_config(request)
         config = config.with_overrides(
             progress_callback=_chain_progress(
@@ -426,6 +487,8 @@ class ExplainSession:
             registry_names=tuple(instance.registry.names),
             load_seconds=load_seconds,
             trace=trace,
+            tier=tier,
+            confidence=confidence,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,436 @@
+"""The strategy chain: budgeted, tiered explanation behind the v2 API.
+
+A :class:`StrategyChain` walks a configurable tier list — result-cache
+lookup, a greedy shallow search, the full affidavit search, then baseline
+fallbacks — under one wall-clock :class:`~repro.api.budget.ExplainBudget`.
+Each tier produces a typed :class:`~repro.api.budget.TierResult`; the chain
+records which tier answered and why the others were skipped or timed out,
+and attaches the attempt log to the winning outcome (``outcome.tiers``).
+
+Budget enforcement rides the engine's existing cooperative ``should_stop``
+hook: the deadline becomes a monotonic-clock predicate polled once per
+expansion, so a budget-exceeded full search degrades gracefully to its
+best-so-far state (never worse than the trivial explanation) instead of
+failing — and the cheaper tiers before it have usually banked an answer
+already.  An unbudgeted, strategy-less run never enters the chain at all
+and stays bit-identical to the plain engines.
+
+The chain is session-level machinery: :meth:`ExplainSession.with_budget`
+builds one per run, and requests carrying ``budget``/``strategy`` (schema
+v2) route through it automatically.  The baseline tiers are imported
+lazily from :mod:`repro.baselines` to keep the package import graph
+acyclic (baselines build :class:`~repro.api.ExplainOutcome` themselves).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..obs import get_registry
+from .budget import (
+    CONFIDENCE_APPROXIMATE,
+    CONFIDENCE_CACHED,
+    CONFIDENCE_EXACT,
+    CONFIDENCE_LABELS,
+    DEFAULT_STRATEGY,
+    STATUS_ANSWERED,
+    STATUS_FAILED,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    TIER_CACHE,
+    TIER_FULL,
+    TIER_GREEDY,
+    Deadline,
+    ExplainBudget,
+    TierResult,
+    validate_strategy,
+)
+from .outcome import ExplainOutcome
+from .request import ExplainRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from ..core import ProblemInstance
+    from .session import ExplainSession
+
+#: Expansion cap of the greedy tier: beam width 1 with β = 1 commits to one
+#: function per attribute almost immediately, so a small cap bounds the
+#: worst case without ever cutting realistic schemas short.
+GREEDY_MAX_EXPANSIONS = 64
+
+#: When the full tier still follows, the greedy tier may spend at most this
+#: fraction of the remaining budget — the rest is the full search's slice.
+GREEDY_BUDGET_FRACTION = 0.5
+
+_metrics = get_registry()
+_TIER_ATTEMPTS = _metrics.counter(
+    "repro_tier_attempts_total",
+    "Strategy-chain tier attempts by verdict",
+    ("tier", "status"),
+)
+_TIER_ANSWERS = _metrics.counter(
+    "repro_tier_answers_total",
+    "Strategy-chain final answers by tier and confidence",
+    ("tier", "confidence"),
+)
+
+
+class TierCache:
+    """Small thread-safe LRU of *exact* outcomes, shared by session clones.
+
+    Entries are keyed by the budget-stripped canonical request hash, so a
+    budgeted request hits the entry an unbudgeted one stored (an exact
+    answer does not depend on how long the caller was willing to wait).
+    Only inline-CSV requests are cached — a path-based request's files can
+    change on disk between calls, which is the service-layer cache's job to
+    detect (it digests the materialised tables).
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[str, ExplainOutcome]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key_for(request: ExplainRequest) -> Optional[str]:
+        """The cache key of *request*, or ``None`` when it is not cacheable
+        (path transport, or caching disabled on the request)."""
+        if request.source_csv is None or not request.use_cache:
+            return None
+        stripped = (
+            request if request.budget is None and request.strategy is None
+            else replace(request, budget=None, strategy=None)
+        )
+        return stripped.canonical_key()
+
+    def get(self, key: str) -> Optional[ExplainOutcome]:
+        with self._lock:
+            outcome = self._entries.get(key)
+            if outcome is not None:
+                self._entries.move_to_end(key)
+            return outcome
+
+    def put(self, key: str, outcome: ExplainOutcome) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = outcome
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+
+@dataclass(frozen=True)
+class ChainRun:
+    """A finished chain walk: the winning outcome plus every attempt."""
+
+    outcome: ExplainOutcome
+    attempts: Tuple[TierResult, ...]
+
+    @property
+    def answered_by(self) -> str:
+        return self.outcome.provenance.tier
+
+    @property
+    def confidence(self) -> str:
+        return self.outcome.provenance.confidence
+
+
+class StrategyChain:
+    """Walk a tier list under a latency budget and return the best answer.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.api.session.ExplainSession` the search tiers run
+        through (its configuration, registry, observers and shard pool all
+        apply unchanged).
+    budget:
+        The wall-clock budget; ``None`` walks the tiers without a deadline.
+    strategy:
+        Tier names to walk, in order (default:
+        :data:`~repro.api.budget.DEFAULT_STRATEGY`).
+    cache:
+        The :class:`TierCache` the ``cache`` tier consults; ``None``
+        disables that tier.
+    """
+
+    def __init__(self, session: "ExplainSession", *,
+                 budget: Optional[ExplainBudget] = None,
+                 strategy: Optional[Sequence[str]] = None,
+                 cache: Optional[TierCache] = None):
+        self._session = session
+        self._budget = budget
+        resolved = DEFAULT_STRATEGY if strategy is None else tuple(strategy)
+        validate_strategy(resolved)
+        self._strategy = resolved
+        self._cache = cache
+
+    @property
+    def strategy(self) -> Tuple[str, ...]:
+        return self._strategy
+
+    # ------------------------------------------------------------------ #
+    # the walk
+    # ------------------------------------------------------------------ #
+    def run(self, instance: "ProblemInstance",
+            request: Optional[ExplainRequest] = None,
+            *, load_seconds: float = 0.0) -> ChainRun:
+        """Walk the tiers for *instance* and return the winning outcome.
+
+        Never raises on tier failure and never returns without an answer:
+        if every configured tier comes up empty, the trivial explanation is
+        produced as an implicit last resort (it is always valid).
+        """
+        deadline = Deadline.from_budget(
+            self._budget, reserve=Deadline.FINALISE_RESERVE
+        )
+        quality = (
+            None if self._budget is None else self._budget.max_compression_ratio
+        )
+        attempts: List[TierResult] = []
+        candidates: List[ExplainOutcome] = []
+
+        def record(result: TierResult) -> None:
+            attempts.append(result)
+            _TIER_ATTEMPTS.inc(tier=result.tier, status=result.status)
+            if result.outcome is not None and result.status == STATUS_ANSWERED:
+                candidates.append(result.outcome)
+
+        stop_walking = False
+        for position, name in enumerate(self._strategy):
+            if stop_walking:
+                record(TierResult(
+                    tier=name, status=STATUS_SKIPPED,
+                    detail="an earlier tier already answered",
+                ))
+                continue
+            later = self._strategy[position + 1:]
+            started = time.perf_counter()
+            try:
+                if name == TIER_CACHE:
+                    result = self._try_cache(request, started)
+                    stop_walking = result.status == STATUS_ANSWERED
+                elif name == TIER_GREEDY:
+                    result = self._run_greedy(
+                        instance, request, load_seconds, deadline, later, started
+                    )
+                    stop_walking = (
+                        result.status == STATUS_ANSWERED
+                        and TIER_FULL not in later
+                        and self._satisfies(result.outcome, quality)
+                    )
+                elif name == TIER_FULL:
+                    result = self._run_full(
+                        instance, request, load_seconds, deadline,
+                        bool(candidates), started,
+                    )
+                    # Nothing after the full search can improve on it; the
+                    # baseline tiers are only insurance for when it never ran.
+                    stop_walking = result.status == STATUS_ANSWERED
+                else:
+                    result = self._run_baseline(
+                        name, instance, request, load_seconds,
+                        bool(candidates), started,
+                    )
+                    stop_walking = (
+                        result.status == STATUS_ANSWERED
+                        and self._satisfies(result.outcome, quality)
+                    )
+            except Exception as error:  # noqa: BLE001 - the chain must degrade
+                result = TierResult(
+                    tier=name, status=STATUS_FAILED,
+                    elapsed_seconds=time.perf_counter() - started,
+                    detail=f"{type(error).__name__}: {error}",
+                )
+            record(result)
+
+        if not candidates:
+            # Implicit last resort: the trivial explanation is always valid,
+            # so a chain configured without reachable tiers still answers.
+            started = time.perf_counter()
+            from ..baselines.explainers import TrivialExplainer
+
+            outcome = TrivialExplainer().explain(
+                instance, request=request, load_seconds=load_seconds
+            )
+            record(TierResult(
+                tier=outcome.provenance.tier, status=STATUS_ANSWERED,
+                confidence=outcome.provenance.confidence,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="implicit fallback: no configured tier answered",
+                outcome=outcome,
+            ))
+
+        best = min(
+            candidates,
+            key=lambda outcome: (
+                outcome.cost,
+                CONFIDENCE_LABELS.index(outcome.provenance.confidence),
+            ),
+        )
+        best = replace(best, tiers=tuple(attempts))
+        _TIER_ANSWERS.inc(
+            tier=best.provenance.tier, confidence=best.provenance.confidence
+        )
+        return ChainRun(outcome=best, attempts=tuple(attempts))
+
+    # ------------------------------------------------------------------ #
+    # tiers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _satisfies(outcome: Optional[ExplainOutcome],
+                   quality: Optional[float]) -> bool:
+        if outcome is None:
+            return False
+        if quality is None:
+            return True
+        return outcome.compression_ratio <= quality
+
+    def _try_cache(self, request: Optional[ExplainRequest],
+                   started: float) -> TierResult:
+        if request is None or self._cache is None:
+            return TierResult(
+                tier=TIER_CACHE, status=STATUS_SKIPPED,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="no cache attached" if request is not None
+                else "no request to key on",
+            )
+        key = TierCache.key_for(request)
+        if key is None:
+            return TierResult(
+                tier=TIER_CACHE, status=STATUS_SKIPPED,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="request is not cacheable "
+                       "(path transport or use_cache=false)",
+            )
+        cached = self._cache.get(key)
+        if cached is None:
+            return TierResult(
+                tier=TIER_CACHE, status=STATUS_SKIPPED,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="miss",
+            )
+        outcome = replace(
+            cached,
+            provenance=replace(
+                cached.provenance, tier=TIER_CACHE, confidence=CONFIDENCE_CACHED
+            ),
+        )
+        return TierResult(
+            tier=TIER_CACHE, status=STATUS_ANSWERED,
+            confidence=CONFIDENCE_CACHED,
+            elapsed_seconds=time.perf_counter() - started,
+            detail="hit: previously computed exact answer",
+            outcome=outcome,
+        )
+
+    def _run_greedy(self, instance: "ProblemInstance",
+                    request: Optional[ExplainRequest], load_seconds: float,
+                    deadline: Deadline, later: Tuple[str, ...],
+                    started: float) -> TierResult:
+        if deadline.expired():
+            return TierResult(
+                tier=TIER_GREEDY, status=STATUS_TIMEOUT,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="budget exhausted before the tier could start",
+            )
+        config = self._session.resolve_config(request)
+        cap = (
+            GREEDY_MAX_EXPANSIONS if config.max_expansions is None
+            else min(config.max_expansions, GREEDY_MAX_EXPANSIONS)
+        )
+        greedy_config = config.with_overrides(
+            beta=1, queue_width=1, max_expansions=cap, parallel_workers=0,
+        )
+        # Leave room for the full search when it still follows.
+        if TIER_FULL in later and deadline.bounded:
+            slice_deadline = deadline.sub_deadline(
+                deadline.remaining() * GREEDY_BUDGET_FRACTION
+            )
+        else:
+            slice_deadline = deadline
+        runner = self._session.with_config(greedy_config)
+        predicate = slice_deadline.should_stop()
+        if predicate is not None:
+            runner = runner.with_cancellation(predicate)
+        outcome = runner._execute(
+            instance, request, load_seconds,
+            tier=TIER_GREEDY, confidence=CONFIDENCE_APPROXIMATE,
+        )
+        detail = (
+            f"width-1 search, {outcome.expansions} expansions"
+            + (", deadline hit" if outcome.cancelled else "")
+        )
+        return TierResult(
+            tier=TIER_GREEDY, status=STATUS_ANSWERED,
+            confidence=CONFIDENCE_APPROXIMATE,
+            elapsed_seconds=time.perf_counter() - started,
+            detail=detail, outcome=outcome,
+        )
+
+    def _run_full(self, instance: "ProblemInstance",
+                  request: Optional[ExplainRequest], load_seconds: float,
+                  deadline: Deadline, have_candidate: bool,
+                  started: float) -> TierResult:
+        if deadline.expired() and have_candidate:
+            return TierResult(
+                tier=TIER_FULL, status=STATUS_TIMEOUT,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="budget exhausted before the tier could start; "
+                       "an earlier tier's answer stands",
+            )
+        runner = self._session
+        predicate = deadline.should_stop()
+        if predicate is not None:
+            runner = runner.with_cancellation(predicate)
+        outcome = runner._execute(
+            instance, request, load_seconds, tier=TIER_FULL,
+        )
+        confidence = outcome.provenance.confidence
+        if confidence == CONFIDENCE_EXACT and self._cache is not None \
+                and request is not None:
+            key = TierCache.key_for(request)
+            if key is not None:
+                self._cache.put(key, outcome)
+        detail = (
+            f"completed after {outcome.expansions} expansions"
+            if confidence == CONFIDENCE_EXACT
+            else f"deadline hit after {outcome.expansions} expansions; "
+                 "best-so-far state finalised"
+        )
+        return TierResult(
+            tier=TIER_FULL, status=STATUS_ANSWERED, confidence=confidence,
+            elapsed_seconds=time.perf_counter() - started,
+            detail=detail, outcome=outcome,
+        )
+
+    def _run_baseline(self, name: str, instance: "ProblemInstance",
+                      request: Optional[ExplainRequest], load_seconds: float,
+                      have_candidate: bool, started: float) -> TierResult:
+        if have_candidate:
+            return TierResult(
+                tier=name, status=STATUS_SKIPPED,
+                elapsed_seconds=time.perf_counter() - started,
+                detail="fallback not needed: an earlier tier answered",
+            )
+        # Lazy import: repro.baselines builds ExplainOutcome objects, so a
+        # module-level import here would cycle through the api package.
+        from ..baselines.explainers import baseline_explainer
+
+        explainer = baseline_explainer(name)
+        outcome = explainer.explain(
+            instance, request=request, load_seconds=load_seconds
+        )
+        return TierResult(
+            tier=name, status=STATUS_ANSWERED,
+            confidence=outcome.provenance.confidence,
+            elapsed_seconds=time.perf_counter() - started,
+            detail="baseline fallback (runs even past the deadline: "
+                   "some answer beats none)",
+            outcome=outcome,
+        )

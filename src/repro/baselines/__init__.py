@@ -1,8 +1,23 @@
-"""Baselines: keyed diff (classic tools), similarity linking, trivial explanation."""
+"""Baselines: keyed diff (classic tools), similarity linking, trivial explanation.
+
+The raw comparators live in their own modules; :mod:`.explainers` adapts
+them to the session API's :class:`~repro.api.ExplainOutcome` behind the
+:class:`~repro.baselines.explainers.Explainer` protocol — the interface
+the strategy chain and the evaluation harness go through.  Code outside
+this package should use the explainers, not the raw classes.
+"""
 
 from .keyed_diff import CellChange, KeyedDiff, KeyedDiffReport
 from .similarity_linker import SimilarityLink, SimilarityLinker, SimilarityLinkingResult
 from .trivial import TrivialBaselineResult, run_trivial_baseline
+from .explainers import (
+    BASELINE_EXPLAINERS,
+    Explainer,
+    KeyedDiffExplainer,
+    SimilarityExplainer,
+    TrivialExplainer,
+    baseline_explainer,
+)
 
 __all__ = [
     "KeyedDiff",
@@ -13,4 +28,10 @@ __all__ = [
     "SimilarityLink",
     "TrivialBaselineResult",
     "run_trivial_baseline",
+    "Explainer",
+    "KeyedDiffExplainer",
+    "SimilarityExplainer",
+    "TrivialExplainer",
+    "BASELINE_EXPLAINERS",
+    "baseline_explainer",
 ]

@@ -36,8 +36,11 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .api import (
+    DEFAULT_STRATEGY,
     ENGINE_COLUMNAR,
     ENGINES,
+    TIERS,
+    ExplainBudget,
     ExplainRequest,
     ExplainSession,
     RequestValidationError,
@@ -110,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--workers", type=int, default=None, metavar="N",
                          help="worker processes for --engine parallel "
                               "(default: the machine's cores, capped at 4)")
+    explain.add_argument("--budget-ms", type=float, default=None, metavar="MS",
+                         help="wall-clock latency budget in milliseconds; the "
+                              "run walks the tier chain (cache, greedy, full "
+                              "search, baselines) under this deadline and the "
+                              "report names the answering tier")
+    explain.add_argument("--strategy", default=None, metavar="TIER1,TIER2",
+                         help="comma-separated tier chain to walk (subset of: "
+                              f"{', '.join(TIERS)}; default: "
+                              f"{','.join(DEFAULT_STRATEGY)}; requires or "
+                              "implies a budgeted v2 request)")
     explain.add_argument("--json", type=Path, default=None,
                          help="write the explanation as JSON to this path")
     explain.add_argument("--sql", type=Path, default=None,
@@ -197,7 +210,15 @@ def run_explain(args: argparse.Namespace) -> int:
     overrides = {"seed": args.seed}
     if args.workers is not None:
         overrides["parallel_workers"] = args.workers
+    strategy = None
+    if args.strategy is not None:
+        strategy = tuple(
+            tier.strip() for tier in args.strategy.split(",") if tier.strip()
+        )
+    budget = None
     try:
+        if args.budget_ms is not None:
+            budget = ExplainBudget(deadline_ms=args.budget_ms)
         request = ExplainRequest(
             source_path=str(args.source),
             target_path=str(args.target),
@@ -206,6 +227,8 @@ def run_explain(args: argparse.Namespace) -> int:
             overrides=overrides,
             functions=_function_names(args.functions),
             engine=args.engine,
+            budget=budget,
+            strategy=strategy,
             name=args.source.stem,
         )
         # Tracing never alters the search (all randomness stays in the
@@ -225,6 +248,10 @@ def run_explain(args: argparse.Namespace) -> int:
         print(report)
         print(f"(search: {outcome.timings.search_seconds:.2f}s, "
               f"{outcome.expansions} expansions)")
+        if budget is not None or strategy is not None:
+            provenance = outcome.provenance
+            print(f"(answered by tier '{provenance.tier}', "
+                  f"confidence '{provenance.confidence}')")
     if args.profile:
         if outcome.trace is not None:
             print(render_span_tree(outcome.trace))

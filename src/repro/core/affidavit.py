@@ -279,11 +279,18 @@ class Affidavit:
             marked = fallback_state
             for attribute in marked.undecided_attributes:
                 marked = marked.extend(attribute, MAP_MARKER)
-            finalized = expander.expand(marked)[0] if not marked.is_end_state else None
-            if finalized is not None:
-                end_state, end_cost = finalized.state, finalized.cost
-            else:
+            if marked.is_end_state:
                 end_state, end_cost = marked, evaluator.cost(marked)
+            elif cancelled:
+                # The caller's budget is already spent: resolve the markers
+                # against one blocking build instead of one per marker.  The
+                # returned cost is recomputed from the explanation below, so
+                # only the trajectory of *non*-cancelled runs must (and
+                # does) stay bit-identical.
+                end_state, end_cost = expander.finalize_rushed(marked), None
+            else:
+                finalized = expander.expand(marked)[0]
+                end_state, end_cost = finalized.state, finalized.cost
         else:
             end_state, end_cost = best_entry.state, best_entry.cost
 

@@ -125,8 +125,16 @@ class StateExpander:
         cursor = 0
         batch = ordered[: self._config.beta]
         cursor = len(batch)
+        should_stop = self._config.should_stop
         while not extensions and batch:
             for attribute in batch:
+                if should_stop is not None and should_stop():
+                    # Per-attribute induction is the expensive inner phase:
+                    # polling here caps the cooperative overshoot at one
+                    # attribute instead of one full expansion.  Hand back the
+                    # successors found so far; the search loop observes the
+                    # stop before its next poll and finalises best-so-far.
+                    return extensions
                 found = self._extensions_for_attribute(state, blocking, alignment, attribute)
                 if found:
                     extensions.extend(found)
@@ -256,6 +264,12 @@ class StateExpander:
             span.add("candidates", len(candidates))
         if not candidates:
             return []
+        should_stop = self._config.should_stop
+        if should_stop is not None and should_stop():
+            # Ranking transforms whole columns per candidate; once the
+            # deadline has passed, skip it and report no viable candidates
+            # so the expansion winds down immediately.
+            return []
         with self._tracer.span("ranking") as span:
             span.add("candidates", len(candidates))
             ranked = self._rank_candidates(candidates, mixed_blocks, attribute)
@@ -301,7 +315,16 @@ class StateExpander:
         target_column = self._instance.target.column_view(attribute)
         pool = CandidatePool()
         block_values: Dict[int, List[str]] = {}
-        for block_index, offset in sampled:
+        should_stop = self._config.should_stop
+        for position, (block_index, offset) in enumerate(sampled):
+            # Per-example induction is the single most expensive inner loop,
+            # so a deadline firing mid-attribute truncates the sample instead
+            # of finishing it.  The significance threshold scales with
+            # ``examples_seen``, so a truncated sample still yields honest
+            # (if fewer) candidates; without a stop hook the loop and the
+            # trajectory are unchanged.
+            if should_stop is not None and position % 32 == 31 and should_stop():
+                break
             block = mixed_blocks[block_index]
             values = block_values.get(block_index)
             if values is None:
@@ -437,6 +460,29 @@ class StateExpander:
         """Resolve every ``MAP_MARKER`` with a greedy map, one at a time."""
         with self._tracer.span("finalize"):
             return self._finalize_impl(state)
+
+    def finalize_rushed(self, state: SearchState) -> SearchState:
+        """Resolve every ``MAP_MARKER`` against a single blocking build.
+
+        The cancelled-search path wants *an* end state now, not the
+        marginally better one :meth:`_finalize` gets from re-blocking after
+        each resolved marker (k+1 blocking builds for k markers, the
+        dominant post-deadline cost).  The caller recomputes the final cost
+        from the explanation either way, so only the state is returned.
+        """
+        with self._tracer.span("finalize_rushed"):
+            blocking = build_blocking(
+                self._instance, state, self._evaluator.column_cache
+            )
+            alignment = sample_random_alignment(blocking, self._rng)
+            current = state
+            for attribute in state.map_marked_attributes:
+                mapping = induce_greedy_mapping(
+                    alignment, self._instance.source, self._instance.target,
+                    attribute,
+                )
+                current = current.replace(attribute, mapping)
+            return current
 
     def _finalize_impl(self, state: SearchState) -> Extension:
         cache = self._evaluator.column_cache

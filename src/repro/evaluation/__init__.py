@@ -10,11 +10,14 @@ from .metrics import (
 )
 from .protocol import (
     EVALUATION_SETTINGS,
+    BaselineComparison,
     ScalabilityPoint,
     Table2Cell,
+    default_baseline_explainers,
     default_configurations,
     generate_instances,
     run_attribute_scalability,
+    run_baseline_comparison,
     run_configuration,
     run_row_scalability,
     run_table2,
@@ -40,6 +43,9 @@ __all__ = [
     "run_configuration",
     "run_table2_cell",
     "run_table2",
+    "run_baseline_comparison",
+    "default_baseline_explainers",
+    "BaselineComparison",
     "run_row_scalability",
     "run_attribute_scalability",
     "Table2Cell",

@@ -85,6 +85,11 @@ _JOB_LATENCY = _job_metrics.histogram(
     "repro_job_latency_seconds",
     "Submission-to-completion latency of explain jobs",
 )
+_JOBS_BY_TIER = _job_metrics.counter(
+    "repro_jobs_answered_by_tier_total",
+    "Completed explain jobs by answering strategy tier and confidence",
+    ("tier", "confidence"),
+)
 
 
 def _without_base_config(outcome: ExplainOutcome) -> ExplainOutcome:
@@ -425,6 +430,12 @@ class JobManager:
         _JOBS_COMPLETED.inc(state=state.value)
         if job.cache_hit:
             _JOBS_CACHE_HITS.inc()
+        outcome = job.outcome
+        if state is JobState.DONE and outcome is not None:
+            _JOBS_BY_TIER.inc(
+                tier=outcome.provenance.tier,
+                confidence=outcome.provenance.confidence,
+            )
         finished_at = job.finished_at
         latency = None if finished_at is None else max(0.0, finished_at - job.submitted_at)
         if latency is not None:

@@ -118,6 +118,14 @@ class ResultView:
     blocking_cache: Optional[Dict[str, int]] = None
     timings: Optional[Dict[str, Any]] = None
     provenance: Optional[Dict[str, Any]] = None
+    #: Which strategy tier answered and at what confidence — lifted out of
+    #: ``provenance`` so budget-aware clients need not parse the nested dict.
+    tier: Optional[str] = None
+    confidence: Optional[str] = None
+    #: The full chain walk (one entry per configured tier, with status and
+    #: skip/timeout reason); ``None`` for unbudgeted runs, which bypass the
+    #: chain.
+    tiers: Optional[Any] = None
 
     @classmethod
     def from_job(cls, job) -> "ResultView":
@@ -146,6 +154,12 @@ class ResultView:
             ),
             timings=None if outcome is None else outcome.timings.to_dict(),
             provenance=None if outcome is None else outcome.provenance.to_dict(),
+            tier=None if outcome is None else outcome.provenance.tier,
+            confidence=None if outcome is None else outcome.provenance.confidence,
+            tiers=(
+                None if outcome is None or outcome.tiers is None
+                else [attempt.to_dict() for attempt in outcome.tiers]
+            ),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -165,4 +179,7 @@ class ResultView:
             "blocking_cache": self.blocking_cache,
             "timings": self.timings,
             "provenance": self.provenance,
+            "tier": self.tier,
+            "confidence": self.confidence,
+            "tiers": self.tiers,
         }

@@ -8,9 +8,12 @@ from hypothesis import strategies as st
 
 from repro.api import (
     BASE_CONFIGS,
+    ExplainBudget,
     ExplainRequest,
     RequestValidationError,
     SCHEMA_VERSION,
+    SCHEMA_VERSION_V2,
+    TIERS,
     UnsupportedSchemaVersion,
     resolve_config,
     resolve_registry,
@@ -214,6 +217,90 @@ class TestSerialization:
         payload["surprise"] = 1
         with pytest.raises(RequestValidationError, match="surprise"):
             ExplainRequest.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# the v2 wire format (budget + strategy)
+# --------------------------------------------------------------------- #
+_budget_strategy = st.builds(
+    ExplainBudget,
+    deadline_ms=st.one_of(
+        st.none(), st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+    ),
+    max_compression_ratio=st.one_of(
+        st.none(), st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+    ),
+)
+
+_strategy_strategy = st.one_of(
+    st.none(),
+    st.lists(st.sampled_from(TIERS), min_size=1, max_size=len(TIERS),
+             unique=True).map(tuple),
+)
+
+v2_request_strategy = st.builds(
+    inline_request,
+    config=st.sampled_from(sorted(BASE_CONFIGS)),
+    engine=st.sampled_from(("columnar", "rowwise")),
+    budget=st.one_of(st.none(), _budget_strategy),
+    strategy=_strategy_strategy,
+    use_cache=st.booleans(),
+)
+
+
+class TestV2Serialization:
+    @settings(max_examples=60, deadline=None)
+    @given(request=v2_request_strategy)
+    def test_dict_round_trip_is_identity_for_both_versions(self, request):
+        # Plain requests round-trip through the v1 tag, budgeted/strategied
+        # ones through v2 — either way from_dict(to_dict(r)) == r.
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert payload["schema_version"] == request.schema_version
+        assert ExplainRequest.from_dict(payload) == request
+
+    def test_plain_request_serializes_at_v1(self):
+        payload = inline_request().to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "budget" not in payload and "strategy" not in payload
+
+    def test_budget_or_strategy_forces_v2(self):
+        assert inline_request(budget=50).to_dict()["schema_version"] == SCHEMA_VERSION_V2
+        assert (
+            inline_request(strategy=("full",)).to_dict()["schema_version"]
+            == SCHEMA_VERSION_V2
+        )
+
+    def test_v1_payload_must_not_smuggle_v2_fields(self):
+        payload = inline_request().to_dict()
+        payload["budget"] = 50
+        with pytest.raises(RequestValidationError, match="require schema_version"):
+            ExplainRequest.from_dict(payload)
+
+    def test_bare_number_budget_is_coerced(self):
+        request = inline_request(budget=50)
+        assert request.budget == ExplainBudget(deadline_ms=50.0)
+
+    def test_bad_budget_and_strategy_are_rejected(self):
+        with pytest.raises(RequestValidationError, match="budget"):
+            inline_request(budget=True)
+        with pytest.raises(RequestValidationError, match="budget"):
+            inline_request(budget=-5)
+        with pytest.raises(RequestValidationError, match="strategy"):
+            inline_request(strategy=())
+        with pytest.raises(RequestValidationError, match="unknown strategy"):
+            inline_request(strategy=("warp",))
+
+    def test_v1_equivalent_request_keeps_its_canonical_key(self):
+        # The serialize-at-lowest-version rule: a request using no v2
+        # feature must hash exactly as it did before the v2 fields existed
+        # (its canonical dict carries no budget/strategy keys at all).
+        canonical = inline_request().canonical_dict()
+        assert "budget" not in canonical and "strategy" not in canonical
+
+    def test_budget_and_strategy_are_result_determining(self):
+        base = inline_request().canonical_key()
+        assert inline_request(budget=50).canonical_key() != base
+        assert inline_request(strategy=("greedy",)).canonical_key() != base
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,380 @@
+"""Tests of the budgeted strategy chain (repro.api.strategies / budget)."""
+
+import pytest
+
+from repro.api import (
+    CONFIDENCE_LABELS,
+    DEFAULT_STRATEGY,
+    SCHEMA_VERSION,
+    SCHEMA_VERSION_V2,
+    TIER_STATUSES,
+    TIERS,
+    ChainRun,
+    Deadline,
+    ExplainBudget,
+    ExplainOutcome,
+    ExplainRequest,
+    ExplainSession,
+    RequestValidationError,
+    StrategyChain,
+    TierCache,
+    TierResult,
+)
+from repro.api.outcome import Provenance
+from repro.core import Affidavit, identity_configuration
+from repro.datagen import generate_problem_instance
+from repro.datagen.datasets import load_dataset
+
+SOURCE_CSV = "id,val\n1,100\n2,200\n3,300\n"
+TARGET_CSV = "id,val\n1,1\n2,2\n3,3\n"
+
+
+def inline_request(**kwargs):
+    return ExplainRequest(source_csv=SOURCE_CSV, target_csv=TARGET_CSV, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# --------------------------------------------------------------------- #
+# budgets and deadlines
+# --------------------------------------------------------------------- #
+class TestExplainBudget:
+    def test_bare_number_shorthand(self):
+        assert ExplainBudget.from_dict(50) == ExplainBudget(deadline_ms=50.0)
+
+    def test_round_trip(self):
+        budget = ExplainBudget(deadline_ms=250.0, max_compression_ratio=0.8)
+        assert ExplainBudget.from_dict(budget.to_dict()) == budget
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_ms": 0},
+        {"deadline_ms": -1},
+        {"deadline_ms": float("inf")},
+        {"deadline_ms": float("nan")},
+        {"deadline_ms": True},
+        {"max_compression_ratio": 0.0},
+        {"max_compression_ratio": "tight"},
+    ])
+    def test_rejects_non_positive_or_non_numeric(self, kwargs):
+        with pytest.raises(RequestValidationError):
+            ExplainBudget(**kwargs)
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(RequestValidationError, match="unknown budget"):
+            ExplainBudget.from_dict({"deadline_ms": 5, "retries": 3})
+
+
+class TestDeadline:
+    def test_unbounded_deadline_never_interferes(self):
+        deadline = Deadline(None)
+        assert not deadline.bounded
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        # Crucial for bit-identity: no predicate means should_stop stays
+        # None on the engine config.
+        assert deadline.should_stop() is None
+
+    def test_bounded_deadline_expires_on_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.bounded
+        assert deadline.remaining() == 1.0
+        predicate = deadline.should_stop()
+        assert predicate is not None and not predicate()
+        clock.now = 2.0
+        assert deadline.expired()
+        assert predicate()
+
+    def test_sub_deadline_is_clamped_to_the_parent(self):
+        clock = FakeClock()
+        parent = Deadline(1.0, clock=clock)
+        child = parent.sub_deadline(10.0)
+        assert child.remaining() <= parent.remaining()
+        generous = Deadline(None, clock=clock).sub_deadline(3.0)
+        assert generous.bounded and generous.remaining() == 3.0
+
+    def test_from_budget(self):
+        assert not Deadline.from_budget(None).bounded
+        assert not Deadline.from_budget(ExplainBudget()).bounded
+        assert Deadline.from_budget(ExplainBudget(deadline_ms=10)).bounded
+
+
+class TestTierResult:
+    def test_round_trip(self):
+        result = TierResult(tier="greedy", status="answered",
+                            confidence="approximate", elapsed_seconds=0.25,
+                            detail="width-1 search")
+        assert TierResult.from_dict(result.to_dict()) == result
+
+    def test_outcome_is_excluded_from_comparison_and_wire_form(self):
+        bare = TierResult(tier="full", status="answered", confidence="exact")
+        loaded = TierResult(tier="full", status="answered", confidence="exact",
+                            outcome=object())
+        assert bare == loaded
+        assert "outcome" not in loaded.to_dict()
+
+    @pytest.mark.parametrize("payload", [
+        {"tier": "oracle", "status": "answered"},
+        {"tier": "full", "status": "maybe"},
+        {"tier": "full", "status": "answered", "confidence": "certain"},
+        {"tier": "full", "status": "answered", "elapsed_seconds": "fast"},
+    ])
+    def test_unknown_vocabulary_is_rejected(self, payload):
+        with pytest.raises(RequestValidationError):
+            TierResult.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# provenance strictness
+# --------------------------------------------------------------------- #
+class TestProvenanceTierStrictness:
+    def _outcome_payload(self):
+        outcome = ExplainSession().explain(inline_request())
+        return outcome.to_dict()
+
+    def test_unknown_tier_is_rejected(self):
+        payload = self._outcome_payload()
+        payload["provenance"]["tier"] = "oracle"
+        with pytest.raises(RequestValidationError, match="tier"):
+            ExplainOutcome.from_dict(payload)
+
+    def test_unknown_confidence_is_rejected(self):
+        payload = self._outcome_payload()
+        payload["provenance"]["confidence"] = "certain"
+        with pytest.raises(RequestValidationError, match="confidence"):
+            ExplainOutcome.from_dict(payload)
+
+    def test_legacy_payload_without_tier_defaults_to_full_exact(self):
+        payload = self._outcome_payload()
+        del payload["provenance"]["tier"]
+        del payload["provenance"]["confidence"]
+        rebuilt = ExplainOutcome.from_dict(payload)
+        assert rebuilt.provenance.tier == "full"
+        assert rebuilt.provenance.confidence == "exact"
+
+    def test_vocabularies_are_closed_and_ordered(self):
+        assert DEFAULT_STRATEGY == TIERS
+        assert set(TIER_STATUSES) == {"answered", "skipped", "timeout", "failed"}
+        # best-to-worst order is what the chain's tie-break relies on
+        assert CONFIDENCE_LABELS.index("exact") < CONFIDENCE_LABELS.index("approximate")
+        assert CONFIDENCE_LABELS.index("cached") < CONFIDENCE_LABELS.index("trivial")
+
+
+# --------------------------------------------------------------------- #
+# the tier cache
+# --------------------------------------------------------------------- #
+class TestTierCache:
+    def test_path_requests_are_not_cacheable(self):
+        request = ExplainRequest(source_path="a.csv", target_path="b.csv")
+        assert TierCache.key_for(request) is None
+
+    def test_use_cache_false_disables_keying(self):
+        assert TierCache.key_for(inline_request(use_cache=False)) is None
+
+    def test_key_is_budget_stripped(self):
+        plain = inline_request()
+        budgeted = inline_request(budget=ExplainBudget(deadline_ms=50),
+                                  strategy=("greedy", "full"))
+        assert TierCache.key_for(plain) == TierCache.key_for(budgeted)
+        assert TierCache.key_for(plain) == plain.canonical_key()
+
+    def test_lru_eviction(self):
+        cache = TierCache(max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refresh a
+        cache.put("c", "C")           # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == "A" and cache.get("c") == "C"
+
+    def test_rejects_nonsense_capacity(self):
+        with pytest.raises(ValueError):
+            TierCache(max_entries=0)
+
+
+# --------------------------------------------------------------------- #
+# the chain walk
+# --------------------------------------------------------------------- #
+class TestStrategyChain:
+    def test_unbudgeted_run_bypasses_the_chain(self):
+        outcome = ExplainSession().explain(inline_request())
+        assert outcome.tiers is None
+        assert outcome.provenance.tier == "full"
+        assert outcome.provenance.confidence == "exact"
+        assert outcome.provenance.api_version == SCHEMA_VERSION
+
+    def test_generous_budget_walks_to_an_exact_full_answer(self):
+        outcome = ExplainSession().with_budget(60_000).explain(inline_request())
+        assert outcome.provenance.tier == "full"
+        assert outcome.provenance.confidence == "exact"
+        assert outcome.tiers is not None
+        by_tier = {attempt.tier: attempt for attempt in outcome.tiers}
+        assert by_tier["cache"].status == "skipped"
+        assert by_tier["greedy"].status == "answered"
+        assert by_tier["full"].status == "answered"
+        assert by_tier["trivial"].status == "skipped"
+        assert "tier" in outcome.summary()
+        assert "strategy chain" in outcome.summary()
+
+    def test_second_identical_request_is_served_from_the_tier_cache(self):
+        session = ExplainSession().with_budget(60_000)
+        first = session.explain(inline_request())
+        second = session.explain(inline_request())
+        assert second.provenance.tier == "cache"
+        assert second.provenance.confidence == "cached"
+        assert second.cost == first.cost
+        assert second.explanation == first.explanation
+
+    def test_request_level_budget_routes_through_the_chain(self):
+        request = inline_request(budget=60_000)
+        outcome = ExplainSession().explain(request)
+        assert outcome.tiers is not None
+        assert outcome.provenance.api_version == SCHEMA_VERSION_V2
+
+    def test_tiny_budget_still_answers_with_honest_provenance(self):
+        # The acceptance property: an aggressively small budget returns a
+        # valid outcome, never an error, and names the tier that answered.
+        request = inline_request(budget=ExplainBudget(deadline_ms=0.001))
+        outcome = ExplainSession().explain(request)
+        outcome.explanation.validate(outcome.instance)
+        assert outcome.provenance.tier in TIERS
+        assert outcome.cost <= outcome.trivial_cost
+        statuses = {attempt.tier: attempt.status for attempt in outcome.tiers}
+        assert statuses["greedy"] == "timeout"
+
+    def test_baseline_only_strategy_answers_via_the_baseline(self):
+        session = ExplainSession().with_budget(None, strategy=("keyed_diff",))
+        outcome = session.explain(inline_request())
+        assert outcome.provenance.tier == "keyed_diff"
+        assert outcome.provenance.confidence == "baseline"
+        assert outcome.provenance.engine == "baseline"
+
+    def test_unreachable_strategy_falls_back_to_trivial(self):
+        # A cache-only strategy with a cold cache answers with the implicit
+        # trivial fallback instead of failing.
+        session = ExplainSession().with_budget(None, strategy=("cache",))
+        outcome = session.explain(inline_request())
+        assert outcome.provenance.tier == "trivial"
+        assert outcome.cost == outcome.trivial_cost
+        attempts = {a.tier: a.status for a in outcome.tiers}
+        assert attempts["cache"] == "skipped"
+        assert attempts["trivial"] == "answered"
+
+    def test_greedy_only_strategy_is_labelled_approximate(self):
+        session = ExplainSession().with_budget(None, strategy=("greedy",))
+        outcome = session.explain(inline_request())
+        assert outcome.provenance.tier == "greedy"
+        assert outcome.provenance.confidence == "approximate"
+        outcome.explanation.validate(outcome.instance)
+
+    def test_chain_run_exposes_the_answering_tier(self):
+        session = ExplainSession()
+        request = inline_request()
+        instance, load_seconds = session._materialise(request)
+        run = StrategyChain(session, strategy=("full",)).run(
+            instance, request, load_seconds=load_seconds
+        )
+        assert isinstance(run, ChainRun)
+        assert run.answered_by == "full"
+        assert run.confidence == "exact"
+        assert run.attempts == run.outcome.tiers
+
+    def test_invalid_strategy_is_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown strategy"):
+            StrategyChain(ExplainSession(), strategy=("warp",))
+        with pytest.raises(RequestValidationError, match="repeat"):
+            StrategyChain(ExplainSession(), strategy=("full", "full"))
+
+    def test_with_budget_coercion_and_rejection(self):
+        session = ExplainSession().with_budget(50)
+        assert session._budget == ExplainBudget(deadline_ms=50.0)
+        assert session.with_budget(None)._budget is None
+        with pytest.raises(RequestValidationError):
+            ExplainSession().with_budget(True)
+        with pytest.raises(RequestValidationError):
+            ExplainSession().with_budget("fast")
+
+    def test_outcome_with_tiers_round_trips(self):
+        outcome = ExplainSession().with_budget(60_000).explain(inline_request())
+        rebuilt = ExplainOutcome.from_dict(outcome.to_dict())
+        assert rebuilt.provenance == outcome.provenance
+        assert rebuilt.tiers == outcome.tiers
+        assert rebuilt.cost == outcome.cost
+
+
+# --------------------------------------------------------------------- #
+# exactness and cross-tier agreement
+# --------------------------------------------------------------------- #
+class TestBudgetNoneBitIdentity:
+    """budget=None must be bit-identical to the plain full search on all
+    four engine configurations (the chain is never entered)."""
+
+    ENGINE_REQUESTS = {
+        "encoded-columnar": {"engine": "columnar"},
+        "string-columnar": {"engine": "columnar",
+                            "overrides": {"blocking_codes": False}},
+        "rowwise": {"engine": "rowwise"},
+        "parallel": {"engine": "parallel",
+                     "overrides": {"parallel_workers": 2}},
+    }
+
+    @pytest.mark.parametrize("label", sorted(ENGINE_REQUESTS))
+    def test_session_without_budget_matches_direct_search(self, label):
+        request = inline_request(overrides={
+            "seed": 13, **self.ENGINE_REQUESTS[label].get("overrides", {})
+        }, engine=self.ENGINE_REQUESTS[label]["engine"])
+        with ExplainSession() as session:
+            outcome = session.explain(request)
+        instance, _ = ExplainSession()._materialise(inline_request())
+        direct = Affidavit(identity_configuration(seed=13)).explain(instance)
+        assert outcome.tiers is None
+        assert outcome.cost == direct.cost
+        assert outcome.explanation.functions == direct.explanation.functions
+        assert outcome.explanation.alignment == direct.explanation.alignment
+        assert outcome.expansions == direct.expansions
+        assert outcome.generated_states == direct.generated_states
+
+    def test_full_tier_under_generous_budget_matches_unbudgeted_run(self):
+        plain = ExplainSession().explain(inline_request(overrides={"seed": 13}))
+        budgeted = (
+            ExplainSession()
+            .with_budget(600_000, strategy=("full",))
+            .explain(inline_request(overrides={"seed": 13}))
+        )
+        assert budgeted.provenance.confidence == "exact"
+        assert budgeted.cost == plain.cost
+        assert budgeted.explanation == plain.explanation
+        assert budgeted.expansions == plain.expansions
+
+
+class TestCrossTierAgreement:
+    """The greedy tier is a sound relaxation of the full search: on the
+    paper's Figure-5 workload (flight surrogate, η = τ = 0.3) it returns a
+    valid explanation whose cost is never better than the full answer."""
+
+    @pytest.fixture(scope="class", params=[3, 11])
+    def generated(self, request):
+        table = load_dataset("flight-500k", 200, seed=request.param)
+        return generate_problem_instance(
+            table, eta=0.3, tau=0.3, seed=request.param, name="figure5"
+        )
+
+    def test_greedy_cost_is_no_better_than_full(self, generated):
+        instance = generated.instance
+        full = ExplainSession().explain_instance(instance)
+        greedy = (
+            ExplainSession()
+            .with_budget(None, strategy=("greedy",))
+            .explain_instance(instance)
+        )
+        greedy.explanation.validate(instance)
+        assert greedy.cost >= full.cost
+        assert greedy.cost <= greedy.trivial_cost
+        assert greedy.provenance.confidence == "approximate"
+        assert full.provenance.confidence == "exact"

@@ -1,8 +1,26 @@
-"""Unit tests for the baseline comparators (keyed diff, similarity linking, trivial)."""
+"""Unit tests for the baseline comparators (keyed diff, similarity linking, trivial).
+
+This file is the one place outside :mod:`repro.baselines` that may use the
+raw comparator classes directly — it tests them.  Everything else goes
+through the :class:`repro.baselines.Explainer` protocol, which the boundary
+test at the bottom enforces repo-wide.
+"""
+
+import re
+from pathlib import Path
 
 import pytest
 
-from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
+from repro.baselines import (
+    Explainer,
+    KeyedDiff,
+    KeyedDiffExplainer,
+    SimilarityExplainer,
+    SimilarityLinker,
+    TrivialExplainer,
+    baseline_explainer,
+    run_trivial_baseline,
+)
 from repro.dataio import Schema, Table
 from repro.datagen.running_example import (
     reference_alignment,
@@ -117,3 +135,75 @@ class TestTrivialBaseline:
         instance = running_example_instance()
         assert run_trivial_baseline(instance, alpha=1.0).cost == 2 * 112
         assert run_trivial_baseline(instance, alpha=0.0).cost == 0
+
+
+class TestExplainerProtocol:
+    def test_all_explainers_satisfy_the_protocol(self):
+        for explainer in (KeyedDiffExplainer(), SimilarityExplainer(),
+                          TrivialExplainer()):
+            assert isinstance(explainer, Explainer)
+
+    def test_registry_lookup_by_tier_name(self):
+        assert baseline_explainer("keyed_diff").name == "keyed_diff"
+        assert baseline_explainer("trivial").name == "trivial"
+        with pytest.raises(KeyError, match="unknown baseline"):
+            baseline_explainer("oracle")
+
+    def test_keyed_diff_auto_selects_the_most_distinct_column(self):
+        instance = running_example_instance()
+        keys = KeyedDiffExplainer().keys_for(instance)
+        assert len(keys) == 1
+        distinct = len(set(instance.source.column_view(keys[0])))
+        for attribute in instance.schema.attributes:
+            assert distinct >= len(set(instance.source.column_view(attribute)))
+
+    def test_trivial_explainer_aligns_nothing(self):
+        instance = running_example_instance()
+        assert TrivialExplainer().align(instance) == {}
+        outcome = TrivialExplainer().explain(instance)
+        assert outcome.cost == outcome.trivial_cost == 112
+
+    def test_exact_match_filter_keeps_outcomes_valid(self, stable_key_snapshots):
+        # Both keyed pairs changed at least one cell between the snapshots,
+        # so they are dropped from the explanation's alignment (identity
+        # functions cannot map them) while the raw align() still reports
+        # them — the honest-cost rule in action.
+        source, target = stable_key_snapshots
+        from repro.core import ProblemInstance
+
+        instance = ProblemInstance(source=source, target=target)
+        explainer = KeyedDiffExplainer(["key"])
+        assert explainer.align(instance) == {0: 1, 1: 0}
+        outcome = explainer.explain(instance)
+        outcome.explanation.validate(instance)
+        assert outcome.explanation.alignment == {}
+        assert outcome.cost == outcome.trivial_cost
+
+
+class TestExplainerBoundary:
+    """Nothing outside repro.baselines may call the raw comparators — the
+    Explainer protocol (and the strategy chain) is the supported surface."""
+
+    RAW_CALLS = re.compile(
+        r"\b(KeyedDiff|SimilarityLinker|run_trivial_baseline)\s*\("
+    )
+
+    def test_raw_baseline_calls_stay_inside_the_package(self):
+        root = Path(__file__).resolve().parent.parent
+        offenders = []
+        for base in ("src/repro", "benchmarks", "examples", "tests"):
+            directory = root / base
+            if not directory.exists():
+                continue
+            for path in sorted(directory.rglob("*.py")):
+                relative = path.relative_to(root)
+                if relative.parts[:3] == ("src", "repro", "baselines"):
+                    continue  # the package may use its own internals
+                if relative == Path("tests/test_baselines.py"):
+                    continue  # this file tests the raw classes
+                for match in self.RAW_CALLS.finditer(path.read_text(encoding="utf-8")):
+                    offenders.append(f"{relative}: {match.group(0)}")
+        assert not offenders, (
+            "raw baseline internals used outside repro.baselines "
+            f"(go through the Explainer protocol instead): {offenders}"
+        )

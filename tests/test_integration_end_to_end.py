@@ -9,7 +9,7 @@ paper.
 
 import pytest
 
-from repro.baselines import KeyedDiff, SimilarityLinker, run_trivial_baseline
+from repro.baselines import KeyedDiffExplainer, SimilarityExplainer, TrivialExplainer
 from repro.core import Affidavit, identity_configuration, overlap_configuration
 from repro.datagen import ARTIFICIAL_KEY_ATTRIBUTE, generate_problem_instance
 from repro.datagen.datasets import load_dataset
@@ -50,7 +50,7 @@ class TestEasySetting:
 
     def test_beats_trivial_baseline(self, outcome):
         generated, result = outcome
-        trivial = run_trivial_baseline(generated.instance)
+        trivial = TrivialExplainer().explain(generated.instance)
         assert result.cost < trivial.cost
 
     def test_learned_functions_generalise_to_deleted_records(self, outcome):
@@ -84,14 +84,16 @@ class TestHardSetting:
 
 
 class TestAgainstBaselines:
+    """Baselines are exercised through the Explainer protocol only — the
+    same interface the strategy chain serves them through."""
+
     def test_keyed_diff_fails_under_key_reassignment(self, easy_instance):
         generated = easy_instance
-        report = KeyedDiff([ARTIFICIAL_KEY_ATTRIBUTE]).diff(
-            generated.instance.source, generated.instance.target
-        )
+        explainer = KeyedDiffExplainer([ARTIFICIAL_KEY_ATTRIBUTE])
+        alignment = explainer.align(generated.instance)
         reference_pairs = set(generated.reference.alignment.items())
         keyed_correct = sum(
-            1 for pair in report.alignment.items() if pair in reference_pairs
+            1 for pair in alignment.items() if pair in reference_pairs
         )
         # the reassigned key aligns records essentially at random
         assert keyed_correct < len(reference_pairs) * 0.2
@@ -102,18 +104,29 @@ class TestAgainstBaselines:
 
     def test_similarity_linker_is_weaker_than_affidavit(self, easy_instance):
         generated = easy_instance
-        linking = SimilarityLinker().link(
-            generated.instance.source, generated.instance.target
-        )
+        alignment = SimilarityExplainer().align(generated.instance)
         reference_pairs = set(generated.reference.alignment.items())
         similarity_correct = sum(
-            1 for pair in linking.alignment.items() if pair in reference_pairs
+            1 for pair in alignment.items() if pair in reference_pairs
         )
         result = Affidavit(identity_configuration()).explain(generated.instance)
         affidavit_correct = sum(
             1 for pair in result.explanation.alignment.items() if pair in reference_pairs
         )
         assert affidavit_correct >= similarity_correct
+
+    def test_baseline_outcomes_are_honest_valid_explanations(self, easy_instance):
+        # The adapted outcomes must be *valid* explanations (Definition 3.5):
+        # identity functions with the alignment filtered to exact matches —
+        # which is exactly why their cost cannot flatter them.
+        generated = easy_instance
+        for explainer in (KeyedDiffExplainer([ARTIFICIAL_KEY_ATTRIBUTE]),
+                          SimilarityExplainer(), TrivialExplainer()):
+            outcome = explainer.explain(generated.instance)
+            outcome.explanation.validate(generated.instance)
+            assert outcome.provenance.engine == "baseline"
+            assert outcome.provenance.tier == explainer.name
+            assert outcome.cost <= outcome.trivial_cost
 
 
 class TestWideTable:

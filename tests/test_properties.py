@@ -396,6 +396,46 @@ class TestColumnarEngineProperties:
             assert other.generated_states == encoded.generated_states
         assert bounds[0] == bounds[1] == bounds[2]
 
+    @given(source_rows=engine_rows, target_rows=engine_rows,
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_unbudgeted_session_is_bit_identical_to_direct_search(
+            self, source_rows, target_rows, seed):
+        """budget=None must never enter the strategy chain: a session run
+        without a budget is bit-identical to the direct full search, on the
+        encoded, string-keyed and row-wise engine configurations alike (the
+        parallel engine is covered by the fixed-seed matrix in
+        test_api_strategies.py — spawning a process pool per hypothesis
+        example would dominate the suite's runtime)."""
+        from repro.api import ExplainRequest, ExplainSession
+        from repro.dataio import to_csv_text
+
+        direct = Affidavit(identity_configuration(seed=seed)).explain(
+            build_instance(source_rows, target_rows)
+        )
+        instance = build_instance(source_rows, target_rows)
+        source_csv = to_csv_text(instance.source)
+        target_csv = to_csv_text(instance.target)
+        engine_overrides = [
+            ("columnar", {}),
+            ("columnar", {"blocking_codes": False}),
+            ("rowwise", {}),
+        ]
+        for engine, extra in engine_overrides:
+            request = ExplainRequest(
+                source_csv=source_csv, target_csv=target_csv,
+                engine=engine, overrides={"seed": seed, **extra},
+            )
+            outcome = ExplainSession().explain(request)
+            assert outcome.tiers is None
+            assert outcome.provenance.tier == "full"
+            assert outcome.cost == direct.cost
+            assert outcome.explanation.functions == direct.explanation.functions
+            assert outcome.explanation.alignment == direct.explanation.alignment
+            assert outcome.expansions == direct.expansions
+            assert outcome.generated_states == direct.generated_states
+
     @given(
         lengths=st.lists(st.integers(min_value=0, max_value=100), min_size=0, max_size=8),
         bounds=st.lists(

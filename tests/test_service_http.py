@@ -351,3 +351,38 @@ def test_result_payload_carries_timings_and_provenance(base_url):
     assert provenance["engine"] == "columnar"
     assert provenance["base_config"] == "hid"
     assert provenance["n_source_records"] == 6
+    # unbudgeted runs are plain full searches; the flat fields mirror the
+    # provenance so budget-aware clients need not parse the nested dict
+    assert result["tier"] == provenance["tier"] == "full"
+    assert result["confidence"] == provenance["confidence"] == "exact"
+
+
+def test_budgeted_v2_request_reports_the_answering_tier(base_url):
+    body = explain_body(
+        40, schema_version="affidavit.request/v2", budget=60_000
+    )
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    assert status in (200, 202)
+    wait_for_state(base_url, view["id"], {"done"})
+    status, result = request(base_url, "GET", f"/v1/jobs/{view['id']}/result")
+    assert status == 200
+    assert result["tier"] == "full"
+    assert result["confidence"] == "exact"
+    assert result["provenance"]["api_version"] == "affidavit.request/v2"
+    walked = {attempt["tier"]: attempt["status"] for attempt in result["tiers"]}
+    assert walked["full"] == "answered"
+    function = result["explanation"]["functions"]["val"]
+    assert function["meta"] == "division"
+
+    status, text = request(base_url, "GET", "/metrics")
+    assert status == 200
+    assert "repro_jobs_answered_by_tier_total" in text
+
+
+def test_v1_payload_must_not_smuggle_budget_fields(base_url):
+    # No schema_version tag means v1 — budget/strategy are a clean 400,
+    # not a silently ignored field or a 500.
+    status, payload = request(base_url, "POST", "/v1/explain",
+                              explain_body(40, budget=50))
+    assert status == 400
+    assert "schema_version" in payload["error"]
