@@ -15,11 +15,14 @@ Usage::
 ``--summary`` appends a markdown trend table — point it at
 ``$GITHUB_STEP_SUMMARY`` to surface the trend on the job page.  Exit code 0
 means no gated regression; 1 means at least one gated metric regressed; 2
-means an expected fresh result file is missing entirely — every
-``BENCH_*.json`` committed under the baseline directory must have a fresh
-counterpart, whether or not a gated metric reads it, so a benchmark that
+means the baseline and fresh directories disagree about which benchmarks
+exist.  That disagreement cuts both ways: every ``BENCH_*.json`` committed
+under the baseline directory must have a fresh counterpart (a benchmark that
 silently drops out of the CI invocation fails the job instead of vanishing
-from the trend.
+from the trend), and every freshly produced ``BENCH_*.json`` must have a
+committed baseline (a new benchmark is untracked until its artifact is
+committed — the ``NO-BASELINE`` row tells you to download and commit it,
+instead of the trend gate silently never applying).
 
 Conditionally gated metrics (the parallel-scaling speedup) only anchor a
 comparison when the *committed baseline* was itself measured on a
@@ -115,8 +118,14 @@ def compare(baseline_dir: Path, fresh_dir: Path,
         if baseline_payload is not None and fresh_payload is None:
             row["status"] = "MISSING"
             exit_code = max(exit_code, 2)
+        elif baseline_payload is None and fresh_payload is not None:
+            # The inverse hole: a benchmark started producing results but
+            # nothing is committed to compare against, so the trend gate
+            # would never anchor.  Fail until the artifact is committed.
+            row["status"] = "NO-BASELINE"
+            exit_code = max(exit_code, 2)
         elif baseline is None or fresh is None:
-            row["status"] = "new" if baseline is None else "n/a"
+            row["status"] = "n/a"
         elif not metric.applies(fresh_payload):
             row["delta"] = (fresh - baseline) / baseline if baseline else None
             row["status"] = "ungated"
@@ -152,6 +161,17 @@ def compare(baseline_dir: Path, fresh_dir: Path,
             rows.append({"metric": f"(file) {path.name}", "file": path.name,
                          "baseline": None, "fresh": None, "delta": None,
                          "status": "MISSING"})
+            exit_code = max(exit_code, 2)
+
+    # And the mirror image: a fresh result file without any committed
+    # baseline is a benchmark flying blind — nothing anchors its trend.
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        if path.name in covered:
+            continue
+        if not (baseline_dir / path.name).exists():
+            rows.append({"metric": f"(file) {path.name}", "file": path.name,
+                         "baseline": None, "fresh": None, "delta": None,
+                         "status": "NO-BASELINE"})
             exit_code = max(exit_code, 2)
     return rows, exit_code
 
@@ -207,8 +227,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("FAIL: at least one gated metric regressed beyond "
               f"{args.max_regression:.0%}", file=sys.stderr)
     elif exit_code == 2:
-        print("FAIL: a benchmark with a committed baseline produced no "
-              "fresh result", file=sys.stderr)
+        print("FAIL: baseline and fresh benchmark sets disagree — a "
+              "committed baseline produced no fresh result, or a fresh "
+              "result has no committed baseline", file=sys.stderr)
     return exit_code
 
 

@@ -12,6 +12,7 @@ idempotency keys from.
 
 from __future__ import annotations
 
+import csv
 import hashlib
 import json
 from dataclasses import dataclass, fields
@@ -24,7 +25,14 @@ from ..core import (
     identity_configuration,
     overlap_configuration,
 )
-from ..dataio import Table, TableError, read_csv_text, read_snapshot_pair, to_csv_text
+from ..dataio import (
+    Table,
+    TableError,
+    SchemaError,
+    read_csv_text,
+    read_snapshot_pair,
+    to_csv_text,
+)
 from ..functions import FunctionRegistry, default_registry
 from .budget import ExplainBudget, validate_strategy
 from .errors import RequestValidationError, UnsupportedSchemaVersion
@@ -381,7 +389,9 @@ class ExplainRequest:
             source_path = self._resolve(self.source_path, data_root)
             target_path = self._resolve(self.target_path, data_root)
             return read_snapshot_pair(source_path, target_path, delimiter=self.delimiter)
-        except TableError as error:
+        except (TableError, SchemaError, csv.Error) as error:
+            # Any malformed snapshot payload — bad header names, ragged rows,
+            # CSV syntax errors — is an invalid *request*, never a crash.
             raise RequestValidationError(str(error)) from error
         except OSError as error:
             raise RequestValidationError(f"cannot read snapshot: {error}") from error

@@ -1,7 +1,8 @@
 """Command-line interface of the Affidavit reproduction.
 
-Five subcommands cover the profiling workflow the paper targets (comparing
-hundreds of tables with minimal user effort):
+Six subcommands cover the profiling workflow the paper targets (comparing
+hundreds of tables with minimal user effort) plus the harness that keeps
+the engines honest:
 
 ``explain``
     Compare two CSV snapshots and print the learned explanation; optionally
@@ -23,6 +24,12 @@ hundreds of tables with minimal user effort):
 ``batch``
     Explain every ``<name>_source.csv`` / ``<name>_target.csv`` pair in a
     directory through the same concurrent job subsystem.
+
+``fuzz``
+    Run the coverage-guided metamorphic fuzzer: mutate snapshot pairs and
+    wire payloads, check the engine-agreement and invariant oracles, and
+    delta-debug any failure to a minimal replayable repro (see
+    :mod:`repro.fuzz`).
 
 Run ``python -m repro.cli --help`` for the full usage.
 """
@@ -174,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
                        default="info",
                        help="verbosity of the repro.service logger (default: info)")
+    serve.add_argument("--max-body-bytes", type=int, default=None, metavar="N",
+                       help="request body size cap in bytes; larger bodies are "
+                            "refused with HTTP 413 (default: 64 MiB)")
 
     batch = subparsers.add_parser(
         "batch", help="explain every *_source.csv / *_target.csv pair in a directory"
@@ -197,6 +207,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-pair explanation JSON and a batch summary here")
     batch.add_argument("--quiet", action="store_true",
                        help="suppress the per-pair progress lines")
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="run the coverage-guided metamorphic fuzzer against the engines"
+    )
+    fuzz.add_argument("--time-budget", type=float, default=30.0, metavar="S",
+                      help="wall-clock budget of the run in seconds (default: 30)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="seed of the mutation stream (default: 0)")
+    fuzz.add_argument("--max-execs", type=int, default=None, metavar="N",
+                      help="stop after exactly N inputs instead of on the clock "
+                           "(makes runs fully reproducible)")
+    fuzz.add_argument("--corpus", type=Path, default=None, metavar="DIR",
+                      help="corpus directory: seeds are loaded from DIR/seeds "
+                           "and minimized findings saved to DIR/findings "
+                           "(default: the built-in seeds only, nothing saved)")
+    fuzz.add_argument("--no-coverage", action="store_true",
+                      help="disable coverage guidance (faster execs, no corpus "
+                           "growth)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="record findings without delta-debugging them first")
+    fuzz.add_argument("--check-service", action="store_true",
+                      help="also POST mutated payloads at an in-process HTTP "
+                           "service and fail on any 5xx answer")
+    fuzz.add_argument("--max-findings", type=int, default=5, metavar="N",
+                      help="stop early after N distinct findings (default: 5)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="only print the final summary")
 
     return parser
 
@@ -298,6 +335,7 @@ def run_datasets(_: argparse.Namespace) -> int:
 
 def run_serve(args: argparse.Namespace) -> int:
     from .service import serve_forever
+    from .service.server import MAX_BODY_BYTES
 
     return serve_forever(
         args.host, args.port,
@@ -307,7 +345,28 @@ def run_serve(args: argparse.Namespace) -> int:
         search_workers=args.search_workers,
         data_root=args.data_root,
         log_level=args.log_level,
+        max_body_bytes=(args.max_body_bytes if args.max_body_bytes is not None
+                        else MAX_BODY_BYTES),
     )
+
+
+def run_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, FuzzRunner
+
+    config = FuzzConfig(
+        time_budget_seconds=args.time_budget,
+        seed=args.seed,
+        max_execs=args.max_execs,
+        corpus_root=args.corpus,
+        coverage_guided=not args.no_coverage,
+        minimize=not args.no_minimize,
+        check_service=args.check_service,
+        max_findings=args.max_findings,
+    )
+    log = (lambda message: None) if args.quiet else print
+    report = FuzzRunner(config, log=log).run()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def run_batch_command(args: argparse.Namespace) -> int:
@@ -356,6 +415,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve(args)
     if args.command == "batch":
         return run_batch_command(args)
+    if args.command == "fuzz":
+        return run_fuzz(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -43,6 +43,22 @@ class ProblemInstance:
                 "source and target snapshots must share a schema: "
                 f"{list(self.source.schema)} vs {list(self.target.schema)}"
             )
+        # NOT_APPLICABLE is an *in-band* sentinel: transformed columns use it
+        # for "function not applicable" and the dictionary layer reserves
+        # code 0 for it.  A raw cell equal to the sentinel would collide with
+        # that encoding and make the string and encoded engines diverge
+        # (found by the metamorphic fuzzer), so such snapshots are rejected
+        # up front instead of silently mis-explained.
+        from .colcache import NOT_APPLICABLE
+
+        for role, table in (("source", self.source), ("target", self.target)):
+            for attribute in table.schema:
+                if NOT_APPLICABLE in table.column_view(attribute):
+                    raise TableError(
+                        f"{role} snapshot column {attribute!r} contains the "
+                        "reserved NOT_APPLICABLE sentinel value; snapshots "
+                        "must not use in-band engine sentinels"
+                    )
         # The search assumes the snapshots never change (cached blockings,
         # memoized column transforms, zero-copy views); freezing makes that
         # assumption explicit and lets projections share column storage.

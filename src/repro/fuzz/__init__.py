@@ -1,0 +1,105 @@
+"""repro.fuzz — coverage-guided metamorphic fuzzing of the explanation engines.
+
+The safety net for aggressive engine rewrites: mutate snapshot pairs and wire
+payloads, execute them against invariant oracles (all engines agree
+bit-identically; bounds are sound; codecs and serializers round-trip; budgets
+hold; the service never 500s), keep inputs that reach new code, and
+delta-debug every failure to a minimal, committed, replayable repro.
+
+Quick start::
+
+    from repro.fuzz import FuzzConfig, FuzzRunner
+
+    report = FuzzRunner(FuzzConfig(time_budget_seconds=30, seed=0)).run()
+    assert report.ok, report.summary()
+
+or from the shell: ``repro-affidavit fuzz --time-budget 30 --seed 0``.
+"""
+
+from .corpus import (
+    CORPUS_SCHEMA_VERSION,
+    FINDINGS_DIR,
+    KIND_PAYLOAD,
+    KIND_SNAPSHOT,
+    SEEDS_DIR,
+    CorpusEntry,
+    CorpusError,
+    SnapshotPair,
+    load_corpus,
+    load_entry,
+    save_entry,
+)
+from .coverage import LineCollector, NullCollector
+from .minimizer import MinimizationResult, minimize_pair
+from .mutators import (
+    PAYLOAD_MUTATORS,
+    TABLE_MUTATORS,
+    TORTURE_VALUES,
+    mutate_pair,
+    mutate_payload,
+)
+from .oracles import (
+    DEFAULT_ENGINES,
+    ENGINE_OVERRIDES,
+    PAYLOAD_ORACLES,
+    SNAPSHOT_ORACLES,
+    OracleFailure,
+    ServiceOracle,
+    bounds_sound,
+    budget_respected,
+    codec_roundtrip,
+    engines_agree,
+    payload_parses,
+    serialization_roundtrip,
+)
+from .runner import (
+    Finding,
+    FuzzConfig,
+    FuzzReport,
+    FuzzRunner,
+    builtin_seed_entries,
+    replay_corpus,
+    replay_entry,
+)
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusEntry",
+    "CorpusError",
+    "DEFAULT_ENGINES",
+    "ENGINE_OVERRIDES",
+    "FINDINGS_DIR",
+    "Finding",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzRunner",
+    "KIND_PAYLOAD",
+    "KIND_SNAPSHOT",
+    "LineCollector",
+    "MinimizationResult",
+    "NullCollector",
+    "OracleFailure",
+    "PAYLOAD_MUTATORS",
+    "PAYLOAD_ORACLES",
+    "SEEDS_DIR",
+    "SNAPSHOT_ORACLES",
+    "ServiceOracle",
+    "SnapshotPair",
+    "TABLE_MUTATORS",
+    "TORTURE_VALUES",
+    "bounds_sound",
+    "budget_respected",
+    "builtin_seed_entries",
+    "codec_roundtrip",
+    "engines_agree",
+    "load_corpus",
+    "load_entry",
+    "minimize_pair",
+    "mutate_pair",
+    "mutate_payload",
+    "payload_parses",
+    "replay_corpus",
+    "replay_entry",
+    "save_entry",
+    "serialization_roundtrip",
+]

@@ -1,0 +1,272 @@
+"""Fuzzing corpus: replayable inputs as small, committed JSON files.
+
+A corpus entry is one fuzzing input — either a *snapshot pair* (two CSV
+snapshots that the metamorphic oracles execute through the engines) or a
+*request payload* (raw, possibly malformed ``affidavit.request/v1|v2`` JSON
+text that the payload oracles feed to the request parser and the HTTP
+service).  Entries round-trip through JSON, so a minimized finding can be
+committed under ``tests/fuzz_corpus/`` and replayed forever by the normal
+pytest suite.
+
+Layout of a corpus directory::
+
+    tests/fuzz_corpus/
+        seeds/      committed seed inputs the runner mutates from
+        findings/   minimized failures (committed as regressions once fixed)
+
+File names are derived from the entry's content hash, so re-saving the same
+finding is idempotent and two independent runs that shrink to the same repro
+produce the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..dataio import Table, read_csv_text, to_csv_text
+
+#: Version tag of the serialized corpus entry format.
+CORPUS_SCHEMA_VERSION = "affidavit.fuzz-entry/v1"
+
+KIND_SNAPSHOT = "snapshot"
+KIND_PAYLOAD = "payload"
+KINDS = (KIND_SNAPSHOT, KIND_PAYLOAD)
+
+#: Sub-directories of a corpus root.
+SEEDS_DIR = "seeds"
+FINDINGS_DIR = "findings"
+
+
+class CorpusError(ValueError):
+    """Raised for malformed corpus entries or directories."""
+
+
+@dataclass(frozen=True)
+class SnapshotPair:
+    """Two in-memory snapshots sharing a schema — the unit the table
+    mutators transform and the metamorphic oracles execute."""
+
+    source: Table
+    target: Table
+
+    def __post_init__(self) -> None:
+        if self.source.schema != self.target.schema:
+            raise CorpusError(
+                "snapshot pair tables must share a schema: "
+                f"{list(self.source.schema)} vs {list(self.target.schema)}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across both snapshots (the minimizer's size measure)."""
+        return self.source.n_rows + self.target.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return self.source.n_columns
+
+    def copies(self) -> Tuple[Table, Table]:
+        """Mutable deep copies of both tables (oracles freeze instances)."""
+        return self.source.copy(), self.target.copy()
+
+    def describe(self) -> str:
+        return (
+            f"{self.source.n_rows}+{self.target.n_rows} rows x "
+            f"{self.n_columns} columns ({list(self.source.schema)})"
+        )
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable fuzzing input.
+
+    ``kind=snapshot`` entries carry the pair as CSV text; ``kind=payload``
+    entries carry the raw request body text (deliberately *not* parsed JSON,
+    so malformed bodies survive the round-trip byte-for-byte).  ``oracles``
+    optionally restricts which oracles a replay runs — a minimized finding
+    names the oracle that caught it; seeds leave it empty, meaning "all
+    applicable".
+    """
+
+    kind: str
+    source_csv: Optional[str] = None
+    target_csv: Optional[str] = None
+    payload_text: Optional[str] = None
+    seed: int = 0
+    oracles: Tuple[str, ...] = ()
+    note: str = ""
+    #: How this entry came to be: mutator names applied to the base seed
+    #: (informational; replays do not re-apply them).
+    provenance: Tuple[str, ...] = ()
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise CorpusError(f"unknown corpus entry kind {self.kind!r} (use {KINDS})")
+        if self.kind == KIND_SNAPSHOT:
+            if not isinstance(self.source_csv, str) or not isinstance(self.target_csv, str):
+                raise CorpusError("snapshot entries need source_csv and target_csv")
+        elif not isinstance(self.payload_text, str):
+            raise CorpusError("payload entries need payload_text")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pair(cls, pair: SnapshotPair, *, seed: int = 0,
+                  oracles: Tuple[str, ...] = (), note: str = "",
+                  provenance: Tuple[str, ...] = (), name: str = "") -> "CorpusEntry":
+        return cls(
+            kind=KIND_SNAPSHOT,
+            source_csv=to_csv_text(pair.source),
+            target_csv=to_csv_text(pair.target),
+            seed=seed, oracles=oracles, note=note,
+            provenance=provenance, name=name,
+        )
+
+    @classmethod
+    def from_payload(cls, payload_text: str, *, seed: int = 0,
+                     oracles: Tuple[str, ...] = (), note: str = "",
+                     provenance: Tuple[str, ...] = (), name: str = "") -> "CorpusEntry":
+        return cls(
+            kind=KIND_PAYLOAD, payload_text=payload_text,
+            seed=seed, oracles=oracles, note=note,
+            provenance=provenance, name=name,
+        )
+
+    def pair(self) -> SnapshotPair:
+        """Materialise a snapshot entry's tables (fresh copies per call)."""
+        if self.kind != KIND_SNAPSHOT:
+            raise CorpusError(f"{self.kind!r} entry holds no snapshot pair")
+        return SnapshotPair(
+            source=read_csv_text(self.source_csv),
+            target=read_csv_text(self.target_csv),
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "kind": self.kind,
+            "seed": self.seed,
+        }
+        if self.kind == KIND_SNAPSHOT:
+            payload["source_csv"] = self.source_csv
+            payload["target_csv"] = self.target_csv
+        else:
+            payload["payload_text"] = self.payload_text
+        if self.oracles:
+            payload["oracles"] = list(self.oracles)
+        if self.note:
+            payload["note"] = self.note
+        if self.provenance:
+            payload["provenance"] = list(self.provenance)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object], *, name: str = "") -> "CorpusEntry":
+        if not isinstance(payload, dict):
+            raise CorpusError("corpus entry must be a JSON object")
+        version = payload.get("schema_version", CORPUS_SCHEMA_VERSION)
+        if version != CORPUS_SCHEMA_VERSION:
+            raise CorpusError(
+                f"unsupported corpus entry schema_version {version!r} "
+                f"(this build speaks {CORPUS_SCHEMA_VERSION!r})"
+            )
+        known = {"schema_version", "kind", "seed", "source_csv", "target_csv",
+                 "payload_text", "oracles", "note", "provenance"}
+        unknown = set(payload) - known
+        if unknown:
+            raise CorpusError(f"unknown corpus entry fields: {sorted(unknown)}")
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise CorpusError(f"corpus entry seed must be an integer, got {seed!r}")
+        return cls(
+            kind=payload.get("kind", ""),
+            source_csv=payload.get("source_csv"),
+            target_csv=payload.get("target_csv"),
+            payload_text=payload.get("payload_text"),
+            seed=seed,
+            oracles=tuple(payload.get("oracles", ())),
+            note=str(payload.get("note", "")),
+            provenance=tuple(payload.get("provenance", ())),
+            name=name,
+        )
+
+    def content_hash(self) -> str:
+        """Short, stable content digest — the basis of the on-disk name."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"), ensure_ascii=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def named(self, name: str) -> "CorpusEntry":
+        return replace(self, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# directory I/O
+# ---------------------------------------------------------------------- #
+def save_entry(entry: CorpusEntry, directory: Path, *,
+               prefix: str = "") -> Path:
+    """Write *entry* under *directory*; the name is content-derived, so
+    saving the same input twice is idempotent.  Returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"{prefix}{entry.kind}-{entry.content_hash()}"
+    path = directory / f"{stem}.json"
+    path.write_text(
+        json.dumps(entry.to_dict(), indent=2, sort_keys=True,
+                   ensure_ascii=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_entry(path: Path) -> CorpusEntry:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise CorpusError(f"cannot read corpus entry {path}: {error}") from error
+    return CorpusEntry.from_dict(payload, name=path.stem)
+
+
+def load_corpus(root: Path, *, subdirs: Tuple[str, ...] = (SEEDS_DIR, FINDINGS_DIR),
+                ) -> List[CorpusEntry]:
+    """Every entry under *root*'s seed and findings sub-directories (sorted
+    by file name, so replay order is stable).  Entries directly under *root*
+    are accepted too, which keeps ad-hoc corpora usable."""
+    root = Path(root)
+    entries: List[CorpusEntry] = []
+    seen: set = set()
+    candidates: List[Path] = []
+    for subdir in subdirs:
+        candidates.extend(sorted((root / subdir).glob("*.json")))
+    candidates.extend(sorted(root.glob("*.json")))
+    for path in candidates:
+        if path in seen:
+            continue
+        seen.add(path)
+        entries.append(load_entry(path))
+    return entries
+
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusEntry",
+    "CorpusError",
+    "FINDINGS_DIR",
+    "KIND_PAYLOAD",
+    "KIND_SNAPSHOT",
+    "SEEDS_DIR",
+    "SnapshotPair",
+    "load_corpus",
+    "load_entry",
+    "save_entry",
+]

@@ -1,0 +1,142 @@
+"""Line coverage for the fuzzing loop, without external dependencies.
+
+The runner keeps inputs that reach *new* code, so it needs a cheap "which
+lines ran" signal.  Two backends, picked automatically:
+
+* ``sys.monitoring`` (PEP 669, Python >= 3.12): per-line events with code
+  objects disabled once a line was seen — near-zero steady-state cost;
+* ``sys.settrace`` (everywhere else): a classic local trace function that is
+  only installed for frames whose code lives under the watched package.
+
+Both report coverage as a set of ``(filename, line)`` pairs restricted to
+the ``repro`` package (the fuzzer's own modules are excluded so the loop's
+bookkeeping never counts as "new behaviour").  Collection is scoped to the
+calling thread, which matches the runner's single-threaded execute step.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import Optional, Set, Tuple
+
+CoverageKey = Tuple[str, int]
+
+#: The package whose lines count as coverage.
+_PACKAGE_ROOT = str(Path(__file__).resolve().parent.parent)
+#: The fuzzer's own modules never count (the loop would "discover" itself).
+_SELF_ROOT = str(Path(__file__).resolve().parent)
+
+def _monitoring_tool_id():  # pragma: no cover - 3.12+ only
+    return getattr(sys.monitoring, "COVERAGE_ID", 1)
+
+
+def _watched(filename: str) -> bool:
+    return filename.startswith(_PACKAGE_ROOT) and not filename.startswith(_SELF_ROOT)
+
+
+class LineCollector:
+    """Collects executed ``(filename, line)`` pairs inside a ``with`` block.
+
+    Not reentrant; one collector may be used for many consecutive blocks and
+    accumulates across them.  ``backend`` names which implementation is
+    active (``"monitoring"`` or ``"settrace"``).
+    """
+
+    def __init__(self, *, backend: Optional[str] = None):
+        self.lines: Set[CoverageKey] = set()
+        if backend is None:
+            backend = "monitoring" if hasattr(sys, "monitoring") else "settrace"
+        if backend not in ("monitoring", "settrace"):
+            raise ValueError(f"unknown coverage backend {backend!r}")
+        if backend == "monitoring" and not hasattr(sys, "monitoring"):
+            raise ValueError("sys.monitoring is not available on this interpreter")
+        self.backend = backend
+        self._active = False
+        self._owner: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # context manager
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "LineCollector":
+        if self._active:
+            raise RuntimeError("LineCollector is not reentrant")
+        self._active = True
+        self._owner = threading.get_ident()
+        if self.backend == "monitoring":
+            self._start_monitoring()
+        else:
+            self._start_settrace()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.backend == "monitoring":
+            self._stop_monitoring()
+        else:
+            sys.settrace(None)
+        self._active = False
+
+    # ------------------------------------------------------------------ #
+    # settrace backend
+    # ------------------------------------------------------------------ #
+    def _start_settrace(self) -> None:
+        lines = self.lines
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                lines.add((frame.f_code.co_filename, frame.f_lineno))
+            return local_trace
+
+        def global_trace(frame, event, arg):
+            if event == "call" and _watched(frame.f_code.co_filename):
+                return local_trace
+            return None
+
+        sys.settrace(global_trace)
+
+    # ------------------------------------------------------------------ #
+    # sys.monitoring backend (Python >= 3.12)
+    # ------------------------------------------------------------------ #
+    def _start_monitoring(self) -> None:  # pragma: no cover - 3.12+ only
+        monitoring = sys.monitoring
+        tool_id = _monitoring_tool_id()
+        lines = self.lines
+
+        def on_line(code, line_number):
+            filename = code.co_filename
+            if _watched(filename):
+                lines.add((filename, line_number))
+            return monitoring.DISABLE  # each line reports at most once per run
+
+        monitoring.use_tool_id(tool_id, "repro-fuzz")
+        monitoring.register_callback(tool_id, monitoring.events.LINE, on_line)
+        monitoring.set_events(tool_id, monitoring.events.LINE)
+
+    def _stop_monitoring(self) -> None:  # pragma: no cover - 3.12+ only
+        monitoring = sys.monitoring
+        tool_id = _monitoring_tool_id()
+        monitoring.set_events(tool_id, 0)
+        monitoring.register_callback(tool_id, monitoring.events.LINE, None)
+        monitoring.free_tool_id(tool_id)
+        # DISABLE is sticky per code location; drop it so the next ``with``
+        # block sees every line again.
+        monitoring.restart_events()
+
+
+class NullCollector:
+    """Drop-in no-op used when coverage guidance is turned off."""
+
+    backend = "off"
+
+    def __init__(self):
+        self.lines: Set[CoverageKey] = set()
+
+    def __enter__(self) -> "NullCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+__all__ = ["CoverageKey", "LineCollector", "NullCollector"]

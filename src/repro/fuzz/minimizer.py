@@ -1,0 +1,190 @@
+"""Delta-debugging minimizer: shrink a failing snapshot pair to a minimal repro.
+
+Classic ddmin (Zeller & Hildebrandt) over three axes in turn — source rows,
+target rows, shared columns — iterated to a fixed point.  The *predicate*
+decides "does this smaller input still fail?"; the minimizer only proposes
+candidates, so it works unchanged for any oracle.  Every candidate runs the
+real engines, so the predicate budget caps total work and the result records
+how much shrinking actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from .corpus import SnapshotPair
+
+#: Predicate contract: ``True`` means "this candidate still reproduces the
+#: failure"; it must never raise (the runner wraps oracle calls accordingly).
+Predicate = Callable[[SnapshotPair], bool]
+
+
+class PredicateBudgetExceeded(RuntimeError):
+    """Raised internally when the test budget runs out mid-reduction; the
+    minimizer catches it and returns the best pair found so far."""
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """What the minimizer achieved: the smallest still-failing pair plus
+    bookkeeping for reports and the ``<= 10 rows`` acceptance check."""
+
+    pair: SnapshotPair
+    tests_run: int
+    rows_before: int
+    rows_after: int
+    columns_before: int
+    columns_after: int
+
+    def describe(self) -> str:
+        return (
+            f"minimized {self.rows_before}->{self.rows_after} rows, "
+            f"{self.columns_before}->{self.columns_after} columns "
+            f"in {self.tests_run} oracle runs"
+        )
+
+
+class _BudgetedPredicate:
+    """Counts predicate calls and stops reduction when the budget is spent."""
+
+    def __init__(self, predicate: Predicate, budget: int):
+        self._predicate = predicate
+        self._budget = budget
+        self.calls = 0
+
+    def __call__(self, pair: SnapshotPair) -> bool:
+        if self.calls >= self._budget:
+            raise PredicateBudgetExceeded()
+        self.calls += 1
+        return self._predicate(pair)
+
+
+def _split(items: Sequence, n: int) -> List[List]:
+    """*items* in *n* contiguous chunks, as even as integer division allows."""
+    chunks: List[List] = []
+    size, remainder = divmod(len(items), n)
+    start = 0
+    for index in range(n):
+        end = start + size + (1 if index < remainder else 0)
+        if end > start:
+            chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+def _ddmin(items: List, fails: Callable[[List], bool]) -> List:
+    """The smallest sub-list of *items* for which *fails* still holds.
+
+    Standard complement-based ddmin: try dropping ever-finer chunks; whenever
+    the complement still fails, restart from it at coarser granularity.
+    *items* itself is assumed failing.  1-minimal in the ddmin sense: no
+    single remaining element can be dropped.
+    """
+    granularity = 2
+    while len(items) >= 2:
+        chunks = _split(items, granularity)
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                item for chunk_index, chunk in enumerate(chunks)
+                if chunk_index != index for item in chunk
+            ]
+            if fails(complement):
+                items = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def minimize_pair(pair: SnapshotPair, predicate: Predicate, *,
+                  max_tests: int = 600) -> MinimizationResult:
+    """Shrink *pair* to a (locally) minimal input for which *predicate* holds.
+
+    Reduces source rows, then target rows, then columns, and repeats until a
+    full pass changes nothing.  Either snapshot may shrink to zero rows, but
+    at least one column always remains (a pair needs a schema).  If *pair*
+    itself does not satisfy *predicate*, it is returned unchanged — a
+    minimizer must never manufacture a failure.
+    """
+    budgeted = _BudgetedPredicate(predicate, max_tests)
+    rows_before, columns_before = pair.n_rows, pair.n_columns
+    current = pair
+    try:
+        if budgeted(pair):
+            while True:
+                shrunk = _reduce_axis(current, budgeted, axis="source_rows")
+                shrunk = _reduce_axis(shrunk, budgeted, axis="target_rows")
+                shrunk = _reduce_axis(shrunk, budgeted, axis="columns")
+                if (shrunk.n_rows == current.n_rows
+                        and shrunk.n_columns == current.n_columns):
+                    break
+                current = shrunk
+    except PredicateBudgetExceeded:
+        pass  # budget ran dry mid-pass; `current` is the best verified pair
+    return MinimizationResult(
+        pair=current, tests_run=budgeted.calls,
+        rows_before=rows_before, rows_after=current.n_rows,
+        columns_before=columns_before, columns_after=current.n_columns,
+    )
+
+
+def _reduce_axis(pair: SnapshotPair, fails: _BudgetedPredicate, *,
+                 axis: str) -> SnapshotPair:
+    """One ddmin pass along a single axis, holding the other axes fixed."""
+    if axis == "source_rows":
+        indices = list(range(pair.source.n_rows))
+        if not indices:
+            return pair
+
+        def rebuild(kept: List[int]) -> SnapshotPair:
+            return SnapshotPair(source=pair.source.take(kept).copy(),
+                                target=pair.target.copy())
+    elif axis == "target_rows":
+        indices = list(range(pair.target.n_rows))
+        if not indices:
+            return pair
+
+        def rebuild(kept: List[int]) -> SnapshotPair:
+            return SnapshotPair(source=pair.source.copy(),
+                                target=pair.target.take(kept).copy())
+    elif axis == "columns":
+        indices = list(pair.source.schema)
+        if len(indices) < 2:
+            return pair
+
+        def rebuild(kept: List[str]) -> SnapshotPair:
+            return SnapshotPair(source=pair.source.project(kept).copy(),
+                                target=pair.target.project(kept).copy())
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown reduction axis {axis!r}")
+
+    def candidate_fails(kept: List) -> bool:
+        if axis == "columns" and not kept:
+            return False  # a pair without a schema is not a table pair
+        try:
+            candidate = rebuild(kept)
+        except Exception:  # noqa: BLE001 - unbuildable candidates are skipped
+            return False
+        return fails(candidate)
+
+    # ddmin bottoms out at one element; rows (unlike columns) may vanish
+    # entirely, so probe the empty side first — the strongest reduction.
+    if axis != "columns" and candidate_fails([]):
+        return rebuild([])
+    kept = _ddmin(indices, candidate_fails)
+    if len(kept) == len(indices):
+        return pair
+    return rebuild(kept)
+
+
+__all__ = [
+    "MinimizationResult",
+    "Predicate",
+    "minimize_pair",
+]

@@ -1,0 +1,567 @@
+"""Invariant oracles: what must hold for EVERY input, mutated or not.
+
+Each oracle takes a fuzzing input and raises :class:`OracleFailure` when an
+invariant breaks; anything else the engines raise (beyond the documented
+validation errors) is converted into a failure too, so crashes are findings,
+not fuzzer errors.  The oracles:
+
+``engines_agree``
+    The same snapshot pair explained by the row-wise, string-columnar and
+    dictionary-encoded engines (optionally the parallel engine) produces
+    bit-identical explanations, costs and alignments — the metamorphic core
+    of the harness, and what makes the planned binary-store rewrite safe.
+``bounds_sound``
+    ``BlockingResult.refined_bounds`` (the bounds-only fast path) equals the
+    bounds of the materialised refined blocking, encoded and string
+    components group identically, and ``unaligned_bounds`` matches a
+    recount over the blocks.
+``codec_roundtrip``
+    ``Column.dictionary()`` decodes back to the column;
+    :class:`~repro.core.colcache.AttributeCodec` is a bijection that never
+    hands a real value the reserved ``NOT_APPLICABLE`` code.
+``serialization_roundtrip``
+    Requests and outcomes survive ``to_dict``/``from_dict`` through real
+    JSON, and the canonical request key is stable.
+``budget_respected``
+    A budgeted run answers within a deadline-derived wall-clock envelope,
+    names a known tier/confidence, and its explanation is valid.
+``payload_parses``
+    ``ExplainRequest.from_dict`` on arbitrary decoded JSON either succeeds
+    or raises ``RequestValidationError`` — never any other exception.
+``service_survives``
+    The live HTTP service answers an arbitrary request body with a 2xx/4xx
+    and a JSON error payload — never a 500.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..api import ExplainBudget, ExplainRequest, ExplainSession, RequestValidationError
+from ..api.budget import CONFIDENCE_LABELS, TIERS
+from ..api.outcome import ExplainOutcome
+from ..core import Affidavit, ProblemInstance, identity_configuration
+from ..dataio import TableError
+from ..core.blocking import build_blocking, refine_blocking, refine_blocking_bounds
+from ..core.colcache import NOT_APPLICABLE, NOT_APPLICABLE_CODE, AttributeCodec, ColumnCache
+from ..core.search_state import SearchState
+from ..export import explanation_to_dict
+from ..functions import default_registry
+from ..functions.identity import IDENTITY
+from .corpus import SnapshotPair
+
+#: Expansion cap for fuzzing runs: the oracles compare *end results*, so a
+#: bounded search keeps per-input latency in the tens of milliseconds while
+#: still walking induction, ranking, refinement and finalisation.
+FUZZ_MAX_EXPANSIONS = 200
+
+#: The engine matrix ``engines_agree`` compares.  ``parallel`` exists but is
+#: opt-in (process pools dominate the runtime on fuzz-sized inputs).
+ENGINE_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "rowwise": {"columnar_cache": False},
+    "columnar": {"columnar_cache": True, "blocking_codes": False},
+    "codes": {"columnar_cache": True, "blocking_codes": True},
+    "parallel": {"columnar_cache": True, "blocking_codes": True,
+                 "parallel_workers": 2},
+}
+
+DEFAULT_ENGINES: Tuple[str, ...] = ("rowwise", "columnar", "codes")
+
+#: Statuses the HTTP service may answer a fuzzer-crafted body with.
+ACCEPTABLE_HTTP_STATUSES = frozenset({200, 202, 400, 404, 409, 413})
+
+
+@dataclass
+class OracleFailure(AssertionError):
+    """One broken invariant: which oracle, what happened, enough detail to
+    reproduce."""
+
+    oracle: str
+    message: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.oracle}] {self.message}"
+        if self.detail:
+            text += f"\n{self.detail}"
+        return text
+
+
+class InputOutOfDomain(Exception):
+    """The pair violates the engines' input contract (e.g. a raw cell equal
+    to the reserved NOT_APPLICABLE sentinel): every oracle skips it — a
+    *rejection* at the boundary is correct behaviour, not a finding."""
+
+
+def _instance(pair: SnapshotPair, functions: Optional[Sequence[str]] = None,
+              ) -> ProblemInstance:
+    """A fresh frozen instance per engine run (caches must not be shared)."""
+    source, target = pair.copies()
+    registry = default_registry()
+    if functions is not None:
+        registry = registry.subset(functions)
+    try:
+        return ProblemInstance(source=source, target=target, registry=registry,
+                               name="fuzz")
+    except TableError as error:
+        raise InputOutOfDomain(str(error)) from error
+
+
+def _guard(oracle: str, error: BaseException) -> OracleFailure:
+    """An unexpected engine exception, wrapped as a finding."""
+    return OracleFailure(
+        oracle=oracle,
+        message=f"engine raised {type(error).__name__}: {error}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# engine agreement
+# ---------------------------------------------------------------------- #
+def _fingerprint(result) -> Dict[str, Any]:
+    """The bit-identity surface of one run: everything two agreeing engines
+    must produce equally, rendered JSON-stable."""
+    explanation = result.explanation
+    return {
+        "cost": result.cost,
+        "trivial_cost": result.trivial_cost,
+        "explanation": explanation_to_dict(explanation),
+        "alignment": sorted(explanation.alignment.items()),
+        "deleted": list(explanation.deleted_source_ids),
+        "inserted": list(explanation.inserted_target_ids),
+        "expansions": result.expansions,
+        "generated_states": result.generated_states,
+    }
+
+
+def run_engine(pair: SnapshotPair, engine: str, *, seed: int = 0,
+               max_expansions: int = FUZZ_MAX_EXPANSIONS):
+    """One bounded search of *pair* under the named engine configuration."""
+    overrides = ENGINE_OVERRIDES[engine]
+    config = identity_configuration(seed=seed, max_expansions=max_expansions,
+                                    **overrides)
+    return Affidavit(config).explain(_instance(pair))
+
+
+def engines_agree(pair: SnapshotPair, *, seed: int = 0,
+                  engines: Sequence[str] = DEFAULT_ENGINES,
+                  max_expansions: int = FUZZ_MAX_EXPANSIONS) -> None:
+    """All engines produce bit-identical results, and the result is valid."""
+    fingerprints: List[Tuple[str, Dict[str, Any]]] = []
+    for engine in engines:
+        try:
+            result = run_engine(pair, engine, seed=seed,
+                                max_expansions=max_expansions)
+        except InputOutOfDomain:
+            return
+        except Exception as error:  # noqa: BLE001 - crashes are findings
+            raise _guard(f"engines_agree:{engine}", error) from error
+        fingerprints.append((engine, _fingerprint(result)))
+    reference_engine, reference = fingerprints[0]
+    for engine, fingerprint in fingerprints[1:]:
+        if fingerprint != reference:
+            diverging = sorted(
+                key for key in reference
+                if fingerprint.get(key) != reference.get(key)
+            )
+            raise OracleFailure(
+                oracle="engines_agree",
+                message=(f"{engine} diverges from {reference_engine} "
+                         f"on {diverging}"),
+                detail=json.dumps(
+                    {reference_engine: {k: reference[k] for k in diverging},
+                     engine: {k: fingerprint[k] for k in diverging}},
+                    default=str, sort_keys=True)[:2000],
+            )
+    # Soundness on top of agreement: the (shared) explanation must satisfy
+    # Definition 3.5 against the instance.
+    try:
+        result = run_engine(pair, reference_engine, seed=seed,
+                            max_expansions=max_expansions)
+        result.explanation.validate(_instance(pair))
+    except InputOutOfDomain:
+        return
+    except OracleFailure:
+        raise
+    except Exception as error:  # noqa: BLE001
+        raise OracleFailure(
+            oracle="engines_agree",
+            message=f"winning explanation is invalid: {error}",
+        ) from error
+
+
+# ---------------------------------------------------------------------- #
+# blocking-bounds soundness
+# ---------------------------------------------------------------------- #
+def _recount_bounds(blocking) -> Tuple[int, int]:
+    target_bound = source_bound = 0
+    for block in blocking.blocks.values():
+        delta = len(block.target_ids) - len(block.source_ids)
+        if delta > 0:
+            target_bound += delta
+        elif delta < 0:
+            source_bound -= delta
+    return target_bound, source_bound
+
+
+def bounds_sound(pair: SnapshotPair, *, seed: int = 0) -> None:
+    """Bounds-only refinement equals materialised refinement, for both the
+    encoded and the string engines, attribute by attribute."""
+    identity = IDENTITY
+    for codes_active in (False, True):
+        try:
+            instance = _instance(pair)
+            cache = ColumnCache(instance.source, codes=codes_active)
+            state = SearchState.empty(instance.schema)
+            blocking = build_blocking(instance, state, cache)
+            observed = blocking.unaligned_bounds()
+            recount = _recount_bounds(blocking)
+            if observed != recount:
+                raise OracleFailure(
+                    oracle="bounds_sound",
+                    message=(f"unaligned_bounds {observed} != recount {recount} "
+                             f"(codes={codes_active}, empty state)"),
+                )
+            for attribute in instance.schema:
+                fast = refine_blocking_bounds(instance, blocking, attribute,
+                                              identity, cache)
+                materialised = refine_blocking(instance, blocking, attribute,
+                                               identity, cache)
+                slow = materialised.unaligned_bounds()
+                if fast != slow:
+                    raise OracleFailure(
+                        oracle="bounds_sound",
+                        message=(f"refined_bounds {fast} != materialised "
+                                 f"{slow} on {attribute!r} "
+                                 f"(codes={codes_active})"),
+                    )
+                recount = _recount_bounds(materialised)
+                if slow != recount:
+                    raise OracleFailure(
+                        oracle="bounds_sound",
+                        message=(f"unaligned_bounds {slow} != recount "
+                                 f"{recount} on {attribute!r} "
+                                 f"(codes={codes_active})"),
+                    )
+                blocking = materialised
+        except InputOutOfDomain:
+            return
+        except OracleFailure:
+            raise
+        except Exception as error:  # noqa: BLE001
+            raise _guard("bounds_sound", error) from error
+
+
+# ---------------------------------------------------------------------- #
+# codec round-trips
+# ---------------------------------------------------------------------- #
+def codec_roundtrip(pair: SnapshotPair, **_ignored) -> None:
+    """Dictionary encodings decode back; codecs are per-attribute bijections."""
+    try:
+        codecs = {name: AttributeCodec() for name in pair.source.schema}
+        for table in (pair.source, pair.target):
+            for attribute in table.schema:
+                column = table.column_view(attribute)
+                codes, codebook = column.dictionary()
+                if len(codes) != len(column):
+                    raise OracleFailure(
+                        oracle="codec_roundtrip",
+                        message=(f"dictionary of {attribute!r} has "
+                                 f"{len(codes)} codes for {len(column)} cells"),
+                    )
+                if len(codebook) != column.distinct_count():
+                    raise OracleFailure(
+                        oracle="codec_roundtrip",
+                        message=(f"codebook of {attribute!r} has "
+                                 f"{len(codebook)} entries for "
+                                 f"{column.distinct_count()} distinct values"),
+                    )
+                decode = {code: value for value, code in codebook.items()}
+                if len(decode) != len(codebook):
+                    raise OracleFailure(
+                        oracle="codec_roundtrip",
+                        message=f"codebook of {attribute!r} is not injective",
+                    )
+                for index, cell in enumerate(column):
+                    if decode[codes[index]] != cell:
+                        raise OracleFailure(
+                            oracle="codec_roundtrip",
+                            message=(f"cell {index} of {attribute!r} decodes to "
+                                     f"{decode[codes[index]]!r}, not {cell!r}"),
+                        )
+                codec = codecs[attribute]
+                seen: Dict[int, str] = {}
+                for cell in column:
+                    code = codec.encode(cell)
+                    if codec.encode(cell) != code:
+                        raise OracleFailure(
+                            oracle="codec_roundtrip",
+                            message=f"codec of {attribute!r} is unstable on {cell!r}",
+                        )
+                    if cell != NOT_APPLICABLE and code == NOT_APPLICABLE_CODE:
+                        raise OracleFailure(
+                            oracle="codec_roundtrip",
+                            message=(f"real value {cell!r} of {attribute!r} got "
+                                     "the reserved NOT_APPLICABLE code"),
+                        )
+                    previous = seen.get(code)
+                    if previous is not None and previous != cell:
+                        raise OracleFailure(
+                            oracle="codec_roundtrip",
+                            message=(f"codec of {attribute!r} maps {previous!r} "
+                                     f"and {cell!r} to code {code}"),
+                        )
+                    seen[code] = cell
+    except OracleFailure:
+        raise
+    except Exception as error:  # noqa: BLE001
+        raise _guard("codec_roundtrip", error) from error
+
+
+# ---------------------------------------------------------------------- #
+# serialization round-trips
+# ---------------------------------------------------------------------- #
+def serialization_roundtrip(pair: SnapshotPair, *, seed: int = 0) -> None:
+    """Request and outcome survive a real JSON wire trip, bit-identically."""
+    try:
+        request = ExplainRequest.inline(
+            pair.source.copy(), pair.target.copy(),
+            overrides={"seed": seed, "max_expansions": FUZZ_MAX_EXPANSIONS},
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        rebuilt = ExplainRequest.from_dict(wire)
+        if rebuilt != request:
+            raise OracleFailure(
+                oracle="serialization_roundtrip",
+                message="request changed across to_dict/from_dict",
+            )
+        if rebuilt.canonical_key() != request.canonical_key():
+            raise OracleFailure(
+                oracle="serialization_roundtrip",
+                message="canonical_key unstable across the wire trip",
+            )
+        session = ExplainSession()
+        outcome = session.explain(request)
+        outcome_wire = json.loads(json.dumps(outcome.to_dict()))
+        rebuilt_outcome = ExplainOutcome.from_dict(outcome_wire)
+        before = explanation_to_dict(outcome.explanation)
+        after = explanation_to_dict(rebuilt_outcome.explanation)
+        if before != after:
+            raise OracleFailure(
+                oracle="serialization_roundtrip",
+                message="explanation changed across outcome to_dict/from_dict",
+            )
+        if rebuilt_outcome.to_dict() != outcome.to_dict():
+            raise OracleFailure(
+                oracle="serialization_roundtrip",
+                message="outcome dict is not a fixed point of from_dict/to_dict",
+            )
+    except (InputOutOfDomain, TableError):
+        return  # the pair violates the snapshot contract; rejection is correct
+    except OracleFailure:
+        raise
+    except RequestValidationError as error:
+        # The pair itself may be unexplainable as a request (e.g. a mutator
+        # emptied a snapshot) — a *rejection* is fine, a crash is not.
+        raise OracleFailure(
+            oracle="serialization_roundtrip",
+            message=f"inline request rejected: {error}",
+        ) from error
+    except Exception as error:  # noqa: BLE001
+        raise _guard("serialization_roundtrip", error) from error
+
+
+# ---------------------------------------------------------------------- #
+# budget envelope
+# ---------------------------------------------------------------------- #
+#: Wall-clock envelope of a budgeted run: generous (fuzz boxes are noisy and
+#: the chain's finalisation is allowed to overrun the deadline briefly), but
+#: tight enough that a hang or an unbounded fallback walk is a finding.
+BUDGET_SLACK_FACTOR = 20.0
+BUDGET_SLACK_FLOOR_SECONDS = 2.0
+
+
+def budget_respected(pair: SnapshotPair, *, seed: int = 0,
+                     deadline_ms: float = 50.0) -> None:
+    """A budgeted run answers inside the deadline envelope with a valid,
+    vocabulary-conforming tier verdict."""
+    try:
+        instance = _instance(pair)
+        session = ExplainSession().with_config(
+            "hid", seed=seed, max_expansions=FUZZ_MAX_EXPANSIONS
+        ).with_budget(ExplainBudget(deadline_ms=deadline_ms))
+        started = time.perf_counter()
+        outcome = session.explain_instance(instance)
+        elapsed = time.perf_counter() - started
+        envelope = max(
+            deadline_ms / 1000.0 * BUDGET_SLACK_FACTOR, BUDGET_SLACK_FLOOR_SECONDS
+        )
+        if elapsed > envelope:
+            raise OracleFailure(
+                oracle="budget_respected",
+                message=(f"budgeted run took {elapsed:.2f}s against a "
+                         f"{deadline_ms:.0f}ms deadline (envelope "
+                         f"{envelope:.2f}s)"),
+            )
+        if outcome.provenance.tier not in TIERS:
+            raise OracleFailure(
+                oracle="budget_respected",
+                message=f"unknown answering tier {outcome.provenance.tier!r}",
+            )
+        if outcome.provenance.confidence not in CONFIDENCE_LABELS:
+            raise OracleFailure(
+                oracle="budget_respected",
+                message=(f"unknown confidence "
+                         f"{outcome.provenance.confidence!r}"),
+            )
+        outcome.explanation.validate(_instance(pair))
+    except InputOutOfDomain:
+        return
+    except OracleFailure:
+        raise
+    except Exception as error:  # noqa: BLE001
+        raise _guard("budget_respected", error) from error
+
+
+# ---------------------------------------------------------------------- #
+# payload handling (library level)
+# ---------------------------------------------------------------------- #
+def payload_parses(payload_text: str, **_ignored) -> None:
+    """The request parser rejects bad payloads with RequestValidationError —
+    any other exception type is a crash, i.e. a finding."""
+    try:
+        decoded = json.loads(payload_text)
+    except (ValueError, RecursionError):
+        return  # malformed JSON never reaches from_dict; the HTTP layer 400s
+    try:
+        ExplainRequest.from_dict(decoded)
+    except RequestValidationError:
+        return
+    except RecursionError:
+        return  # absurd nesting is the JSON layer's concern, not a crash
+    except Exception as error:  # noqa: BLE001
+        raise OracleFailure(
+            oracle="payload_parses",
+            message=(f"from_dict raised {type(error).__name__} instead of "
+                     f"RequestValidationError: {error}"),
+            detail=payload_text[:500],
+        ) from error
+
+
+# ---------------------------------------------------------------------- #
+# payload handling (HTTP level)
+# ---------------------------------------------------------------------- #
+class ServiceOracle:
+    """A lazily started in-process HTTP service the payload inputs hit.
+
+    One instance is shared across a whole fuzzing run; ``close()`` tears the
+    server down.  The oracle asserts that *whatever* body is posted, the
+    answer is a documented status (never 5xx) and — for error statuses — a
+    structured JSON error object.
+    """
+
+    def __init__(self):
+        self._server = None
+        self._thread = None
+
+    def _ensure_server(self):
+        if self._server is None:
+            import threading
+
+            from ..service.server import create_server
+
+            self._server = create_server(port=0, workers=1, verbose=False)
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True,
+                name="fuzz-service-oracle",
+            )
+            self._thread.start()
+        return self._server
+
+    def check(self, payload_text: str, **_ignored) -> None:
+        import urllib.error
+        import urllib.request
+
+        server = self._ensure_server()
+        host, port = server.server_address[:2]
+        body = payload_text.encode("utf-8", errors="surrogatepass")
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/explain", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status, raw = response.status, response.read()
+        except urllib.error.HTTPError as error:
+            status, raw = error.code, error.read()
+        except OSError as error:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"service connection failed: {error}",
+                detail=payload_text[:500],
+            ) from error
+        if status not in ACCEPTABLE_HTTP_STATUSES:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"service answered HTTP {status}",
+                detail=f"payload: {payload_text[:500]!r}\nbody: {raw[:500]!r}",
+            )
+        if status >= 400:
+            try:
+                error_payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise OracleFailure(
+                    oracle="service_survives",
+                    message=f"HTTP {status} body is not JSON: {error}",
+                    detail=raw[:500].decode("utf-8", "replace"),
+                ) from error
+            if not isinstance(error_payload, dict) or "error" not in error_payload:
+                raise OracleFailure(
+                    oracle="service_survives",
+                    message=f"HTTP {status} body lacks an 'error' field",
+                    detail=raw[:500].decode("utf-8", "replace"),
+                )
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.shutdown_service()
+            self._server = None
+            self._thread = None
+
+
+#: Oracle registries, keyed by the names corpus entries and the CLI use.
+SNAPSHOT_ORACLES = {
+    "engines_agree": engines_agree,
+    "bounds_sound": bounds_sound,
+    "codec_roundtrip": codec_roundtrip,
+    "serialization_roundtrip": serialization_roundtrip,
+    "budget_respected": budget_respected,
+}
+
+PAYLOAD_ORACLES = {
+    "payload_parses": payload_parses,
+}
+
+
+__all__ = [
+    "ACCEPTABLE_HTTP_STATUSES",
+    "DEFAULT_ENGINES",
+    "ENGINE_OVERRIDES",
+    "FUZZ_MAX_EXPANSIONS",
+    "InputOutOfDomain",
+    "OracleFailure",
+    "PAYLOAD_ORACLES",
+    "SNAPSHOT_ORACLES",
+    "ServiceOracle",
+    "budget_respected",
+    "bounds_sound",
+    "codec_roundtrip",
+    "engines_agree",
+    "payload_parses",
+    "run_engine",
+    "serialization_roundtrip",
+]

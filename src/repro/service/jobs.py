@@ -42,6 +42,7 @@ from ..api import (
     ExplainOutcome,
     ExplainRequest,
     ExplainSession,
+    RequestValidationError,
     resolve_config,
     resolve_registry,
 )
@@ -54,7 +55,7 @@ from ..core import (
     default_parallel_workers,
     identity_configuration,
 )
-from ..dataio import Table
+from ..dataio import Table, TableError
 from ..functions import FunctionRegistry
 from ..obs import get_registry
 from .cache import ResultCache, idempotency_key, request_idempotency_key
@@ -354,10 +355,15 @@ class JobManager:
         source, target = request.load_tables(data_root)
         resolved_config = config if config is not None else resolve_config(request)
         resolved_registry = resolve_registry(request, registry)
-        instance = ProblemInstance(
-            source=source, target=target, registry=resolved_registry,
-            name=request.name,
-        )
+        try:
+            instance = ProblemInstance(
+                source=source, target=target, registry=resolved_registry,
+                name=request.name,
+            )
+        except TableError as error:
+            # Snapshots that violate the engine's input contract (mismatched
+            # schemas, reserved sentinel cells) are the client's problem.
+            raise RequestValidationError(str(error)) from error
         load_seconds = time.perf_counter() - started
         key = request_idempotency_key(
             request, source, target,

@@ -46,9 +46,23 @@ from .schemas import (
     ValidationError,
 )
 
-MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd inline payloads
+#: Default request-body cap; override per server via ``max_body_bytes``.
+MAX_BODY_BYTES = 64 * 1024 * 1024
 
 RESULT_FORMATS = ("json", "sql", "report")
+
+
+class _HttpError(Exception):
+    """A client error with a definite status and machine-readable code.
+
+    Raised by body parsing, turned into a structured JSON error response —
+    so a too-large body is a 413 and a malformed one a 400, never a 500.
+    """
+
+    def __init__(self, status: int, message: str, code: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
 
 _http_metrics = get_registry()
 _HTTP_REQUESTS = _http_metrics.counter(
@@ -70,11 +84,15 @@ class AffidavitHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], manager: JobManager, *,
-                 data_root: Optional[Path] = None, verbose: bool = False):
+                 data_root: Optional[Path] = None, verbose: bool = False,
+                 max_body_bytes: int = MAX_BODY_BYTES):
         super().__init__(address, _Handler)
         self.manager = manager
         self.data_root = data_root
         self.verbose = verbose
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.max_body_bytes = max_body_bytes
         self.started_at = time.time()
 
     def shutdown_service(self, *, cancel_pending: bool = True) -> None:
@@ -178,8 +196,13 @@ class _Handler(BaseHTTPRequestHandler):
             job = self.server.manager.submit_request(
                 request, data_root=self.server.data_root
             )
+        except _HttpError as error:
+            self._send_json(error.status, {"error": str(error),
+                                           "code": error.code})
+            return
         except ValidationError as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_json(400, {"error": str(error),
+                                  "code": "invalid_request"})
             return
         status = 200 if job.state is JobState.DONE else 202
         self._send_json(status, JobView.from_job(job).to_dict())
@@ -258,19 +281,31 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             self.close_connection = True
-            raise ValidationError("malformed Content-Length header") from None
+            raise _HttpError(400, "malformed Content-Length header",
+                             "bad_content_length") from None
         if length <= 0:
-            raise ValidationError("request body is empty")
-        if length > MAX_BODY_BYTES:
+            raise _HttpError(400, "request body is empty", "empty_body")
+        limit = self.server.max_body_bytes
+        if length > limit:
             # The body stays unread; keeping the connection alive would let
             # it be parsed as the next request line.
             self.close_connection = True
-            raise ValidationError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{limit}-byte limit", "body_too_large")
         raw = self.rfile.read(length)
+        if len(raw) < length:
+            # The client promised more bytes than it sent (or the connection
+            # dropped mid-body): a truncated request, not a server fault.
+            self.close_connection = True
+            raise _HttpError(
+                400, f"request body truncated: Content-Length was {length} "
+                     f"but only {len(raw)} bytes arrived", "truncated_body")
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ValidationError(f"invalid JSON body: {error}") from error
+            raise _HttpError(400, f"invalid JSON body: {error}",
+                             "invalid_json") from error
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -303,13 +338,15 @@ def create_server(host: str = "127.0.0.1", port: int = 0, *,
                   cache_ttl: Optional[float] = None,
                   search_workers: Optional[int] = None,
                   data_root: Optional[Path] = None,
-                  verbose: bool = False) -> AffidavitHTTPServer:
+                  verbose: bool = False,
+                  max_body_bytes: int = MAX_BODY_BYTES) -> AffidavitHTTPServer:
     """Build a ready-to-serve HTTP server (port 0 picks an ephemeral port)."""
     if manager is None:
         manager = JobManager(workers=workers, cache_entries=cache_entries,
                              cache_ttl=cache_ttl, search_workers=search_workers)
     return AffidavitHTTPServer((host, port), manager,
-                               data_root=data_root, verbose=verbose)
+                               data_root=data_root, verbose=verbose,
+                               max_body_bytes=max_body_bytes)
 
 
 def configure_logging(log_level: str = "info") -> None:
@@ -337,13 +374,15 @@ def serve_forever(host: str = "127.0.0.1", port: int = 8080, *,
                   search_workers: Optional[int] = None,
                   data_root: Optional[Path] = None,
                   verbose: bool = True,
-                  log_level: str = "info") -> int:
+                  log_level: str = "info",
+                  max_body_bytes: int = MAX_BODY_BYTES) -> int:
     """Blocking entry point used by ``repro-affidavit serve``."""
     configure_logging(log_level)
     server = create_server(host, port, workers=workers,
                            cache_entries=cache_entries, cache_ttl=cache_ttl,
                            search_workers=search_workers,
-                           data_root=data_root, verbose=verbose)
+                           data_root=data_root, verbose=verbose,
+                           max_body_bytes=max_body_bytes)
     bound_host, bound_port = server.server_address[:2]
     logger.info(
         "affidavit service listening on http://%s:%s "

@@ -227,3 +227,32 @@ class TestFunctionsAndEngineFlags:
         assert exit_code == 0
         summary = json.loads((out_dir / "batch_summary.json").read_text())
         assert summary[0]["state"] == "done"
+
+
+class TestFuzzCommand:
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.time_budget == 30.0
+        assert args.seed == 0
+        assert args.max_execs is None
+        assert args.corpus is None
+
+    def test_short_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--time-budget", "20", "--max-execs", "12",
+                     "--seed", "0", "--no-coverage", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 12 execs" in out
+        assert "findings: 0" in out
+
+    def test_corpus_directory_receives_no_findings_when_green(self, tmp_path, capsys):
+        code = main(["fuzz", "--time-budget", "20", "--max-execs", "8",
+                     "--seed", "1", "--no-coverage", "--quiet",
+                     "--corpus", str(tmp_path)])
+        assert code == 0
+        assert not list((tmp_path / "findings").glob("*.json"))
+
+    def test_serve_parser_accepts_max_body_bytes(self):
+        args = build_parser().parse_args(
+            ["serve", "--max-body-bytes", "4096"])
+        assert args.max_body_bytes == 4096

@@ -131,13 +131,40 @@ def test_unregistered_baseline_file_with_fresh_counterpart_passes(dirs):
     assert result.returncode == 0
 
 
-def test_new_benchmark_without_baseline_passes(dirs):
+def test_new_benchmark_without_baseline_fails(dirs):
+    # A fresh result nothing is committed against cannot be trend-gated;
+    # the job must fail until the artifact is promoted to a baseline.
     baseline, fresh = dirs
     baseline.mkdir()
     _write(fresh, "BENCH_evaluator.json", {"speedup": 3.0})
     result = _run(baseline, fresh)
+    assert result.returncode == 2
+    assert "NO-BASELINE" in result.stdout
+    assert "no committed baseline" in result.stderr
+
+
+def test_unregistered_fresh_file_without_baseline_fails(dirs):
+    # Same rule for files no gated metric reads: both directories must
+    # agree on the benchmark set.
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_evaluator.json", {"speedup": 3.0})
+    _write(fresh, "BENCH_custom.json", {"anything": 1})
+    result = _run(baseline, fresh)
+    assert result.returncode == 2
+    assert "(file) BENCH_custom.json" in result.stdout
+    assert "NO-BASELINE" in result.stdout
+
+
+def test_metric_value_absent_from_both_sides_is_not_a_failure(dirs):
+    # Both sides committed the file but the gated key is absent (e.g. an
+    # older payload layout): flagged n/a, never an exit-2 set mismatch.
+    baseline, fresh = dirs
+    _write(baseline, "BENCH_evaluator.json", {"other": 1})
+    _write(fresh, "BENCH_evaluator.json", {"other": 2})
+    result = _run(baseline, fresh)
     assert result.returncode == 0
-    assert "| new |" in result.stdout
+    assert "| n/a |" in result.stdout
 
 
 def test_summary_file_receives_the_table(dirs, tmp_path):

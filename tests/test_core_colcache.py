@@ -13,6 +13,7 @@ import pytest
 
 from repro.core import (
     Affidavit,
+    AttributeCodec,
     ColumnCache,
     ColumnCacheStats,
     NOT_APPLICABLE,
@@ -346,3 +347,93 @@ class TestColumnarEquivalence:
         result = Affidavit(config).explain(running_example)
         assert result.cache_stats is not None
         assert result.cache_stats.entries == 0
+
+
+class TestDictionaryAndCodecEdgeCases:
+    """Degenerate and adversarial value domains through the two encoding
+    layers: ``Column.dictionary()`` (column-local) and ``AttributeCodec``
+    (shared per-attribute code space).  Surfaced by the fuzzing harness —
+    kept as targeted unit tests so the properties stay pinned."""
+
+    def test_empty_column_dictionary(self):
+        table = Table(Schema(["A"]), [])
+        codes, codebook = table.column_view("A").dictionary()
+        assert codes == []
+        assert codebook == {}
+        assert table.column_view("A").distinct_count() == 0
+
+    def test_single_distinct_value_column(self):
+        table = Table(Schema(["A"]), [["same"], ["same"], ["same"]])
+        column = table.column_view("A")
+        codes, codebook = column.dictionary()
+        assert codes == [0, 0, 0]
+        assert codebook == {"same": 0}
+        assert column.distinct_count() == 1
+
+    def test_dictionary_decodes_back_to_the_column(self):
+        table = Table(Schema(["A"]), [["x"], ["y"], ["x"], [""], ["y"]])
+        column = table.column_view("A")
+        codes, codebook = column.dictionary()
+        decode = {code: value for value, code in codebook.items()}
+        assert [decode[code] for code in codes] == list(column)
+        # Injective: distinct values get distinct codes, densely numbered.
+        assert sorted(codebook.values()) == list(range(len(codebook)))
+
+    def test_all_sentinel_transformed_column_is_one_code(self, table):
+        # A function inapplicable everywhere yields an all-NOT_APPLICABLE
+        # column whose codes collapse onto the single reserved code.
+        cache = ColumnCache(table)
+        transformed = cache.transformed("text", Addition(5))
+        assert set(transformed) == {NOT_APPLICABLE}
+        codec = cache.codec("text")
+        assert {codec.encode(cell) for cell in transformed} == {
+            NOT_APPLICABLE_CODE
+        }
+
+    def test_codec_reserves_code_zero_for_the_sentinel(self):
+        codec = AttributeCodec()
+        assert codec.encode(NOT_APPLICABLE) == NOT_APPLICABLE_CODE
+        assert codec.encode("anything") != NOT_APPLICABLE_CODE
+        # Pre-assigned: the sentinel is known before any value is seen.
+        assert len(codec) >= 1
+        assert codec.code_of(NOT_APPLICABLE) == NOT_APPLICABLE_CODE
+
+    def test_codec_is_stable_and_bijective_over_unicode(self):
+        values = [
+            "", " ", "\t", "NULL", "None",
+            "Straße", "STRASSE", "ﬃ", "ﬁre",
+            "ΚΌΣΜΕ", "κόσμε",
+            "\U0001d518\U0001d52b\U0001d526\U0001d520\U0001d52c\U0001d521\U0001d522",
+            " ", "‮tfel", "á", "á",
+            "\U0001f642", "\U0001f642\U0001f642", "﻿", "&#x27;&#x27;",
+        ]
+        codec = AttributeCodec()
+        first = [codec.encode(value) for value in values]
+        second = [codec.encode(value) for value in values]
+        assert first == second, "codes must be stable across encodings"
+        assert len(set(first)) == len(values), "distinct values, distinct codes"
+        assert NOT_APPLICABLE_CODE not in first
+
+    def test_codec_distinguishes_surrogate_and_lookalike_values(self):
+        # Lone surrogates survive CSV-of-weird-data paths via
+        # surrogateescape; they must be ordinary, distinct values.
+        values = ["\ud800", "\udfff", "\U000103ff", "<not-applicable>"]
+        codec = AttributeCodec()
+        codes = [codec.encode(value) for value in values]
+        assert len(set(codes)) == len(values)
+        assert NOT_APPLICABLE_CODE not in codes
+        for value, code in zip(values, codes):
+            assert codec.code_of(value) == code
+
+    def test_unicode_column_dictionary_round_trip(self):
+        # NFC/NFD lookalikes ("á" vs "á") stay distinct: the
+        # engines compare byte-for-byte, never normalizing silently.
+        rows = [["Straße"], ["STRASSE"], ["Straße"],
+                ["\U0001f642"], ["á"], ["á"], ["\U0001f642"]]
+        table = Table(Schema(["A"]), rows)
+        column = table.column_view("A")
+        codes, codebook = column.dictionary()
+        assert len(codes) == len(rows)
+        assert len(codebook) == 5
+        decode = {code: value for value, code in codebook.items()}
+        assert [decode[code] for code in codes] == [row[0] for row in rows]

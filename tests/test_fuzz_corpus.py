@@ -1,0 +1,139 @@
+"""Tests of the fuzzing corpus format (:mod:`repro.fuzz.corpus`).
+
+Corpus entries are the replay contract of the fuzzer: a minimized finding is
+committed as JSON and must round-trip byte-for-byte forever.  These tests pin
+the serialization format, the content-addressed file naming, and the
+validation that keeps malformed entries out of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dataio import Schema, Table, read_csv_text
+from repro.fuzz import (
+    CORPUS_SCHEMA_VERSION,
+    CorpusEntry,
+    CorpusError,
+    FINDINGS_DIR,
+    KIND_PAYLOAD,
+    KIND_SNAPSHOT,
+    SEEDS_DIR,
+    SnapshotPair,
+    load_corpus,
+    load_entry,
+    save_entry,
+)
+
+
+@pytest.fixture
+def pair() -> SnapshotPair:
+    return SnapshotPair(
+        source=read_csv_text("Name,Val\nalpha,1\nbeta,2\n"),
+        target=read_csv_text("Name,Val\nALPHA,1\ngamma,3\n"),
+    )
+
+
+class TestSnapshotPair:
+    def test_rejects_schema_mismatch(self):
+        with pytest.raises(CorpusError, match="share a schema"):
+            SnapshotPair(
+                source=Table(Schema(("A",)), [("1",)]),
+                target=Table(Schema(("B",)), [("1",)]),
+            )
+
+    def test_size_measures(self, pair):
+        assert pair.n_rows == 4
+        assert pair.n_columns == 2
+        assert "2+2 rows" in pair.describe()
+
+    def test_copies_are_independent(self, pair):
+        source, target = pair.copies()
+        assert source is not pair.source
+        assert list(source.rows()) == list(pair.source.rows())
+        assert list(target.rows()) == list(pair.target.rows())
+
+
+class TestCorpusEntry:
+    def test_snapshot_round_trip(self, pair):
+        entry = CorpusEntry.from_pair(
+            pair, seed=7, oracles=("engines_agree",), note="demo",
+            provenance=("drop_rows", "corrupt_cells"),
+        )
+        restored = CorpusEntry.from_dict(entry.to_dict())
+        assert restored == entry
+        rebuilt = restored.pair()
+        assert list(rebuilt.source.rows()) == list(pair.source.rows())
+        assert list(rebuilt.target.rows()) == list(pair.target.rows())
+
+    def test_payload_round_trip_preserves_bytes(self):
+        # Deliberately broken JSON with unicode — must survive verbatim.
+        text = '{"version": "affidavit.request/v1", "søurce": '
+        entry = CorpusEntry.from_payload(text, seed=3)
+        restored = CorpusEntry.from_dict(
+            json.loads(json.dumps(entry.to_dict()))
+        )
+        assert restored.payload_text == text
+        assert restored == entry
+
+    def test_name_does_not_affect_equality_or_hash_content(self, pair):
+        a = CorpusEntry.from_pair(pair, name="one")
+        b = CorpusEntry.from_pair(pair, name="two")
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_pair_on_payload_entry_raises(self):
+        entry = CorpusEntry.from_payload("{}")
+        with pytest.raises(CorpusError, match="no snapshot pair"):
+            entry.pair()
+
+    def test_rejects_unknown_kind_and_missing_fields(self):
+        with pytest.raises(CorpusError, match="unknown corpus entry kind"):
+            CorpusEntry(kind="weird", payload_text="{}")
+        with pytest.raises(CorpusError, match="source_csv"):
+            CorpusEntry(kind=KIND_SNAPSHOT, source_csv="A\n1\n")
+        with pytest.raises(CorpusError, match="payload_text"):
+            CorpusEntry(kind=KIND_PAYLOAD)
+
+    def test_from_dict_rejects_foreign_versions_and_fields(self, pair):
+        payload = CorpusEntry.from_pair(pair).to_dict()
+        assert payload["schema_version"] == CORPUS_SCHEMA_VERSION
+        payload_v9 = dict(payload, schema_version="affidavit.fuzz-entry/v9")
+        with pytest.raises(CorpusError, match="schema_version"):
+            CorpusEntry.from_dict(payload_v9)
+        payload_extra = dict(payload, surprise=True)
+        with pytest.raises(CorpusError, match="unknown corpus entry fields"):
+            CorpusEntry.from_dict(payload_extra)
+        payload_bad_seed = dict(payload, seed="zero")
+        with pytest.raises(CorpusError, match="seed"):
+            CorpusEntry.from_dict(payload_bad_seed)
+
+
+class TestCorpusFiles:
+    def test_save_is_idempotent_and_content_addressed(self, tmp_path, pair):
+        entry = CorpusEntry.from_pair(pair, note="finding")
+        first = save_entry(entry, tmp_path)
+        second = save_entry(entry, tmp_path)
+        assert first == second
+        assert entry.content_hash() in first.name
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert load_entry(first) == entry
+
+    def test_load_corpus_walks_seeds_and_findings(self, tmp_path, pair):
+        seed_entry = CorpusEntry.from_pair(pair)
+        finding_entry = CorpusEntry.from_payload("not json at all")
+        save_entry(seed_entry, tmp_path / SEEDS_DIR)
+        save_entry(finding_entry, tmp_path / FINDINGS_DIR)
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 2
+        assert seed_entry in entries and finding_entry in entries
+        # Entries are named after their files so failures are reportable.
+        assert all(entry.name for entry in entries)
+
+    def test_load_entry_rejects_malformed_file(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(CorpusError):
+            load_entry(bad)

@@ -1,0 +1,68 @@
+"""Tests of the line-coverage collector (:mod:`repro.fuzz.coverage`).
+
+The collector guides the fuzzer: inputs that light up new lines under
+``src/repro/`` are kept in the corpus.  On CPython < 3.12 it rides on
+``sys.settrace``; on 3.12+ it prefers the lower-overhead ``sys.monitoring``
+API.  Either way it must only report lines of the engine under test — never
+of the fuzzer itself or of third-party code.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dataio import Schema, Table
+from repro.fuzz import LineCollector, NullCollector
+
+
+def _touch_repro_code() -> None:
+    table = Table(Schema(("A", "B")), [("1", "x"), ("2", "y")])
+    table.column_view("A")
+    table.project(("B",))
+
+
+class TestLineCollector:
+    def test_collects_lines_of_the_engine_under_test(self):
+        with LineCollector() as collector:
+            _touch_repro_code()
+        assert collector.lines
+        files = {filename for filename, _line in collector.lines}
+        assert all("src/repro/" in name.replace("\\", "/") for name in files)
+
+    def test_excludes_the_fuzzer_itself(self):
+        with LineCollector() as collector:
+            _touch_repro_code()
+        files = {filename for filename, _line in collector.lines}
+        assert not any("repro/fuzz/" in name.replace("\\", "/") for name in files)
+
+    def test_backend_matches_interpreter(self):
+        collector = LineCollector()
+        if hasattr(sys, "monitoring"):
+            assert collector.backend == "monitoring"
+        else:
+            assert collector.backend == "settrace"
+
+    def test_reentrant_runs_accumulate_independently(self):
+        with LineCollector() as first:
+            _touch_repro_code()
+        with LineCollector() as second:
+            pass  # no engine code executed
+        assert first.lines
+        assert not second.lines
+
+    def test_new_lines_appear_for_new_behaviour(self):
+        with LineCollector() as baseline:
+            _touch_repro_code()
+        with LineCollector() as richer:
+            _touch_repro_code()
+            table = Table(Schema(("A",)), [("1",), ("1",), ("2",)])
+            table.column_view("A").dictionary()
+        assert richer.lines - baseline.lines
+
+
+class TestNullCollector:
+    def test_is_a_no_op_context_manager(self):
+        with NullCollector() as collector:
+            _touch_repro_code()
+        assert collector.lines == set()
+        assert collector.backend == "off"

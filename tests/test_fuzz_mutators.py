@@ -1,0 +1,120 @@
+"""Tests of the fuzzing mutators (:mod:`repro.fuzz.mutators`).
+
+Two properties matter for a metamorphic fuzzer: mutations are deterministic
+under a seeded RNG (replayable runs), and table mutations stay *in-domain* —
+they emit well-formed snapshot pairs that never smuggle the engines' reserved
+``NOT_APPLICABLE`` sentinel into raw cells (that would turn every divergence
+oracle into noise).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import NOT_APPLICABLE
+from repro.dataio import read_csv_text
+from repro.fuzz import (
+    PAYLOAD_MUTATORS,
+    SnapshotPair,
+    TABLE_MUTATORS,
+    TORTURE_VALUES,
+    mutate_pair,
+    mutate_payload,
+)
+
+
+@pytest.fixture
+def pair() -> SnapshotPair:
+    return SnapshotPair(
+        source=read_csv_text(
+            "Name,Val,Mod\nSmith,1000,air\nMiller,2000,air\n"
+            "Johnson,1000,sea\nBrown,3000,sea\n"
+        ),
+        target=read_csv_text(
+            "Name,Val,Mod\nSMITH,1,air\nMILLER,2,air\nJOHNSON,1,sea\n"
+        ),
+    )
+
+
+@pytest.fixture
+def payload() -> str:
+    return json.dumps({
+        "schema_version": "affidavit.request/v1",
+        "source_csv": "A,B\n1,x\n",
+        "target_csv": "A,B\n1,X\n",
+        "config": "hid",
+    })
+
+
+def _cells(pair: SnapshotPair):
+    for table in (pair.source, pair.target):
+        for row in table.rows():
+            yield from row
+
+
+class TestTableMutators:
+    def test_every_mutator_emits_valid_pair_or_none(self, pair):
+        rng = random.Random(99)
+        for name, mutator in TABLE_MUTATORS.items():
+            for _ in range(10):
+                mutated = mutator(pair, rng)
+                if mutated is None:
+                    continue
+                # SnapshotPair.__post_init__ already enforces the shared
+                # schema; spot-check the tables are rectangular.
+                assert mutated.source.schema == mutated.target.schema, name
+                for row in mutated.source.rows():
+                    assert len(row) == mutated.n_columns, name
+
+    def test_mutate_pair_is_deterministic(self, pair):
+        first, chain_a = mutate_pair(pair, random.Random(1234))
+        second, chain_b = mutate_pair(pair, random.Random(1234))
+        assert chain_a == chain_b
+        assert list(first.source.rows()) == list(second.source.rows())
+        assert list(first.target.rows()) == list(second.target.rows())
+
+    def test_mutate_pair_reports_applied_chain(self, pair):
+        mutated, chain = mutate_pair(pair, random.Random(5), rounds=3)
+        assert 1 <= len(chain) <= 3
+        assert all(step in TABLE_MUTATORS for step in chain)
+        assert mutated.n_columns >= 1
+
+    def test_mutations_stay_sentinel_free(self, pair):
+        # The reserved in-band sentinel must never appear in raw cells:
+        # ProblemInstance rejects such tables, so a mutator emitting it
+        # would waste the whole fuzzing budget on out-of-domain inputs.
+        assert NOT_APPLICABLE not in TORTURE_VALUES
+        rng = random.Random(2024)
+        current = pair
+        for _ in range(60):
+            current, _chain = mutate_pair(current, rng)
+            assert all(cell != NOT_APPLICABLE for cell in _cells(current))
+
+    def test_torture_values_include_lookalike_not_sentinel(self):
+        assert "<not-applicable>" in TORTURE_VALUES
+
+
+class TestPayloadMutators:
+    def test_every_mutator_emits_text_or_none(self, payload):
+        rng = random.Random(7)
+        for name, mutator in PAYLOAD_MUTATORS.items():
+            for _ in range(10):
+                mutated = mutator(payload, rng)
+                assert mutated is None or isinstance(mutated, str), name
+
+    def test_mutate_payload_is_deterministic(self, payload):
+        first, chain_a = mutate_payload(payload, random.Random(42))
+        second, chain_b = mutate_payload(payload, random.Random(42))
+        assert first == second
+        assert chain_a == chain_b
+        assert all(step in PAYLOAD_MUTATORS for step in chain_a)
+
+    def test_structural_mutators_tolerate_garbage_input(self):
+        rng = random.Random(3)
+        for name, mutator in PAYLOAD_MUTATORS.items():
+            # Must not crash on text that is not JSON at all.
+            result = mutator("\x00\xff{{{ not json", rng)
+            assert result is None or isinstance(result, str), name

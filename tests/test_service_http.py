@@ -386,3 +386,143 @@ def test_v1_payload_must_not_smuggle_budget_fields(base_url):
                               explain_body(40, budget=50))
     assert status == 400
     assert "schema_version" in payload["error"]
+
+
+# --------------------------------------------------------------------- #
+# request-body hardening: size caps, truncation, malformed framing
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def capped_server():
+    """A server with a deliberately tiny body cap (2 KiB)."""
+    instance = create_server(workers=1, max_body_bytes=2048)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown_service()
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def capped_url(capped_server):
+    host, port = capped_server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def raw_exchange(server, head: str, body: bytes = b"",
+                 half_close: bool = False):
+    """One hand-rolled HTTP exchange over a raw socket.
+
+    *head* is the request line plus headers (``\\r\\n``-joined, no trailing
+    blank line).  With *half_close* the write side is shut down after the
+    (possibly deliberately short) body, which the server sees as EOF.
+    Returns ``(status, parsed JSON body or None)``.
+    """
+    import socket
+
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(head.encode("ascii") + b"\r\n\r\n" + body)
+        if half_close:
+            sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if b"\r\n\r\n" in b"".join(chunks):
+                header_blob, _, rest = b"".join(chunks).partition(b"\r\n\r\n")
+                headers = header_blob.decode("latin-1").split("\r\n")
+                length = 0
+                for line in headers[1:]:
+                    name, _, value = line.partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value.strip())
+                while len(rest) < length:
+                    more = sock.recv(65536)
+                    if not more:
+                        break
+                    rest += more
+                status = int(headers[0].split()[1])
+                payload = json.loads(rest.decode("utf-8")) if rest else None
+                return status, payload
+    raise AssertionError("no HTTP response received")
+
+
+def test_oversized_body_is_rejected_with_413(capped_url, capped_server):
+    huge_csv = "id,val\n" + "".join(f"{i},{i}\n" for i in range(1000))
+    status, payload = request(capped_url, "POST", "/v1/explain",
+                              {"source_csv": huge_csv, "target_csv": huge_csv})
+    assert status == 413
+    assert payload["code"] == "body_too_large"
+    assert "2048" in payload["error"]
+
+
+def test_body_just_under_the_cap_is_processed(capped_url):
+    status, payload = request(capped_url, "POST", "/v1/explain",
+                              explain_body(40))
+    assert status in (200, 202)
+    assert "id" in payload
+
+
+def test_invalid_json_body_is_a_structured_400(base_url, server):
+    body = b"{ definitely not json"
+    head = (
+        "POST /v1/explain HTTP/1.1\r\nHost: test\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}"
+    )
+    status, payload = raw_exchange(server, head, body)
+    assert status == 400
+    assert payload["code"] == "invalid_json"
+
+
+def test_empty_body_is_a_structured_400(server):
+    head = ("POST /v1/explain HTTP/1.1\r\nHost: test\r\n"
+            "Content-Length: 0")
+    status, payload = raw_exchange(server, head)
+    assert status == 400
+    assert payload["code"] == "empty_body"
+
+
+def test_malformed_content_length_is_a_structured_400(server):
+    head = ("POST /v1/explain HTTP/1.1\r\nHost: test\r\n"
+            "Content-Length: banana")
+    status, payload = raw_exchange(server, head)
+    assert status == 400
+    assert payload["code"] == "bad_content_length"
+
+
+def test_truncated_body_is_a_structured_400(server):
+    # Promise 500 bytes, deliver 20, half-close: the server must answer
+    # with a clean 400, not hang or crash with a JSON traceback.
+    body = b'{"source_csv": "A\\n'
+    head = (
+        "POST /v1/explain HTTP/1.1\r\nHost: test\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: 500"
+    )
+    status, payload = raw_exchange(server, head, body, half_close=True)
+    assert status == 400
+    assert payload["code"] == "truncated_body"
+
+
+def test_valid_json_with_malformed_csv_is_400_not_500(base_url):
+    # A header with an empty attribute name crashes CSV schema parsing;
+    # that must surface as request validation, never as a 500.
+    status, payload = request(base_url, "POST", "/v1/explain", {
+        "source_csv": "A,,B\n1,2,3\n",
+        "target_csv": "A,,B\n1,2,3\n",
+    })
+    assert status == 400
+    assert payload["code"] == "invalid_request"
+    assert "error" in payload
+
+
+def test_mismatched_snapshot_schemas_are_400_not_500(base_url):
+    status, payload = request(base_url, "POST", "/v1/explain", {
+        "source_csv": "A,B\n1,2\n",
+        "target_csv": "C\n9\n",
+    })
+    assert status == 400
+    assert "error" in payload
