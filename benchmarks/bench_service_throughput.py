@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import identity_configuration
 from repro.dataio import read_csv_text
-from repro.service import JobManager
+from repro.service import JobManager, SqliteResultStore
 
 from conftest import scaled
 
@@ -132,4 +132,58 @@ def test_cache_hit_speedup(benchmark, report_sink, bench_seed, quick_mode,
     report_sink.append(
         f"idempotency cache: cold {cold_runtime * 1000:.1f}ms vs "
         f"hit {hit_seconds * 1e6:.0f}us ({speedup:.0f}x)"
+    )
+
+
+def test_shared_store_dedup(benchmark, report_sink, bench_seed, quick_mode,
+                            bench_json, tmp_path):
+    """Two replicas, one sqlite store: replica B answers replica A's work.
+
+    Replica A computes the explanation cold and publishes the serialized
+    outcome; replica B — a fresh manager with a cold in-process cache —
+    submits the identical request and must resolve it from the shared store
+    without searching.  The store-hit path never touches B's L1 (there is no
+    live result to cache), so every benchmark iteration exercises a real
+    sqlite read + outcome deserialization round-trip.
+    """
+    rows = _rows(quick_mode)
+    (source, target), = _pairs(1, rows, bench_seed)
+    config = identity_configuration(seed=bench_seed)
+    store = SqliteResultStore(tmp_path / "shared-results.db")
+
+    with JobManager(workers=1, default_config=config, store=store) as replica_a:
+        cold = replica_a.submit(source, target)
+        assert cold.wait(300.0)
+        assert cold.store_hit is False
+        cold_runtime = cold.result.runtime_seconds
+
+    with JobManager(workers=1, default_config=config, store=store) as replica_b:
+
+        def resubmit():
+            job = replica_b.submit(source.copy(), target.copy())
+            assert job.wait(300.0)
+            assert job.store_hit
+            assert job.result is None  # answered across the wire boundary
+            return job
+
+        benchmark(resubmit)
+    store.close()
+    hit_seconds = benchmark.stats.stats.mean
+    speedup = cold_runtime / hit_seconds if hit_seconds else float("inf")
+    benchmark.extra_info.update({
+        "cold_seconds": round(cold_runtime, 4),
+        "hit_seconds": round(hit_seconds, 6),
+        "seed": bench_seed,
+        "speedup": round(speedup, 1),
+    })
+    payload = _payload(bench_json, bench_seed, quick_mode, rows)
+    payload["store_hit"] = {
+        "backend": "sqlite",
+        "cold_seconds": round(cold_runtime, 4),
+        "hit_seconds": round(hit_seconds, 6),
+        "speedup": round(speedup, 1),
+    }
+    report_sink.append(
+        f"shared store: cold {cold_runtime * 1000:.1f}ms vs replica-B hit "
+        f"{hit_seconds * 1e6:.0f}us ({speedup:.0f}x)"
     )

@@ -81,6 +81,8 @@ GATED_METRICS: Sequence[Metric] = (
     Metric("columnar-vs-rowwise speedup", "BENCH_evaluator.json", ("speedup",)),
     Metric("service cache-hit speedup", "BENCH_service_throughput.json",
            ("cache_hit", "speedup")),
+    Metric("shared-store dedup speedup", "BENCH_service_throughput.json",
+           ("store_hit", "speedup")),
     Metric("parallel speedup @ max workers", "BENCH_parallel.json",
            ("speedup_at_max",), gate_key="gated"),
     Metric("encoded-vs-string blocking speedup", "BENCH_blocking.json",

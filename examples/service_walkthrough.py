@@ -9,7 +9,11 @@ way any client would:
 3. ``GET /v1/jobs/<id>`` — poll until done,
 4. ``GET /v1/jobs/<id>/result`` — fetch the explanation as JSON and SQL,
 5. repeat the submission — observe the idempotency cache hit,
-6. submit a throttled job and ``DELETE`` it mid-search.
+6. submit a throttled job and ``DELETE`` it mid-search,
+7. ``GET /v1/jobs/<id>/events`` — follow a job live as a stream of
+   ``affidavit.event/v1`` frames instead of polling,
+8. point a second replica at the same sqlite result store — observe the
+   cross-replica ``store_hit``.
 
 Run with::
 
@@ -24,9 +28,13 @@ import time
 import urllib.error
 import urllib.request
 
+import tempfile
+from pathlib import Path
+
+from repro.api import parse_frame
 from repro.dataio import to_csv_text
 from repro.datagen.running_example import source_table, target_table
-from repro.service import create_server
+from repro.service import SqliteResultStore, create_server
 
 
 def call(base_url: str, method: str, path: str, body=None):
@@ -94,6 +102,37 @@ def main() -> None:
     print(call(base_url, "DELETE", f"/v1/jobs/{view['id']}"))
     final = wait_done(base_url, view["id"])
     print(f"job {final['id']} ended as {final['state']}")
+
+    print("\n=== 7. stream a job's events (NDJSON) ===")
+    streamed = dict(body, name="streamed", overrides={"seed": 42})
+    view = call(base_url, "POST", "/v1/explain", streamed)
+    with urllib.request.urlopen(
+            f"{base_url}/v1/jobs/{view['id']}/events", timeout=30.0) as stream:
+        for line in stream:
+            frame = parse_frame(json.loads(line))
+            summary = {k: v for k, v in frame.payload.items() if k != "outcome"}
+            print(f"  seq={frame.sequence} {frame.kind:<10s} {summary}")
+            if frame.terminal:
+                print(f"  terminal outcome cost: {frame.outcome.cost:.1f}")
+
+    print("\n=== 8. a second replica answers from the shared store ===")
+    with tempfile.TemporaryDirectory() as scratch:
+        store = SqliteResultStore(Path(scratch) / "results.db")
+        replicas = [create_server(workers=1, store=store) for _ in range(2)]
+        for replica in replicas:
+            threading.Thread(target=replica.serve_forever, daemon=True).start()
+        urls = [f"http://{r.server_address[0]}:{r.server_address[1]}"
+                for r in replicas]
+        shared = dict(body, name="replicated")
+        view = call(urls[0], "POST", "/v1/explain", shared)
+        wait_done(urls[0], view["id"])
+        dedup = call(urls[1], "POST", "/v1/explain", shared)
+        print(f"replica B job {dedup['id']}: state={dedup['state']}, "
+              f"store_hit={dedup['store_hit']} (no second search ran)")
+        print(f"store stats: {call(urls[1], 'GET', '/healthz')['store']}")
+        for replica in replicas:
+            replica.shutdown_service()
+        store.close()
 
     print("\n=== final pool statistics ===")
     print(json.dumps(call(base_url, "GET", "/healthz")["jobs"], indent=2))

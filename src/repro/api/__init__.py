@@ -37,7 +37,19 @@ from .budget import (
     TierResult,
 )
 from .errors import RequestValidationError, UnsupportedSchemaVersion
-from .events import SearchCompleted, SearchEvent, SearchProgressed, SearchStarted
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    FRAME_KINDS,
+    TERMINAL_FRAME_KINDS,
+    EventFrame,
+    SearchCompleted,
+    SearchEvent,
+    SearchProgressed,
+    SearchStarted,
+    heartbeat_frame,
+    make_frame,
+    parse_frame,
+)
 from .outcome import (
     ENGINE_BASELINE,
     OUTCOME_SCHEMA_VERSION,
@@ -53,6 +65,8 @@ from .request import (
     ENGINE_PARALLEL,
     ENGINE_ROWWISE,
     ENGINES,
+    PRIORITY_MAX,
+    PRIORITY_MIN,
     SCHEMA_VERSION,
     SCHEMA_VERSION_V2,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -70,6 +84,13 @@ __all__ = [
     "SearchStarted",
     "SearchProgressed",
     "SearchCompleted",
+    "EVENT_SCHEMA_VERSION",
+    "FRAME_KINDS",
+    "TERMINAL_FRAME_KINDS",
+    "EventFrame",
+    "make_frame",
+    "heartbeat_frame",
+    "parse_frame",
     "ExplainOutcome",
     "Provenance",
     "Timings",
@@ -85,6 +106,8 @@ __all__ = [
     "ENGINE_COLUMNAR",
     "ENGINE_PARALLEL",
     "ENGINE_ROWWISE",
+    "PRIORITY_MIN",
+    "PRIORITY_MAX",
     "SCHEMA_VERSION",
     "SCHEMA_VERSION_V2",
     "SUPPORTED_SCHEMA_VERSIONS",

@@ -77,7 +77,10 @@ BASE_CONFIGS = {
 #: Execution hints that do not influence the explanation and therefore stay
 #: out of the canonical hash (two submissions differing only here must share
 #: an idempotency key).
-_NON_CANONICAL_FIELDS = ("name", "throttle_seconds", "use_cache")
+_NON_CANONICAL_FIELDS = ("name", "throttle_seconds", "use_cache", "priority")
+
+#: Bounds of the scheduling ``priority`` hint (higher runs earlier).
+PRIORITY_MIN, PRIORITY_MAX = -100, 100
 
 #: The snapshot-transport fields.  ``canonical_key(include_snapshots=False)``
 #: drops them so callers that digest the *materialised* tables themselves
@@ -139,6 +142,12 @@ class ExplainRequest:
     name: str = "instance"
     throttle_seconds: float = 0.0
     use_cache: bool = True
+    #: Scheduling hint for the service's job queue: higher-priority requests
+    #: are dequeued first (ties run in submission order).  Like the other
+    #: execution hints it never influences the explanation, so it stays out
+    #: of the canonical hash — and, unlike the v2 fields, it is accepted on
+    #: v1 payloads.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         self._normalize()
@@ -240,6 +249,12 @@ class ExplainRequest:
                 raise RequestValidationError(f"'{attr}' must be a string")
         if not isinstance(self.use_cache, bool):
             raise RequestValidationError("'use_cache' must be a boolean")
+        if (not isinstance(self.priority, int) or isinstance(self.priority, bool)
+                or not PRIORITY_MIN <= self.priority <= PRIORITY_MAX):
+            raise RequestValidationError(
+                f"'priority' must be an integer in "
+                f"[{PRIORITY_MIN}, {PRIORITY_MAX}]"
+            )
         inline = self.source_csv is not None or self.target_csv is not None
         by_path = self.source_path is not None or self.target_path is not None
         if inline and by_path:
@@ -330,6 +345,10 @@ class ExplainRequest:
             "throttle_seconds": self.throttle_seconds,
             "use_cache": self.use_cache,
         }
+        if self.priority != 0:
+            # Default-priority payloads stay byte-identical to pre-priority
+            # builds (and to what their clients round-trip).
+            payload["priority"] = self.priority
         if payload["schema_version"] == SCHEMA_VERSION_V2:
             payload["budget"] = None if self.budget is None else self.budget.to_dict()
             payload["strategy"] = None if self.strategy is None else list(self.strategy)
@@ -337,17 +356,18 @@ class ExplainRequest:
 
     def canonical_dict(self, *, include_snapshots: bool = True) -> Dict[str, Any]:
         """The result-determining fields only — presentation metadata and
-        execution hints (``name``, ``throttle_seconds``, ``use_cache``) are
+        execution hints (``name``, ``throttle_seconds``, ``use_cache``,
+        ``priority``) are
         excluded so they cannot split the idempotency cache.  With
         ``include_snapshots=False`` the snapshot-transport fields are dropped
         too, leaving just the execution fields (config, overrides, functions,
         engine) for callers that hash the materialised tables separately."""
         payload = self.to_dict()
         for field_name in _NON_CANONICAL_FIELDS:
-            payload.pop(field_name)
+            payload.pop(field_name, None)
         if not include_snapshots:
             for field_name in _SNAPSHOT_FIELDS:
-                payload.pop(field_name)
+                payload.pop(field_name, None)
         return payload
 
     def canonical_json(self, *, include_snapshots: bool = True) -> str:

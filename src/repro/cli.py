@@ -184,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-body-bytes", type=int, default=None, metavar="N",
                        help="request body size cap in bytes; larger bodies are "
                             "refused with HTTP 413 (default: 64 MiB)")
+    serve.add_argument("--store", default=None, metavar="SPEC",
+                       help="shared result store: 'memory', 'sqlite:PATH' or a "
+                            "bare sqlite path; replicas pointed at the same "
+                            "path deduplicate work (default: no shared store)")
+    serve.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                       help="max jobs admitted (queued + running) before "
+                            "submissions get HTTP 429 + Retry-After "
+                            "(default: unbounded)")
+    serve.add_argument("--quota", type=float, default=None, metavar="RATE",
+                       help="per-client request quota in requests/second, "
+                            "keyed on the X-Client-Id header; over-quota "
+                            "clients get HTTP 429 (default: no quotas)")
+    serve.add_argument("--quota-burst", type=float, default=None, metavar="N",
+                       help="token-bucket burst size of --quota "
+                            "(default: one second's worth, at least 1)")
 
     batch = subparsers.add_parser(
         "batch", help="explain every *_source.csv / *_target.csv pair in a directory"
@@ -342,6 +357,10 @@ def run_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
+        store=args.store,
+        max_queue_depth=args.queue_depth,
+        quota_rate=args.quota,
+        quota_burst=args.quota_burst,
         search_workers=args.search_workers,
         data_root=args.data_root,
         log_level=args.log_level,

@@ -341,6 +341,31 @@ def unknown_field(text: str, rng: random.Random) -> Optional[str]:
     return json.dumps(payload)
 
 
+def junk_priority(text: str, rng: random.Random) -> Optional[str]:
+    """Inject priority values across and outside the valid [-100, 100] band —
+    exercises admission ordering and the 400-on-junk validation path."""
+    payload = _parsed(text)
+    if payload is None:
+        return None
+    payload["priority"] = rng.choice([
+        0, 1, -1, 100, -100, 101, -101, 10**6, True, False, 1.5, "high",
+        None, [5], {"level": 5},
+    ])
+    return json.dumps(payload)
+
+
+def junk_serving_fields(text: str, rng: random.Random) -> Optional[str]:
+    """Smuggle serving-tier knobs (event cursors, quota hints) into the
+    request body — none are request fields, so all must be a clean 400."""
+    payload = _parsed(text)
+    if payload is None:
+        return None
+    key = rng.choice(["after", "wait", "heartbeat", "quota", "client_id",
+                      "retry_after_ms"])
+    payload[key] = rng.choice([0, -3, 1.5, "now", None, True])
+    return json.dumps(payload)
+
+
 def truncate_text(text: str, rng: random.Random) -> Optional[str]:
     if len(text) < 2:
         return None
@@ -368,6 +393,8 @@ PAYLOAD_MUTATORS: Dict[str, PayloadMutator] = {
     "wrong_type": wrong_type,
     "junk_version": junk_version,
     "smuggle_v2": smuggle_v2,
+    "junk_priority": junk_priority,
+    "junk_serving_fields": junk_serving_fields,
     "unknown_field": unknown_field,
     "truncate_text": truncate_text,
     "splice_garbage": splice_garbage,

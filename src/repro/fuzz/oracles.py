@@ -30,7 +30,11 @@ not fuzzer errors.  The oracles:
     or raises ``RequestValidationError`` — never any other exception.
 ``service_survives``
     The live HTTP service answers an arbitrary request body with a 2xx/4xx
-    and a JSON error payload — never a 500.
+    and — on errors — a well-formed ``affidavit.error/v1`` envelope, never a
+    500.  Accepted submissions are followed through ``/events``: the stream
+    must never 5xx, every line must parse as an ``affidavit.event/v1`` frame
+    with strictly increasing sequences, and the terminal frame's state must
+    match what polling the job reports.
 """
 
 from __future__ import annotations
@@ -40,7 +44,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..api import ExplainBudget, ExplainRequest, ExplainSession, RequestValidationError
+from ..api import (
+    ExplainBudget,
+    ExplainRequest,
+    ExplainSession,
+    RequestValidationError,
+    parse_frame,
+)
 from ..api.budget import CONFIDENCE_LABELS, TIERS
 from ..api.outcome import ExplainOutcome
 from ..core import Affidavit, ProblemInstance, identity_configuration
@@ -510,20 +520,147 @@ class ServiceOracle:
                 detail=f"payload: {payload_text[:500]!r}\nbody: {raw[:500]!r}",
             )
         if status >= 400:
+            self._assert_error_envelope(status, raw, payload_text)
+            return
+        # The submission was accepted (200 cache hit or 202 queued): the
+        # events route must stream clean frames to a terminal state.
+        try:
+            job_id = json.loads(raw.decode("utf-8")).get("id")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"HTTP {status} submission body is not JSON: {error}",
+                detail=raw[:500].decode("utf-8", "replace"),
+            ) from error
+        if isinstance(job_id, str) and job_id:
+            self._check_events(host, port, job_id)
+
+    def _assert_error_envelope(self, status: int, raw: bytes,
+                               context: str) -> None:
+        """Every error body must be a full ``affidavit.error/v1`` envelope."""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"HTTP {status} body is not JSON: {error}",
+                detail=raw[:500].decode("utf-8", "replace"),
+            ) from error
+        problems = []
+        if not isinstance(payload, dict):
+            problems.append("body is not an object")
+        else:
+            if payload.get("schema_version") != "affidavit.error/v1":
+                problems.append(
+                    f"schema_version is {payload.get('schema_version')!r}")
+            for key in ("code", "message", "error"):
+                if not isinstance(payload.get(key), str) or not payload[key]:
+                    problems.append(f"{key!r} is not a non-empty string")
+            if isinstance(payload.get("error"), str) \
+                    and payload.get("error") != payload.get("message"):
+                problems.append("legacy 'error' alias differs from 'message'")
+        if problems:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=(f"HTTP {status} body is not a valid error envelope: "
+                         f"{'; '.join(problems)}"),
+                detail=f"context: {context[:300]!r}\nbody: {raw[:500]!r}",
+            )
+
+    def _get(self, url: str, timeout: float = 30.0):
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+        except OSError as error:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"service connection failed: {error}",
+                detail=url,
+            ) from error
+
+    def _check_events(self, host: str, port: int, job_id: str) -> None:
+        """Stream the job's events and cross-check the terminal frame."""
+        base = f"http://{host}:{port}/v1/jobs/{job_id}"
+        # A junk cursor must be a clean 400 with the envelope, never a 5xx.
+        status, raw = self._get(f"{base}/events?after=junk&wait=0")
+        if status != 400:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"junk event cursor answered HTTP {status}, not 400",
+                detail=raw[:500].decode("utf-8", "replace"),
+            )
+        self._assert_error_envelope(status, raw, f"{base}/events?after=junk")
+        status, raw = self._get(f"{base}/events?wait=20&heartbeat=0.2")
+        if status != 200:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=f"events stream answered HTTP {status}",
+                detail=raw[:500].decode("utf-8", "replace"),
+            )
+        terminal = None
+        last_sequence = 0
+        for line in raw.decode("utf-8").splitlines():
+            if not line.strip():
+                continue
             try:
-                error_payload = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                frame = parse_frame(json.loads(line))
+            except Exception as error:  # noqa: BLE001 - bad frame = finding
                 raise OracleFailure(
                     oracle="service_survives",
-                    message=f"HTTP {status} body is not JSON: {error}",
-                    detail=raw[:500].decode("utf-8", "replace"),
+                    message=(f"event stream line is not a valid frame: "
+                             f"{type(error).__name__}: {error}"),
+                    detail=line[:500],
                 ) from error
-            if not isinstance(error_payload, dict) or "error" not in error_payload:
-                raise OracleFailure(
-                    oracle="service_survives",
-                    message=f"HTTP {status} body lacks an 'error' field",
-                    detail=raw[:500].decode("utf-8", "replace"),
-                )
+            if frame.sequence is not None:
+                if frame.sequence <= last_sequence:
+                    raise OracleFailure(
+                        oracle="service_survives",
+                        message=(f"event sequence went {last_sequence} -> "
+                                 f"{frame.sequence}"),
+                        detail=line[:500],
+                    )
+                last_sequence = frame.sequence
+            if frame.terminal:
+                terminal = frame
+        if terminal is None:
+            # The wait deadline expired before the job finished; cancel so
+            # slow fuzz jobs cannot pile up behind the single worker.
+            self._delete(f"{base}")
+            return
+        status, raw = self._get(base)
+        if status != 200:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=(f"job poll after terminal frame answered "
+                         f"HTTP {status}"),
+                detail=raw[:500].decode("utf-8", "replace"),
+            )
+        view = json.loads(raw.decode("utf-8"))
+        frame_state = terminal.payload.get("state")
+        if view.get("state") != frame_state:
+            raise OracleFailure(
+                oracle="service_survives",
+                message=(f"terminal frame says {frame_state!r} but polling "
+                         f"says {view.get('state')!r}"),
+                detail=json.dumps({"frame": terminal.payload,
+                                   "view": view})[:800],
+            )
+
+    def _delete(self, url: str) -> None:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(url, method="DELETE")
+        try:
+            with urllib.request.urlopen(request, timeout=30):
+                pass
+        except (urllib.error.HTTPError, OSError):
+            pass  # best-effort cleanup only
 
     def close(self) -> None:
         if self._server is not None:

@@ -6,18 +6,25 @@ This package provides that serving layer with stdlib means only:
 
 * :mod:`.cache` — an idempotency-keyed result cache (TTL + LRU) so repeated
   submissions of the same snapshot pair return instantly,
-* :mod:`.jobs` — a :class:`~repro.service.jobs.JobManager` with a bounded
-  worker pool, per-job progress and cooperative cancellation,
+* :mod:`.jobs` — a :class:`~repro.service.jobs.JobManager` with a priority
+  worker queue, per-job event buffers, admission control and cooperative
+  cancellation,
+* :mod:`.store` — the pluggable shared L2 (:class:`ResultStore`) that lets
+  N replicas deduplicate work and restarted replicas keep their results,
 * :mod:`.schemas` — typed request/response payloads with JSON round-trips,
 * :mod:`.server` — the HTTP API (``/healthz``, ``/v1/explain``,
-  ``/v1/jobs/...``) on :class:`http.server.ThreadingHTTPServer`,
+  ``/v1/jobs/...`` including the ``/events`` stream) on
+  :class:`http.server.ThreadingHTTPServer`, answering every failure with a
+  versioned ``affidavit.error/v1`` envelope,
 * :mod:`.batch` — a bulk front-end that fans a directory of snapshot pairs
   through the same job manager.
 """
 
 from .cache import CacheStats, ResultCache, idempotency_key, request_idempotency_key
 from .jobs import (
+    AdmissionError,
     Job,
+    JobEventBuffer,
     JobManager,
     JobNotFound,
     JobState,
@@ -29,7 +36,22 @@ from .schemas import (
     ValidationError,
     config_from_request,
 )
-from .server import AffidavitHTTPServer, create_server, serve_forever
+from .server import (
+    CLIENT_ID_HEADER,
+    ERROR_SCHEMA_VERSION,
+    AffidavitHTTPServer,
+    ClientQuotas,
+    create_server,
+    error_envelope,
+    serve_forever,
+)
+from .store import (
+    MemoryResultStore,
+    ResultStore,
+    SqliteResultStore,
+    StoreStats,
+    open_store,
+)
 from .batch import BatchOutcome, discover_pairs, run_batch
 
 __all__ = [
@@ -37,7 +59,9 @@ __all__ = [
     "ResultCache",
     "idempotency_key",
     "request_idempotency_key",
+    "AdmissionError",
     "Job",
+    "JobEventBuffer",
     "JobManager",
     "JobNotFound",
     "JobState",
@@ -47,8 +71,17 @@ __all__ = [
     "ValidationError",
     "config_from_request",
     "AffidavitHTTPServer",
+    "ClientQuotas",
+    "CLIENT_ID_HEADER",
+    "ERROR_SCHEMA_VERSION",
+    "error_envelope",
     "create_server",
     "serve_forever",
+    "MemoryResultStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "StoreStats",
+    "open_store",
     "BatchOutcome",
     "discover_pairs",
     "run_batch",

@@ -1,27 +1,45 @@
-"""Job manager: a bounded worker pool around ``Affidavit.explain``.
+"""Job manager: a bounded, priority-ordered worker pool around
+``Affidavit.explain``.
 
 One :class:`Job` is one explanation request for a snapshot pair.  Jobs move
 through the classic lifecycle
 
     queued -> running -> done | failed | cancelled
 
-with two service-specific twists:
+with four service-specific twists:
 
 * **Idempotency.**  Submissions are keyed by the content hash of both
   snapshots plus the comparable configuration fields
   (:func:`~repro.service.cache.idempotency_key`).  A submission whose key is
-  already cached materialises as an immediately-``done`` job flagged
-  ``cache_hit`` — no worker is consumed.
+  already in the in-process cache materialises as an immediately-``done``
+  job flagged ``cache_hit`` — no worker is consumed.
+* **Shared result store.**  When the manager is given a
+  :class:`~repro.service.store.ResultStore`, a cache miss consults it before
+  queueing and every completed run publishes its serialized outcome to it —
+  N replicas pointed at one store deduplicate identical work, and a
+  restarted replica keeps serving results computed before the restart
+  (``store_hit`` jobs are also ``cache_hit`` from the client's view).
+* **Admission control.**  ``max_queue_depth`` bounds the number of admitted
+  (queued or running) jobs; a submission over the bound raises
+  :class:`AdmissionError` with a load-derived retry hint, which the HTTP
+  layer maps to ``429`` + ``Retry-After``.  Within the bound, jobs are
+  dequeued highest ``priority`` first (ties in submission order).
 * **Cooperative cancellation.**  ``DELETE``-ing a running job sets an event
   that the core search polls once per expansion via the
   :attr:`~repro.core.AffidavitConfig.should_stop` hook, so even a search deep
-  in a large instance stops within one expansion.
+  in a large instance stops within one expansion.  Queued jobs cancel
+  immediately without ever occupying a worker.
 
-The pool is a :class:`concurrent.futures.ThreadPoolExecutor`; the search is
-pure Python, but explain jobs spend their time in hash/loop-heavy code that
-releases the GIL rarely, so the pool primarily bounds *concurrent memory* and
-provides backpressure, and it parallelises the I/O-bound parts (CSV parsing,
-result serialisation) across requests.
+Every job also owns a :class:`JobEventBuffer` — a bounded, sequence-numbered
+buffer of ``affidavit.event/v1`` frames (started / progressed / terminal)
+that the worker's progress callback fills and ``GET /v1/jobs/<id>/events``
+streams.
+
+The workers are plain threads draining a :class:`queue.PriorityQueue`; the
+search is pure Python, but explain jobs spend their time in hash/loop-heavy
+code that releases the GIL rarely, so the pool primarily bounds *concurrent
+memory* and provides backpressure, and it parallelises the I/O-bound parts
+(CSV parsing, result serialisation) across requests.
 """
 
 from __future__ import annotations
@@ -29,20 +47,25 @@ from __future__ import annotations
 import enum
 import itertools
 import logging
+import math
+import queue
 import threading
 import time
 import traceback
 import uuid
+from collections import deque
 from dataclasses import replace
-from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..api import (
     ExplainOutcome,
     ExplainRequest,
     ExplainSession,
     RequestValidationError,
+    SearchEvent,
+    TERMINAL_FRAME_KINDS,
+    make_frame,
     resolve_config,
     resolve_registry,
 )
@@ -53,12 +76,14 @@ from ..core import (
     SearchProgress,
     ShardPool,
     default_parallel_workers,
+    engine_name,
     identity_configuration,
 )
 from ..dataio import Table, TableError
 from ..functions import FunctionRegistry
 from ..obs import get_registry
 from .cache import ResultCache, idempotency_key, request_idempotency_key
+from .store import ResultStore
 
 #: One logger for the whole service tier; records carry the job id both in
 #: the message and as ``record.job_id`` (via ``extra``) for structured sinks.
@@ -91,6 +116,30 @@ _JOBS_BY_TIER = _job_metrics.counter(
     "Completed explain jobs by answering strategy tier and confidence",
     ("tier", "confidence"),
 )
+_ADMISSION_REJECTED = _job_metrics.counter(
+    "repro_admission_rejected_total",
+    "Submissions rejected by admission control",
+    ("reason",),
+)
+
+#: Queue priority of the shutdown sentinels — far below any request priority,
+#: so workers drain every admitted job before exiting.
+_SENTINEL_PRIORITY = 1 << 30
+
+
+class AdmissionError(RuntimeError):
+    """A submission the service refused to queue (HTTP: 429).
+
+    ``reason`` is the machine-readable code (``queue_full`` here;
+    the HTTP layer uses ``quota_exceeded`` for per-client limits) and
+    ``retry_after_seconds`` the server's load-derived backoff hint.
+    """
+
+    def __init__(self, message: str, *, reason: str,
+                 retry_after_seconds: float):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
 
 
 def _without_base_config(outcome: ExplainOutcome) -> ExplainOutcome:
@@ -121,6 +170,86 @@ class JobNotFound(KeyError):
     """Raised when a job id is unknown to the manager."""
 
 
+class JobEventBuffer:
+    """A bounded, sequence-numbered buffer of one job's event frames.
+
+    The worker appends ``affidavit.event/v1`` frames (sequences start at 1
+    and never reset); stream readers collect frames after a cursor and block
+    on :meth:`wait` for more.  When the bound is exceeded the oldest frames
+    are dropped — readers that resume from before the retained window learn
+    how many frames they lost via :meth:`collect`'s second return value.
+    A terminal frame (``completed``/``failed``) closes the buffer.
+    """
+
+    def __init__(self, job_id: str, max_frames: int = 256):
+        if max_frames < 2:
+            raise ValueError(f"max_frames must be >= 2, got {max_frames}")
+        self.job_id = job_id
+        self.max_frames = max_frames
+        self._frames: Deque[Dict[str, Any]] = deque()
+        self._next_sequence = 1
+        self._dropped = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    @property
+    def closed(self) -> bool:
+        """Whether a terminal frame has been appended."""
+        with self._cond:
+            return self._closed
+
+    @property
+    def last_sequence(self) -> int:
+        with self._cond:
+            return self._next_sequence - 1
+
+    def append(self, kind: str, **payload: Any) -> Optional[Dict[str, Any]]:
+        """Append one frame; returns it, or ``None`` after the buffer closed
+        (a cancel/worker race may observe one extra progress callback)."""
+        with self._cond:
+            if self._closed:
+                return None
+            frame = make_frame(kind, job_id=self.job_id,
+                               sequence=self._next_sequence, **payload)
+            self._next_sequence += 1
+            self._frames.append(frame)
+            while len(self._frames) > self.max_frames:
+                self._frames.popleft()
+                self._dropped += 1
+            if kind in TERMINAL_FRAME_KINDS:
+                self._closed = True
+            self._cond.notify_all()
+            return frame
+
+    def append_event(self, event: SearchEvent) -> Optional[Dict[str, Any]]:
+        """Append a session event (started/progressed) as a frame."""
+        payload = event.to_dict()
+        kind = payload.pop("kind")
+        return self.append(kind, **payload)
+
+    def collect(self, after: int) -> Tuple[List[Dict[str, Any]], int]:
+        """``(frames with sequence > after, frames lost to the bound)``.
+
+        The second value is nonzero only when *after* points before the
+        oldest retained frame — the stream emits one ``truncated`` frame so
+        resuming clients know their view has a hole.
+        """
+        with self._cond:
+            frames = [frame for frame in self._frames
+                      if frame["sequence"] > after]
+            oldest = self._next_sequence - len(self._frames)
+            lost = max(0, oldest - after - 1)
+            return frames, lost
+
+    def wait(self, after: int, timeout: Optional[float]) -> bool:
+        """Block until a frame past *after* exists or the buffer closes;
+        ``False`` on timeout."""
+        def ready() -> bool:
+            return self._closed or self._next_sequence - 1 > after
+        with self._cond:
+            return self._cond.wait_for(ready, timeout)
+
+
 class Job:
     """One explanation request tracked by the :class:`JobManager`.
 
@@ -131,20 +260,29 @@ class Job:
 
     def __init__(self, job_id: str, name: str, key: str,
                  instance: Optional[ProblemInstance] = None,
-                 request: Optional[ExplainRequest] = None):
+                 request: Optional[ExplainRequest] = None,
+                 seq: int = 0, priority: int = 0):
         self.id = job_id
         self.name = name
         self.key = key
+        #: Monotonic submission number — the jobs-listing cursor.
+        self.seq = seq
+        #: Scheduling priority (higher dequeues first).
+        self.priority = priority
         #: Retained for result rendering (SQL scripts and reports need the
         #: snapshots, not just the explanation).
         self.instance = instance
         #: The originating :class:`repro.api.ExplainRequest` for request-driven
         #: submissions (``None`` for the table-level ``submit`` path).
         self.request = request
+        #: The streamable event history of this job.
+        self.events = JobEventBuffer(job_id)
         self.submitted_at = time.time()
         self._lock = threading.Lock()
         self._state = JobState.QUEUED
         self._cache_hit = False
+        self._store_hit = False
+        self._admitted = False
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
         self._result: Optional[AffidavitResult] = None
@@ -168,6 +306,13 @@ class Job:
     def cache_hit(self) -> bool:
         with self._lock:
             return self._cache_hit
+
+    @property
+    def store_hit(self) -> bool:
+        """Whether the result came from the shared store (implies
+        ``cache_hit`` from the client's perspective)."""
+        with self._lock:
+            return self._store_hit
 
     @property
     def started_at(self) -> Optional[float]:
@@ -213,7 +358,8 @@ class Job:
                     result: Optional[AffidavitResult] = None,
                     outcome: Optional[ExplainOutcome] = None,
                     error: Optional[str] = None,
-                    cache_hit: bool = False) -> None:
+                    cache_hit: bool = False,
+                    store_hit: bool = False) -> None:
         with self._lock:
             if self._state.is_terminal:
                 return
@@ -228,6 +374,7 @@ class Job:
             if error is not None:
                 self._error = error
             self._cache_hit = self._cache_hit or cache_hit
+            self._store_hit = self._store_hit or store_hit
             if state.is_terminal:
                 self._finished_at = time.time()
         if state.is_terminal:
@@ -238,6 +385,11 @@ class Job:
                 except Exception:  # noqa: BLE001 - accounting must not kill a worker
                     logger.exception("job %s terminal hook failed", self.id,
                                      extra={"job_id": self.id})
+
+
+def _short_error(error: Optional[str]) -> str:
+    lines = [line for line in (error or "").strip().splitlines() if line.strip()]
+    return lines[-1] if lines else "unknown error"
 
 
 class JobManager:
@@ -252,6 +404,16 @@ class JobManager:
         private one is created from *cache_entries* / *cache_ttl*.
     cache_entries / cache_ttl:
         Sizing of the private cache (ignored when *cache* is given).
+    store:
+        An optional shared :class:`~repro.service.store.ResultStore` (L2):
+        consulted on in-process cache misses, fed by every completed run.
+        The manager never closes it — the creator owns its lifetime, so one
+        store can back several managers (replicas).
+    max_queue_depth:
+        Upper bound on *admitted* (queued + running) jobs; ``None`` (the
+        default) disables the bound.  Submissions over it raise
+        :class:`AdmissionError`.  Cache/store hits bypass admission — they
+        never occupy a worker.
     default_config:
         Configuration used for submissions that do not bring their own.
     search_workers:
@@ -275,6 +437,8 @@ class JobManager:
                  cache: Optional[ResultCache] = None,
                  cache_entries: int = 128,
                  cache_ttl: Optional[float] = None,
+                 store: Optional[ResultStore] = None,
+                 max_queue_depth: Optional[int] = None,
                  default_config: Optional[AffidavitConfig] = None,
                  search_workers: Optional[int] = None,
                  max_retained_jobs: int = 1024):
@@ -284,24 +448,39 @@ class JobManager:
             raise ValueError(f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
         if search_workers is not None and search_workers < 0:
             raise ValueError(f"search_workers must be >= 0, got {search_workers}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}")
         self.workers = workers
         self.search_workers = (
             default_parallel_workers() if search_workers is None else search_workers
         )
         self.max_retained_jobs = max_retained_jobs
+        self.max_queue_depth = max_queue_depth
         self.cache = cache if cache is not None else ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl
         )
+        self.store = store
         self._default_config = default_config or identity_configuration()
-        self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="affidavit-worker"
-        )
         self._shard_pool: Optional[ShardPool] = None
         self._jobs: Dict[str, Job] = {}
-        self._futures: Dict[str, Future] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
+        self._order = itertools.count()
         self._closed = False
+        #: Admitted (queued or running) jobs — the admission-control gauge.
+        self._active = 0
+        #: Exponentially weighted mean of non-cached job latency, feeding
+        #: the ``Retry-After`` estimate.
+        self._latency_ewma: Optional[float] = None
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"affidavit-worker-{index}", daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------ #
     # submission
@@ -311,7 +490,8 @@ class JobManager:
                name: str = "instance",
                registry: Optional[FunctionRegistry] = None,
                throttle_seconds: float = 0.0,
-               use_cache: bool = True) -> Job:
+               use_cache: bool = True,
+               priority: int = 0) -> Job:
         """Queue one explain job and return its :class:`Job` handle.
 
         *throttle_seconds* inserts a sleep after every expansion — a
@@ -329,7 +509,7 @@ class JobManager:
         else:
             instance = ProblemInstance(source=source, target=target, name=name)
             key = idempotency_key(source, target, config)
-        job = Job(self._next_id(), name, key, instance)
+        job = self._new_job(name, key, instance, priority=priority)
         return self._enqueue(job, instance, config, throttle_seconds, use_cache)
 
     def submit_request(self, request: ExplainRequest, *,
@@ -347,7 +527,8 @@ class JobManager:
         already-resolved configuration this way).
 
         Raises :class:`repro.api.RequestValidationError` for malformed
-        requests, unreadable snapshots or unknown function names.
+        requests, unreadable snapshots or unknown function names, and
+        :class:`AdmissionError` when the queue is at ``max_queue_depth``.
         """
         if self._closed:
             raise RuntimeError("JobManager is shut down")
@@ -370,7 +551,8 @@ class JobManager:
             config=config,
             registry_names=None if registry is None else tuple(resolved_registry.names),
         )
-        job = Job(self._next_id(), request.name, key, instance, request=request)
+        job = self._new_job(request.name, key, instance, request=request,
+                            priority=request.priority)
         return self._enqueue(
             job, instance, resolved_config,
             request.throttle_seconds, request.use_cache,
@@ -378,21 +560,23 @@ class JobManager:
             load_seconds=load_seconds,
         )
 
+    def _new_job(self, name: str, key: str, instance: ProblemInstance,
+                 request: Optional[ExplainRequest] = None,
+                 priority: int = 0) -> Job:
+        seq = next(self._counter)
+        job_id = f"job-{seq:04d}-{uuid.uuid4().hex[:8]}"
+        return Job(job_id, name, key, instance, request=request,
+                   seq=seq, priority=priority)
+
     def _enqueue(self, job: Job, instance: ProblemInstance,
                  config: AffidavitConfig, throttle_seconds: float,
                  use_cache: bool, config_overridden: bool = False,
                  load_seconds: float = 0.0) -> Job:
         job._on_terminal = self._on_job_terminal
-        _JOBS_SUBMITTED.inc()
-        _JOBS_QUEUE_DEPTH.inc()
-        logger.info("job %s submitted (%s)", job.id, job.name,
-                    extra={"job_id": job.id})
         if use_cache:
             cached = self.cache.get(job.key)
             if cached is not None:
-                with self._lock:
-                    self._jobs[job.id] = job
-                    self._prune_locked()
+                self._register(job)
                 outcome = ExplainOutcome.from_result(
                     cached,
                     request=job.request,
@@ -406,15 +590,105 @@ class JobManager:
                 job._transition(JobState.DONE, result=cached, outcome=outcome,
                                 cache_hit=True)
                 return job
+            outcome = self._store_lookup(job, instance)
+            if outcome is not None:
+                self._register(job)
+                if config_overridden:
+                    outcome = _without_base_config(outcome)
+                job._transition(JobState.DONE, outcome=outcome,
+                                cache_hit=True, store_hit=True)
+                return job
 
+        self._admit(job)
+        self._register(job, queued=True)
+        # PriorityQueue orders ascending, so higher priorities are negated;
+        # the submission order breaks ties and keeps the job tuple out of
+        # the comparison.
+        self._queue.put((-job.priority, next(self._order),
+                         (job, instance, config, throttle_seconds, use_cache,
+                          config_overridden, load_seconds)))
+        return job
+
+    def _register(self, job: Job, queued: bool = False) -> None:
+        _JOBS_SUBMITTED.inc()
+        _JOBS_QUEUE_DEPTH.inc()
+        logger.info("job %s submitted (%s)%s", job.id, job.name,
+                    f" priority={job.priority}" if job.priority else "",
+                    extra={"job_id": job.id})
         with self._lock:
             self._jobs[job.id] = job
-            self._futures[job.id] = self._executor.submit(
-                self._run, job, instance, config, throttle_seconds, use_cache,
-                config_overridden, load_seconds,
-            )
             self._prune_locked()
-        return job
+
+    def _admit(self, job: Job) -> None:
+        """Reserve one admission slot or raise :class:`AdmissionError`.
+
+        The slot is released exactly once, by :meth:`_on_job_terminal` (the
+        terminal hook is exactly-once by the transition guard).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobManager is shut down")
+            if self.max_queue_depth is not None \
+                    and self._active >= self.max_queue_depth:
+                retry = self._retry_after_locked()
+                _ADMISSION_REJECTED.inc(reason="queue_full")
+                raise AdmissionError(
+                    f"job queue is full ({self._active} jobs admitted, "
+                    f"limit {self.max_queue_depth}); retry in ~{retry}s",
+                    reason="queue_full", retry_after_seconds=retry,
+                )
+            self._active += 1
+            job._admitted = True
+
+    def _retry_after_locked(self) -> int:
+        """Seconds a rejected client should back off: the queue's expected
+        drain time per worker, from the latency EWMA (caller holds the
+        lock)."""
+        ewma = self._latency_ewma if self._latency_ewma else 1.0
+        estimate = (self._active / max(1, self.workers)) * ewma
+        return max(1, min(60, math.ceil(estimate)))
+
+    def retry_after_seconds(self) -> int:
+        """The current backoff hint (what a 429 would say right now)."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def _store_lookup(self, job: Job,
+                      instance: ProblemInstance) -> Optional[ExplainOutcome]:
+        """A completed outcome from the shared store, rebuilt for this job;
+        ``None`` on miss, store error, or unreadable payload (a broken
+        store must degrade to a miss, never fail the submission)."""
+        if self.store is None:
+            return None
+        try:
+            payload = self.store.get(job.key)
+        except Exception:  # noqa: BLE001 - degrade to a miss
+            logger.exception("shared store get failed for job %s", job.id,
+                             extra={"job_id": job.id})
+            return None
+        if payload is None:
+            return None
+        try:
+            outcome = ExplainOutcome.from_dict(payload)
+        except Exception:  # noqa: BLE001 - a corrupt entry is a miss
+            logger.warning("shared store payload for key %s is unreadable",
+                           job.key[:12], extra={"job_id": job.id})
+            return None
+        # The store crosses the serialization boundary, so the outcome has
+        # no live result object — but this replica materialised the
+        # snapshots itself, so SQL/report rendering still works.  The stored
+        # timings describe the original computation and are kept verbatim.
+        return replace(outcome, instance=instance, idempotency_key=job.key,
+                       request=job.request)
+
+    def _store_publish(self, job: Job, outcome: ExplainOutcome) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.put(job.key, outcome.to_dict())
+        except Exception:  # noqa: BLE001 - the job itself succeeded
+            logger.exception("shared store put failed for job %s", job.id,
+                             extra={"job_id": job.id})
 
     def _prune_locked(self) -> None:
         """Drop the oldest terminal jobs once the registry exceeds its bound
@@ -424,10 +698,6 @@ class JobManager:
             return
         for job_id in [j.id for j in self._jobs.values() if j.state.is_terminal][:excess]:
             del self._jobs[job_id]
-            self._futures.pop(job_id, None)
-
-    def _next_id(self) -> str:
-        return f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
 
     def _on_job_terminal(self, job: Job) -> None:
         """Exactly-once accounting when a job reaches a terminal state."""
@@ -446,15 +716,30 @@ class JobManager:
         latency = None if finished_at is None else max(0.0, finished_at - job.submitted_at)
         if latency is not None:
             _JOB_LATENCY.observe(latency)
+        if job._admitted:
+            with self._lock:
+                self._active = max(0, self._active - 1)
+                if latency is not None and not job.cache_hit:
+                    self._latency_ewma = latency if self._latency_ewma is None \
+                        else 0.7 * self._latency_ewma + 0.3 * latency
+        # The terminal frame ends this job's event stream.
         if state is JobState.FAILED:
-            error = (job.error or "").strip().splitlines()
-            logger.warning("job %s failed: %s", job.id,
-                           error[-1] if error else "unknown error",
+            job.events.append("failed", state="failed",
+                              error=_short_error(job.error))
+        else:
+            job.events.append(
+                "completed", state=state.value,
+                cache_hit=job.cache_hit, store_hit=job.store_hit,
+                outcome=None if outcome is None else outcome.to_dict(),
+            )
+        if state is JobState.FAILED:
+            logger.warning("job %s failed: %s", job.id, _short_error(job.error),
                            extra={"job_id": job.id})
         else:
             logger.info("job %s %s in %.3fs%s", job.id, state.value,
                         latency if latency is not None else 0.0,
-                        " (cache hit)" if job.cache_hit else "",
+                        " (store hit)" if job.store_hit
+                        else " (cache hit)" if job.cache_hit else "",
                         extra={"job_id": job.id})
 
     def _acquire_shard_pool(self) -> Optional[ShardPool]:
@@ -483,14 +768,37 @@ class JobManager:
     # ------------------------------------------------------------------ #
     # worker body
     # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, item = self._queue.get()
+            if item is None:  # shutdown sentinel
+                return
+            try:
+                self._run(*item)
+            except Exception:  # noqa: BLE001 - the loop must survive any job
+                job = item[0]
+                job._transition(JobState.FAILED,
+                                error=traceback.format_exc(limit=20))
+
     def _run(self, job: Job, instance: ProblemInstance,
              config: AffidavitConfig, throttle_seconds: float,
              use_cache: bool, config_overridden: bool = False,
              load_seconds: float = 0.0) -> None:
-        if job._cancel_event.is_set():
+        if job._cancel_event.is_set() or job.state.is_terminal:
             job._transition(JobState.CANCELLED, error="cancelled before start")
             return
         job._transition(JobState.RUNNING)
+        if job.state.is_terminal:
+            # Lost the race against a concurrent cancel — don't search.
+            return
+        job.events.append(
+            "started",
+            name=instance.name,
+            n_source_records=instance.n_source_records,
+            n_target_records=instance.n_target_records,
+            n_attributes=instance.n_attributes,
+            engine=engine_name(config),
+        )
 
         user_should_stop = config.should_stop
         user_progress = config.progress_callback
@@ -502,6 +810,14 @@ class JobManager:
 
         def on_progress(progress: SearchProgress) -> None:
             job._record_progress(progress)
+            job.events.append(
+                "progressed",
+                expansions=progress.expansions,
+                generated_states=progress.generated_states,
+                queue_size=progress.queue_size,
+                best_cost=progress.best_cost,
+                cache_hit_rate=round(progress.cache_hit_rate, 4),
+            )
             if user_progress is not None:
                 user_progress(progress)
             if throttle_seconds > 0:
@@ -548,6 +864,7 @@ class JobManager:
             return
         if use_cache:
             self.cache.put(job.key, result)
+            self._store_publish(job, outcome)
         job._transition(JobState.DONE, result=result, outcome=outcome)
 
     # ------------------------------------------------------------------ #
@@ -564,6 +881,25 @@ class JobManager:
         with self._lock:
             return list(self._jobs.values())
 
+    def list_jobs(self, *, state: Optional[str] = None, after: int = 0,
+                  limit: int = 100) -> Tuple[List[Job], Optional[int]]:
+        """A page of jobs in submission order: ``(jobs, next_cursor)``.
+
+        *state* filters on the state's wire value; *after* is the exclusive
+        cursor (a job ``seq`` from a previous page); *next_cursor* is
+        ``None`` on the last page.  Pruned jobs simply vanish from the walk —
+        cursors stay valid because ``seq`` never reorders.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        selected = [job for job in self.jobs()
+                    if job.seq > after
+                    and (state is None or job.state.value == state)]
+        selected.sort(key=lambda job: job.seq)
+        page = selected[:limit]
+        next_cursor = page[-1].seq if len(selected) > limit else None
+        return page, next_cursor
+
     def counts(self) -> Dict[str, int]:
         """Jobs per state name — the health endpoint's view of the pool."""
         counts = {state.value: 0 for state in JobState}
@@ -571,19 +907,23 @@ class JobManager:
             counts[job.state.value] += 1
         return counts
 
+    def active(self) -> int:
+        """Admitted (queued + running) jobs right now."""
+        with self._lock:
+            return self._active
+
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; ``True`` unless the job already finished.
 
-        Queued jobs are cancelled immediately (the pool never starts them);
-        running jobs stop cooperatively within one search expansion.
+        Queued jobs are cancelled immediately (a worker that later dequeues
+        the entry sees the terminal state and skips it); running jobs stop
+        cooperatively within one search expansion.
         """
         job = self.get(job_id)
         if job.state.is_terminal:
             return False
         job._cancel_event.set()
-        with self._lock:
-            future = self._futures.get(job_id)
-        if future is not None and future.cancel():
+        if job.state is JobState.QUEUED:
             job._transition(JobState.CANCELLED, error="cancelled while queued")
         return True
 
@@ -597,13 +937,24 @@ class JobManager:
         return True
 
     def shutdown(self, wait: bool = True, *, cancel_pending: bool = False) -> None:
-        """Stop accepting work and (optionally) cancel everything in flight."""
-        self._closed = True
+        """Stop accepting work and (optionally) cancel everything in flight.
+
+        The shutdown sentinels sort below every request priority, so with
+        ``wait=True`` the workers drain all admitted jobs first (already
+        instantly-terminal ones when *cancel_pending* cancelled them)."""
+        with self._lock:
+            first_close = not self._closed
+            self._closed = True
         if cancel_pending:
             for job in self.jobs():
                 if not job.state.is_terminal:
                     self.cancel(job.id)
-        self._executor.shutdown(wait=wait)
+        if first_close:
+            for _ in self._threads:
+                self._queue.put((_SENTINEL_PRIORITY, next(self._order), None))
+        if wait:
+            for thread in self._threads:
+                thread.join()
         with self._lock:
             shard_pool, self._shard_pool = self._shard_pool, None
         if shard_pool is not None:

@@ -49,6 +49,8 @@ class JobView:
     name: str
     state: str
     cache_hit: bool
+    store_hit: bool
+    priority: int
     idempotency_key: str
     submitted_at: float
     started_at: Optional[float]
@@ -64,6 +66,8 @@ class JobView:
             name=job.name,
             state=job.state.value,
             cache_hit=job.cache_hit,
+            store_hit=job.store_hit,
+            priority=job.priority,
             idempotency_key=job.key,
             submitted_at=job.submitted_at,
             started_at=job.started_at,
@@ -86,6 +90,8 @@ class JobView:
             "name": self.name,
             "state": self.state,
             "cache_hit": self.cache_hit,
+            "store_hit": self.store_hit,
+            "priority": self.priority,
             "idempotency_key": self.idempotency_key,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -130,28 +136,58 @@ class ResultView:
     @classmethod
     def from_job(cls, job) -> "ResultView":
         result = job.result
-        if result is None:
-            raise ValueError(f"job {job.id} has no result")
         outcome = job.outcome
+        if result is None and outcome is None:
+            raise ValueError(f"job {job.id} has no result")
+        if result is not None:
+            cancelled = result.cancelled
+            cost = result.cost
+            trivial_cost = result.trivial_cost
+            compression_ratio = result.compression_ratio
+            expansions = result.expansions
+            generated_states = result.generated_states
+            runtime_seconds = result.runtime_seconds
+            explanation = explanation_to_dict(result.explanation)
+            column_cache = (
+                None if result.cache_stats is None else result.cache_stats.as_dict()
+            )
+            blocking_cache = (
+                None if getattr(result, "blocking_cache", None) is None
+                else dict(result.blocking_cache)
+            )
+        else:
+            # A store-hit on this replica: the outcome crossed the
+            # serialization boundary, so there is no live AffidavitResult —
+            # every field below survives the outcome round-trip.
+            cancelled = outcome.cancelled
+            cost = outcome.cost
+            trivial_cost = outcome.trivial_cost
+            compression_ratio = outcome.compression_ratio
+            expansions = outcome.expansions
+            generated_states = outcome.generated_states
+            runtime_seconds = outcome.timings.search_seconds
+            explanation = explanation_to_dict(outcome.explanation)
+            column_cache = (
+                None if outcome.cache is None else outcome.cache.as_dict()
+            )
+            blocking_cache = (
+                None if outcome.blocking_cache is None
+                else dict(outcome.blocking_cache)
+            )
         return cls(
             job_id=job.id,
             name=job.name,
             cache_hit=job.cache_hit,
-            cancelled=result.cancelled,
-            cost=result.cost,
-            trivial_cost=result.trivial_cost,
-            compression_ratio=result.compression_ratio,
-            expansions=result.expansions,
-            generated_states=result.generated_states,
-            runtime_seconds=result.runtime_seconds,
-            explanation=explanation_to_dict(result.explanation),
-            column_cache=(
-                None if result.cache_stats is None else result.cache_stats.as_dict()
-            ),
-            blocking_cache=(
-                None if getattr(result, "blocking_cache", None) is None
-                else dict(result.blocking_cache)
-            ),
+            cancelled=cancelled,
+            cost=cost,
+            trivial_cost=trivial_cost,
+            compression_ratio=compression_ratio,
+            expansions=expansions,
+            generated_states=generated_states,
+            runtime_seconds=runtime_seconds,
+            explanation=explanation,
+            column_cache=column_cache,
+            blocking_cache=blocking_cache,
             timings=None if outcome is None else outcome.timings.to_dict(),
             provenance=None if outcome is None else outcome.provenance.to_dict(),
             tier=None if outcome is None else outcome.provenance.tier,

@@ -1,0 +1,257 @@
+"""Pluggable shared result stores for multi-replica deduplication.
+
+The in-process :class:`~repro.service.cache.ResultCache` is an L1: it holds
+live :class:`~repro.core.AffidavitResult` objects and dies with the process.
+This module adds the L2 — a :class:`ResultStore` that holds **serialized
+outcomes** (``ExplainOutcome.to_dict()`` payloads) keyed by the same
+idempotency keys, so that
+
+* N server replicas pointed at one shared store deduplicate identical
+  requests (the second replica answers from the store instead of
+  re-searching), and
+* a restarted replica keeps serving results computed before the restart.
+
+Two backends ship: :class:`MemoryResultStore` (an L2 with L1 lifetime —
+useful for tests and single-process setups) and :class:`SqliteResultStore`
+(a WAL-mode sqlite file safe for concurrent readers/writers across threads
+*and* processes).  Both round-trip payloads through JSON, so anything a
+store returns is guaranteed to have survived serialization — a store hit on
+replica B behaves exactly like a restart-recovery hit.
+
+``open_store`` parses the ``serve --store`` spec::
+
+    open_store(None)                  -> None (no shared store)
+    open_store("memory")              -> MemoryResultStore()
+    open_store("sqlite:/tmp/res.db")  -> SqliteResultStore("/tmp/res.db")
+    open_store("/tmp/res.db")         -> SqliteResultStore("/tmp/res.db")
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from ..obs import get_registry
+from .cache import ResultCache
+
+_REGISTRY = get_registry()
+_STORE_HITS = _REGISTRY.counter(
+    "repro_store_hits_total",
+    "Shared result-store lookups that found a completed outcome",
+    ("backend",),
+)
+_STORE_MISSES = _REGISTRY.counter(
+    "repro_store_misses_total",
+    "Shared result-store lookups that found nothing",
+    ("backend",),
+)
+_STORE_PUTS = _REGISTRY.counter(
+    "repro_store_puts_total",
+    "Completed outcomes written to the shared result store",
+    ("backend",),
+)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters exposed on ``/healthz`` and asserted by tests."""
+
+    backend: str
+    hits: int
+    misses: int
+    puts: int
+    size: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "size": self.size,
+        }
+
+
+class ResultStore:
+    """Interface of a shared, serialization-boundary result store.
+
+    Implementations must be thread-safe; ``get`` returns the stored payload
+    (a JSON-compatible dict) or ``None``, never raises on a miss.
+    """
+
+    backend = "none"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> StoreStats:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources; further calls may fail."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class MemoryResultStore(ResultStore):
+    """An in-process store: the :class:`ResultCache` LRU/TTL machinery, but
+    holding JSON text so it keeps the serialization-boundary contract."""
+
+    backend = "memory"
+
+    def __init__(self, max_entries: int = 1024,
+                 ttl_seconds: Optional[float] = None):
+        self._cache = ResultCache(max_entries=max_entries,
+                                  ttl_seconds=ttl_seconds)
+        self._lock = threading.Lock()
+        self._puts = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        text = self._cache.get(key)
+        if text is None:
+            _STORE_MISSES.inc(backend=self.backend)
+            return None
+        _STORE_HITS.inc(backend=self.backend)
+        return json.loads(text)
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        self._cache.put(key, json.dumps(payload))
+        with self._lock:
+            self._puts += 1
+        _STORE_PUTS.inc(backend=self.backend)
+
+    def stats(self) -> StoreStats:
+        cache = self._cache.stats()
+        with self._lock:
+            puts = self._puts
+        return StoreStats(backend=self.backend, hits=cache.hits,
+                          misses=cache.misses, puts=puts, size=cache.size)
+
+
+class SqliteResultStore(ResultStore):
+    """A shared on-disk store: one WAL-mode sqlite file, safe for concurrent
+    access from many threads and many server processes.
+
+    Parameters
+    ----------
+    path:
+        The database file.  Replicas that should deduplicate work must point
+        at the same path (a shared volume in multi-box setups).
+    ttl_seconds:
+        Entries older than this are treated as absent and deleted on access.
+        ``None`` (default) keeps results until overwritten.
+    timeout:
+        Seconds a writer waits on a locked database before giving up —
+        sqlite's cross-process busy timeout.
+    clock:
+        Wall-clock source, injectable for TTL tests.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: Union[str, "object"], *,
+                 ttl_seconds: Optional[float] = None,
+                 timeout: float = 10.0,
+                 clock: Callable[[], float] = time.time):
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}")
+        self.path = str(path)
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._conn = sqlite3.connect(self.path, timeout=timeout,
+                                     check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  key TEXT PRIMARY KEY,"
+                "  payload TEXT NOT NULL,"
+                "  stored_at REAL NOT NULL"
+                ")"
+            )
+            self._conn.commit()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload, stored_at FROM results WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is not None and self._ttl is not None \
+                    and self._clock() - row[1] > self._ttl:
+                self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                self._conn.commit()
+                row = None
+            if row is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        if row is None:
+            _STORE_MISSES.inc(backend=self.backend)
+            return None
+        _STORE_HITS.inc(backend=self.backend)
+        return json.loads(row[0])
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        text = json.dumps(payload)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, payload, stored_at) "
+                "VALUES (?, ?, ?)",
+                (key, text, self._clock()),
+            )
+            self._conn.commit()
+            self._puts += 1
+        _STORE_PUTS.inc(backend=self.backend)
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            size = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+            return StoreStats(backend=self.backend, hits=self._hits,
+                              misses=self._misses, puts=self._puts, size=size)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def open_store(spec: Optional[str]) -> Optional[ResultStore]:
+    """Build a store from a ``serve --store`` spec string.
+
+    ``None``/empty/``"none"`` disable the shared store; ``"memory"`` is the
+    in-process backend; ``"sqlite:PATH"`` (also ``sqlite:///PATH``) or a bare
+    filesystem path open the shared sqlite backend.
+    """
+    if spec is None:
+        return None
+    spec = spec.strip()
+    if not spec or spec.lower() == "none":
+        return None
+    if spec.lower() == "memory":
+        return MemoryResultStore()
+    if spec.startswith("sqlite:"):
+        path = spec[len("sqlite:"):]
+        if path.startswith("///"):  # URI spelling: sqlite:///abs/path.db
+            path = path[2:]
+        if not path:
+            raise ValueError(f"store spec {spec!r} names no database path")
+        return SqliteResultStore(path)
+    return SqliteResultStore(spec)

@@ -526,3 +526,139 @@ def test_mismatched_snapshot_schemas_are_400_not_500(base_url):
     })
     assert status == 400
     assert "error" in payload
+
+
+# --------------------------------------------------------------------- #
+# the error envelope (affidavit.error/v1)
+# --------------------------------------------------------------------- #
+def assert_envelope(payload, code=None):
+    assert payload["schema_version"] == "affidavit.error/v1"
+    assert isinstance(payload["code"], str) and payload["code"]
+    assert isinstance(payload["message"], str) and payload["message"]
+    assert payload["error"] == payload["message"]  # legacy alias
+    if code is not None:
+        assert payload["code"] == code
+
+
+def test_every_error_route_answers_the_envelope(base_url):
+    status, payload = request(base_url, "GET", "/nope")
+    assert status == 404
+    assert_envelope(payload, "not_found")
+
+    status, payload = request(base_url, "GET", "/v1/jobs/job-missing")
+    assert status == 404
+    assert_envelope(payload, "unknown_job")
+
+    status, payload = request(base_url, "POST", "/v1/explain", {})
+    assert status == 400
+    assert_envelope(payload, "invalid_request")
+
+    status, view = request(base_url, "POST", "/v1/explain", explain_body(900))
+    job_id = view["id"]
+    status, payload = request(base_url, "GET",
+                              f"/v1/jobs/{job_id}/result?format=yaml")
+    assert status == 400
+    assert_envelope(payload, "unknown_format")
+
+    wait_for_state(base_url, job_id, {"done"})
+    status, payload = request(base_url, "DELETE", f"/v1/jobs/{job_id}")
+    assert status == 409
+    assert_envelope(payload, "job_already_finished")
+    assert payload["state"] == "done"
+
+
+def test_result_not_ready_is_enveloped_409(base_url):
+    body = explain_body(901, throttle_seconds=0.5, use_cache=False)
+    status, view = request(base_url, "POST", "/v1/explain", body)
+    job_id = view["id"]
+    status, payload = request(base_url, "GET", f"/v1/jobs/{job_id}/result")
+    assert status == 409
+    assert_envelope(payload, "result_not_ready")
+    assert payload["state"] in ("queued", "running")
+    request(base_url, "DELETE", f"/v1/jobs/{job_id}")
+    wait_for_state(base_url, job_id, {"cancelled", "done"})
+
+
+def test_failed_job_result_is_enveloped_500(base_url, server):
+    # No wire payload can fail a job mid-run, so inject the failure through
+    # the server's own manager: a progress callback that explodes.
+    from repro.core import identity_configuration
+    from repro.dataio import read_csv_text
+
+    def explode(progress) -> None:
+        raise RuntimeError("instrumentation exploded")
+
+    config = identity_configuration().with_overrides(progress_callback=explode)
+    source = read_csv_text("id,val\n1,100\n2,200\n")
+    target = read_csv_text("id,val\n1,1\n2,2\n")
+    job = server.manager.submit(source, target, config=config, use_cache=False)
+    assert job.wait(30.0)
+    assert job.state.value == "failed"
+
+    status, payload = request(base_url, "GET", f"/v1/jobs/{job.id}/result")
+    assert status == 500
+    assert_envelope(payload, "job_failed")
+    assert payload["state"] == "failed"
+
+
+# --------------------------------------------------------------------- #
+# jobs listing: state filter + cursor pagination
+# --------------------------------------------------------------------- #
+def test_jobs_listing_filters_and_paginates(base_url):
+    ids = []
+    for divisor in (21, 22, 23, 24, 25):
+        status, view = request(base_url, "POST", "/v1/explain",
+                               explain_body(divisor))
+        assert status in (200, 202)
+        ids.append(view["id"])
+    for job_id in ids:
+        wait_for_state(base_url, job_id, {"done"})
+
+    status, listing = request(base_url, "GET", "/v1/jobs")
+    assert status == 200
+    assert [v["id"] for v in listing["jobs"]] == ids  # submission order
+    assert listing["next_cursor"] is None
+
+    # Pages of two, chased through next_cursor.
+    seen = []
+    cursor = ""
+    for _ in range(10):
+        suffix = f"&cursor={cursor}" if cursor else ""
+        status, page = request(base_url, "GET", f"/v1/jobs?limit=2{suffix}")
+        assert status == 200
+        assert len(page["jobs"]) <= 2
+        seen.extend(v["id"] for v in page["jobs"])
+        if page["next_cursor"] is None:
+            break
+        cursor = page["next_cursor"]
+    assert seen == ids
+
+    status, done = request(base_url, "GET", "/v1/jobs?state=done")
+    assert status == 200
+    assert [v["id"] for v in done["jobs"]] == ids
+    status, cancelled = request(base_url, "GET", "/v1/jobs?state=cancelled")
+    assert cancelled["jobs"] == []
+
+
+def test_jobs_listing_rejects_bad_parameters(base_url):
+    status, payload = request(base_url, "GET", "/v1/jobs?state=exploded")
+    assert status == 400
+    assert_envelope(payload, "invalid_state")
+    status, payload = request(base_url, "GET", "/v1/jobs?limit=0")
+    assert status == 400
+    assert_envelope(payload, "invalid_limit")
+    status, payload = request(base_url, "GET", "/v1/jobs?limit=nope")
+    assert status == 400
+    assert_envelope(payload, "invalid_limit")
+    status, payload = request(base_url, "GET", "/v1/jobs?cursor=banana")
+    assert status == 400
+    assert_envelope(payload, "invalid_cursor")
+
+
+def test_job_view_carries_store_hit_and_priority(base_url):
+    status, view = request(base_url, "POST", "/v1/explain",
+                           explain_body(31, priority=3))
+    assert status in (200, 202)
+    assert view["priority"] == 3
+    assert view["store_hit"] is False
+    wait_for_state(base_url, view["id"], {"done"})
