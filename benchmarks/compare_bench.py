@@ -85,6 +85,8 @@ GATED_METRICS: Sequence[Metric] = (
            ("store_hit", "speedup")),
     Metric("parallel speedup @ max workers", "BENCH_parallel.json",
            ("speedup_at_max",), gate_key="gated"),
+    Metric("buffer-vs-pickle ship speedup", "BENCH_ship.json",
+           ("ship", "speedup")),
     Metric("encoded-vs-string blocking speedup", "BENCH_blocking.json",
            ("speedup",)),
     Metric("tracing efficiency (untraced/traced)", "BENCH_obs.json",

@@ -34,6 +34,12 @@ from ..core import (
     engine_name,
 )
 from ..dataio import Table
+from ..dataio.buffers import (
+    BufferFormatError,
+    content_digest,
+    open_snapshot_pair,
+    write_snapshot_pair,
+)
 from ..functions import FunctionRegistry, default_registry
 from ..obs import NULL_TRACER, Span, Tracer, ensure_tracer, get_registry
 from .budget import TIER_FULL, ExplainBudget, validate_strategy
@@ -147,6 +153,9 @@ class ExplainSession:
     data_root:
         Directory that request snapshot paths are confined to (``None``
         resolves paths as given).
+    snapshot_cache:
+        Directory for the content-addressed binary snapshot cache (see
+        :meth:`with_snapshot_cache`); ``None`` (the default) disables it.
     shard_pool:
         An externally owned :class:`~repro.core.ShardPool` for parallel
         runs (the service's job manager shares one across jobs).  When
@@ -169,6 +178,7 @@ class ExplainSession:
                  tracer: Optional[Tracer] = None,
                  budget: Optional[ExplainBudget] = None,
                  strategy: Optional[Tuple[str, ...]] = None,
+                 snapshot_cache: Optional[Path] = None,
                  _pool_box: Optional[_SharedPoolBox] = None,
                  _tier_cache: Optional[TierCache] = None):
         self._config = config
@@ -176,6 +186,7 @@ class ExplainSession:
         self._progress_callback = progress_callback
         self._should_stop = should_stop
         self._data_root = data_root
+        self._snapshot_cache = snapshot_cache
         self._shard_pool = shard_pool
         self._tracer = tracer
         self._budget = budget
@@ -199,6 +210,7 @@ class ExplainSession:
             "tracer": self._tracer,
             "budget": self._budget,
             "strategy": self._strategy,
+            "snapshot_cache": self._snapshot_cache,
             "_pool_box": self._pool_box,
             "_tier_cache": self._tier_cache,
         }
@@ -265,6 +277,22 @@ class ExplainSession:
         """A session confining request snapshot paths to *data_root*."""
         return self._clone(data_root=data_root)
 
+    def with_snapshot_cache(self, cache_dir: Union[str, Path, None]) -> "ExplainSession":
+        """A session caching materialised snapshots as binary buffer packs.
+
+        Every snapshot pair this session loads is persisted under
+        *cache_dir* as one content-addressed ``.afbuf`` file (keyed by a
+        digest of the raw CSV bytes plus the delimiter).  A later request
+        over the same bytes skips CSV parsing entirely: the cache file is
+        mmap-ed and columns decode lazily, so attributes the search never
+        touches are never materialised.  Corrupt or missing cache entries
+        fall back to the CSV path and are rewritten.  ``None`` disables
+        caching.
+        """
+        return self._clone(
+            snapshot_cache=Path(cache_dir) if cache_dir is not None else None
+        )
+
     def with_budget(self, budget: Union[ExplainBudget, float, int, None], *,
                     strategy: Optional[Tuple[str, ...]] = None) -> "ExplainSession":
         """A session whose runs go through the strategy chain under *budget*.
@@ -330,10 +358,57 @@ class ExplainSession:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def _snapshot_cache_path(self, request: ExplainRequest) -> Optional[Path]:
+        """The content-addressed cache file for the request's snapshot bytes,
+        or ``None`` when the bytes cannot be read (the CSV path will produce
+        the proper validation error)."""
+        try:
+            if request.source_csv is not None:
+                chunks = (
+                    request.source_csv.encode("utf-8"),
+                    request.target_csv.encode("utf-8"),
+                )
+            else:
+                chunks = (
+                    ExplainRequest._resolve(
+                        request.source_path, self._data_root
+                    ).read_bytes(),
+                    ExplainRequest._resolve(
+                        request.target_path, self._data_root
+                    ).read_bytes(),
+                )
+        except OSError:
+            return None
+        digest = content_digest(*chunks, request.delimiter.encode("utf-8"))
+        return self._snapshot_cache / f"{digest}.afbuf"
+
     def _materialise(self, request: ExplainRequest) -> Tuple[ProblemInstance, float]:
-        """Load the request's snapshots into a problem instance, timing it."""
+        """Load the request's snapshots into a problem instance, timing it.
+
+        With a snapshot cache configured (:meth:`with_snapshot_cache`), a
+        cache hit mmap-s the binary buffer pack instead of re-parsing CSV;
+        misses parse the CSV once and write the pack for next time.
+        """
         started = time.perf_counter()
-        source, target = request.load_tables(self._data_root)
+        source = target = None
+        cache_path = None
+        if self._snapshot_cache is not None:
+            cache_path = self._snapshot_cache_path(request)
+            if cache_path is not None:
+                try:
+                    source, target, _name = open_snapshot_pair(cache_path)
+                except (BufferFormatError, OSError):
+                    # Missing or corrupt cache entry: rebuild from CSV below.
+                    source = target = None
+        if source is None or target is None:
+            source, target = request.load_tables(self._data_root)
+            if cache_path is not None:
+                try:
+                    write_snapshot_pair(
+                        source, target, cache_path, name=request.name
+                    )
+                except OSError:
+                    pass  # an unwritable cache never fails the run
         registry = self.resolve_registry(request)
         instance = ProblemInstance(
             source=source, target=target, registry=registry, name=request.name

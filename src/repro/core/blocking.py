@@ -10,7 +10,8 @@ state, which is what makes the lower bounds :math:`c_t` and :math:`c_s`
 Under the encoded columnar engine, blocking keys are **integer fingerprints**
 rather than tuples of strings: the column cache dictionary-encodes every
 attribute's value domain once (:class:`~repro.core.colcache.AttributeCodec`),
-so a fresh build zips per-attribute *code arrays* into tuples of small ints,
+so a fresh build zips per-attribute *code buffers* — packed ``array('i')``
+storage served by the cache — into tuples of small ints,
 and refining a blocking by one more attribute keys each child block by the
 ``(parent block, new code)`` integer pair — one list index per record instead
 of re-deriving and re-hashing string keys.  The grouping is identical to the
@@ -292,8 +293,9 @@ def build_blocking(instance: ProblemInstance, state: SearchState,
     When *cache* is given, source columns are transformed through the
     column cache, so a function applied once to a column is reused by every
     search state that shares that assignment; with dictionary encoding
-    active, the keys are zipped from integer code arrays instead of string
-    columns.
+    active, the keys are zipped from packed ``array('i')`` code buffers
+    instead of string columns, so the lockstep walk below reads raw C ints
+    without touching any per-row Python string.
     """
     decided = state.decided_functions
     if not decided:

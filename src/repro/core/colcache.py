@@ -44,6 +44,7 @@ status, so operators can watch hit rates live.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -104,8 +105,9 @@ class _CacheEntry:
     def __init__(self):
         #: value map {source value -> transformed value (or NOT_APPLICABLE)}
         self.mapping: Dict[str, str] = {}
-        #: the transformed column as a code array (one code per source cell)
-        self.codes: Optional[List[int]] = None
+        #: the transformed column as a packed ``array('i')`` code buffer
+        #: (one code per source cell)
+        self.codes: Optional[Sequence[int]] = None
         #: raw-source-value code -> transformed-value code
         self.code_map: Optional[List[int]] = None
 
@@ -200,12 +202,14 @@ class ColumnCache:
         self._codecs: Dict[str, AttributeCodec] = {}
         #: per attribute: (encoded source column, distinct values in
         #: first-occurrence order, their codec codes) — built once, the raw
-        #: source column never changes during a search.
-        self._source_codes: Dict[str, Tuple[List[int], List[str], List[int]]] = {}
+        #: source column never changes during a search.  The encoded column
+        #: is a packed ``array('i')`` buffer: 4 bytes per cell, contiguous,
+        #: cheap to slice and to ship.
+        self._source_codes: Dict[str, Tuple[Sequence[int], List[str], List[int]]] = {}
         #: encoded external columns (the instance's target columns), keyed by
         #: ``(attribute, id(column))``; the column object is pinned so the id
         #: stays unambiguous.
-        self._encoded_columns: Dict[Tuple[str, int], Tuple[Sequence[str], List[int]]] = {}
+        self._encoded_columns: Dict[Tuple[str, int], Tuple[Sequence[str], Sequence[int]]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -308,35 +312,36 @@ class ColumnCache:
             self._codecs[attribute] = codec = AttributeCodec()
         return codec
 
-    def _source_domain(self, attribute: str) -> Tuple[List[int], List[str], List[int]]:
+    def _source_domain(self, attribute: str) -> Tuple[Sequence[int], List[str], List[int]]:
         """``(encoded column, distinct values, their codes)`` of the raw
         source column — computed once per attribute via the column's cached
-        dictionary encoding."""
+        dictionary encoding.  Buffer-backed columns hand over their packed
+        code buffer directly, so the remap walks raw ints end to end."""
         cached = self._source_codes.get(attribute)
         if cached is None:
             column = self._table.column_view(attribute)
             local_codes, codebook = column.dictionary()
             encode = self.codec(attribute).encode
             remap = [encode(value) for value in codebook]
-            encoded = [remap[code] for code in local_codes]
+            encoded = array("i", (remap[code] for code in local_codes))
             cached = (encoded, list(codebook), remap)
             self._source_codes[attribute] = cached
         return cached
 
-    def source_value_codes(self, attribute: str) -> List[int]:
+    def source_value_codes(self, attribute: str) -> Sequence[int]:
         """The raw source column of *attribute* as a code array (read-only).
 
         This is also the transformed code array of the identity function —
         the identity never fails and maps every value to itself."""
         return self._source_domain(attribute)[0]
 
-    def encoded_column(self, attribute: str, column: Sequence[str]) -> List[int]:
+    def encoded_column(self, attribute: str, column: Sequence[str]) -> Sequence[int]:
         """*column* encoded through the attribute's codec (cached, read-only).
 
         Used for the instance's target columns, so blocking compares source
         codes against target codes within one shared code space.  The column
         object is pinned by the cache; callers pass stable column views of a
-        frozen table.
+        frozen table.  Returns a packed ``array('i')`` buffer.
         """
         key = (attribute, id(column))
         cached = self._encoded_columns.get(key)
@@ -346,9 +351,9 @@ class ColumnCache:
         if isinstance(column, Column):
             local_codes, codebook = column.dictionary()
             remap = [encode(value) for value in codebook]
-            encoded = [remap[code] for code in local_codes]
+            encoded = array("i", (remap[code] for code in local_codes))
         else:
-            encoded = [encode(value) for value in column]
+            encoded = array("i", (encode(value) for value in column))
         self._encoded_columns[key] = (column, encoded)
         return encoded
 
@@ -404,7 +409,9 @@ class ColumnCache:
         codes = entry.codes
         if codes is None:
             code_map = self._code_map(attribute, function, entry)
-            codes = [code_map[code] for code in self.source_value_codes(attribute)]
+            codes = array("i", (
+                code_map[code] for code in self.source_value_codes(attribute)
+            ))
             entry.codes = codes
         return codes
 

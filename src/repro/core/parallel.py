@@ -42,14 +42,18 @@ already-drawn samples — results are unchanged, only the wall clock differs.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import pickle
 import signal
 import threading
 import time
 import uuid
+from array import array
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import suppress
+from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..functions import AttributeFunction
@@ -115,11 +119,61 @@ class PoolUnavailable(RuntimeError):
 
 class _InstanceMissing(Exception):
     """Worker-side signal: the task referenced an instance token the worker
-    has not seen yet; the coordinator retries with the pickled instance."""
+    has not seen yet; the coordinator retries with the shipping blob."""
 
     def __init__(self, token: str):
         super().__init__(token)
         self.token = token
+
+
+# --------------------------------------------------------------------------- #
+# packed wire formats
+# --------------------------------------------------------------------------- #
+# Shard payloads used to pickle Python ``List[int]`` row-id lists on every
+# dispatch — tens of thousands of PyLong objects per phase.  Ids now cross
+# the process boundary as flat ``array('i')`` byte buffers (a memcpy for
+# pickle) and are read back as zero-copy ``memoryview`` casts.
+
+def _pack_ids(ids: Sequence[int]) -> bytes:
+    """A row-id list as packed int32 bytes."""
+    return array("i", ids).tobytes()
+
+
+def _unpack_ids(blob: bytes) -> Sequence[int]:
+    """The zero-copy integer view of :func:`_pack_ids` bytes."""
+    return memoryview(blob).cast("i")
+
+
+def _pack_blocks(blocks: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                 ) -> Tuple[bytes, bytes]:
+    """Blocks as two flat buffers: per-block ``(n_source, n_target)`` lengths
+    and the concatenated source+target row ids."""
+    lengths = array("i")
+    flat = array("i")
+    for source_ids, target_ids in blocks:
+        lengths.append(len(source_ids))
+        lengths.append(len(target_ids))
+        flat.extend(source_ids)
+        flat.extend(target_ids)
+    return lengths.tobytes(), flat.tobytes()
+
+
+def _unpack_blocks(lengths_blob: bytes, flat_blob: bytes,
+                   ) -> List[Tuple[Sequence[int], Sequence[int]]]:
+    """Rebuild :func:`_pack_blocks` blocks as zero-copy id views."""
+    lengths = memoryview(lengths_blob).cast("i")
+    flat = memoryview(flat_blob).cast("i")
+    blocks: List[Tuple[Sequence[int], Sequence[int]]] = []
+    position = 0
+    for index in range(0, len(lengths), 2):
+        n_sources = lengths[index]
+        n_targets = lengths[index + 1]
+        blocks.append((
+            flat[position:position + n_sources],
+            flat[position + n_sources:position + n_sources + n_targets],
+        ))
+        position += n_sources + n_targets
+    return blocks
 
 
 # --------------------------------------------------------------------------- #
@@ -137,7 +191,7 @@ class _WorkerContext:
     cross back to the coordinator, so the merge stays bit-identical.
     """
 
-    __slots__ = ("instance", "cache", "memo")
+    __slots__ = ("instance", "cache", "memo", "results")
 
     def __init__(self, instance: ProblemInstance, cache_entries: int):
         self.instance = instance
@@ -145,6 +199,11 @@ class _WorkerContext:
             instance.source, max_entries=cache_entries, enabled=True
         )
         self.memo = InductionMemo()
+        #: LRU of completed shard-task results, keyed by payload digest.
+        #: Every shard task is a pure function of the frozen instance and
+        #: its payload, so a warm long-lived pool answers repeated tasks —
+        #: re-explains of a shipped instance — without recomputing.
+        self.results: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
 
 
 _WORKER_CONTEXTS: "OrderedDict[str, _WorkerContext]" = OrderedDict()
@@ -160,6 +219,26 @@ def _init_worker() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _attach_shipped_instance(name: str, size: int) -> ProblemInstance:
+    """Read a shipped instance out of a coordinator-owned shared segment.
+
+    The worker copies the blob out (one memcpy) and detaches immediately, so
+    segment lifetime stays entirely with the coordinator.  Attaching
+    re-registers the segment name, but spawn workers share the coordinator's
+    resource-tracker process, so the registration set already holds the name
+    (a no-op) and the coordinator's unlink clears it exactly once —
+    unregistering here would strip the coordinator's own entry and trade a
+    clean shutdown for tracker KeyError noise (bpo-39959 does not bite when
+    the tracker is shared).
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        blob = bytes(segment.buf[:size])
+    finally:
+        segment.close()
+    return ProblemInstance.from_ship_bytes(blob)
+
+
 def _worker_context(token: str, blob: Optional[bytes]) -> _WorkerContext:
     context = _WORKER_CONTEXTS.get(token)
     if context is not None:
@@ -167,12 +246,45 @@ def _worker_context(token: str, blob: Optional[bytes]) -> _WorkerContext:
         return context
     if blob is None:
         raise _InstanceMissing(token)
-    instance, cache_entries = pickle.loads(blob)
+    shipped = pickle.loads(blob)
+    if shipped[0] == "shm":
+        _kind, segment_name, size, cache_entries = shipped
+        try:
+            instance = _attach_shipped_instance(segment_name, size)
+        except FileNotFoundError:
+            # The coordinator unlinked the segment between dispatch and
+            # execution (eviction or close); ask for a re-ship.
+            raise _InstanceMissing(token) from None
+    else:
+        _kind, instance, cache_entries = shipped
     context = _WorkerContext(instance, cache_entries)
     _WORKER_CONTEXTS[token] = context
     while len(_WORKER_CONTEXTS) > INSTANCE_CACHE_LIMIT:
         _WORKER_CONTEXTS.popitem(last=False)
     return context
+
+
+#: Completed shard-task results kept per worker context (LRU).  Results are
+#: small (integer counts, overlaps and bounds), so the bound is generous.
+RESULT_CACHE_LIMIT = 1024
+
+#: Completed shard-task results kept per registered instance on the
+#: *coordinator* (LRU) — repeated tasks short-circuit before any dispatch.
+SHARD_RESULT_CACHE_LIMIT = 4096
+
+
+def _result_key(task: Callable, payload: tuple) -> Tuple[str, bytes]:
+    """Cache key of one shard task: the task name plus its payload digest.
+
+    Payloads pickle deterministically (packed id buffers, attribute names
+    and function descriptors), so the digest identifies the result of this
+    pure function of the registered instance exactly."""
+    return (
+        task.__name__,
+        hashlib.sha256(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        ).digest(),
+    )
 
 
 def _timed(task: Callable, token: str, blob: Optional[bytes],
@@ -183,52 +295,76 @@ def _timed(task: Callable, token: str, blob: Optional[bytes],
     can split its observed wall time into in-worker compute and shipping
     overhead.  :class:`_InstanceMissing` propagates untouched — the
     retry-on-miss protocol is unaffected.
+
+    Results are memoised on the worker context: a shard task is a pure
+    function of the frozen instance and its payload, so the payload's pickle
+    digest identifies the result exactly and a warm pool serves repeated
+    tasks (re-explains of a shipped instance) straight from cache.
     """
     started = time.perf_counter()
+    context = _worker_context(token, blob)
+    key = _result_key(task, payload)
+    cached = context.results.get(key)
+    if cached is not None:
+        context.results.move_to_end(key)
+        return cached, time.perf_counter() - started
     result = task(token, blob, *payload)
+    context.results[key] = result
+    while len(context.results) > RESULT_CACHE_LIMIT:
+        context.results.popitem(last=False)
     return result, time.perf_counter() - started
 
 
 def _induce_shard(token: str, blob: Optional[bytes], attribute: str,
-                  block_sources: Dict[int, List[int]],
-                  examples: Sequence[Tuple[int, str]],
+                  block_sources: Dict[int, bytes], examples_blob: bytes,
                   ) -> Tuple[List[Tuple[AttributeFunction, int]], int]:
     """Induce one contiguous shard of sampled examples.
 
-    *examples* holds ``(block id, target value)`` pairs in sample order;
-    *block_sources* maps each referenced block id to its source row ids.
-    Returns the ``(candidate, generation count)`` pairs in first-generation
-    order plus the number of examples processed.
+    *examples_blob* holds packed ``(block id, target row id)`` int32 pairs in
+    sample order — target row *ids*, not values: the worker already owns the
+    instance, so the example strings are read from its own target column
+    instead of being shipped.  *block_sources* maps each referenced block id
+    to its packed source row ids.  Returns the ``(candidate, generation
+    count)`` pairs in first-generation order plus the number of examples
+    processed.
     """
     context = _worker_context(token, blob)
     source_column = context.instance.source.column_view(attribute)
+    target_column = context.instance.target.column_view(attribute)
     registry = context.instance.registry
     pool = CandidatePool()
     values_by_block: Dict[int, List[str]] = {}
-    for block_id, target_value in examples:
+    pairs = memoryview(examples_blob).cast("i")
+    for position in range(0, len(pairs), 2):
+        block_id = pairs[position]
         values = values_by_block.get(block_id)
         if values is None:
             values = sorted({
-                source_column[source_id] for source_id in block_sources[block_id]
+                source_column[source_id]
+                for source_id in _unpack_ids(block_sources[block_id])
             })
             values_by_block[block_id] = values
-        pool.add_example(registry, values, target_value, memo=context.memo)
+        pool.add_example(
+            registry, values, target_column[pairs[position + 1]],
+            memo=context.memo,
+        )
     return list(pool.generation_counts().items()), pool.examples_seen
 
 
 def _score_shard(token: str, blob: Optional[bytes], attribute: str,
                  functions: Sequence[AttributeFunction],
-                 blocks: Sequence[Tuple[Sequence[int], Sequence[int]]],
-                 ) -> List[int]:
+                 lengths_blob: bytes, flat_blob: bytes) -> List[int]:
     """Overlap contributions of one contiguous shard of sampled blocks.
 
     Mirrors the inner loop of ``StateExpander._score_candidates_columnar``
     restricted to the shard's blocks — including its code-space form: the
     histograms are keyed by the worker's dictionary codes and every function
     is scored through its code-to-code map.  Overlaps are code-independent
-    integers and additive across shards.
+    integers and additive across shards.  Blocks arrive as packed int32
+    buffers (see :func:`_pack_blocks`) and are walked as zero-copy views.
     """
     context = _worker_context(token, blob)
+    blocks = _unpack_blocks(lengths_blob, flat_blob)
     cache = context.cache
     source_column = cache.source_value_codes(attribute)
     target_column = cache.encoded_column(
@@ -252,7 +388,7 @@ def _score_shard(token: str, blob: Optional[bytes], attribute: str,
 
 def _bounds_shard(token: str, blob: Optional[bytes], attribute: str,
                   functions: Sequence[AttributeFunction],
-                  blocks: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                  lengths_blob: bytes, flat_blob: bytes,
                   ) -> List[Tuple[int, int]]:
     """Refinement-bound contributions of one shard of blocking partitions.
 
@@ -261,9 +397,11 @@ def _bounds_shard(token: str, blob: Optional[bytes], attribute: str,
     summed — exactly the ``(c_t, c_s)`` contribution the partition makes to
     ``BlockingResult.unaligned_bounds()`` after a ``refine_blocking`` call,
     without materialising the refined blocking.  The shard-local form of
-    ``BlockingResult.refined_bounds``, on the worker's code arrays.
+    ``BlockingResult.refined_bounds``, on the worker's code arrays; blocks
+    arrive as packed int32 buffers.
     """
     context = _worker_context(token, blob)
+    blocks = _unpack_blocks(lengths_blob, flat_blob)
     cache = context.cache
     target_components = cache.encoded_column(
         attribute, context.instance.target.column_view(attribute)
@@ -280,11 +418,39 @@ def _bounds_shard(token: str, blob: Optional[bytes], attribute: str,
 # coordinator side
 # --------------------------------------------------------------------------- #
 class _RegisteredInstance:
-    __slots__ = ("instance", "blob")
+    """A shipped instance pinned in the coordinator's registry.
 
-    def __init__(self, instance: ProblemInstance, blob: bytes):
+    ``blob`` is the small pickled ship descriptor handed to workers; when
+    the instance travels through shared memory, ``segment`` is the
+    coordinator-owned segment holding the flat buffer-pack payload.  The
+    coordinator is the segment's sole owner: workers only ever attach,
+    copy out and close, so :meth:`release` can unlink unconditionally.
+
+    ``results`` is the coordinator-side shard-result cache: each completed
+    task's result keyed by its payload digest.  A shard task is a pure
+    function of the frozen instance and its payload, so a warm pool serves
+    repeated tasks — re-explains of a registered instance, overlapping
+    sub-work between requests — without any worker round trip at all.
+    Callers treat returned results as immutable (they merge, never mutate),
+    so cached objects are handed back as-is."""
+
+    __slots__ = ("instance", "blob", "segment", "results")
+
+    def __init__(self, instance: ProblemInstance, blob: bytes,
+                 segment: Optional[shared_memory.SharedMemory] = None):
         self.instance = instance
         self.blob = blob
+        self.segment = segment
+        self.results: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
+
+    def release(self) -> None:
+        """Close and unlink the backing segment, if any.  Idempotent."""
+        segment, self.segment = self.segment, None
+        if segment is not None:
+            with suppress(Exception):
+                segment.close()
+            with suppress(Exception):
+                segment.unlink()
 
 
 class ShardPool:
@@ -356,31 +522,75 @@ class ShardPool:
 
     def _token_for(self, instance: ProblemInstance,
                    cache_entries: int) -> Tuple[str, Optional[bytes]]:
-        """The instance's token, plus its pickled blob when the registration
+        """The instance's token, plus its ship blob when the registration
         is new — a fresh instance is unknown to every worker, so the first
         dispatch ships the blob proactively instead of paying a guaranteed
-        miss-and-retry round trip per shard."""
+        miss-and-retry round trip per shard.
+
+        The ship blob itself is tiny: the snapshots travel as one flat
+        buffer-pack payload placed in a ``multiprocessing.shared_memory``
+        segment, so the pickled descriptor shrinks to the segment name plus
+        metadata and workers pay one memcpy to receive the instance.  Hosts
+        without shared memory (or failing to allocate it) fall back to
+        pickling the instance inline."""
         with self._lock:
             token = self._tokens.get(id(instance))
             if token is not None:
                 self._registered.move_to_end(token)
                 return token, None
             token = uuid.uuid4().hex
-            blob = pickle.dumps(
-                (instance, cache_entries), protocol=pickle.HIGHEST_PROTOCOL
-            )
+            segment: Optional[shared_memory.SharedMemory] = None
+            try:
+                payload = instance.ship_bytes()
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, len(payload))
+                )
+                segment.buf[:len(payload)] = payload
+                blob = pickle.dumps(
+                    ("shm", segment.name, len(payload), cache_entries),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception:
+                if segment is not None:
+                    with suppress(Exception):
+                        segment.close()
+                    with suppress(Exception):
+                        segment.unlink()
+                segment = None
+                blob = pickle.dumps(
+                    ("inline", instance, cache_entries),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             # Pinning the instance keeps ``id(instance)`` unambiguous for the
             # registry's lifetime.
-            self._registered[token] = _RegisteredInstance(instance, blob)
+            self._registered[token] = _RegisteredInstance(instance, blob, segment)
             self._tokens[id(instance)] = token
             while len(self._registered) > INSTANCE_CACHE_LIMIT:
                 evicted_token, registered = self._registered.popitem(last=False)
                 self._tokens.pop(id(registered.instance), None)
+                registered.release()
             return token, blob
+
+    def segment_names(self) -> List[str]:
+        """Names of the live shared-memory segments this pool owns (tests
+        use this to assert nothing leaks into ``/dev/shm``)."""
+        with self._lock:
+            return [
+                registered.segment.name
+                for registered in self._registered.values()
+                if registered.segment is not None
+            ]
 
     def _mark_broken(self, error: BaseException) -> PoolUnavailable:
         with self._lock:
             self._broken = True
+            registered_entries = list(self._registered.values())
+            self._registered.clear()
+            self._tokens.clear()
+        # A broken pool never ships again; unlink its segments immediately so
+        # a crashed worker cannot strand payloads in /dev/shm.
+        for registered in registered_entries:
+            registered.release()
         return PoolUnavailable(f"shard pool broke: {error}")
 
     # -- task execution ------------------------------------------------- #
@@ -388,18 +598,36 @@ class ShardPool:
                      cache_entries: int, payloads: Sequence[tuple]) -> tuple:
         """Submit *task* once per payload; returns an opaque handle for
         :meth:`collect_shards`.  Splitting submission from collection lets the
-        coordinator overlap its own work with the workers'."""
+        coordinator overlap its own work with the workers'.
+
+        Payloads whose result is already in the registered instance's
+        shard-result cache are not submitted at all — a warm pool answers
+        them without a worker round trip."""
         executor = self._ensure_executor()
         token, fresh_blob = self._token_for(instance, cache_entries)
+        keys = [_result_key(task, payload) for payload in payloads]
+        hits: Dict[int, object] = {}
+        with self._lock:
+            registered = self._registered.get(token)
+            if registered is not None:
+                for position, key in enumerate(keys):
+                    if key in registered.results:
+                        registered.results.move_to_end(key)
+                        hits[position] = registered.results[key]
         dispatched = time.perf_counter()
         try:
-            futures = [
-                executor.submit(_timed, task, token, fresh_blob, *payload)
-                for payload in payloads
-            ]
+            futures = {
+                position: executor.submit(
+                    _timed, task, token, fresh_blob, *payloads[position]
+                )
+                for position in range(len(payloads))
+                if position not in hits
+            }
+        except BrokenExecutor as error:  # workers died before dispatch
+            raise self._mark_broken(error) from error
         except RuntimeError as error:  # shut down between _ensure and submit
             raise PoolUnavailable(str(error)) from error
-        return (task, token, payloads, futures, dispatched)
+        return (task, token, payloads, keys, hits, futures, dispatched)
 
     def collect_shards(self, handle: tuple,
                        record: Optional[Callable[[int, float, float], None]] = None,
@@ -413,12 +641,13 @@ class ShardPool:
 
         *record*, when given, is called once per shard with ``(position,
         wall_seconds, compute_seconds)`` — wall time from dispatch to result
-        receipt (retries included) against time spent inside the worker."""
-        task, token, payloads, futures, dispatched = handle
+        receipt (retries included) against time spent inside the worker.
+        Cache-served shards are recorded with zero wall and compute time."""
+        task, token, payloads, keys, hits, futures, dispatched = handle
         results: List[object] = [None] * len(payloads)
         received: List[float] = [0.0] * len(payloads)
         misses: List[int] = []
-        for position, future in enumerate(futures):
+        for position, future in futures.items():
             try:
                 results[position] = future.result()
                 received[position] = time.perf_counter()
@@ -439,20 +668,45 @@ class ShardPool:
                     )
                     for position in misses
                 ]
+            except BrokenExecutor as error:
+                raise self._mark_broken(error) from error
             except RuntimeError as error:
                 raise PoolUnavailable(str(error)) from error
             for position, future in zip(misses, retries):
                 try:
                     results[position] = future.result()
                     received[position] = time.perf_counter()
+                except _InstanceMissing as error:
+                    # The retry carried the full ship blob; a second miss
+                    # means the segment vanished underneath us (evicted or
+                    # unlinked) — treat the pool as unusable for this call.
+                    raise PoolUnavailable(
+                        "instance ship blob unreadable on retry"
+                    ) from error
                 except BrokenExecutor as error:
                     raise self._mark_broken(error) from error
         unwrapped: List[object] = [None] * len(payloads)
-        for position, entry in enumerate(results):
-            result, compute_seconds = entry
+        fresh: List[Tuple[Tuple[str, bytes], object]] = []
+        for position in range(len(payloads)):
+            if position in hits:
+                unwrapped[position] = hits[position]
+                if record is not None:
+                    record(position, 0.0, 0.0)
+                continue
+            result, compute_seconds = results[position]
             unwrapped[position] = result
+            fresh.append((keys[position], result))
             if record is not None:
                 record(position, received[position] - dispatched, compute_seconds)
+        if fresh:
+            with self._lock:
+                registered = self._registered.get(token)
+                if registered is not None:
+                    for key, result in fresh:
+                        registered.results[key] = result
+                        registered.results.move_to_end(key)
+                    while len(registered.results) > SHARD_RESULT_CACHE_LIMIT:
+                        registered.results.popitem(last=False)
         return unwrapped
 
     def map_shards(self, task: Callable, instance: ProblemInstance,
@@ -471,10 +725,15 @@ class ShardPool:
         with self._lock:
             executor, self._executor = self._executor, None
             self._closed = True
+            registered_entries = list(self._registered.values())
             self._registered.clear()
             self._tokens.clear()
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+        # Unlink after shutdown: workers have exited, so no attach can race
+        # the unlink and every segment leaves /dev/shm here.
+        for registered in registered_entries:
+            registered.release()
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -612,19 +871,21 @@ class ParallelStateExpander(StateExpander):
     def _generation_counts(self, mixed_blocks, attribute, sampled):
         if len(sampled) < MIN_REMOTE_EXAMPLES or not self._pool.available():
             return super()._generation_counts(mixed_blocks, attribute, sampled)
-        target_column = self._instance.target.column_view(attribute)
         payloads = []
         for chunk in split_contiguous(sampled, self._pool.workers):
-            block_sources: Dict[int, List[int]] = {}
-            examples: List[Tuple[int, str]] = []
+            # Pure row-id wire format: block source ids as packed int32
+            # buffers plus a flat (block_index, target_row_id) pair stream.
+            # The worker resolves both columns from its cached instance, so
+            # no cell strings cross the process boundary.
+            block_sources: Dict[int, bytes] = {}
+            example_pairs = array("i")
             for block_index, offset in chunk:
                 block = mixed_blocks[block_index]
                 if block_index not in block_sources:
-                    block_sources[block_index] = block.source_ids
-                examples.append(
-                    (block_index, target_column[block.target_ids[offset]])
-                )
-            payloads.append((attribute, block_sources, examples))
+                    block_sources[block_index] = _pack_ids(block.source_ids)
+                example_pairs.append(block_index)
+                example_pairs.append(block.target_ids[offset])
+            payloads.append((attribute, block_sources, example_pairs.tobytes()))
         try:
             shard_results = self._pool.map_shards(
                 _induce_shard, self._instance, self._cache_entries, payloads,
@@ -659,7 +920,9 @@ class ParallelStateExpander(StateExpander):
             (
                 attribute,
                 functions,
-                [(block.source_ids, block.target_ids) for block in chunk],
+                *_pack_blocks(
+                    [(block.source_ids, block.target_ids) for block in chunk]
+                ),
             )
             for chunk in split_weighted(blocks, weights, self._pool.workers)
         ]
@@ -703,7 +966,9 @@ class ParallelStateExpander(StateExpander):
             (
                 attribute,
                 remote_functions,
-                [(block.source_ids, block.target_ids) for block in chunk],
+                *_pack_blocks(
+                    [(block.source_ids, block.target_ids) for block in chunk]
+                ),
             )
             for chunk in split_weighted(blocks, weights, self._pool.workers)
         ]

@@ -1,8 +1,20 @@
-"""Tabular data substrate: schemas, column-oriented tables, CSV I/O."""
+"""Tabular data substrate: schemas, tables, CSV I/O, binary buffers."""
 
 from .schema import Schema, SchemaError
 from .table import Column, ColumnStats, Row, Table, TableError
 from .csv_io import read_csv, read_csv_text, read_snapshot_pair, to_csv_text, write_csv
+from .buffers import (
+    BufferColumn,
+    BufferFormatError,
+    ColumnBuffer,
+    ValueBlob,
+    buffer_table,
+    content_digest,
+    open_snapshot_pair,
+    pack_tables,
+    unpack_tables,
+    write_snapshot_pair,
+)
 from . import values
 
 __all__ = [
@@ -13,6 +25,16 @@ __all__ = [
     "Column",
     "ColumnStats",
     "Row",
+    "BufferColumn",
+    "BufferFormatError",
+    "ColumnBuffer",
+    "ValueBlob",
+    "buffer_table",
+    "content_digest",
+    "open_snapshot_pair",
+    "pack_tables",
+    "unpack_tables",
+    "write_snapshot_pair",
     "read_csv",
     "read_csv_text",
     "read_snapshot_pair",

@@ -32,9 +32,11 @@ from .corpus import (
 from .coverage import LineCollector, NullCollector
 from .minimizer import MinimizationResult, minimize_pair
 from .mutators import (
+    BUFFER_MUTATORS,
     PAYLOAD_MUTATORS,
     TABLE_MUTATORS,
     TORTURE_VALUES,
+    mutate_buffer,
     mutate_pair,
     mutate_payload,
 )
@@ -47,6 +49,7 @@ from .oracles import (
     ServiceOracle,
     bounds_sound,
     budget_respected,
+    buffer_roundtrip,
     codec_roundtrip,
     engines_agree,
     payload_parses,
@@ -63,6 +66,7 @@ from .runner import (
 )
 
 __all__ = [
+    "BUFFER_MUTATORS",
     "CORPUS_SCHEMA_VERSION",
     "CorpusEntry",
     "CorpusError",
@@ -89,12 +93,14 @@ __all__ = [
     "TORTURE_VALUES",
     "bounds_sound",
     "budget_respected",
+    "buffer_roundtrip",
     "builtin_seed_entries",
     "codec_roundtrip",
     "engines_agree",
     "load_corpus",
     "load_entry",
     "minimize_pair",
+    "mutate_buffer",
     "mutate_pair",
     "mutate_payload",
     "payload_parses",

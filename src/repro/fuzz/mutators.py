@@ -14,7 +14,12 @@ Two families:
 * **payload mutators** transform raw ``affidavit.request/v1|v2`` JSON text —
   key drops, type swaps, version junk, v2-field smuggling into v1, byte
   truncation — to exercise the request parser and the HTTP service's
-  malformed-body handling.
+  malformed-body handling;
+* **buffer mutators** corrupt packed binary buffer containers
+  (``affidavit.buffer-pack/v1`` bytes, the snapshot-cache / shared-memory
+  wire format) — bit flips, truncation, header-length lies, JSON header
+  garbage, payload zeroing — to drive the ``buffer_roundtrip`` oracle's
+  contract that corrupt bytes always surface as ``BufferFormatError``.
 
 Every mutator takes ``(input, rng)`` and returns the mutated input or
 ``None`` when it does not apply (the runner then retries with another); all
@@ -34,6 +39,7 @@ from .corpus import SnapshotPair
 
 TableMutator = Callable[[SnapshotPair, random.Random], Optional[SnapshotPair]]
 PayloadMutator = Callable[[str, random.Random], Optional[str]]
+BufferMutator = Callable[[bytes, random.Random], Optional[bytes]]
 
 #: Values that historically break string handling somewhere: astral-plane
 #: codepoints, combining sequences, bidi controls, zero-width joiners, lone
@@ -423,10 +429,126 @@ def mutate_payload(text: str, rng: random.Random, *,
     return current, tuple(applied)
 
 
+# ---------------------------------------------------------------------- #
+# buffer mutators (packed binary containers)
+# ---------------------------------------------------------------------- #
+def _header_bounds(blob: bytes) -> Optional[Tuple[int, int]]:
+    """``(header_start, header_end)`` of a buffer-pack blob, when readable."""
+    from ..dataio.buffers import MAGIC
+
+    prefix = len(MAGIC) + 8
+    if len(blob) < prefix or not blob.startswith(MAGIC):
+        return None
+    header_length = int.from_bytes(blob[len(MAGIC):prefix], "little")
+    if header_length > len(blob) - prefix:
+        return None
+    return prefix, prefix + header_length
+
+
+def flip_bytes(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """XOR 1-4 random bytes anywhere in the container."""
+    if not blob:
+        return None
+    mutated = bytearray(blob)
+    for _ in range(rng.randint(1, 4)):
+        position = rng.randrange(len(mutated))
+        mutated[position] ^= rng.randint(1, 255)
+    return bytes(mutated)
+
+
+def truncate_blob(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """Cut the container at a random point (including inside the header)."""
+    if len(blob) < 2:
+        return None
+    return blob[: rng.randrange(1, len(blob))]
+
+
+def lie_about_header_length(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """Overwrite the u64 header-length field with a random value."""
+    from ..dataio.buffers import MAGIC
+
+    if len(blob) < len(MAGIC) + 8:
+        return None
+    lied = rng.choice([
+        0, 1, len(blob), len(blob) * 2, 2**32, 2**63,
+        rng.randrange(len(blob) + 16),
+    ])
+    return (blob[:len(MAGIC)] + lied.to_bytes(8, "little")
+            + blob[len(MAGIC) + 8:])
+
+
+def garble_header_json(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """Splice garbage into the JSON header region (keeps its length)."""
+    bounds = _header_bounds(blob)
+    if bounds is None or bounds[1] - bounds[0] < 2:
+        return None
+    start, end = bounds
+    position = rng.randrange(start, end)
+    garbage = rng.choice(b'{}[]",:\x00\xff')
+    return blob[:position] + bytes([garbage]) + blob[position + 1:]
+
+
+def zero_payload_run(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """Zero a random run of payload bytes (codes, offsets or value data)."""
+    bounds = _header_bounds(blob)
+    if bounds is None or bounds[1] >= len(blob):
+        return None
+    start = rng.randrange(bounds[1], len(blob))
+    length = rng.randint(1, min(16, len(blob) - start))
+    return blob[:start] + b"\x00" * length + blob[start + length:]
+
+
+def swap_payload_slices(blob: bytes, rng: random.Random) -> Optional[bytes]:
+    """Swap two equal-length payload runs (cross-section confusion)."""
+    bounds = _header_bounds(blob)
+    if bounds is None or len(blob) - bounds[1] < 8:
+        return None
+    payload_start = bounds[1]
+    length = rng.randint(2, min(16, (len(blob) - payload_start) // 2))
+    first = rng.randrange(payload_start, len(blob) - 2 * length + 1)
+    second = rng.randrange(first + length, len(blob) - length + 1)
+    mutated = bytearray(blob)
+    mutated[first:first + length], mutated[second:second + length] = \
+        mutated[second:second + length], mutated[first:first + length]
+    return bytes(mutated)
+
+
+BUFFER_MUTATORS: Dict[str, BufferMutator] = {
+    "flip_bytes": flip_bytes,
+    "truncate_blob": truncate_blob,
+    "lie_about_header_length": lie_about_header_length,
+    "garble_header_json": garble_header_json,
+    "zero_payload_run": zero_payload_run,
+    "swap_payload_slices": swap_payload_slices,
+}
+
+
+def mutate_buffer(blob: bytes, rng: random.Random, *,
+                  rounds: Optional[int] = None,
+                  max_attempts: int = 10) -> Tuple[bytes, Tuple[str, ...]]:
+    """Apply 1-2 random buffer mutators; returns the bytes and the chain."""
+    if rounds is None:
+        rounds = rng.randint(1, 2)
+    names = list(BUFFER_MUTATORS)
+    applied: List[str] = []
+    current = blob
+    for _ in range(rounds):
+        for _ in range(max_attempts):
+            name = rng.choice(names)
+            mutated = BUFFER_MUTATORS[name](current, rng)
+            if mutated is not None and mutated != current:
+                current = mutated
+                applied.append(name)
+                break
+    return current, tuple(applied)
+
+
 __all__ = [
+    "BUFFER_MUTATORS",
     "PAYLOAD_MUTATORS",
     "TABLE_MUTATORS",
     "TORTURE_VALUES",
+    "mutate_buffer",
     "mutate_pair",
     "mutate_payload",
 ]

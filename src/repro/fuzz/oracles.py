@@ -22,6 +22,14 @@ not fuzzer errors.  The oracles:
 ``serialization_roundtrip``
     Requests and outcomes survive ``to_dict``/``from_dict`` through real
     JSON, and the canonical request key is stable.
+``buffer_roundtrip``
+    The binary columnar container (``pack_tables``/``unpack_tables``, the
+    shared-memory ship format and the on-disk snapshot cache) is a fixed
+    point: codes→buffer→codes reproduces every cell, packing is
+    deterministic, an mmap-loaded snapshot equals the in-memory load, and
+    *corrupted* container bytes either raise :class:`BufferFormatError` or
+    still decode into structurally sound tables — never any other
+    exception.
 ``budget_respected``
     A budgeted run answers within a deadline-derived wall-clock envelope,
     names a known tier/confidence, and its explanation is valid.
@@ -385,6 +393,101 @@ def serialization_roundtrip(pair: SnapshotPair, *, seed: int = 0) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# binary buffer round-trips
+# ---------------------------------------------------------------------- #
+#: How many independently mutated corruptions of the packed container each
+#: ``buffer_roundtrip`` run probes.
+BUFFER_CORRUPTION_PROBES = 6
+
+
+def _table_cells(table) -> List[List[str]]:
+    return [list(table.column_view(attribute)) for attribute in table.schema]
+
+
+def buffer_roundtrip(pair: SnapshotPair, *, seed: int = 0, **_ignored) -> None:
+    """The packed buffer container is a lossless, deterministic fixed point,
+    the mmap snapshot load equals the in-memory load, and corrupt bytes are
+    always a :class:`BufferFormatError` (or decode to sound tables)."""
+    import random as random_module
+    import tempfile
+    from pathlib import Path
+
+    from ..dataio.buffers import (
+        BufferFormatError,
+        open_snapshot_pair,
+        pack_tables,
+        unpack_tables,
+        write_snapshot_pair,
+    )
+    from .mutators import mutate_buffer
+
+    source, target = pair.copies()
+    expected = [_table_cells(source), _table_cells(target)]
+    try:
+        blob = pack_tables([source, target], name="fuzz")
+        tables, _extra, name = unpack_tables(blob)
+        if name != "fuzz" or len(tables) != 2:
+            raise OracleFailure(
+                oracle="buffer_roundtrip",
+                message=f"unpack returned {len(tables)} tables, name {name!r}",
+            )
+        decoded = [_table_cells(table) for table in tables]
+        if decoded != expected:
+            raise OracleFailure(
+                oracle="buffer_roundtrip",
+                message="codes→buffer→codes is not a fixed point",
+            )
+        # Re-packing the unpacked (buffer-backed) tables must be bit-stable:
+        # the pack is content-addressed by the snapshot cache.
+        if pack_tables(tables, name="fuzz") != blob:
+            raise OracleFailure(
+                oracle="buffer_roundtrip",
+                message="re-packing unpacked tables changed the bytes",
+            )
+        with tempfile.TemporaryDirectory(prefix="fuzz-afbuf-") as tmp:
+            path = Path(tmp) / "pair.afbuf"
+            write_snapshot_pair(source, target, path, name="fuzz")
+            mapped_source, mapped_target, _name = open_snapshot_pair(path)
+            mapped = [_table_cells(mapped_source), _table_cells(mapped_target)]
+            if mapped != expected:
+                raise OracleFailure(
+                    oracle="buffer_roundtrip",
+                    message="mmap-loaded snapshot differs from in-memory load",
+                )
+    except OracleFailure:
+        raise
+    except Exception as error:  # noqa: BLE001
+        raise _guard("buffer_roundtrip", error) from error
+
+    rng = random_module.Random(seed)
+    for _probe in range(BUFFER_CORRUPTION_PROBES):
+        corrupted, chain = mutate_buffer(blob, rng)
+        try:
+            tables, _extra, _name = unpack_tables(corrupted)
+            for table in tables:  # decode every cell: laziness must not
+                _table_cells(table)  # defer a crash past the oracle
+        except BufferFormatError:
+            continue  # detected corruption is the documented outcome
+        except OracleFailure:
+            raise
+        except Exception as error:  # noqa: BLE001
+            raise OracleFailure(
+                oracle="buffer_roundtrip",
+                message=(f"corrupt container raised {type(error).__name__} "
+                         f"instead of BufferFormatError: {error}"),
+                detail=f"mutation chain: {chain}",
+            ) from error
+        for table in tables:
+            for attribute in table.schema:
+                if len(table.column_view(attribute)) != table.n_rows:
+                    raise OracleFailure(
+                        oracle="buffer_roundtrip",
+                        message="corrupt container decoded to a ragged table",
+                        detail=f"mutation chain: {chain}",
+                    )
+
+
+# ---------------------------------------------------------------------- #
 # budget envelope
 # ---------------------------------------------------------------------- #
 #: Wall-clock envelope of a budgeted run: generous (fuzz boxes are noisy and
@@ -676,6 +779,7 @@ SNAPSHOT_ORACLES = {
     "bounds_sound": bounds_sound,
     "codec_roundtrip": codec_roundtrip,
     "serialization_roundtrip": serialization_roundtrip,
+    "buffer_roundtrip": buffer_roundtrip,
     "budget_respected": budget_respected,
 }
 
@@ -696,6 +800,7 @@ __all__ = [
     "ServiceOracle",
     "budget_respected",
     "bounds_sound",
+    "buffer_roundtrip",
     "codec_roundtrip",
     "engines_agree",
     "payload_parses",

@@ -72,6 +72,7 @@ _SNAPSHOT_SCHEDULE: Tuple[str, ...] = (
     "engines_agree", "engines_agree", "engines_agree",
     "bounds_sound", "bounds_sound",
     "codec_roundtrip", "codec_roundtrip",
+    "buffer_roundtrip", "buffer_roundtrip",
     "serialization_roundtrip",
     "budget_respected",
 )

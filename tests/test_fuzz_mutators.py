@@ -118,3 +118,55 @@ class TestPayloadMutators:
             # Must not crash on text that is not JSON at all.
             result = mutator("\x00\xff{{{ not json", rng)
             assert result is None or isinstance(result, str), name
+
+
+class TestBufferMutators:
+    @pytest.fixture
+    def blob(self, pair):
+        from repro.dataio import pack_tables
+
+        return pack_tables([pair.source, pair.target], name="fuzz")
+
+    def test_every_mutator_emits_bytes_or_none(self, blob):
+        from repro.fuzz import BUFFER_MUTATORS
+
+        rng = random.Random(11)
+        for name, mutator in BUFFER_MUTATORS.items():
+            for _ in range(10):
+                mutated = mutator(blob, rng)
+                assert mutated is None or isinstance(mutated, bytes), name
+
+    def test_mutate_buffer_is_deterministic(self, blob):
+        from repro.fuzz import BUFFER_MUTATORS, mutate_buffer
+
+        first, chain_a = mutate_buffer(blob, random.Random(42))
+        second, chain_b = mutate_buffer(blob, random.Random(42))
+        assert first == second
+        assert chain_a == chain_b
+        assert all(step in BUFFER_MUTATORS for step in chain_a)
+
+    def test_mutators_tolerate_garbage_input(self):
+        from repro.fuzz import BUFFER_MUTATORS
+
+        rng = random.Random(5)
+        for name, mutator in BUFFER_MUTATORS.items():
+            for garbage in (b"", b"\x00", b"AFBUF01\n", b"junk" * 10):
+                result = mutator(garbage, rng)
+                assert result is None or isinstance(result, bytes), name
+
+    def test_corruption_is_detected_or_benign(self, blob):
+        """Spot-check the oracle's core contract directly: a mutated blob
+        either raises BufferFormatError or decodes to sound tables."""
+        from repro.dataio import BufferFormatError, unpack_tables
+        from repro.fuzz import mutate_buffer
+
+        rng = random.Random(23)
+        for _ in range(50):
+            corrupted, _chain = mutate_buffer(blob, rng)
+            try:
+                tables, _extra, _name = unpack_tables(corrupted)
+                for table in tables:
+                    for attribute in table.schema:
+                        list(table.column_view(attribute))
+            except BufferFormatError:
+                continue

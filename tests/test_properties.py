@@ -398,6 +398,37 @@ class TestColumnarEngineProperties:
 
     @given(source_rows=engine_rows, target_rows=engine_rows,
            seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_buffer_backed_instances_are_bit_identical(
+            self, source_rows, target_rows, seed):
+        """A ship_bytes round trip — the binary columnar wire/snapshot format,
+        whose tables are lazy BufferColumn-backed — must not perturb the
+        search on any engine.  (The parallel engine receives exactly these
+        buffer-backed instances from its shared-memory shipping; its own
+        bit-identity is covered by test_core_parallel.py, where one pool is
+        amortised across the module.)"""
+        reference = Affidavit(identity_configuration(seed=seed)).explain(
+            build_instance(source_rows, target_rows)
+        )
+        configs = [
+            identity_configuration(seed=seed),                        # encoded
+            identity_configuration(seed=seed, blocking_codes=False),  # strings
+            identity_configuration(seed=seed, columnar_cache=False),  # row-wise
+        ]
+        for config in configs:
+            instance = ProblemInstance.from_ship_bytes(
+                build_instance(source_rows, target_rows).ship_bytes()
+            )
+            result = Affidavit(config).explain(instance)
+            assert result.cost == reference.cost
+            assert result.explanation.functions == reference.explanation.functions
+            assert result.end_state == reference.end_state
+            assert result.expansions == reference.expansions
+            assert result.generated_states == reference.generated_states
+
+    @given(source_rows=engine_rows, target_rows=engine_rows,
+           seed=st.integers(min_value=0, max_value=2**16))
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_unbudgeted_session_is_bit_identical_to_direct_search(
